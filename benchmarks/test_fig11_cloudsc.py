@@ -1,0 +1,17 @@
+"""Figure 11: CLOUDSC full-model sequential runtime (Fortran, C, DaCe, daisy)."""
+
+from conftest import attach_rows
+from repro.experiments import figure11
+
+
+def test_figure11_cloudsc_sequential(benchmark, settings):
+    rows = benchmark.pedantic(figure11.run, args=(settings,), rounds=1, iterations=1)
+    attach_rows(benchmark, rows)
+
+    runtimes = {row["version"]: row["normalized_runtime"] for row in rows
+                if row.get("version") in figure11.VERSIONS}
+    # Paper: daisy is ~10% faster than the hand-tuned Fortran; C and DaCe are
+    # slower than Fortran.
+    assert runtimes["daisy"] < 1.0
+    assert runtimes["c"] >= 1.0
+    assert runtimes["dace"] >= runtimes["c"]

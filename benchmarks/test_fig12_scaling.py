@@ -1,0 +1,32 @@
+"""Figure 12: CLOUDSC strong and weak scaling."""
+
+from conftest import attach_rows
+from repro.experiments import figure12
+
+
+def test_figure12a_strong_scaling(benchmark, settings):
+    rows = benchmark.pedantic(figure12.run_strong_scaling, args=(settings,),
+                              rounds=1, iterations=1)
+    attach_rows(benchmark, rows)
+
+    daisy = {row["threads"]: row["runtime_s"] for row in rows
+             if row["version"] == "daisy"}
+    fortran = {row["threads"]: row["runtime_s"] for row in rows
+               if row["version"] == "fortran"}
+    # Both versions scale; daisy stays at least as fast as Fortran at every
+    # thread count (paper: 2.7%-9.1% faster).
+    assert daisy[12] < daisy[1]
+    assert fortran[12] < fortran[1]
+    for threads in daisy:
+        assert daisy[threads] <= fortran[threads] * 1.02
+
+
+def test_figure12b_weak_scaling(benchmark, settings):
+    rows = benchmark.pedantic(figure12.run_weak_scaling, args=(settings,),
+                              rounds=1, iterations=1)
+    attach_rows(benchmark, rows)
+
+    daisy_rows = [row for row in rows if row["version"] == "daisy"]
+    # daisy is at least as fast as Fortran at every weak-scaling point
+    # (paper: 4.3%-10.1% faster).
+    assert all(row["daisy_speedup_over_fortran"] >= 0.98 for row in daisy_rows)

@@ -1,0 +1,16 @@
+"""Figure 1: GEMM loop-order sensitivity of auto-schedulers."""
+
+from conftest import attach_rows
+from repro.experiments import figure1
+
+
+def test_figure1_gemm_loop_orders(benchmark, settings):
+    rows = benchmark.pedantic(figure1.run, args=(settings,), rounds=1, iterations=1)
+    attach_rows(benchmark, rows)
+
+    daisy = [row["relative_to_best_order"] for row in rows if row["scheduler"] == "daisy"]
+    baselines = [row["relative_to_best_order"] for row in rows
+                 if row["scheduler"] in ("polly", "icc")]
+    # daisy is insensitive to the loop order; the baselines are not.
+    assert max(daisy) < 1.2
+    assert max(baselines) > 1.2

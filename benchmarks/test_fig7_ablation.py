@@ -1,0 +1,21 @@
+"""Figure 7: ablation — clang, transfer tuning only, normalization only, and
+the full normalization+transfer-tuning pipeline."""
+
+from conftest import attach_rows
+from repro.experiments import figure7, geometric_mean
+
+
+def test_figure7_ablation(benchmark, settings):
+    rows = benchmark.pedantic(figure7.run, args=(settings,), rounds=1, iterations=1)
+    attach_rows(benchmark, rows)
+
+    def geo(configuration):
+        return geometric_mean([row["normalized_runtime"] for row in rows
+                               if row["configuration"] == configuration])
+
+    full = geo("norm+opt")
+    # The full pipeline is the best configuration on (geometric) average and
+    # beats the plain compiler by a large factor (paper: 21.13x).
+    assert full <= geo("opt") + 1e-9
+    assert full <= geo("norm") + 1e-9
+    assert geo("clang") / full > 2.0

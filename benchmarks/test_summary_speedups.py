@@ -1,0 +1,19 @@
+"""Headline geometric-mean speedups (abstract): daisy vs the C compiler,
+Polly, Tiramisu, NumPy, Numba, and DaCe."""
+
+from conftest import attach_rows
+from repro.experiments import summary
+
+
+def test_summary_geomean_speedups(benchmark, settings):
+    rows = benchmark.pedantic(summary.run, args=(settings,), rounds=1, iterations=1)
+    attach_rows(benchmark, rows)
+
+    by_comparison = {row["comparison"]: row["geo_mean_speedup"] for row in rows}
+    # The paper's ordering of wins must hold: daisy beats every baseline.
+    assert by_comparison["daisy vs baseline C compiler"] > 2.0
+    assert by_comparison["daisy vs polly"] > 1.0
+    assert by_comparison["daisy vs tiramisu"] > 1.0
+    assert by_comparison["daisy vs numpy"] > 1.5
+    assert by_comparison["daisy vs numba"] > 1.0
+    assert by_comparison["daisy vs dace"] > 0.9

@@ -1,0 +1,22 @@
+"""Table 1: the CLOUDSC cloud-erosion loop nest before and after
+normalization (runtime and L1 cache behavior)."""
+
+from conftest import attach_rows
+from repro.experiments import table1
+
+
+def test_table1_erosion_kernel(benchmark, settings):
+    rows = benchmark.pedantic(table1.run, args=(settings,), rounds=1, iterations=1)
+    attach_rows(benchmark, rows)
+
+    by_version = {row["version"]: row for row in rows
+                  if row.get("version") in ("original", "optimized")}
+    original = by_version["original"]
+    optimized = by_version["optimized"]
+
+    # Paper: 0.040 ms -> 0.006 ms per iteration, 2632 -> 1281 L1 loads,
+    # 963 -> 178 evictions.  The shape must hold: faster, fewer loads/evicts.
+    assert optimized["single_iteration_ms"] < original["single_iteration_ms"]
+    assert optimized["klev_iterations_ms"] < original["klev_iterations_ms"]
+    assert optimized["l1_loads"] < original["l1_loads"]
+    assert optimized["l1_evicts"] <= original["l1_evicts"]

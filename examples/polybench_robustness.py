@@ -1,0 +1,36 @@
+#!/usr/bin/env python3
+"""A/B robustness study on PolyBench (Figure 6 of the paper).
+
+Every benchmark has two semantically equivalent implementations: the original
+PolyBench structure (A) and an alternative composition/permutation a
+developer could just as well have written (B).  A robust auto-scheduler
+should give both the same performance; the baselines do not.
+
+Run with a subset to keep it quick::
+
+    python examples/polybench_robustness.py gemm atax jacobi-2d
+"""
+
+import sys
+
+from repro.experiments import ExperimentSettings, figure6
+
+
+def main(argv):
+    benchmarks = argv or ["gemm", "2mm", "atax", "mvt", "jacobi-2d", "syrk"]
+    settings = ExperimentSettings.fast(benchmarks=benchmarks)
+
+    print(f"scheduling A and B variants of: {', '.join(benchmarks)}")
+    print("(runtimes are estimated by the machine model at the LARGE dataset)\n")
+
+    rows = figure6.run(settings)
+    print(figure6.format_results(rows))
+
+    print("\n=== robustness summary (A/B ratios and daisy speedups) ===")
+    print(figure6.format_summary(figure6.robustness_summary(rows)))
+    print("\nReading the table: a robust scheduler has an A/B ratio close to 1;")
+    print("'geo_speedup_of_daisy_*' is how much faster daisy is on average.")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

@@ -1,0 +1,30 @@
+"""repro — reproduction of "A Priori Loop Nest Normalization" (CGO 2025).
+
+The package is organized in layers:
+
+* :mod:`repro.ir` — the symbolic loop-nest representation.
+* :mod:`repro.frontend` — C-like and NumPy-style frontends.
+* :mod:`repro.cfg` — an LLVM-like CFG substrate with loop lifting.
+* :mod:`repro.analysis` — dependence, dataflow, stride and reuse analyses.
+* :mod:`repro.normalization` — the paper's two normalization criteria.
+* :mod:`repro.transforms` — classical loop transformations and idiom detection.
+* :mod:`repro.interp` — a reference interpreter for semantic validation.
+* :mod:`repro.perf` — the cache/CPU performance-model substrate.
+* :mod:`repro.scheduler` — the daisy auto-scheduler and the baselines.
+* :mod:`repro.workloads` — PolyBench A/B variants, NPBench variants, CLOUDSC proxy.
+* :mod:`repro.experiments` — per-figure/table reproduction harnesses.
+"""
+
+from .ir import Program, ProgramBuilder
+from .normalization import NormalizationOptions, normalize, normalize_program
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Program",
+    "ProgramBuilder",
+    "NormalizationOptions",
+    "normalize",
+    "normalize_program",
+    "__version__",
+]

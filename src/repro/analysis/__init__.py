@@ -1,0 +1,42 @@
+"""Static analyses over the symbolic loop-nest IR.
+
+* :mod:`repro.analysis.affine` — affine access-function extraction.
+* :mod:`repro.analysis.dependence` — dependence testing and direction vectors.
+* :mod:`repro.analysis.dataflow` — producer/consumer graphs across loop nests.
+* :mod:`repro.analysis.parallelism` — DOALL and reduction-loop detection.
+* :mod:`repro.analysis.strides` — the ``stride(loop)`` normalization criterion.
+* :mod:`repro.analysis.reuse` — static reuse-distance and working-set estimates.
+"""
+
+from .affine import (AffineAccess, AffineIndex, access_is_contiguous,
+                     computation_accesses, decompose_access, decompose_index,
+                     loop_nest_accesses)
+from .dataflow import (DataflowEdge, build_dataflow_graph, has_cycle,
+                       node_reads_writes, producer_consumer_pairs,
+                       program_dataflow, topological_order)
+from .dependence import (ANY, EQ, GT, LT, Dependence, body_dependence_pairs,
+                         dependences_between, legal_permutations,
+                         loop_carried_dependences, nest_dependences,
+                         permutation_is_legal, self_dependences)
+from .parallelism import (ParallelismInfo, analyze_loop_parallelism,
+                          is_fully_parallel_band, outermost_parallel_loop,
+                          parallel_loops)
+from .reuse import ReuseEstimate, estimate_reuse, program_working_set_bytes
+from .strides import (StrideReport, access_stride, nest_stride_cost,
+                      nest_stride_report, out_of_order_count,
+                      program_stride_cost)
+
+__all__ = [
+    "AffineAccess", "AffineIndex", "access_is_contiguous", "computation_accesses",
+    "decompose_access", "decompose_index", "loop_nest_accesses",
+    "DataflowEdge", "build_dataflow_graph", "has_cycle", "node_reads_writes",
+    "producer_consumer_pairs", "program_dataflow", "topological_order",
+    "ANY", "EQ", "GT", "LT", "Dependence", "body_dependence_pairs",
+    "dependences_between", "legal_permutations", "loop_carried_dependences",
+    "nest_dependences", "permutation_is_legal", "self_dependences",
+    "ParallelismInfo", "analyze_loop_parallelism", "is_fully_parallel_band",
+    "outermost_parallel_loop", "parallel_loops",
+    "ReuseEstimate", "estimate_reuse", "program_working_set_bytes",
+    "StrideReport", "access_stride", "nest_stride_cost", "nest_stride_report",
+    "out_of_order_count", "program_stride_cost",
+]

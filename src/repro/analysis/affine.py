@@ -1,0 +1,145 @@
+"""Affine access-function extraction.
+
+Most of the analyses in this library (dependence testing, stride cost,
+parallelism detection) operate on *affine access functions*: each array
+subscript is decomposed into ``sum(coeff_k * iterator_k) + offset`` where the
+offset may still involve size parameters but not iterators.
+
+Accesses that are not affine in the surrounding iterators are marked as such
+and treated conservatively by all downstream analyses, mirroring the paper's
+observation that loop nests that cannot be lifted to the symbolic
+representation are simply left unoptimized (Section 4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..ir.nodes import ArrayAccess, Computation, Loop
+from ..ir.symbols import Expr
+
+
+@dataclass(frozen=True)
+class AffineIndex:
+    """One subscript decomposed over the surrounding loop iterators.
+
+    Attributes:
+        coefficients: Iterator name -> integer coefficient.  Iterators not in
+            the mapping have coefficient zero.
+        offset_coefficients: Parameter name -> coefficient, for parts of the
+            subscript that depend on size parameters (e.g. ``N - 1``).
+        constant: The constant part of the subscript.
+        affine: False when the subscript could not be decomposed; in that case
+            the other fields are meaningless.
+    """
+
+    coefficients: Tuple[Tuple[str, float], ...]
+    offset_coefficients: Tuple[Tuple[str, float], ...]
+    constant: float
+    affine: bool = True
+
+    def coefficient(self, iterator: str) -> float:
+        for name, coeff in self.coefficients:
+            if name == iterator:
+                return coeff
+        return 0.0
+
+    def iterator_names(self) -> Tuple[str, ...]:
+        return tuple(name for name, coeff in self.coefficients if coeff != 0)
+
+    @property
+    def is_constant(self) -> bool:
+        return self.affine and not self.coefficients and not self.offset_coefficients
+
+    @staticmethod
+    def non_affine() -> "AffineIndex":
+        return AffineIndex((), (), 0.0, affine=False)
+
+
+@dataclass(frozen=True)
+class AffineAccess:
+    """An array access with all subscripts decomposed affinely."""
+
+    array: str
+    indices: Tuple[AffineIndex, ...]
+    is_write: bool
+
+    @property
+    def affine(self) -> bool:
+        return all(index.affine for index in self.indices)
+
+    def coefficient_matrix(self, iterators: Sequence[str]) -> List[List[float]]:
+        """Rectangular matrix of subscript coefficients over ``iterators``."""
+        return [[index.coefficient(it) for it in iterators] for index in self.indices]
+
+    def uses_iterator(self, iterator: str) -> bool:
+        return any(index.coefficient(iterator) != 0 for index in self.indices)
+
+
+def decompose_index(expr: Expr, iterators: Sequence[str]) -> AffineIndex:
+    """Decompose one subscript expression over the given iterators."""
+    affine_form = expr.as_affine()
+    if affine_form is None:
+        return AffineIndex.non_affine()
+    coeffs, constant = affine_form
+    iterator_set = set(iterators)
+    iterator_coeffs = tuple(sorted(
+        (name, float(coeff)) for name, coeff in coeffs.items() if name in iterator_set))
+    parameter_coeffs = tuple(sorted(
+        (name, float(coeff)) for name, coeff in coeffs.items() if name not in iterator_set))
+    return AffineIndex(iterator_coeffs, parameter_coeffs, float(constant))
+
+
+def decompose_access(access: ArrayAccess, iterators: Sequence[str],
+                     is_write: bool) -> AffineAccess:
+    """Decompose every subscript of ``access``."""
+    indices = tuple(decompose_index(index, iterators) for index in access.indices)
+    return AffineAccess(access.array, indices, is_write)
+
+
+def computation_accesses(comp: Computation,
+                         iterators: Sequence[str]) -> List[AffineAccess]:
+    """All accesses of a computation decomposed over ``iterators``.
+
+    The write is listed last so that analyses that care about order (for
+    instance read-after-write within a statement) can rely on it.
+    """
+    accesses = [decompose_access(acc, iterators, is_write=False)
+                for acc in comp.reads()]
+    accesses.append(decompose_access(comp.target, iterators, is_write=True))
+    return accesses
+
+
+def loop_nest_accesses(loop: Loop) -> List[Tuple[Computation, List[AffineAccess]]]:
+    """Accesses of every computation in a loop nest.
+
+    Each computation is decomposed over the iterators that actually enclose
+    it (the in-order iterator list of the nest restricted to its ancestors).
+    """
+    result: List[Tuple[Computation, List[AffineAccess]]] = []
+
+    def recurse(node, enclosing: List[str]) -> None:
+        if isinstance(node, Loop):
+            inner = enclosing + [node.iterator]
+            for child in node.body:
+                recurse(child, inner)
+        elif isinstance(node, Computation):
+            result.append((node, computation_accesses(node, enclosing)))
+
+    recurse(loop, [])
+    return result
+
+
+def access_is_contiguous(access: AffineAccess, innermost: str,
+                         strides: Sequence[float]) -> bool:
+    """True if advancing ``innermost`` by one moves the address by one element.
+
+    ``strides`` are the row-major element strides of the array's dimensions.
+    """
+    if not access.affine or len(strides) != len(access.indices):
+        return False
+    movement = 0.0
+    for index, stride in zip(access.indices, strides):
+        movement += index.coefficient(innermost) * stride
+    return movement == 1.0

@@ -1,0 +1,477 @@
+"""Data-dependence analysis over the symbolic loop-nest IR.
+
+The normalization passes rely on two legality questions:
+
+* **Fission / distribution** (Section 2.1): which computations within a loop
+  body can be separated into their own loop nests?
+* **Permutation** (Section 2.2): which loop orders of a nest preserve the
+  original semantics?
+
+Both are answered through classical data-dependence analysis on affine
+subscripts: ZIV and strong-SIV tests with a GCD fallback produce dependence
+*direction vectors*; anything that cannot be analyzed is treated
+conservatively as a dependence with unknown direction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..ir.nodes import ArrayAccess, Computation, LibraryCall, Loop, Node
+from .affine import AffineAccess, AffineIndex, decompose_access
+
+#: Direction symbols: "<" (carried forward), "=" (same iteration),
+#: ">" (carried backward), "*" (unknown).
+LT, EQ, GT, ANY = "<", "=", ">", "*"
+
+_DIRECTION_ORDER = (LT, EQ, GT)
+
+
+@dataclass(frozen=True)
+class Dependence:
+    """A data dependence between two nodes under a common loop nest.
+
+    Attributes:
+        source / sink: The earlier and later node in program order.
+        array: Container on which the dependence exists.
+        kind: ``"flow"`` (write then read), ``"anti"`` (read then write) or
+            ``"output"`` (write then write).
+        directions: One direction symbol per common loop, outermost first.
+        distance: Per-level integer distances when statically known, else None
+            entries aligned with ``directions``.
+    """
+
+    source: Node
+    sink: Node
+    array: str
+    kind: str
+    directions: Tuple[str, ...]
+    distance: Tuple[Optional[int], ...]
+
+    @property
+    def loop_independent(self) -> bool:
+        """True when the dependence occurs within a single iteration."""
+        return all(direction == EQ for direction in self.directions)
+
+    def carried_levels(self) -> List[int]:
+        """Loop levels (0-based, outermost first) that may carry the dependence."""
+        levels = []
+        for level, direction in enumerate(self.directions):
+            if direction in (LT, GT, ANY):
+                levels.append(level)
+        return levels
+
+    def is_carried_by(self, level: int) -> bool:
+        """True if this dependence may be carried by loop ``level``.
+
+        A dependence is carried by level *k* when the first non-"=" entry of
+        its direction vector is at position *k* (or unknown up to *k*).
+        """
+        for idx in range(level):
+            if self.directions[idx] in (LT, GT):
+                return False
+            if self.directions[idx] == ANY:
+                return True
+        if level >= len(self.directions):
+            return False
+        return self.directions[level] in (LT, GT, ANY)
+
+
+# -- helpers -------------------------------------------------------------------
+
+
+def _gather_accesses(node: Node, common_iterators: Sequence[str]
+                     ) -> List[Tuple[ArrayAccess, bool, List[str]]]:
+    """Collect all accesses in a subtree with their full iterator context.
+
+    Returns triples ``(access, is_write, private_iterators)`` where
+    ``private_iterators`` are iterators of loops inside ``node`` (not part of
+    the common surrounding nest).
+    """
+    collected: List[Tuple[ArrayAccess, bool, List[str]]] = []
+
+    def recurse(current: Node, private: List[str]) -> None:
+        if isinstance(current, Loop):
+            inner = private + [current.iterator]
+            for child in current.body:
+                recurse(child, inner)
+        elif isinstance(current, Computation):
+            for acc in current.reads():
+                collected.append((acc, False, list(private)))
+            collected.append((current.target, True, list(private)))
+        elif isinstance(current, LibraryCall):
+            # Library calls touch whole containers; model as rank-0 accesses
+            # which force a conservative dependence on any overlap.
+            for name in current.inputs:
+                collected.append((ArrayAccess(name, ()), False, list(private)))
+            for name in current.outputs:
+                collected.append((ArrayAccess(name, ()), True, list(private)))
+
+    recurse(node, [])
+    return collected
+
+
+def _dimension_testable(index_a: AffineIndex, index_b: AffineIndex,
+                        private_a: Set[str], private_b: Set[str]) -> bool:
+    """A dimension is testable when both subscripts are affine and do not
+    involve iterators private to either side."""
+    if not index_a.affine or not index_b.affine:
+        return False
+    if any(name in private_a for name in index_a.iterator_names()):
+        return False
+    if any(name in private_b for name in index_b.iterator_names()):
+        return False
+    return True
+
+
+def _offsets_match(index_a: AffineIndex, index_b: AffineIndex) -> bool:
+    """True when the parameter-dependent parts of both subscripts agree."""
+    return dict(index_a.offset_coefficients) == dict(index_b.offset_coefficients)
+
+
+def _test_dimension(index_a: AffineIndex, index_b: AffineIndex,
+                    common_iterators: Sequence[str]
+                    ) -> Tuple[bool, Dict[str, Optional[int]]]:
+    """Test a single subscript dimension.
+
+    Returns ``(may_depend, constraints)``.  ``constraints`` maps iterator
+    names to a required integer distance (``iteration_b - iteration_a``) when
+    the dimension pins one down; a value of ``None`` means the dimension
+    constrains that iterator to any single consistent value (not used here).
+    ``may_depend=False`` proves independence outright.
+    """
+    coeffs_a = dict(index_a.coefficients)
+    coeffs_b = dict(index_b.coefficients)
+    involved = {name for name in list(coeffs_a) + list(coeffs_b)
+                if coeffs_a.get(name, 0) != 0 or coeffs_b.get(name, 0) != 0}
+    involved &= set(common_iterators)
+
+    if not involved:
+        # ZIV: both subscripts are constants (possibly parameter-dependent).
+        if _offsets_match(index_a, index_b):
+            return (index_a.constant == index_b.constant), {}
+        # Different parameter expressions: cannot disprove, no constraint.
+        return True, {}
+
+    if len(involved) == 1:
+        iterator = next(iter(involved))
+        a = coeffs_a.get(iterator, 0.0)
+        b = coeffs_b.get(iterator, 0.0)
+        if not _offsets_match(index_a, index_b):
+            return True, {}
+        delta = index_a.constant - index_b.constant
+        if a == b and a != 0:
+            # Strong SIV: a*i_a + c_a == a*i_b + c_b  =>  i_b - i_a = (c_a - c_b)/a
+            distance = delta / a
+            if abs(distance - round(distance)) > 1e-9:
+                return False, {}
+            return True, {iterator: int(round(distance))}
+        if a != 0 and b != 0:
+            # Weak SIV with differing coefficients: fall back to a GCD test.
+            from math import gcd
+            g = gcd(int(abs(a)), int(abs(b))) if float(a).is_integer() and float(b).is_integer() else 1
+            if g != 0 and float(delta).is_integer() and int(delta) % g != 0:
+                return False, {}
+            return True, {}
+        # One side does not use the iterator at all (e.g. A[i] vs A[0]):
+        # a dependence may exist for a specific iteration; no distance pinned.
+        return True, {}
+
+    # MIV: multiple iterators involved.  Use a GCD test on integer coefficients.
+    from math import gcd
+    all_coeffs = []
+    integral = True
+    for name in involved:
+        for value in (coeffs_a.get(name, 0.0), -coeffs_b.get(name, 0.0)):
+            if value == 0:
+                continue
+            if not float(value).is_integer():
+                integral = False
+            all_coeffs.append(int(abs(value)) if float(value).is_integer() else 0)
+    delta = index_b.constant - index_a.constant
+    if integral and all_coeffs and float(delta).is_integer() and _offsets_match(index_a, index_b):
+        g = 0
+        for value in all_coeffs:
+            g = gcd(g, value)
+        if g != 0 and int(delta) % g != 0:
+            return False, {}
+    return True, {}
+
+
+def _directions_from_constraints(constraints: Dict[str, Optional[int]],
+                                 common_iterators: Sequence[str]
+                                 ) -> Tuple[Tuple[str, ...], Tuple[Optional[int], ...]]:
+    directions: List[str] = []
+    distances: List[Optional[int]] = []
+    for iterator in common_iterators:
+        if iterator in constraints and constraints[iterator] is not None:
+            distance = constraints[iterator]
+            distances.append(distance)
+            if distance > 0:
+                directions.append(LT)
+            elif distance < 0:
+                directions.append(GT)
+            else:
+                directions.append(EQ)
+        else:
+            directions.append(ANY)
+            distances.append(None)
+    return tuple(directions), tuple(distances)
+
+
+def _test_access_pair(access_a: ArrayAccess, private_a: List[str], write_a: bool,
+                      access_b: ArrayAccess, private_b: List[str], write_b: bool,
+                      common_iterators: Sequence[str]
+                      ) -> Optional[Tuple[Tuple[str, ...], Tuple[Optional[int], ...]]]:
+    """Test one pair of accesses; returns direction/distance vectors or None."""
+    if access_a.array != access_b.array:
+        return None
+    if not (write_a or write_b):
+        return None
+
+    known_a = list(common_iterators) + private_a
+    known_b = list(common_iterators) + private_b
+    affine_a = decompose_access(access_a, known_a, write_a)
+    affine_b = decompose_access(access_b, known_b, write_b)
+
+    if len(affine_a.indices) != len(affine_b.indices):
+        # Rank mismatch (e.g. whole-container library-call access): conservative.
+        return tuple(ANY for _ in common_iterators), tuple(None for _ in common_iterators)
+
+    constraints: Dict[str, Optional[int]] = {}
+    private_set_a = set(private_a)
+    private_set_b = set(private_b)
+    for index_a, index_b in zip(affine_a.indices, affine_b.indices):
+        if not _dimension_testable(index_a, index_b, private_set_a, private_set_b):
+            continue
+        may_depend, dim_constraints = _test_dimension(index_a, index_b, common_iterators)
+        if not may_depend:
+            return None
+        for iterator, distance in dim_constraints.items():
+            if iterator in constraints and constraints[iterator] != distance:
+                # Two dimensions demand inconsistent distances: independent.
+                return None
+            constraints[iterator] = distance
+
+    return _directions_from_constraints(constraints, common_iterators)
+
+
+def _classify(write_a: bool, write_b: bool) -> str:
+    if write_a and write_b:
+        return "output"
+    if write_a:
+        return "flow"
+    return "anti"
+
+
+# -- public API ----------------------------------------------------------------
+
+
+def dependences_between(node_a: Node, node_b: Node,
+                        common_iterators: Sequence[str]) -> List[Dependence]:
+    """All dependences from ``node_a`` (earlier) to ``node_b`` (later).
+
+    ``common_iterators`` are the iterators of the loops enclosing *both*
+    nodes, outermost first.  Dependences are reported with direction vectors
+    over exactly those loops.
+    """
+    accesses_a = _gather_accesses(node_a, common_iterators)
+    accesses_b = _gather_accesses(node_b, common_iterators)
+    found: List[Dependence] = []
+    seen: Set[Tuple] = set()
+    for (acc_a, write_a, private_a), (acc_b, write_b, private_b) in product(accesses_a, accesses_b):
+        result = _test_access_pair(acc_a, private_a, write_a,
+                                   acc_b, private_b, write_b, common_iterators)
+        if result is None:
+            continue
+        directions, distances = result
+        kind = _classify(write_a, write_b)
+        key = (acc_a.array, kind, directions)
+        if key in seen:
+            continue
+        seen.add(key)
+        found.append(Dependence(node_a, node_b, acc_a.array, kind, directions, distances))
+    return found
+
+
+def self_dependences(node: Node, common_iterators: Sequence[str]) -> List[Dependence]:
+    """Dependences of a node on itself across iterations of the common loops."""
+    deps = dependences_between(node, node, common_iterators)
+    # A same-iteration self dependence (all "=") is not a real dependence
+    # unless it is a reduction (write and read of the same element), in which
+    # case it is still loop-independent and does not constrain permutation.
+    return [dep for dep in deps if not dep.loop_independent]
+
+
+def body_dependence_pairs(loop: Loop) -> List[Tuple[int, int, Dependence]]:
+    """Dependences among the direct children of ``loop``'s body.
+
+    Children are identified by index; dependences from child ``i`` to child
+    ``j >= i`` are reported (including ``i == j`` self dependences carried by
+    the loop itself).
+    """
+    common = [loop.iterator]
+    pairs: List[Tuple[int, int, Dependence]] = []
+    for i, child_a in enumerate(loop.body):
+        for j in range(i, len(loop.body)):
+            child_b = loop.body[j]
+            if i == j:
+                for dep in self_dependences(child_a, common):
+                    pairs.append((i, j, dep))
+                continue
+            for dep in dependences_between(child_a, child_b, common):
+                pairs.append((i, j, dep))
+            # Backward dependences (from the later to the earlier child) can
+            # only be carried by the surrounding loop.
+            for dep in dependences_between(child_b, child_a, common):
+                if not dep.loop_independent:
+                    pairs.append((j, i, dep))
+    return pairs
+
+
+def loop_carried_dependences(loop: Loop) -> List[Dependence]:
+    """All dependences carried by ``loop`` (over its own iterator)."""
+    carried: List[Dependence] = []
+    common = [loop.iterator]
+    children = list(loop.body)
+    for i, child_a in enumerate(children):
+        for child_b in children[i:]:
+            for dep in dependences_between(child_a, child_b, common):
+                if not dep.loop_independent:
+                    carried.append(dep)
+            if child_a is not child_b:
+                for dep in dependences_between(child_b, child_a, common):
+                    if not dep.loop_independent:
+                        carried.append(dep)
+    return carried
+
+
+def nest_dependences(loop: Loop) -> List[Dependence]:
+    """All dependences among computations of a loop nest, over its own loops.
+
+    Every pair of computations (including a computation with itself) is tested
+    over the iterators of the loops that enclose *both* computations within
+    ``loop``.  Used for permutation legality.
+    """
+    comps_with_context: List[Tuple[Computation, List[str]]] = []
+
+    def recurse(node: Node, iterators: List[str]) -> None:
+        if isinstance(node, Loop):
+            inner = iterators + [node.iterator]
+            for child in node.body:
+                recurse(child, inner)
+        elif isinstance(node, Computation):
+            comps_with_context.append((node, iterators))
+
+    recurse(loop, [])
+
+    deps: List[Dependence] = []
+    for i, (comp_a, iters_a) in enumerate(comps_with_context):
+        for j, (comp_b, iters_b) in enumerate(comps_with_context):
+            if j < i:
+                continue
+            common: List[str] = []
+            for it_a, it_b in zip(iters_a, iters_b):
+                if it_a == it_b:
+                    common.append(it_a)
+                else:
+                    break
+            if comp_a is comp_b:
+                deps.extend(self_dependences(comp_a, common))
+            else:
+                deps.extend(dependences_between(comp_a, comp_b, common))
+                deps.extend(dep for dep in dependences_between(comp_b, comp_a, common)
+                            if not dep.loop_independent)
+    return deps
+
+
+#: Maximum number of unknown ("*") entries expanded when checking permutation
+#: legality; vectors with more unknowns are treated conservatively.
+MAX_ANY_EXPANSION = 8
+
+
+def permutation_is_legal(loop: Loop, permutation: Sequence[str]) -> bool:
+    """Check whether reordering the nest's loops to ``permutation`` is legal.
+
+    ``permutation`` lists the iterators of the perfectly nested band of
+    ``loop`` in their new order, outermost first.  The classical interchange
+    condition is applied: every dependence direction vector that can occur in
+    the original execution order (i.e. is lexicographically non-negative)
+    must remain lexicographically non-negative after reordering.  Unknown
+    ("*") entries are expanded into all concrete directions before the check,
+    but only vectors that are possible in the original order are considered —
+    a backward vector cannot flow from an earlier to a later instance.
+    """
+    band = loop.perfectly_nested_band()
+    original = [lp.iterator for lp in band]
+    if sorted(original) != sorted(permutation):
+        raise ValueError(
+            f"permutation {list(permutation)} is not a reordering of {original}")
+
+    deps = nest_dependences(loop)
+    index_of = {iterator: idx for idx, iterator in enumerate(original)}
+    for dep in deps:
+        # Direction vectors are reported over the loops common to both
+        # endpoints; pad with "=" for the inner band loops not included.
+        directions = list(dep.directions) + [EQ] * (len(original) - len(dep.directions))
+        for concrete in _expand_directions(directions):
+            if not _lexicographically_non_negative(concrete):
+                # This vector cannot occur in the original program order.
+                continue
+            permuted = []
+            for iterator in permutation:
+                idx = index_of[iterator]
+                permuted.append(concrete[idx] if idx < len(concrete) else EQ)
+            if not _lexicographically_non_negative(permuted):
+                return False
+    return True
+
+
+def _expand_directions(directions: Sequence[str]) -> Iterable[Tuple[str, ...]]:
+    """Expand "*" entries into all concrete direction symbols."""
+    unknown_positions = [idx for idx, d in enumerate(directions) if d == ANY]
+    if len(unknown_positions) > MAX_ANY_EXPANSION:
+        # Too many unknowns to enumerate: behave conservatively by returning
+        # a single backward vector, which makes any reordering illegal.
+        yield tuple(GT if d == ANY else d for d in directions)
+        return
+    if not unknown_positions:
+        yield tuple(directions)
+        return
+    for assignment in product(_DIRECTION_ORDER, repeat=len(unknown_positions)):
+        concrete = list(directions)
+        for position, symbol in zip(unknown_positions, assignment):
+            concrete[position] = symbol
+        yield tuple(concrete)
+
+
+def _lexicographically_non_negative(directions: Sequence[str]) -> bool:
+    """True if the direction vector cannot represent a backward dependence."""
+    for direction in directions:
+        if direction == LT:
+            return True
+        if direction == EQ:
+            continue
+        if direction == GT:
+            return False
+        if direction == ANY:
+            # Unknown direction at the leading position could be ">".
+            return False
+    return True
+
+
+def legal_permutations(loop: Loop, limit: Optional[int] = None) -> List[Tuple[str, ...]]:
+    """Enumerate legal permutations of the nest's perfectly nested band."""
+    from itertools import permutations as iter_permutations
+
+    band = loop.perfectly_nested_band()
+    iterators = [lp.iterator for lp in band]
+    legal: List[Tuple[str, ...]] = []
+    for perm in iter_permutations(iterators):
+        if permutation_is_legal(loop, perm):
+            legal.append(perm)
+            if limit is not None and len(legal) >= limit:
+                break
+    return legal

@@ -1,0 +1,170 @@
+"""Parallel-loop detection.
+
+A loop is (DOALL-)parallel when it carries no dependence: no two distinct
+iterations of the loop access the same memory location with at least one
+write.  Reductions (a read-modify-write of an element that is invariant in
+the loop) are detected separately because they can still be parallelized
+with atomic updates or privatization — at a cost the performance model
+charges for (the paper observes exactly this on correlation/covariance,
+Section 4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set, Tuple
+
+from ..ir.nodes import Computation, LibraryCall, Loop, Node
+from .affine import decompose_access
+from .dependence import Dependence, loop_carried_dependences
+
+
+@dataclass(frozen=True)
+class ParallelismInfo:
+    """Parallelism classification of a single loop."""
+
+    iterator: str
+    is_parallel: bool
+    is_reduction: bool
+    carried: Tuple[Dependence, ...]
+    #: True when the loop is parallel only after privatizing per-iteration
+    #: scalar temporaries (OpenMP ``private`` / SIMD scalar expansion).
+    requires_privatization: bool = False
+
+
+def _reduction_arrays(loop: Loop) -> Set[str]:
+    """Containers updated as ``X[..] = X[..] op expr`` with the subscript
+    invariant in ``loop.iterator``."""
+    reductions: Set[str] = set()
+
+    def recurse(node: Node, iterators: List[str]) -> None:
+        if isinstance(node, Loop):
+            for child in node.body:
+                recurse(child, iterators + [node.iterator])
+        elif isinstance(node, Computation):
+            if not node.is_reduction():
+                return
+            target = decompose_access(node.target, iterators + [loop.iterator], True)
+            if target.affine and not target.uses_iterator(loop.iterator):
+                reductions.add(node.target.array)
+
+    for child in loop.body:
+        recurse(child, [loop.iterator])
+    return reductions
+
+
+def analyze_loop_parallelism(loop: Loop,
+                             arrays: Optional[dict] = None) -> ParallelismInfo:
+    """Classify a single loop as parallel, reduction, or sequential.
+
+    Dependences carried only through per-iteration scalar temporaries do not
+    prevent parallel execution: compilers privatize such scalars (OpenMP
+    ``private`` clauses, SIMD scalar expansion).  When ``arrays`` (the
+    program's container table) is provided, scalars marked ``transient`` are
+    treated as privatizable; without the table, any rank-0 access pattern
+    (empty subscript list) is.
+
+    Tile loops (created by :class:`repro.transforms.tiling.Tile`) partition
+    the iteration space of their original loop, so their parallelism is that
+    of the corresponding point loop; the subscripts reference the point
+    iterator, which plain dependence testing over the tile iterator cannot
+    see.
+    """
+    if loop.tile_of is not None and loop.iterator != loop.tile_of:
+        for candidate in loop.iter_loops():
+            if candidate is loop:
+                continue
+            if candidate.iterator == loop.tile_of:
+                inner = analyze_loop_parallelism(candidate, arrays)
+                return ParallelismInfo(loop.iterator, inner.is_parallel,
+                                       inner.is_reduction, inner.carried,
+                                       inner.requires_privatization)
+    carried = loop_carried_dependences(loop)
+    if not carried:
+        return ParallelismInfo(loop.iterator, True, False, ())
+
+    privatizable = _privatizable_scalars(loop, arrays)
+    remaining = [dep for dep in carried if dep.array not in privatizable]
+    if not remaining:
+        return ParallelismInfo(loop.iterator, True, False, tuple(carried),
+                               requires_privatization=True)
+
+    reduction_targets = _reduction_arrays(loop)
+    non_reduction = [dep for dep in remaining if dep.array not in reduction_targets]
+    if not non_reduction and reduction_targets:
+        return ParallelismInfo(loop.iterator, False, True, tuple(carried))
+    return ParallelismInfo(loop.iterator, False, False, tuple(carried))
+
+
+def _privatizable_scalars(loop: Loop, arrays: Optional[dict]) -> Set[str]:
+    """Temporaries that can be privatized per iteration of ``loop``.
+
+    A container qualifies when, inside one iteration of the loop, it is
+    written before it is read (in statement order), and it does not carry a
+    value into later iterations or out of the loop:
+
+    * scalars (empty subscripts) always qualify structurally,
+    * higher-rank containers qualify only when declared ``transient`` and the
+      container table ``arrays`` is available — these are the scratch arrays
+      produced by scalar expansion, which each iteration of an outer parallel
+      loop (e.g. the CLOUDSC block loop) fully rewrites before reading.
+    """
+    candidates: Set[str] = set()
+    order: List[Tuple[str, bool]] = []
+
+    def recurse(node: Node) -> None:
+        if isinstance(node, Loop):
+            for child in node.body:
+                recurse(child)
+        elif isinstance(node, Computation):
+            for acc in node.reads():
+                order.append((acc.array, False, len(acc.indices)))
+            order.append((node.target.array, True, len(node.target.indices)))
+
+    for child in loop.body:
+        recurse(child)
+
+    seen_write: Set[str] = set()
+    disqualified: Set[str] = set()
+    for name, is_write, rank in order:
+        declared = arrays.get(name) if arrays is not None else None
+        is_transient = bool(getattr(declared, "transient", False))
+        if rank == 0:
+            if arrays is not None and not is_transient:
+                disqualified.add(name)
+                continue
+        else:
+            if not is_transient:
+                disqualified.add(name)
+                continue
+        if is_write:
+            seen_write.add(name)
+            candidates.add(name)
+        elif name not in seen_write:
+            disqualified.add(name)
+    return candidates - disqualified
+
+
+def parallel_loops(nest: Loop) -> List[str]:
+    """Iterators of all parallel loops in the nest (pre-order)."""
+    result = []
+    for loop in nest.iter_loops():
+        if analyze_loop_parallelism(loop).is_parallel:
+            result.append(loop.iterator)
+    return result
+
+
+def outermost_parallel_loop(nest: Loop) -> Optional[Loop]:
+    """The outermost parallel loop of the nest, if any."""
+    for loop in nest.iter_loops():
+        if analyze_loop_parallelism(loop).is_parallel:
+            return loop
+    return None
+
+
+def is_fully_parallel_band(nest: Loop) -> bool:
+    """True if every loop of the perfectly nested band is parallel."""
+    for loop in nest.perfectly_nested_band():
+        if not analyze_loop_parallelism(loop).is_parallel:
+            return False
+    return True

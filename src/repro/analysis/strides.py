@@ -1,0 +1,201 @@
+"""Stride cost functions for loop orders.
+
+Section 2.2 defines a generic criterion ``stride(loop)`` that maps subsequent
+accesses of a loop nest to a real value; the canonical choice is "the sum of
+all distances between two subsequent accesses to all arrays over all
+computations".  Two subsequent accesses differ by one step of the innermost
+iterator, so the dominant term is the per-access stride with respect to the
+innermost loop; outer loops contribute with geometrically decreasing weight
+so that the total order over permutations is well defined.
+
+When array extents are not statically known, the paper proposes counting
+out-of-order accesses with respect to the permutation of loop iterators and
+array dimensions; :func:`out_of_order_count` implements that fallback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..ir.arrays import Array
+from ..ir.nodes import ArrayAccess, Computation, Loop, Program
+from .affine import AffineAccess, computation_accesses, decompose_access
+
+#: Nominal extent used for size parameters without a concrete binding when
+#: evaluating symbolic strides.  Any value much larger than a cache line works;
+#: the *ordering* of permutations is what matters.
+DEFAULT_PARAMETER_VALUE = 256
+
+#: Relative weight of each loop level when summing strides, innermost first.
+LEVEL_WEIGHT_DECAY = 1e-3
+
+
+def _array_strides(array: Array, parameters: Mapping[str, int]) -> Tuple[int, ...]:
+    bindings = dict(parameters)
+    for dim in array.shape:
+        for symbol in dim.free_symbols():
+            bindings.setdefault(symbol, DEFAULT_PARAMETER_VALUE)
+    return array.row_major_strides(bindings)
+
+
+def access_stride(access: AffineAccess, iterator: str,
+                  element_strides: Sequence[int]) -> Optional[float]:
+    """Address movement (in elements) when ``iterator`` advances by one.
+
+    Returns ``None`` when the access is not affine (unknown stride).
+    """
+    if not access.affine:
+        return None
+    if len(element_strides) != len(access.indices):
+        return None
+    movement = 0.0
+    for index, stride in zip(access.indices, element_strides):
+        movement += index.coefficient(iterator) * stride
+    return movement
+
+
+@dataclass(frozen=True)
+class StrideReport:
+    """Break-down of the stride cost of one loop nest."""
+
+    total: float
+    per_level: Tuple[Tuple[str, float], ...]
+    non_affine_accesses: int
+
+    def level_cost(self, iterator: str) -> float:
+        for name, cost in self.per_level:
+            if name == iterator:
+                return cost
+        return 0.0
+
+
+def nest_stride_report(loop: Loop, arrays: Mapping[str, Array],
+                       parameters: Optional[Mapping[str, int]] = None,
+                       order: Optional[Sequence[str]] = None) -> StrideReport:
+    """Compute the stride cost of a loop nest for a given loop order.
+
+    ``order`` lists the iterators of the nest's perfectly nested band from
+    outermost to innermost; it defaults to the order in which they currently
+    appear.  Loops below the band keep their position; their strides are
+    charged at innermost weight.
+    """
+    parameters = dict(parameters or {})
+    band = loop.perfectly_nested_band()
+    band_iterators = [lp.iterator for lp in band]
+    if order is None:
+        order = band_iterators
+    if sorted(order) != sorted(band_iterators):
+        raise ValueError(f"order {list(order)} does not match band {band_iterators}")
+
+    # Weight per iterator: innermost position gets weight 1.
+    weights: Dict[str, float] = {}
+    for position, iterator in enumerate(reversed(list(order))):
+        weights[iterator] = LEVEL_WEIGHT_DECAY ** position
+
+    per_level: Dict[str, float] = {iterator: 0.0 for iterator in order}
+    non_affine = 0
+    penalty = 0.0
+
+    def handle_computation(comp: Computation, enclosing: List[str]) -> None:
+        nonlocal non_affine, penalty
+        for affine_access in computation_accesses(comp, enclosing):
+            if affine_access.array not in arrays:
+                continue
+            element_strides = _array_strides(arrays[affine_access.array], parameters)
+            if not affine_access.affine:
+                non_affine += 1
+                # Unknown accesses are charged a large constant so that
+                # permutations cannot "hide" them.
+                penalty += max(element_strides) if element_strides else 1.0
+                continue
+            for iterator in order:
+                stride = access_stride(affine_access, iterator, element_strides)
+                if stride is None:
+                    continue
+                per_level[iterator] += abs(stride)
+
+    def recurse(node, enclosing: List[str]) -> None:
+        if isinstance(node, Loop):
+            inner = enclosing + [node.iterator]
+            for child in node.body:
+                recurse(child, inner)
+        elif isinstance(node, Computation):
+            handle_computation(node, enclosing)
+
+    recurse(loop, [])
+
+    total = penalty
+    for iterator in order:
+        total += weights.get(iterator, 1.0) * per_level[iterator]
+    return StrideReport(total=total,
+                        per_level=tuple((it, per_level[it]) for it in order),
+                        non_affine_accesses=non_affine)
+
+
+def nest_stride_cost(loop: Loop, arrays: Mapping[str, Array],
+                     parameters: Optional[Mapping[str, int]] = None,
+                     order: Optional[Sequence[str]] = None) -> float:
+    """The scalar ``stride(loop)`` criterion of Section 2.2."""
+    return nest_stride_report(loop, arrays, parameters, order).total
+
+
+def program_stride_cost(program: Program,
+                        parameters: Optional[Mapping[str, int]] = None) -> float:
+    """Sum of the stride costs of all top-level loop nests of a program."""
+    total = 0.0
+    for node in program.body:
+        if isinstance(node, Loop):
+            total += nest_stride_cost(node, program.arrays, parameters)
+    return total
+
+
+def out_of_order_count(loop: Loop, arrays: Mapping[str, Array],
+                       order: Optional[Sequence[str]] = None) -> int:
+    """Count accesses whose subscript order disagrees with the loop order.
+
+    For each affine access, the access is "in order" when the iterator used
+    in the last (fastest-varying) array dimension appears innermost among the
+    iterators the access uses, the second-to-last dimension's iterator next,
+    and so on.  The count of violated adjacent pairs is returned, summed over
+    all accesses.  This is the paper's fallback criterion for symbolic shapes.
+    """
+    band = loop.perfectly_nested_band()
+    band_iterators = [lp.iterator for lp in band]
+    if order is None:
+        order = band_iterators
+    position = {iterator: idx for idx, iterator in enumerate(order)}
+
+    violations = 0
+
+    def dominant_iterator(index) -> Optional[str]:
+        names = [name for name in index.iterator_names() if name in position]
+        if not names:
+            return None
+        # The iterator with the largest coefficient dominates the subscript.
+        return max(names, key=lambda name: abs(index.coefficient(name)))
+
+    def handle(comp: Computation, enclosing: List[str]) -> None:
+        nonlocal violations
+        for affine_access in computation_accesses(comp, enclosing):
+            if not affine_access.affine:
+                violations += 1
+                continue
+            dominant = [dominant_iterator(index) for index in affine_access.indices]
+            dominant = [d for d in dominant if d is not None]
+            for outer_dim, inner_dim in zip(dominant, dominant[1:]):
+                # The later array dimension varies faster; its iterator should
+                # be deeper (larger position) in the loop order.
+                if position[outer_dim] > position[inner_dim]:
+                    violations += 1
+
+    def recurse(node, enclosing: List[str]) -> None:
+        if isinstance(node, Loop):
+            inner = enclosing + [node.iterator]
+            for child in node.body:
+                recurse(child, inner)
+        elif isinstance(node, Computation):
+            handle(node, enclosing)
+
+    recurse(loop, [])
+    return violations

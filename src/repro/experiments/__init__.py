@@ -1,0 +1,21 @@
+"""Per-figure/table experiment harnesses reproducing the paper's evaluation.
+
+* :mod:`repro.experiments.figure1` — GEMM loop-order sensitivity.
+* :mod:`repro.experiments.figure6` — A/B robustness vs Polly, icc, Tiramisu.
+* :mod:`repro.experiments.figure7` — normalization/transfer-tuning ablation.
+* :mod:`repro.experiments.figure9` — Python (NPBench) frameworks comparison.
+* :mod:`repro.experiments.table1` — CLOUDSC erosion kernel (runtime, L1).
+* :mod:`repro.experiments.figure11` — CLOUDSC full model, sequential.
+* :mod:`repro.experiments.figure12` — CLOUDSC strong and weak scaling.
+* :mod:`repro.experiments.summary` — headline geometric-mean speedups.
+"""
+
+from . import (cloudsc_pipeline, figure1, figure6, figure7, figure9, figure11,
+               figure12, summary, table1)
+from .common import ExperimentSettings, format_table, geometric_mean
+
+__all__ = [
+    "cloudsc_pipeline", "figure1", "figure6", "figure7", "figure9",
+    "figure11", "figure12", "summary", "table1",
+    "ExperimentSettings", "format_table", "geometric_mean",
+]

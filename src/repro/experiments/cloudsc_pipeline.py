@@ -1,0 +1,83 @@
+"""Shared pipeline helpers for the CLOUDSC case study (Section 5).
+
+Two program versions are compared throughout the case study:
+
+* the **baseline** — the structure the production code has (fused physics
+  loops with per-iteration scalars), compiled like the tuned Fortran build:
+  innermost ``NPROMA`` loops vectorized, the block loop parallelized;
+* the **daisy** version — the same program run through a-priori
+  normalization (scalar expansion, maximal fission, stride minimization),
+  then re-fused along one-to-one producer/consumer relations, array
+  contraction, and the same vectorization/parallelization annotations.
+
+The C and DaCe versions of the paper are modeled as calibrated factors on
+the baseline (see EXPERIMENTS.md): they share the Fortran loop structure and
+differ only by code-generation quality, which is outside the scope of the
+loop-nest model.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..analysis.parallelism import analyze_loop_parallelism
+from ..ir.nodes import Loop, Program
+from ..normalization.pipeline import NormalizationOptions, normalize
+from ..normalization.scalar_expansion import contract_arrays
+from ..transforms.fusion import (fuse_adjacent_loops, fuse_chains_in_body,
+                                 fuse_chains_in_loop)
+
+#: Runtime factors of the C and DaCe code generators relative to the tuned
+#: Fortran build, taken from the paper's Figure 11 (both versions share the
+#: Fortran loop structure; the gap is code-generation quality, which the
+#: loop-nest performance model does not capture).
+C_CODEGEN_FACTOR = 1.06
+DACE_CODEGEN_FACTOR = 1.18
+
+
+def annotate_baseline(program: Program, parallel_blocks: bool = True) -> Program:
+    """Annotate a CLOUDSC-structured program the way the tuned build runs it.
+
+    Innermost loops are marked SIMD (the compiler vectorizes the NPROMA loops,
+    privatizing per-iteration scalars); the outermost block loop is marked
+    parallel when requested and legal.
+    """
+    annotated = program.copy()
+    for top in annotated.top_level_loops():
+        if parallel_blocks:
+            info = analyze_loop_parallelism(top, annotated.arrays)
+            if info.is_parallel:
+                top.parallel = True
+        for loop in top.iter_loops():
+            if not any(isinstance(child, Loop) for child in loop.body):
+                loop.vectorized = True
+    return annotated
+
+
+def daisy_optimize(program: Program, parallel_blocks: bool = True) -> Tuple[Program, dict]:
+    """Run the daisy normalization-plus-fusion pipeline on a CLOUDSC program.
+
+    Returns the optimized program and a small report dictionary.
+    """
+    options = NormalizationOptions(canonicalize_iterators=False)
+    normalized, report = normalize(program, options)
+
+    fused = 0
+    # Re-join outer (block/vertical) loops that maximal fission separated —
+    # splitting those only multiplies cold memory traffic and loop overhead.
+    fused += fuse_adjacent_loops(normalized.body, min_depth=2)
+    # Inside, fuse one-to-one producer/consumer chains (Figure 10b) and demote
+    # temporaries that no longer cross loop boundaries back to scalars.
+    fused += fuse_chains_in_body(normalized.body)
+    for loop in list(normalized.iter_loops()):
+        fused += fuse_chains_in_loop(loop)
+    contracted = contract_arrays(normalized)
+
+    annotated = annotate_baseline(normalized, parallel_blocks=parallel_blocks)
+    info = {
+        "scalars_expanded": report.scalar_expansion.count,
+        "loops_split": report.fission.loops_split,
+        "chains_fused": fused,
+        "arrays_contracted": contracted,
+    }
+    return annotated, info

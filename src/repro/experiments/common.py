@@ -1,0 +1,137 @@
+"""Shared infrastructure of the experiment harnesses.
+
+Every experiment module produces plain data (lists of row dictionaries plus a
+``format_table`` helper) so that the same code backs the pytest-benchmark
+targets in ``benchmarks/``, the runnable examples, and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..ir.nodes import Program
+from ..perf.machine import DEFAULT_MACHINE, MachineModel
+from ..perf.model import CostModel
+from ..scheduler.base import Scheduler
+from ..scheduler.compiler_baseline import ClangScheduler, IccScheduler
+from ..scheduler.daisy import DaisyConfig, DaisyScheduler
+from ..scheduler.evolutionary import SearchConfig
+from ..scheduler.frameworks import DaceScheduler, NumbaScheduler, NumpyScheduler
+from ..scheduler.polyhedral import PollyScheduler
+from ..scheduler.tiramisu import MctsConfig, TiramisuScheduler
+from ..workloads.registry import BenchmarkSpec, all_benchmarks
+
+#: Thread count of the paper's evaluation machine (Xeon E5-2680v3).
+DEFAULT_THREADS = 12
+
+
+@dataclass
+class ExperimentSettings:
+    """Knobs controlling how expensive an experiment run is.
+
+    The defaults correspond to the paper's configuration; tests use the
+    ``fast()`` preset to keep runtimes in milliseconds.
+    """
+
+    threads: int = DEFAULT_THREADS
+    size: str = "large"
+    machine: MachineModel = field(default_factory=lambda: DEFAULT_MACHINE)
+    search: SearchConfig = field(default_factory=SearchConfig)
+    mcts: MctsConfig = field(default_factory=MctsConfig)
+    benchmarks: Optional[Sequence[str]] = None
+
+    @staticmethod
+    def fast(benchmarks: Optional[Sequence[str]] = None,
+             size: str = "large") -> "ExperimentSettings":
+        return ExperimentSettings(
+            size=size,
+            search=SearchConfig(population_size=4, epochs=1, generations_per_epoch=1),
+            mcts=MctsConfig(rollouts=6),
+            benchmarks=benchmarks,
+        )
+
+    def selected_benchmarks(self) -> List[BenchmarkSpec]:
+        specs = all_benchmarks()
+        if self.benchmarks is None:
+            return specs
+        wanted = set(self.benchmarks)
+        return [spec for spec in specs if spec.name in wanted]
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values (ignores non-positive entries)."""
+    positive = [v for v in values if v > 0]
+    if not positive:
+        return float("nan")
+    return float(np.exp(np.mean(np.log(positive))))
+
+
+def make_daisy(settings: ExperimentSettings,
+               seed_specs: Optional[Sequence[BenchmarkSpec]] = None,
+               normalization=None) -> DaisyScheduler:
+    """Create a daisy scheduler, optionally seeded from benchmark A variants."""
+    config = DaisyConfig(threads=settings.threads, search=settings.search)
+    daisy = DaisyScheduler(machine=settings.machine, config=config,
+                           normalization=normalization)
+    for spec in (seed_specs or []):
+        parameters = benchmark_parameters(spec, settings.size)
+        daisy.tune(spec.variant("a"), parameters, label=spec.name)
+    return daisy
+
+
+def make_baselines(settings: ExperimentSettings) -> Dict[str, Scheduler]:
+    """The auto-scheduler and compiler baselines of Section 4.1."""
+    return {
+        "polly": PollyScheduler(settings.machine, threads=settings.threads),
+        "icc": IccScheduler(settings.machine, threads=settings.threads),
+        "tiramisu": TiramisuScheduler(settings.machine, threads=settings.threads,
+                                      config=settings.mcts),
+    }
+
+
+def make_python_frameworks(settings: ExperimentSettings) -> Dict[str, Scheduler]:
+    """The Python-framework baselines of Section 4.3."""
+    return {
+        "numpy": NumpyScheduler(settings.machine),
+        "numba": NumbaScheduler(settings.machine, threads=settings.threads),
+        "dace": DaceScheduler(settings.machine, threads=settings.threads),
+    }
+
+
+def benchmark_parameters(spec: BenchmarkSpec, size: str) -> Dict[str, int]:
+    """Concrete parameter bindings (sizes) for a benchmark."""
+    return spec.sizes(size)
+
+
+def estimate_runtime(scheduler: Scheduler, program: Program,
+                     parameters: Mapping[str, int]) -> float:
+    """Schedule a program and estimate its runtime with the scheduler's model."""
+    return scheduler.estimate(program, parameters)
+
+
+def format_table(rows: Sequence[Mapping[str, object]],
+                 columns: Sequence[str]) -> str:
+    """Render rows as a fixed-width text table (used by examples and logs)."""
+    widths = {col: max(len(col), *(len(_fmt(row.get(col))) for row in rows))
+              for col in columns} if rows else {col: len(col) for col in columns}
+    header = "  ".join(col.ljust(widths[col]) for col in columns)
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append("  ".join(_fmt(row.get(col)).ljust(widths[col]) for col in columns))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100 or abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4f}"
+    return str(value)

@@ -1,0 +1,105 @@
+"""Figure 6: A/B robustness of daisy versus Polly, icc, and Tiramisu.
+
+For each of the 15 PolyBench benchmarks, the A (original) and B (alternative)
+implementations are scheduled by daisy (database seeded from the normalized A
+variants only), Polly, icc, and the Tiramisu-style scheduler.  Runtimes are
+reported relative to the runtime of the A variant under daisy, exactly like
+the figure; schedulers that cannot handle a benchmark are marked
+unsupported (the figure's "X").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .common import (ExperimentSettings, format_table, geometric_mean,
+                     make_baselines, make_daisy)
+
+SCHEDULERS = ("daisy", "polly", "icc", "tiramisu")
+VARIANTS = ("a", "b")
+
+
+def run(settings: Optional[ExperimentSettings] = None) -> List[Dict[str, object]]:
+    """Run the robustness experiment; one row per (benchmark, scheduler, variant)."""
+    settings = settings or ExperimentSettings()
+    specs = settings.selected_benchmarks()
+
+    daisy = make_daisy(settings, seed_specs=specs)
+    baselines = make_baselines(settings)
+
+    rows: List[Dict[str, object]] = []
+    for spec in specs:
+        parameters = spec.sizes(settings.size)
+        runtimes: Dict[tuple, float] = {}
+        unsupported: Dict[tuple, bool] = {}
+        for variant in VARIANTS:
+            program = spec.variant(variant)
+            result = daisy.schedule(program, parameters)
+            runtimes[("daisy", variant)] = daisy.cost_model.estimate_seconds(
+                result.program, parameters)
+            unsupported[("daisy", variant)] = result.unsupported
+            for name, scheduler in baselines.items():
+                result = scheduler.schedule(program, parameters)
+                runtimes[(name, variant)] = scheduler.cost_model.estimate_seconds(
+                    result.program, parameters)
+                unsupported[(name, variant)] = result.unsupported
+
+        baseline_runtime = runtimes[("daisy", "a")]
+        for name in SCHEDULERS:
+            for variant in VARIANTS:
+                runtime = runtimes[(name, variant)]
+                rows.append({
+                    "benchmark": spec.name,
+                    "scheduler": name,
+                    "variant": variant.upper(),
+                    "runtime_s": runtime,
+                    "normalized_runtime": runtime / baseline_runtime,
+                    "unsupported": unsupported[(name, variant)],
+                })
+    return rows
+
+
+def robustness_summary(rows: List[Dict[str, object]]) -> List[Dict[str, object]]:
+    """Per-scheduler A/B ratio statistics and geometric-mean speedups of daisy."""
+    import statistics
+
+    summary: List[Dict[str, object]] = []
+    benchmarks = sorted({row["benchmark"] for row in rows})
+    for scheduler in SCHEDULERS:
+        ratios = []
+        speedups_a = []
+        speedups_b = []
+        for name in benchmarks:
+            by_variant = {row["variant"]: row for row in rows
+                          if row["benchmark"] == name and row["scheduler"] == scheduler}
+            daisy_by_variant = {row["variant"]: row for row in rows
+                                if row["benchmark"] == name and row["scheduler"] == "daisy"}
+            if not by_variant or any(row["unsupported"] for row in by_variant.values()):
+                continue
+            a, b = by_variant["A"]["runtime_s"], by_variant["B"]["runtime_s"]
+            ratios.append(max(a, b) / min(a, b))
+            speedups_a.append(a / daisy_by_variant["A"]["runtime_s"])
+            speedups_b.append(b / daisy_by_variant["B"]["runtime_s"])
+        summary.append({
+            "scheduler": scheduler,
+            "mean_ab_ratio": geometric_mean(ratios),
+            "median_ab_ratio": statistics.median(ratios) if ratios else float("nan"),
+            "max_ab_ratio": max(ratios) if ratios else float("nan"),
+            "robust_benchmarks": sum(1 for ratio in ratios if ratio < 1.15),
+            "geo_speedup_of_daisy_A": geometric_mean(speedups_a),
+            "geo_speedup_of_daisy_B": geometric_mean(speedups_b),
+            "benchmarks_supported": len(ratios),
+        })
+    return summary
+
+
+def format_results(rows: List[Dict[str, object]]) -> str:
+    return format_table(rows, ["benchmark", "scheduler", "variant",
+                               "runtime_s", "normalized_runtime", "unsupported"])
+
+
+def format_summary(rows: List[Dict[str, object]]) -> str:
+    return format_table(rows, ["scheduler", "mean_ab_ratio", "median_ab_ratio",
+                               "max_ab_ratio", "robust_benchmarks",
+                               "geo_speedup_of_daisy_A", "geo_speedup_of_daisy_B",
+                               "benchmarks_supported"])

@@ -1,0 +1,80 @@
+"""Figure 7 (ablation): normalization and transfer tuning in isolation.
+
+Four configurations per benchmark and variant, all relative to clang on the
+A variant:
+
+* ``clang``            — the plain compiler baseline,
+* ``daisy (Opt)``      — transfer tuning *without* a-priori normalization,
+* ``daisy (Norm)``     — a-priori normalization *without* transfer tuning
+  (the normalized program is then compiled like clang),
+* ``daisy (Norm+Opt)`` — the full pipeline.
+
+The paper's finding is that only Norm+Opt reaches the best performance
+consistently; Opt alone fails whenever the B variant's loop structure does
+not literally match a database entry.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..normalization.pipeline import NormalizationOptions, normalize
+from ..scheduler.compiler_baseline import ClangScheduler
+from .common import ExperimentSettings, format_table, make_daisy
+
+CONFIGURATIONS = ("clang", "opt", "norm", "norm+opt")
+VARIANTS = ("a", "b")
+
+#: Normalization options that disable the paper's criteria (used for the
+#: "Opt" configuration: transfer tuning on unnormalized loop nests).
+NO_NORMALIZATION = NormalizationOptions(
+    apply_scalar_expansion=False,
+    apply_fission=False,
+    apply_stride_minimization=False,
+    canonicalize_iterators=False,
+)
+
+
+def run(settings: Optional[ExperimentSettings] = None) -> List[Dict[str, object]]:
+    settings = settings or ExperimentSettings()
+    specs = settings.selected_benchmarks()
+
+    clang = ClangScheduler(settings.machine, threads=1)
+    # Full daisy: normalization + transfer tuning, seeded from A variants.
+    daisy_full = make_daisy(settings, seed_specs=specs)
+    # Opt-only: same transfer-tuning machinery but without normalization;
+    # its database is seeded from the *unnormalized* A variants.
+    daisy_opt = make_daisy(settings, seed_specs=specs, normalization=NO_NORMALIZATION)
+
+    rows: List[Dict[str, object]] = []
+    for spec in specs:
+        parameters = spec.sizes(settings.size)
+        runtimes: Dict[tuple, float] = {}
+        for variant in VARIANTS:
+            program = spec.variant(variant)
+
+            runtimes[("clang", variant)] = clang.estimate(program, parameters)
+            runtimes[("opt", variant)] = daisy_opt.estimate(program, parameters)
+
+            normalized, _ = normalize(program)
+            runtimes[("norm", variant)] = clang.estimate(normalized, parameters)
+
+            runtimes[("norm+opt", variant)] = daisy_full.estimate(program, parameters)
+
+        baseline = runtimes[("clang", "a")]
+        for configuration in CONFIGURATIONS:
+            for variant in VARIANTS:
+                runtime = runtimes[(configuration, variant)]
+                rows.append({
+                    "benchmark": spec.name,
+                    "configuration": configuration,
+                    "variant": variant.upper(),
+                    "runtime_s": runtime,
+                    "normalized_runtime": runtime / baseline,
+                })
+    return rows
+
+
+def format_results(rows: List[Dict[str, object]]) -> str:
+    return format_table(rows, ["benchmark", "configuration", "variant",
+                               "runtime_s", "normalized_runtime"])

@@ -1,0 +1,70 @@
+"""Figure 9: auto-scheduling Python (NPBench-style) implementations.
+
+The NPBench variants of the benchmarks (translated operator by operator, the
+way an array-language frontend lowers them) are scheduled by daisy — using
+the very same database that was seeded from the normalized *C* A variants —
+by daisy without normalization, and by the NumPy, Numba, and DaCe execution
+models.  Runtimes are reported relative to daisy (lower is better).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .common import (ExperimentSettings, format_table, geometric_mean,
+                     make_daisy, make_python_frameworks)
+from .figure7 import NO_NORMALIZATION
+
+FRAMEWORKS = ("daisy", "daisy_no_norm", "numpy", "numba", "dace")
+
+
+def run(settings: Optional[ExperimentSettings] = None) -> List[Dict[str, object]]:
+    settings = settings or ExperimentSettings()
+    specs = settings.selected_benchmarks()
+
+    # The database is seeded from the C A variants (Section 4.3: "we apply
+    # the same database-based auto-scheduler from Section 4.1").
+    daisy = make_daisy(settings, seed_specs=specs)
+    daisy_no_norm = make_daisy(settings, seed_specs=specs,
+                               normalization=NO_NORMALIZATION)
+    frameworks = make_python_frameworks(settings)
+
+    rows: List[Dict[str, object]] = []
+    for spec in specs:
+        parameters = spec.sizes(settings.size)
+        program = spec.variant("npbench")
+        runtimes: Dict[str, float] = {
+            "daisy": daisy.estimate(program, parameters),
+            "daisy_no_norm": daisy_no_norm.estimate(program, parameters),
+        }
+        for name, scheduler in frameworks.items():
+            runtimes[name] = scheduler.estimate(program, parameters)
+
+        baseline = runtimes["daisy"]
+        for name in FRAMEWORKS:
+            rows.append({
+                "benchmark": spec.name,
+                "framework": name,
+                "runtime_s": runtimes[name],
+                "normalized_runtime": runtimes[name] / baseline,
+            })
+    return rows
+
+
+def framework_summary(rows: List[Dict[str, object]]) -> List[Dict[str, object]]:
+    """Geometric-mean slowdown of each framework relative to daisy."""
+    summary = []
+    for name in FRAMEWORKS:
+        ratios = [row["normalized_runtime"] for row in rows if row["framework"] == name]
+        summary.append({"framework": name,
+                        "geo_mean_vs_daisy": geometric_mean(ratios)})
+    return summary
+
+
+def format_results(rows: List[Dict[str, object]]) -> str:
+    return format_table(rows, ["benchmark", "framework", "runtime_s",
+                               "normalized_runtime"])
+
+
+def format_summary(rows: List[Dict[str, object]]) -> str:
+    return format_table(rows, ["framework", "geo_mean_vs_daisy"])

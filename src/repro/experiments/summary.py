@@ -1,0 +1,65 @@
+"""Headline geometric-mean speedups (abstract / Section 1).
+
+The abstract reports daisy's geometric-mean speedups over the C baseline
+compiler, Polly, the Tiramisu auto-scheduler, and the Python frameworks.
+This module derives the same aggregates from the Figure 6, Figure 7 and
+Figure 9 data so that the numbers in EXPERIMENTS.md are reproducible from a
+single entry point.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from . import figure6, figure7, figure9
+from .common import ExperimentSettings, format_table, geometric_mean
+
+
+def run(settings: Optional[ExperimentSettings] = None) -> List[Dict[str, object]]:
+    settings = settings or ExperimentSettings()
+
+    fig6_rows = figure6.run(settings)
+    fig7_rows = figure7.run(settings)
+    fig9_rows = figure9.run(settings)
+
+    rows: List[Dict[str, object]] = []
+
+    # Speedups over the auto-schedulers and icc, from Figure 6 data (A and B
+    # variants pooled, unsupported benchmarks excluded, as in the paper).
+    daisy = {(r["benchmark"], r["variant"]): r["runtime_s"] for r in fig6_rows
+             if r["scheduler"] == "daisy"}
+    for scheduler in ("polly", "icc", "tiramisu"):
+        ratios = []
+        for row in fig6_rows:
+            if row["scheduler"] != scheduler or row["unsupported"]:
+                continue
+            key = (row["benchmark"], row["variant"])
+            ratios.append(row["runtime_s"] / daisy[key])
+        rows.append({"comparison": f"daisy vs {scheduler}",
+                     "geo_mean_speedup": geometric_mean(ratios),
+                     "paper_value": {"polly": 2.31, "icc": 1.58, "tiramisu": 2.89}[scheduler]})
+
+    # Speedup over the plain C compiler, from Figure 7 data.
+    clang = {(r["benchmark"], r["variant"]): r["runtime_s"] for r in fig7_rows
+             if r["configuration"] == "clang"}
+    full = {(r["benchmark"], r["variant"]): r["runtime_s"] for r in fig7_rows
+            if r["configuration"] == "norm+opt"}
+    ratios = [clang[key] / full[key] for key in full]
+    rows.append({"comparison": "daisy vs baseline C compiler",
+                 "geo_mean_speedup": geometric_mean(ratios), "paper_value": 21.13})
+
+    # Speedups over the Python frameworks, from Figure 9 data.
+    daisy_py = {r["benchmark"]: r["runtime_s"] for r in fig9_rows
+                if r["framework"] == "daisy"}
+    paper_values = {"numpy": 9.04, "numba": 3.92, "dace": 1.47}
+    for framework in ("numpy", "numba", "dace"):
+        ratios = [row["runtime_s"] / daisy_py[row["benchmark"]]
+                  for row in fig9_rows if row["framework"] == framework]
+        rows.append({"comparison": f"daisy vs {framework}",
+                     "geo_mean_speedup": geometric_mean(ratios),
+                     "paper_value": paper_values[framework]})
+    return rows
+
+
+def format_results(rows: List[Dict[str, object]]) -> str:
+    return format_table(rows, ["comparison", "geo_mean_speedup", "paper_value"])

@@ -1,0 +1,5 @@
+"""Frontends translating source languages into the symbolic loop-nest IR."""
+
+from .clike import parse_clike_program
+
+__all__ = ["parse_clike_program"]

@@ -1,0 +1,15 @@
+"""C-like loop-language frontend: lexer, parser, AST, and lowering."""
+
+from .ast import (ArrayRef, Assignment, BinaryOp, CallExpr, Declaration,
+                  ForLoop, Identifier, NumberLiteral, SourceProgram, UnaryOp)
+from .lexer import LexerError, Token, tokenize
+from .lower import LoweringError, lower_program, parse_clike_program
+from .parser import ParseError, Parser, parse_source
+
+__all__ = [
+    "ArrayRef", "Assignment", "BinaryOp", "CallExpr", "Declaration", "ForLoop",
+    "Identifier", "NumberLiteral", "SourceProgram", "UnaryOp",
+    "LexerError", "Token", "tokenize",
+    "LoweringError", "lower_program", "parse_clike_program",
+    "ParseError", "Parser", "parse_source",
+]

@@ -1,0 +1,85 @@
+"""Abstract syntax tree of the C-like loop language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+
+@dataclass(frozen=True)
+class NumberLiteral:
+    value: float
+
+
+@dataclass(frozen=True)
+class Identifier:
+    name: str
+
+
+@dataclass(frozen=True)
+class ArrayRef:
+    name: str
+    indices: Tuple["Expression", ...]
+
+
+@dataclass(frozen=True)
+class BinaryOp:
+    op: str  # "+", "-", "*", "/", "%"
+    left: "Expression"
+    right: "Expression"
+
+
+@dataclass(frozen=True)
+class UnaryOp:
+    op: str  # "-"
+    operand: "Expression"
+
+
+@dataclass(frozen=True)
+class CallExpr:
+    func: str
+    args: Tuple["Expression", ...]
+
+
+Expression = Union[NumberLiteral, Identifier, ArrayRef, BinaryOp, UnaryOp, CallExpr]
+
+
+@dataclass(frozen=True)
+class Declaration:
+    """``double A[N][M];`` — a container declaration."""
+
+    dtype: str
+    name: str
+    dimensions: Tuple[Expression, ...]
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """``target op= value;`` where op is one of "", "+", "-", "*", "/"."""
+
+    target: ArrayRef
+    op: str
+    value: Expression
+
+
+@dataclass(frozen=True)
+class ForLoop:
+    """``for (i = start; i < end; i += step) { body }``"""
+
+    iterator: str
+    start: Expression
+    end: Expression
+    step: Expression
+    body: Tuple["Statement", ...]
+
+
+Statement = Union[Assignment, ForLoop]
+
+
+@dataclass(frozen=True)
+class SourceProgram:
+    """A parsed translation unit: declarations followed by statements."""
+
+    name: str
+    declarations: Tuple[Declaration, ...]
+    statements: Tuple[Statement, ...]

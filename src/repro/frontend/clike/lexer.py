@@ -1,0 +1,71 @@
+"""Tokenizer for the C-like loop language.
+
+The language covers the loop-nest subset the paper's LLVM-based pipeline
+consumes: container declarations, counted ``for`` loops, compound assignments
+over array elements, arithmetic expressions, and calls to math intrinsics.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List
+
+KEYWORDS = {"for", "double", "float", "int"}
+
+_TOKEN_SPEC = [
+    ("COMMENT", r"//[^\n]*|/\*.*?\*/"),
+    ("NUMBER", r"\d+\.\d*(?:[eE][+-]?\d+)?|\.\d+(?:[eE][+-]?\d+)?|\d+(?:[eE][+-]?\d+)?"),
+    ("IDENT", r"[A-Za-z_][A-Za-z_0-9]*"),
+    ("OP", r"\+\+|--|\+=|-=|\*=|/=|<=|>=|==|!=|[-+*/%<>=(){}\[\];,]"),
+    ("WHITESPACE", r"\s+"),
+    ("MISMATCH", r"."),
+]
+
+_TOKEN_RE = re.compile("|".join(f"(?P<{name}>{pattern})" for name, pattern in _TOKEN_SPEC),
+                       re.DOTALL)
+
+
+class LexerError(Exception):
+    """Raised on characters the language does not contain."""
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token."""
+
+    kind: str   # "number", "ident", "keyword", "op", "eof"
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}, line {self.line})"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize ``source``; comments and whitespace are dropped."""
+    tokens: List[Token] = []
+    line = 1
+    line_start = 0
+    for match in _TOKEN_RE.finditer(source):
+        kind = match.lastgroup
+        text = match.group()
+        column = match.start() - line_start + 1
+        if kind in ("WHITESPACE", "COMMENT"):
+            newlines = text.count("\n")
+            if newlines:
+                line += newlines
+                line_start = match.start() + text.rfind("\n") + 1
+            continue
+        if kind == "MISMATCH":
+            raise LexerError(f"unexpected character {text!r} at line {line}, column {column}")
+        if kind == "NUMBER":
+            tokens.append(Token("number", text, line, column))
+        elif kind == "IDENT":
+            token_kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(token_kind, text, line, column))
+        else:
+            tokens.append(Token("op", text, line, column))
+    tokens.append(Token("eof", "", line, 0))
+    return tokens

@@ -1,0 +1,204 @@
+"""Recursive-descent parser for the C-like loop language."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .ast import (ArrayRef, Assignment, BinaryOp, CallExpr, Declaration,
+                  Expression, ForLoop, Identifier, NumberLiteral,
+                  SourceProgram, Statement, UnaryOp)
+from .lexer import Token, tokenize
+
+_DTYPES = {"double": "float64", "float": "float32", "int": "int64"}
+
+
+class ParseError(Exception):
+    """Raised when the source does not conform to the grammar."""
+
+    def __init__(self, message: str, token: Token):
+        super().__init__(f"{message} (at line {token.line}, near {token.text!r})")
+        self.token = token
+
+
+class Parser:
+    """Parses one translation unit."""
+
+    def __init__(self, source: str, name: str = "clike_program"):
+        self.tokens = tokenize(source)
+        self.position = 0
+        self.name = name
+
+    # -- token helpers ----------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self.position + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def _advance(self) -> Token:
+        token = self.tokens[self.position]
+        if token.kind != "eof":
+            self.position += 1
+        return token
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> Token:
+        token = self._peek()
+        if token.kind != kind or (text is not None and token.text != text):
+            expected = text or kind
+            raise ParseError(f"expected {expected!r}", token)
+        return self._advance()
+
+    def _match(self, kind: str, text: Optional[str] = None) -> bool:
+        token = self._peek()
+        if token.kind == kind and (text is None or token.text == text):
+            self._advance()
+            return True
+        return False
+
+    # -- grammar ------------------------------------------------------------------
+
+    def parse(self) -> SourceProgram:
+        declarations: List[Declaration] = []
+        statements: List[Statement] = []
+        while self._peek().kind == "keyword" and self._peek().text in _DTYPES:
+            declarations.append(self.parse_declaration())
+        while self._peek().kind != "eof":
+            statements.append(self.parse_statement())
+        return SourceProgram(self.name, tuple(declarations), tuple(statements))
+
+    def parse_declaration(self) -> Declaration:
+        dtype_token = self._expect("keyword")
+        if dtype_token.text not in _DTYPES:
+            raise ParseError("expected a type name", dtype_token)
+        name = self._expect("ident").text
+        dimensions: List[Expression] = []
+        while self._match("op", "["):
+            dimensions.append(self.parse_expression())
+            self._expect("op", "]")
+        self._expect("op", ";")
+        return Declaration(_DTYPES[dtype_token.text], name, tuple(dimensions))
+
+    def parse_statement(self) -> Statement:
+        token = self._peek()
+        if token.kind == "keyword" and token.text == "for":
+            return self.parse_for_loop()
+        if token.kind == "ident":
+            return self.parse_assignment()
+        raise ParseError("expected a statement", token)
+
+    def parse_for_loop(self) -> ForLoop:
+        self._expect("keyword", "for")
+        self._expect("op", "(")
+        iterator = self._expect("ident").text
+        self._expect("op", "=")
+        start = self.parse_expression()
+        self._expect("op", ";")
+        condition_iterator = self._expect("ident").text
+        if condition_iterator != iterator:
+            raise ParseError(f"loop condition must test {iterator!r}", self._peek())
+        self._expect("op", "<")
+        end = self.parse_expression()
+        self._expect("op", ";")
+        step = self.parse_increment(iterator)
+        self._expect("op", ")")
+        self._expect("op", "{")
+        body: List[Statement] = []
+        while not self._match("op", "}"):
+            body.append(self.parse_statement())
+        return ForLoop(iterator, start, end, step, tuple(body))
+
+    def parse_increment(self, iterator: str) -> Expression:
+        name = self._expect("ident").text
+        if name != iterator:
+            raise ParseError(f"loop increment must update {iterator!r}", self._peek())
+        if self._match("op", "++"):
+            return NumberLiteral(1)
+        if self._match("op", "+="):
+            return self.parse_expression()
+        raise ParseError("expected '++' or '+=' in loop increment", self._peek())
+
+    def parse_assignment(self) -> Assignment:
+        target = self.parse_lvalue()
+        token = self._peek()
+        operators = {"=": "", "+=": "+", "-=": "-", "*=": "*", "/=": "/"}
+        if token.kind != "op" or token.text not in operators:
+            raise ParseError("expected an assignment operator", token)
+        self._advance()
+        value = self.parse_expression()
+        self._expect("op", ";")
+        return Assignment(target, operators[token.text], value)
+
+    def parse_lvalue(self) -> ArrayRef:
+        name = self._expect("ident").text
+        indices: List[Expression] = []
+        while self._match("op", "["):
+            indices.append(self.parse_expression())
+            self._expect("op", "]")
+        return ArrayRef(name, tuple(indices))
+
+    # -- expressions ----------------------------------------------------------------
+
+    def parse_expression(self) -> Expression:
+        return self.parse_additive()
+
+    def parse_additive(self) -> Expression:
+        expr = self.parse_multiplicative()
+        while True:
+            if self._match("op", "+"):
+                expr = BinaryOp("+", expr, self.parse_multiplicative())
+            elif self._match("op", "-"):
+                expr = BinaryOp("-", expr, self.parse_multiplicative())
+            else:
+                return expr
+
+    def parse_multiplicative(self) -> Expression:
+        expr = self.parse_unary()
+        while True:
+            if self._match("op", "*"):
+                expr = BinaryOp("*", expr, self.parse_unary())
+            elif self._match("op", "/"):
+                expr = BinaryOp("/", expr, self.parse_unary())
+            elif self._match("op", "%"):
+                expr = BinaryOp("%", expr, self.parse_unary())
+            else:
+                return expr
+
+    def parse_unary(self) -> Expression:
+        if self._match("op", "-"):
+            return UnaryOp("-", self.parse_unary())
+        if self._match("op", "+"):
+            return self.parse_unary()
+        return self.parse_primary()
+
+    def parse_primary(self) -> Expression:
+        token = self._peek()
+        if token.kind == "number":
+            self._advance()
+            value = float(token.text)
+            return NumberLiteral(value)
+        if token.kind == "ident":
+            name = self._advance().text
+            if self._match("op", "("):
+                args: List[Expression] = []
+                if not self._match("op", ")"):
+                    args.append(self.parse_expression())
+                    while self._match("op", ","):
+                        args.append(self.parse_expression())
+                    self._expect("op", ")")
+                return CallExpr(name, tuple(args))
+            indices: List[Expression] = []
+            while self._match("op", "["):
+                indices.append(self.parse_expression())
+                self._expect("op", "]")
+            if indices:
+                return ArrayRef(name, tuple(indices))
+            return Identifier(name)
+        if self._match("op", "("):
+            expr = self.parse_expression()
+            self._expect("op", ")")
+            return expr
+        raise ParseError("expected an expression", token)
+
+
+def parse_source(source: str, name: str = "clike_program") -> SourceProgram:
+    """Parse a source string into a :class:`SourceProgram`."""
+    return Parser(source, name).parse()

@@ -1,0 +1,9 @@
+"""Reference interpreter and semantic-equivalence checking."""
+
+from .executor import (ExecutionError, Executor, allocate_storage,
+                       programs_equivalent, run_program)
+
+__all__ = [
+    "ExecutionError", "Executor", "allocate_storage", "programs_equivalent",
+    "run_program",
+]

@@ -1,0 +1,227 @@
+"""Reference interpreter for loop-nest programs.
+
+The interpreter executes a program directly on NumPy arrays.  It is the
+ground truth for semantics: normalization and every transformation must
+leave the observable outputs unchanged, and the A/B variants of each
+benchmark must produce identical results.  It is intentionally simple and
+slow — correctness tests use small problem sizes, while performance numbers
+come from the analytical model in :mod:`repro.perf`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Mapping, Optional
+
+import numpy as np
+
+from ..ir.arrays import DTYPES
+from ..ir.nodes import Computation, LibraryCall, Loop, Node, Program
+from ..ir.serialization import node_from_dict
+from ..ir.symbols import (Add, Call, Const, Expr, FloorDiv, Max, Min, Mod, Mul,
+                          Read, Sym)
+
+#: Intrinsics available to computations, evaluated element-wise on scalars.
+INTRINSICS: Dict[str, Callable] = {
+    "sqrt": math.sqrt,
+    "exp": math.exp,
+    "log": math.log,
+    "abs": abs,
+    "pow": pow,
+    "div": lambda a, b: a / b,
+    "fmax": max,
+    "fmin": min,
+    "floor": math.floor,
+    "ceil": math.ceil,
+    "tanh": math.tanh,
+}
+
+
+class ExecutionError(Exception):
+    """Raised when a program cannot be executed."""
+
+
+class Executor:
+    """Executes a single program instance."""
+
+    def __init__(self, program: Program, parameters: Mapping[str, int],
+                 storage: Dict[str, np.ndarray]):
+        self.program = program
+        self.parameters = dict(parameters)
+        self.storage = storage
+
+    # -- expression evaluation ---------------------------------------------------
+
+    def eval_expr(self, expr: Expr, env: Dict[str, float]) -> float:
+        if isinstance(expr, Const):
+            return expr.value
+        if isinstance(expr, Sym):
+            if expr.name in env:
+                return env[expr.name]
+            if expr.name in self.parameters:
+                return self.parameters[expr.name]
+            raise ExecutionError(f"unbound symbol {expr.name!r}")
+        if isinstance(expr, Add):
+            return sum(self.eval_expr(t, env) for t in expr.terms)
+        if isinstance(expr, Mul):
+            result = 1.0
+            for factor in expr.factors:
+                result *= self.eval_expr(factor, env)
+            return result
+        if isinstance(expr, FloorDiv):
+            return self.eval_expr(expr.numerator, env) // self.eval_expr(expr.denominator, env)
+        if isinstance(expr, Mod):
+            return self.eval_expr(expr.numerator, env) % self.eval_expr(expr.denominator, env)
+        if isinstance(expr, Min):
+            return min(self.eval_expr(a, env) for a in expr.args)
+        if isinstance(expr, Max):
+            return max(self.eval_expr(a, env) for a in expr.args)
+        if isinstance(expr, Read):
+            return self.read_element(expr.array, expr.indices, env)
+        if isinstance(expr, Call):
+            if expr.func not in INTRINSICS:
+                raise ExecutionError(f"unknown intrinsic {expr.func!r}")
+            args = [self.eval_expr(a, env) for a in expr.args]
+            return INTRINSICS[expr.func](*args)
+        raise ExecutionError(f"cannot evaluate expression of type {type(expr).__name__}")
+
+    def read_element(self, array: str, indices, env: Dict[str, float]) -> float:
+        if array not in self.storage:
+            raise ExecutionError(f"container {array!r} is not allocated")
+        data = self.storage[array]
+        if not indices:
+            return float(data[()]) if data.ndim == 0 else float(data)
+        index = tuple(int(self.eval_expr(i, env)) for i in indices)
+        return float(data[index])
+
+    def write_element(self, array: str, indices, value: float,
+                      env: Dict[str, float]) -> None:
+        if array not in self.storage:
+            raise ExecutionError(f"container {array!r} is not allocated")
+        data = self.storage[array]
+        if not indices:
+            data[()] = value
+            return
+        index = tuple(int(self.eval_expr(i, env)) for i in indices)
+        data[index] = value
+
+    # -- node execution -----------------------------------------------------------
+
+    def run(self) -> None:
+        env: Dict[str, float] = {}
+        for node in self.program.body:
+            self.execute_node(node, env)
+
+    def execute_node(self, node: Node, env: Dict[str, float]) -> None:
+        if isinstance(node, Loop):
+            self.execute_loop(node, env)
+        elif isinstance(node, Computation):
+            self.execute_computation(node, env)
+        elif isinstance(node, LibraryCall):
+            self.execute_library_call(node, env)
+        else:
+            raise ExecutionError(f"cannot execute node of type {type(node).__name__}")
+
+    def execute_loop(self, loop: Loop, env: Dict[str, float]) -> None:
+        start = int(self.eval_expr(loop.start, env))
+        end = int(self.eval_expr(loop.end, env))
+        step = int(self.eval_expr(loop.step, env))
+        if step <= 0:
+            raise ExecutionError(f"loop {loop.iterator!r} has non-positive step")
+        inner = dict(env)
+        for value in range(start, end, step):
+            inner[loop.iterator] = value
+            for child in loop.body:
+                self.execute_node(child, inner)
+        # Loop iterators go out of scope after the loop; env is left untouched.
+
+    def execute_computation(self, comp: Computation, env: Dict[str, float]) -> None:
+        value = self.eval_expr(comp.value, env)
+        self.write_element(comp.target.array, comp.target.indices, value, env)
+
+    def execute_library_call(self, call: LibraryCall, env: Dict[str, float]) -> None:
+        # When idiom detection replaced a loop nest, the original nest is kept
+        # in the call's metadata: semantics stay exact.
+        original = call.metadata.get("original")
+        if original is not None:
+            self.execute_node(node_from_dict(original), env)
+            return
+        self._execute_builtin_routine(call)
+
+    def _execute_builtin_routine(self, call: LibraryCall) -> None:
+        routine = call.routine
+        if routine == "gemm" and len(call.inputs) >= 2 and call.outputs:
+            a = self.storage[call.inputs[0]]
+            b = self.storage[call.inputs[1]]
+            c = self.storage[call.outputs[0]]
+            c += a @ b
+            return
+        if routine == "syrk" and call.inputs and call.outputs:
+            a = self.storage[call.inputs[0]]
+            c = self.storage[call.outputs[0]]
+            c += a @ a.T
+            return
+        raise ExecutionError(
+            f"library routine {routine!r} has no metadata and no builtin implementation")
+
+
+def allocate_storage(program: Program, parameters: Mapping[str, int],
+                     inputs: Optional[Mapping[str, np.ndarray]] = None,
+                     seed: int = 0) -> Dict[str, np.ndarray]:
+    """Allocate all containers of a program.
+
+    Containers present in ``inputs`` are copied; all other non-transient
+    containers are filled with reproducible random data and transients with
+    zeros.
+    """
+    rng = np.random.default_rng(seed)
+    storage: Dict[str, np.ndarray] = {}
+    for name, arr in program.arrays.items():
+        if inputs is not None and name in inputs:
+            storage[name] = np.array(inputs[name], dtype=DTYPES[arr.dtype], copy=True)
+            continue
+        if arr.transient:
+            storage[name] = arr.allocate(parameters)
+        else:
+            storage[name] = arr.allocate(parameters, rng=rng)
+    return storage
+
+
+def run_program(program: Program, parameters: Mapping[str, int],
+                inputs: Optional[Mapping[str, np.ndarray]] = None,
+                seed: int = 0) -> Dict[str, np.ndarray]:
+    """Execute a program and return its final storage."""
+    storage = allocate_storage(program, parameters, inputs, seed)
+    Executor(program, parameters, storage).run()
+    return storage
+
+
+def programs_equivalent(first: Program, second: Program,
+                        parameters: Mapping[str, int],
+                        rtol: float = 1e-9, atol: float = 1e-9,
+                        seed: int = 0) -> bool:
+    """Check observational equivalence of two programs on random inputs.
+
+    Both programs are run on identical inputs (containers are matched by
+    name); all non-transient containers present in both programs must agree.
+    """
+    rng = np.random.default_rng(seed)
+    shared_inputs: Dict[str, np.ndarray] = {}
+    for name, arr in first.arrays.items():
+        if arr.transient or name not in second.arrays:
+            continue
+        bindings = dict(parameters)
+        shared_inputs[name] = arr.allocate(bindings, rng=rng)
+
+    result_first = run_program(first, parameters, shared_inputs, seed)
+    result_second = run_program(second, parameters, shared_inputs, seed)
+
+    for name, arr in first.arrays.items():
+        if arr.transient or name not in second.arrays:
+            continue
+        if second.arrays[name].transient:
+            continue
+        if not np.allclose(result_first[name], result_second[name],
+                           rtol=rtol, atol=atol):
+            return False
+    return True

@@ -1,0 +1,399 @@
+"""Loop-nest tree nodes.
+
+The paper characterizes programs as trees of *loops* and *computations*
+(Section 2, Figure 2):
+
+* a **computation** is a unit of work with exactly one write of a scalar
+  value to a data container;
+* a **loop** has an iterator, initial value, update, termination condition,
+  and a body that is an ordered sequence of computations and loops;
+* a **loop nest** is a loop whose body may contain further loops.
+
+This module defines those nodes plus :class:`LibraryCall`, which represents
+a loop nest replaced by an optimized library routine after idiom detection
+(Section 4, "Seeding a Scheduling Database").
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from .arrays import Array
+from .symbols import Const, Expr, ExprLike, Read, Sym, as_expr
+
+_node_counter = itertools.count()
+
+
+def _next_id() -> int:
+    return next(_node_counter)
+
+
+@dataclass(frozen=True)
+class ArrayAccess:
+    """A single array access: container name plus symbolic index expressions."""
+
+    array: str
+    indices: Tuple[Expr, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "indices", tuple(as_expr(i) for i in self.indices))
+
+    @property
+    def rank(self) -> int:
+        return len(self.indices)
+
+    def free_symbols(self) -> frozenset:
+        out = frozenset()
+        for index in self.indices:
+            out |= index.free_symbols()
+        return out
+
+    def substitute(self, mapping) -> "ArrayAccess":
+        return ArrayAccess(self.array, tuple(i.substitute(mapping) for i in self.indices))
+
+    def as_read(self) -> Read:
+        return Read(self.array, self.indices)
+
+    def __str__(self) -> str:
+        if not self.indices:
+            return self.array
+        return self.array + "[" + ", ".join(str(i) for i in self.indices) + "]"
+
+
+def access(array: str, *indices: ExprLike) -> ArrayAccess:
+    """Convenience constructor for :class:`ArrayAccess`."""
+    return ArrayAccess(array, tuple(indices))
+
+
+class Node:
+    """Base class of loop-tree nodes."""
+
+    __slots__ = ("node_id",)
+
+    def copy(self) -> "Node":
+        raise NotImplementedError
+
+    def iter_computations(self) -> Iterator["Computation"]:
+        """Yield all computations in this subtree, in program order."""
+        raise NotImplementedError
+
+    def iter_loops(self) -> Iterator["Loop"]:
+        """Yield all loops in this subtree, in pre-order."""
+        raise NotImplementedError
+
+
+class Computation(Node):
+    """A unit of work with exactly one write to a data container.
+
+    Attributes:
+        name: Statement label (``S0``, ``S1``, ...).
+        target: The written array element.
+        value: Right-hand-side expression; may contain :class:`Read` nodes.
+    """
+
+    __slots__ = ("name", "target", "value")
+
+    def __init__(self, target: ArrayAccess, value: ExprLike, name: Optional[str] = None):
+        self.node_id = _next_id()
+        self.name = name or f"S{self.node_id}"
+        self.target = target
+        self.value = as_expr(value)
+
+    def copy(self) -> "Computation":
+        return Computation(self.target, self.value, name=self.name)
+
+    def iter_computations(self) -> Iterator["Computation"]:
+        yield self
+
+    def iter_loops(self) -> Iterator["Loop"]:
+        return iter(())
+
+    def reads(self) -> List[ArrayAccess]:
+        """All array reads appearing in the right-hand side, in order."""
+        found: List[ArrayAccess] = []
+
+        def visit(expr: Expr) -> None:
+            if isinstance(expr, Read):
+                found.append(ArrayAccess(expr.array, expr.indices))
+            for child in expr.children():
+                visit(child)
+
+        visit(self.value)
+        return found
+
+    def writes(self) -> List[ArrayAccess]:
+        """The single write of this computation, as a one-element list."""
+        return [self.target]
+
+    def accesses(self) -> List[Tuple[str, ArrayAccess]]:
+        """All accesses as ``(kind, access)`` with kind ``"read"``/``"write"``."""
+        out = [("read", acc) for acc in self.reads()]
+        out.append(("write", self.target))
+        return out
+
+    def accessed_arrays(self) -> frozenset:
+        return frozenset(acc.array for _, acc in self.accesses())
+
+    def is_reduction(self) -> bool:
+        """True if the target element is also read (e.g. ``C[i,j] += ...``)."""
+        return any(acc.array == self.target.array and acc.indices == self.target.indices
+                   for acc in self.reads())
+
+    def free_symbols(self) -> frozenset:
+        out = self.target.free_symbols()
+        out |= self.value.free_symbols()
+        return out
+
+    def substitute(self, mapping) -> "Computation":
+        return Computation(self.target.substitute(mapping),
+                           self.value.substitute(mapping), name=self.name)
+
+    def __repr__(self) -> str:
+        return f"Computation({self.name}: {self.target} = {self.value})"
+
+
+class Loop(Node):
+    """A counted loop with symbolic bounds.
+
+    The iteration domain is ``start <= iterator < end`` with increment
+    ``step``.  Schedule annotations (``parallel``, ``vectorized``,
+    ``unroll``) are attached by transformations and consumed by the
+    performance model and code generator; they do not change semantics.
+    """
+
+    __slots__ = ("iterator", "start", "end", "step", "body",
+                 "parallel", "vectorized", "unroll", "tile_of")
+
+    def __init__(self, iterator: str, start: ExprLike, end: ExprLike,
+                 step: ExprLike = 1, body: Optional[Sequence[Node]] = None,
+                 parallel: bool = False, vectorized: bool = False,
+                 unroll: int = 1, tile_of: Optional[str] = None):
+        self.node_id = _next_id()
+        self.iterator = iterator
+        self.start = as_expr(start)
+        self.end = as_expr(end)
+        self.step = as_expr(step)
+        self.body: List[Node] = list(body or [])
+        self.parallel = parallel
+        self.vectorized = vectorized
+        self.unroll = unroll
+        self.tile_of = tile_of
+
+    def copy(self) -> "Loop":
+        return Loop(self.iterator, self.start, self.end, self.step,
+                    body=[child.copy() for child in self.body],
+                    parallel=self.parallel, vectorized=self.vectorized,
+                    unroll=self.unroll, tile_of=self.tile_of)
+
+    def iter_computations(self) -> Iterator[Computation]:
+        for child in self.body:
+            yield from child.iter_computations()
+
+    def iter_loops(self) -> Iterator["Loop"]:
+        yield self
+        for child in self.body:
+            yield from child.iter_loops()
+
+    def trip_count(self, parameters: Dict[str, int]) -> int:
+        """Number of iterations under concrete parameter bindings."""
+        start = self.start.evaluate(parameters)
+        end = self.end.evaluate(parameters)
+        step = self.step.evaluate(parameters)
+        if step <= 0:
+            raise ValueError(f"loop {self.iterator} has non-positive step {step}")
+        return max(0, -(-(end - start) // step))
+
+    def symbolic_trip_count(self) -> Expr:
+        """Trip count as a symbolic expression (assumes step divides range)."""
+        from .symbols import FloorDiv, Mul
+        span = self.end - self.start
+        return FloorDiv.make(span, self.step)
+
+    def is_normalized(self) -> bool:
+        """True if the loop starts at 0 with unit step."""
+        return self.start == Const(0) and self.step == Const(1)
+
+    def nested_iterators(self) -> List[str]:
+        """Iterators of this loop and all nested loops, in-order."""
+        return [loop.iterator for loop in self.iter_loops()]
+
+    def perfectly_nested_band(self) -> List["Loop"]:
+        """Longest chain of singly-nested loops starting at this loop.
+
+        Returns the band ``[self, child, grandchild, ...]`` where each loop's
+        body contains exactly one node which is itself a loop.  The last loop
+        in the band may contain any body.
+        """
+        band = [self]
+        current = self
+        while len(current.body) == 1 and isinstance(current.body[0], Loop):
+            current = current.body[0]
+            band.append(current)
+        return band
+
+    def innermost_body(self) -> List[Node]:
+        """Body of the deepest loop of the perfectly nested band."""
+        return self.perfectly_nested_band()[-1].body
+
+    def is_perfect_nest(self) -> bool:
+        """True if every body on the band except the innermost holds one loop."""
+        band = self.perfectly_nested_band()
+        return all(not isinstance(child, Loop) for child in band[-1].body)
+
+    def depth(self) -> int:
+        """Maximum loop-nesting depth of this subtree."""
+        child_depths = [child.depth() for child in self.body if isinstance(child, Loop)]
+        return 1 + (max(child_depths) if child_depths else 0)
+
+    def free_symbols(self) -> frozenset:
+        out = self.start.free_symbols() | self.end.free_symbols() | self.step.free_symbols()
+        for child in self.body:
+            if isinstance(child, (Loop, Computation, LibraryCall)):
+                out |= child.free_symbols()
+        return out - frozenset(self.nested_iterators())
+
+    def __repr__(self) -> str:
+        flags = []
+        if self.parallel:
+            flags.append("parallel")
+        if self.vectorized:
+            flags.append("vector")
+        if self.unroll > 1:
+            flags.append(f"unroll={self.unroll}")
+        suffix = f" [{', '.join(flags)}]" if flags else ""
+        return (f"Loop({self.iterator}: {self.start}..{self.end} step {self.step}, "
+                f"{len(self.body)} children{suffix})")
+
+
+class LibraryCall(Node):
+    """A loop nest replaced by an optimized library routine (idiom detection).
+
+    Attributes:
+        routine: Library routine name, e.g. ``"gemm"`` or ``"gemv"``.
+        outputs / inputs: Container names passed to the routine.
+        flop_expr: Symbolic count of floating-point operations performed,
+            used by the performance model.
+        metadata: Routine-specific parameters (e.g. transposition flags or
+            scaling constants) used by the interpreter.
+    """
+
+    __slots__ = ("routine", "outputs", "inputs", "flop_expr", "metadata")
+
+    def __init__(self, routine: str, outputs: Sequence[str], inputs: Sequence[str],
+                 flop_expr: ExprLike = 0, metadata: Optional[Dict[str, object]] = None):
+        self.node_id = _next_id()
+        self.routine = routine
+        self.outputs = tuple(outputs)
+        self.inputs = tuple(inputs)
+        self.flop_expr = as_expr(flop_expr)
+        self.metadata = dict(metadata or {})
+
+    def copy(self) -> "LibraryCall":
+        return LibraryCall(self.routine, self.outputs, self.inputs,
+                           self.flop_expr, dict(self.metadata))
+
+    def iter_computations(self) -> Iterator[Computation]:
+        return iter(())
+
+    def iter_loops(self) -> Iterator[Loop]:
+        return iter(())
+
+    def accessed_arrays(self) -> frozenset:
+        return frozenset(self.outputs) | frozenset(self.inputs)
+
+    def free_symbols(self) -> frozenset:
+        return self.flop_expr.free_symbols()
+
+    def __repr__(self) -> str:
+        return (f"LibraryCall({self.routine}, outputs={list(self.outputs)}, "
+                f"inputs={list(self.inputs)})")
+
+
+NodeLike = Union[Loop, Computation, LibraryCall]
+
+
+class Program:
+    """A complete program: container declarations plus a sequence of nodes.
+
+    This plays the role of the lifted symbolic representation (an SDFG-like
+    view) in the paper: the unit on which normalization passes and the
+    auto-scheduler operate.
+    """
+
+    def __init__(self, name: str, arrays: Sequence[Array],
+                 body: Optional[Sequence[Node]] = None,
+                 parameters: Optional[Sequence[str]] = None):
+        self.name = name
+        self.arrays: Dict[str, Array] = {}
+        for arr in arrays:
+            self.add_array(arr)
+        self.body: List[Node] = list(body or [])
+        self.parameters: List[str] = list(parameters or [])
+
+    # -- container management --------------------------------------------------
+
+    def add_array(self, arr: Array) -> Array:
+        if arr.name in self.arrays:
+            raise ValueError(f"duplicate container name {arr.name!r}")
+        self.arrays[arr.name] = arr
+        return arr
+
+    def get_array(self, name: str) -> Array:
+        if name not in self.arrays:
+            raise KeyError(f"unknown container {name!r} in program {self.name!r}")
+        return self.arrays[name]
+
+    def ensure_parameter(self, name: str) -> None:
+        if name not in self.parameters:
+            self.parameters.append(name)
+
+    # -- traversal ---------------------------------------------------------------
+
+    def iter_computations(self) -> Iterator[Computation]:
+        for node in self.body:
+            yield from node.iter_computations()
+
+    def iter_loops(self) -> Iterator[Loop]:
+        for node in self.body:
+            yield from node.iter_loops()
+
+    def top_level_loops(self) -> List[Loop]:
+        return [node for node in self.body if isinstance(node, Loop)]
+
+    def library_calls(self) -> List[LibraryCall]:
+        out: List[LibraryCall] = []
+
+        def visit(node: Node) -> None:
+            if isinstance(node, LibraryCall):
+                out.append(node)
+            elif isinstance(node, Loop):
+                for child in node.body:
+                    visit(child)
+
+        for node in self.body:
+            visit(node)
+        return out
+
+    def copy(self) -> "Program":
+        clone = Program(self.name, list(self.arrays.values()),
+                        [node.copy() for node in self.body],
+                        list(self.parameters))
+        return clone
+
+    def used_parameters(self) -> frozenset:
+        """Symbols referenced by the program that are not loop iterators."""
+        iterators = {loop.iterator for loop in self.iter_loops()}
+        used = frozenset()
+        for node in self.body:
+            if isinstance(node, (Loop, Computation, LibraryCall)):
+                used |= node.free_symbols()
+        for arr in self.arrays.values():
+            for dim in arr.shape:
+                used |= dim.free_symbols()
+        return used - iterators
+
+    def __repr__(self) -> str:
+        return (f"Program({self.name!r}, {len(self.arrays)} containers, "
+                f"{len(self.body)} top-level nodes)")

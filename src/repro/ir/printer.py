@@ -1,0 +1,104 @@
+"""Pretty-printing of loop-nest programs.
+
+Two renderers are provided:
+
+* :func:`to_pseudocode` — indented C-like pseudocode, close to the paper's
+  Figure 2a and Figure 3 listings.
+* :func:`to_tree` — the loop/computation tree view of Figure 2b.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .nodes import Computation, LibraryCall, Loop, Node, Program
+
+
+def _loop_header(loop: Loop) -> str:
+    annotations = []
+    if loop.parallel:
+        annotations.append("parallel")
+    if loop.vectorized:
+        annotations.append("simd")
+    if loop.unroll > 1:
+        annotations.append(f"unroll({loop.unroll})")
+    prefix = f"#pragma {' '.join(annotations)}\n" if annotations else ""
+    step = f"{loop.iterator} += {loop.step}" if str(loop.step) != "1" else f"{loop.iterator}++"
+    return (prefix + f"for ({loop.iterator} = {loop.start}; "
+            f"{loop.iterator} < {loop.end}; {step})")
+
+
+def to_pseudocode(item, indent: str = "  ") -> str:
+    """Render a program or node as indented pseudocode."""
+
+    lines: List[str] = []
+
+    def emit(node: Node, depth: int) -> None:
+        pad = indent * depth
+        if isinstance(node, Loop):
+            header = _loop_header(node)
+            for header_line in header.split("\n"):
+                lines.append(pad + header_line)
+            lines.append(pad + "{")
+            for child in node.body:
+                emit(child, depth + 1)
+            lines.append(pad + "}")
+        elif isinstance(node, Computation):
+            lines.append(pad + f"{node.target} = {node.value};  // {node.name}")
+        elif isinstance(node, LibraryCall):
+            args = ", ".join(list(node.outputs) + list(node.inputs))
+            lines.append(pad + f"{node.routine}({args});  // library call")
+        else:
+            raise TypeError(f"unexpected node type {type(node).__name__}")
+
+    if isinstance(item, Program):
+        lines.append(f"// program {item.name}")
+        for name, arr in item.arrays.items():
+            if arr.transient:
+                continue
+            dims = "".join(f"[{dim}]" for dim in arr.shape)
+            lines.append(f"{arr.dtype} {name}{dims};")
+        for node in item.body:
+            emit(node, 0)
+    else:
+        emit(item, 0)
+    return "\n".join(lines)
+
+
+def to_tree(item, indent: str = "  ") -> str:
+    """Render a program or node as a loop/computation tree."""
+
+    lines: List[str] = []
+
+    def emit(node: Node, depth: int) -> None:
+        pad = indent * depth
+        if isinstance(node, Loop):
+            lines.append(pad + f"loop {loop_signature(node)}")
+            for child in node.body:
+                emit(child, depth + 1)
+        elif isinstance(node, Computation):
+            lines.append(pad + f"comp {node.name}: {node.target} = {node.value}")
+        elif isinstance(node, LibraryCall):
+            lines.append(pad + f"call {node.routine}({', '.join(node.outputs + node.inputs)})")
+        else:
+            raise TypeError(f"unexpected node type {type(node).__name__}")
+
+    if isinstance(item, Program):
+        lines.append(f"program {item.name}")
+        for node in item.body:
+            emit(node, 1)
+    else:
+        emit(item, 0)
+    return "\n".join(lines)
+
+
+def loop_signature(loop: Loop) -> str:
+    """Compact one-line description of a loop's iteration domain."""
+    parts = [f"{loop.iterator} in [{loop.start}, {loop.end})"]
+    if str(loop.step) != "1":
+        parts.append(f"step {loop.step}")
+    if loop.parallel:
+        parts.append("parallel")
+    if loop.vectorized:
+        parts.append("simd")
+    return " ".join(parts)

@@ -1,0 +1,671 @@
+"""Symbolic expression engine used throughout the loop-nest IR.
+
+The paper lifts loop nests into a symbolic representation where loop
+iterators, domains, and data accesses are symbolic expressions (Section 3).
+This module provides that expression language.
+
+The expression language is intentionally small:
+
+* ``Const`` and ``Sym`` are the leaves.
+* ``Add`` and ``Mul`` are n-ary and flattened/folded on construction.
+* ``FloorDiv``, ``Mod``, ``Min``, ``Max`` cover the shapes introduced by
+  tiling and bounds normalization.
+* ``Read`` and ``Call`` only appear inside computation bodies (right-hand
+  sides); index expressions and loop bounds never contain them.
+
+Every expression is immutable and hashable, which lets analyses memoize on
+expressions and use them as dictionary keys.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Iterable, Mapping, Optional, Sequence, Tuple, Union
+
+Number = Union[int, float]
+ExprLike = Union["Expr", int, float, str]
+
+
+def _as_expr(value: ExprLike) -> "Expr":
+    """Coerce a Python value into an :class:`Expr`."""
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, bool):
+        raise TypeError("booleans are not valid symbolic values")
+    if isinstance(value, (int, float)):
+        return Const(value)
+    if isinstance(value, str):
+        return Sym(value)
+    raise TypeError(f"cannot convert {value!r} to a symbolic expression")
+
+
+class Expr:
+    """Base class of all symbolic expressions."""
+
+    __slots__ = ("_hash",)
+
+    # -- construction helpers -------------------------------------------------
+
+    def __add__(self, other: ExprLike) -> "Expr":
+        return Add.make([self, _as_expr(other)])
+
+    def __radd__(self, other: ExprLike) -> "Expr":
+        return Add.make([_as_expr(other), self])
+
+    def __sub__(self, other: ExprLike) -> "Expr":
+        return Add.make([self, Mul.make([Const(-1), _as_expr(other)])])
+
+    def __rsub__(self, other: ExprLike) -> "Expr":
+        return Add.make([_as_expr(other), Mul.make([Const(-1), self])])
+
+    def __mul__(self, other: ExprLike) -> "Expr":
+        return Mul.make([self, _as_expr(other)])
+
+    def __rmul__(self, other: ExprLike) -> "Expr":
+        return Mul.make([_as_expr(other), self])
+
+    def __neg__(self) -> "Expr":
+        return Mul.make([Const(-1), self])
+
+    def __floordiv__(self, other: ExprLike) -> "Expr":
+        return FloorDiv.make(self, _as_expr(other))
+
+    def __mod__(self, other: ExprLike) -> "Expr":
+        return Mod.make(self, _as_expr(other))
+
+    def __truediv__(self, other: ExprLike) -> "Expr":
+        return Call("div", (self, _as_expr(other)))
+
+    # -- queries ---------------------------------------------------------------
+
+    def free_symbols(self) -> frozenset:
+        """Return the set of symbol names appearing in the expression."""
+        raise NotImplementedError
+
+    def substitute(self, mapping: Mapping[str, ExprLike]) -> "Expr":
+        """Return a new expression with symbols replaced per ``mapping``."""
+        raise NotImplementedError
+
+    def evaluate(self, env: Mapping[str, Number],
+                 functions: Optional[Mapping[str, Callable]] = None,
+                 arrays: Optional[Mapping[str, object]] = None) -> Number:
+        """Evaluate the expression numerically.
+
+        ``env`` maps symbol names to numbers.  ``functions`` maps intrinsic
+        names to callables (defaults to :data:`DEFAULT_FUNCTIONS`).  ``arrays``
+        maps array names to indexable objects and is only needed when the
+        expression contains :class:`Read` nodes.
+        """
+        raise NotImplementedError
+
+    def children(self) -> Tuple["Expr", ...]:
+        """Return the direct sub-expressions."""
+        return ()
+
+    def is_constant(self) -> bool:
+        return isinstance(self, Const)
+
+    def as_affine(self, symbols: Optional[Iterable[str]] = None
+                  ) -> Optional[Tuple[Dict[str, Number], Number]]:
+        """Decompose into an affine form ``sum(coeff_s * s) + const``.
+
+        Returns ``None`` if the expression is not affine in its free symbols.
+        If ``symbols`` is given, symbols outside that set are still allowed as
+        long as they appear linearly (they are reported like any other symbol).
+        """
+        try:
+            coeffs, const = _affine_decompose(self)
+        except _NotAffine:
+            return None
+        if symbols is not None:
+            allowed = set(symbols)
+            # Symbols outside ``allowed`` are treated as symbolic parameters;
+            # they are still part of the affine form.
+            del allowed
+        return coeffs, const
+
+    # -- protocol --------------------------------------------------------------
+
+    def _key(self) -> tuple:
+        raise NotImplementedError
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Expr) and self._key() == other._key()
+
+    def __ne__(self, other: object) -> bool:
+        return not self.__eq__(other)
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self})"
+
+
+class _NotAffine(Exception):
+    """Raised internally when an expression cannot be decomposed affinely."""
+
+
+class Const(Expr):
+    """A numeric literal."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Number):
+        if isinstance(value, float) and value.is_integer():
+            value = int(value)
+        self.value = value
+
+    def free_symbols(self) -> frozenset:
+        return frozenset()
+
+    def substitute(self, mapping: Mapping[str, ExprLike]) -> Expr:
+        return self
+
+    def evaluate(self, env, functions=None, arrays=None) -> Number:
+        return self.value
+
+    def _key(self) -> tuple:
+        return ("const", self.value)
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+class Sym(Expr):
+    """A named symbol: a loop iterator or a size parameter."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        if not name or not isinstance(name, str):
+            raise ValueError("symbol name must be a non-empty string")
+        self.name = name
+
+    def free_symbols(self) -> frozenset:
+        return frozenset({self.name})
+
+    def substitute(self, mapping: Mapping[str, ExprLike]) -> Expr:
+        if self.name in mapping:
+            return _as_expr(mapping[self.name])
+        return self
+
+    def evaluate(self, env, functions=None, arrays=None) -> Number:
+        if self.name not in env:
+            raise KeyError(f"symbol {self.name!r} is not bound")
+        return env[self.name]
+
+    def _key(self) -> tuple:
+        return ("sym", self.name)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class Add(Expr):
+    """An n-ary sum."""
+
+    __slots__ = ("terms",)
+
+    def __init__(self, terms: Sequence[Expr]):
+        self.terms = tuple(terms)
+
+    @staticmethod
+    def make(terms: Sequence[Expr]) -> Expr:
+        flat = []
+        const = 0
+        for term in terms:
+            term = _as_expr(term)
+            if isinstance(term, Add):
+                inner_terms = list(term.terms)
+            else:
+                inner_terms = [term]
+            for t in inner_terms:
+                if isinstance(t, Const):
+                    const += t.value
+                else:
+                    flat.append(t)
+        if const != 0 or not flat:
+            flat.append(Const(const))
+        if len(flat) == 1:
+            return flat[0]
+        return Add(flat)
+
+    def free_symbols(self) -> frozenset:
+        out = frozenset()
+        for term in self.terms:
+            out |= term.free_symbols()
+        return out
+
+    def substitute(self, mapping) -> Expr:
+        return Add.make([t.substitute(mapping) for t in self.terms])
+
+    def evaluate(self, env, functions=None, arrays=None) -> Number:
+        return sum(t.evaluate(env, functions, arrays) for t in self.terms)
+
+    def children(self) -> Tuple[Expr, ...]:
+        return self.terms
+
+    def _key(self) -> tuple:
+        return ("add", tuple(t._key() for t in self.terms))
+
+    def __str__(self) -> str:
+        parts = []
+        for idx, term in enumerate(self.terms):
+            text = str(term)
+            if idx > 0 and not text.startswith("-"):
+                parts.append("+")
+            parts.append(text)
+        return " ".join(parts) if parts else "0"
+
+
+class Mul(Expr):
+    """An n-ary product."""
+
+    __slots__ = ("factors",)
+
+    def __init__(self, factors: Sequence[Expr]):
+        self.factors = tuple(factors)
+
+    @staticmethod
+    def make(factors: Sequence[Expr]) -> Expr:
+        flat = []
+        const = 1
+        for factor in factors:
+            factor = _as_expr(factor)
+            if isinstance(factor, Mul):
+                inner = list(factor.factors)
+            else:
+                inner = [factor]
+            for f in inner:
+                if isinstance(f, Const):
+                    const *= f.value
+                else:
+                    flat.append(f)
+        if const == 0:
+            return Const(0)
+        if const != 1 or not flat:
+            flat.insert(0, Const(const))
+        if len(flat) == 1:
+            return flat[0]
+        return Mul(flat)
+
+    def free_symbols(self) -> frozenset:
+        out = frozenset()
+        for factor in self.factors:
+            out |= factor.free_symbols()
+        return out
+
+    def substitute(self, mapping) -> Expr:
+        return Mul.make([f.substitute(mapping) for f in self.factors])
+
+    def evaluate(self, env, functions=None, arrays=None) -> Number:
+        result = 1
+        for factor in self.factors:
+            result *= factor.evaluate(env, functions, arrays)
+        return result
+
+    def children(self) -> Tuple[Expr, ...]:
+        return self.factors
+
+    def _key(self) -> tuple:
+        return ("mul", tuple(f._key() for f in self.factors))
+
+    def __str__(self) -> str:
+        parts = []
+        for factor in self.factors:
+            text = str(factor)
+            if isinstance(factor, Add):
+                text = f"({text})"
+            parts.append(text)
+        return "*".join(parts)
+
+
+class FloorDiv(Expr):
+    """Integer floor division, produced by tiling and bounds rewriting."""
+
+    __slots__ = ("numerator", "denominator")
+
+    def __init__(self, numerator: Expr, denominator: Expr):
+        self.numerator = numerator
+        self.denominator = denominator
+
+    @staticmethod
+    def make(numerator: Expr, denominator: Expr) -> Expr:
+        numerator = _as_expr(numerator)
+        denominator = _as_expr(denominator)
+        if isinstance(denominator, Const) and denominator.value == 1:
+            return numerator
+        if isinstance(numerator, Const) and isinstance(denominator, Const):
+            return Const(numerator.value // denominator.value)
+        return FloorDiv(numerator, denominator)
+
+    def free_symbols(self) -> frozenset:
+        return self.numerator.free_symbols() | self.denominator.free_symbols()
+
+    def substitute(self, mapping) -> Expr:
+        return FloorDiv.make(self.numerator.substitute(mapping),
+                             self.denominator.substitute(mapping))
+
+    def evaluate(self, env, functions=None, arrays=None) -> Number:
+        denom = self.denominator.evaluate(env, functions, arrays)
+        if denom == 0:
+            raise ZeroDivisionError("floor division by zero in symbolic expression")
+        return self.numerator.evaluate(env, functions, arrays) // denom
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.numerator, self.denominator)
+
+    def _key(self) -> tuple:
+        return ("floordiv", self.numerator._key(), self.denominator._key())
+
+    def __str__(self) -> str:
+        return f"({self.numerator})//({self.denominator})"
+
+
+class Mod(Expr):
+    """Integer modulo."""
+
+    __slots__ = ("numerator", "denominator")
+
+    def __init__(self, numerator: Expr, denominator: Expr):
+        self.numerator = numerator
+        self.denominator = denominator
+
+    @staticmethod
+    def make(numerator: Expr, denominator: Expr) -> Expr:
+        numerator = _as_expr(numerator)
+        denominator = _as_expr(denominator)
+        if isinstance(numerator, Const) and isinstance(denominator, Const):
+            return Const(numerator.value % denominator.value)
+        return Mod(numerator, denominator)
+
+    def free_symbols(self) -> frozenset:
+        return self.numerator.free_symbols() | self.denominator.free_symbols()
+
+    def substitute(self, mapping) -> Expr:
+        return Mod.make(self.numerator.substitute(mapping),
+                        self.denominator.substitute(mapping))
+
+    def evaluate(self, env, functions=None, arrays=None) -> Number:
+        return (self.numerator.evaluate(env, functions, arrays)
+                % self.denominator.evaluate(env, functions, arrays))
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.numerator, self.denominator)
+
+    def _key(self) -> tuple:
+        return ("mod", self.numerator._key(), self.denominator._key())
+
+    def __str__(self) -> str:
+        return f"({self.numerator})%({self.denominator})"
+
+
+class Min(Expr):
+    """n-ary minimum, produced by tiling boundary handling."""
+
+    __slots__ = ("args",)
+
+    def __init__(self, args: Sequence[Expr]):
+        self.args = tuple(args)
+
+    @staticmethod
+    def make(args: Sequence[Expr]) -> Expr:
+        flat = []
+        for arg in args:
+            arg = _as_expr(arg)
+            if isinstance(arg, Min):
+                flat.extend(arg.args)
+            else:
+                flat.append(arg)
+        consts = [a.value for a in flat if isinstance(a, Const)]
+        others = [a for a in flat if not isinstance(a, Const)]
+        unique = []
+        for expr in others:
+            if expr not in unique:
+                unique.append(expr)
+        if consts:
+            unique.append(Const(min(consts)))
+        if len(unique) == 1:
+            return unique[0]
+        return Min(unique)
+
+    def free_symbols(self) -> frozenset:
+        out = frozenset()
+        for arg in self.args:
+            out |= arg.free_symbols()
+        return out
+
+    def substitute(self, mapping) -> Expr:
+        return Min.make([a.substitute(mapping) for a in self.args])
+
+    def evaluate(self, env, functions=None, arrays=None) -> Number:
+        return min(a.evaluate(env, functions, arrays) for a in self.args)
+
+    def children(self) -> Tuple[Expr, ...]:
+        return self.args
+
+    def _key(self) -> tuple:
+        return ("min", tuple(a._key() for a in self.args))
+
+    def __str__(self) -> str:
+        return "min(" + ", ".join(str(a) for a in self.args) + ")"
+
+
+class Max(Expr):
+    """n-ary maximum."""
+
+    __slots__ = ("args",)
+
+    def __init__(self, args: Sequence[Expr]):
+        self.args = tuple(args)
+
+    @staticmethod
+    def make(args: Sequence[Expr]) -> Expr:
+        flat = []
+        for arg in args:
+            arg = _as_expr(arg)
+            if isinstance(arg, Max):
+                flat.extend(arg.args)
+            else:
+                flat.append(arg)
+        consts = [a.value for a in flat if isinstance(a, Const)]
+        others = [a for a in flat if not isinstance(a, Const)]
+        unique = []
+        for expr in others:
+            if expr not in unique:
+                unique.append(expr)
+        if consts:
+            unique.append(Const(max(consts)))
+        if len(unique) == 1:
+            return unique[0]
+        return Max(unique)
+
+    def free_symbols(self) -> frozenset:
+        out = frozenset()
+        for arg in self.args:
+            out |= arg.free_symbols()
+        return out
+
+    def substitute(self, mapping) -> Expr:
+        return Max.make([a.substitute(mapping) for a in self.args])
+
+    def evaluate(self, env, functions=None, arrays=None) -> Number:
+        return max(a.evaluate(env, functions, arrays) for a in self.args)
+
+    def children(self) -> Tuple[Expr, ...]:
+        return self.args
+
+    def _key(self) -> tuple:
+        return ("max", tuple(a._key() for a in self.args))
+
+    def __str__(self) -> str:
+        return "max(" + ", ".join(str(a) for a in self.args) + ")"
+
+
+class Read(Expr):
+    """A read of an array element; only valid inside computation bodies."""
+
+    __slots__ = ("array", "indices")
+
+    def __init__(self, array: str, indices: Sequence[ExprLike]):
+        self.array = array
+        self.indices = tuple(_as_expr(i) for i in indices)
+
+    def free_symbols(self) -> frozenset:
+        out = frozenset()
+        for index in self.indices:
+            out |= index.free_symbols()
+        return out
+
+    def substitute(self, mapping) -> Expr:
+        return Read(self.array, [i.substitute(mapping) for i in self.indices])
+
+    def evaluate(self, env, functions=None, arrays=None) -> Number:
+        if arrays is None or self.array not in arrays:
+            raise KeyError(f"array {self.array!r} is not bound")
+        index = tuple(int(i.evaluate(env, functions, arrays)) for i in self.indices)
+        data = arrays[self.array]
+        if len(index) == 0:
+            # Scalars are stored as zero-dimensional containers.
+            return data[()]
+        return data[index]
+
+    def children(self) -> Tuple[Expr, ...]:
+        return self.indices
+
+    def _key(self) -> tuple:
+        return ("read", self.array, tuple(i._key() for i in self.indices))
+
+    def __str__(self) -> str:
+        if not self.indices:
+            return self.array
+        return self.array + "[" + ", ".join(str(i) for i in self.indices) + "]"
+
+
+DEFAULT_FUNCTIONS: Dict[str, Callable] = {
+    "sqrt": math.sqrt,
+    "exp": math.exp,
+    "log": math.log,
+    "abs": abs,
+    "pow": pow,
+    "div": lambda a, b: a / b,
+    "fmax": max,
+    "fmin": min,
+}
+
+
+class Call(Expr):
+    """An intrinsic function call inside a computation body."""
+
+    __slots__ = ("func", "args")
+
+    def __init__(self, func: str, args: Sequence[ExprLike]):
+        self.func = func
+        self.args = tuple(_as_expr(a) for a in args)
+
+    def free_symbols(self) -> frozenset:
+        out = frozenset()
+        for arg in self.args:
+            out |= arg.free_symbols()
+        return out
+
+    def substitute(self, mapping) -> Expr:
+        return Call(self.func, [a.substitute(mapping) for a in self.args])
+
+    def evaluate(self, env, functions=None, arrays=None) -> Number:
+        table = dict(DEFAULT_FUNCTIONS)
+        if functions:
+            table.update(functions)
+        if self.func not in table:
+            raise KeyError(f"unknown intrinsic {self.func!r}")
+        values = [a.evaluate(env, functions, arrays) for a in self.args]
+        return table[self.func](*values)
+
+    def children(self) -> Tuple[Expr, ...]:
+        return self.args
+
+    def _key(self) -> tuple:
+        return ("call", self.func, tuple(a._key() for a in self.args))
+
+    def __str__(self) -> str:
+        return f"{self.func}(" + ", ".join(str(a) for a in self.args) + ")"
+
+
+# -- affine decomposition ------------------------------------------------------
+
+
+def _merge_coeffs(a: Dict[str, Number], b: Dict[str, Number],
+                  scale: Number = 1) -> Dict[str, Number]:
+    out = dict(a)
+    for name, coeff in b.items():
+        out[name] = out.get(name, 0) + coeff * scale
+    return {name: coeff for name, coeff in out.items() if coeff != 0}
+
+
+def _affine_decompose(expr: Expr) -> Tuple[Dict[str, Number], Number]:
+    if isinstance(expr, Const):
+        return {}, expr.value
+    if isinstance(expr, Sym):
+        return {expr.name: 1}, 0
+    if isinstance(expr, Add):
+        coeffs: Dict[str, Number] = {}
+        const: Number = 0
+        for term in expr.terms:
+            tc, tk = _affine_decompose(term)
+            coeffs = _merge_coeffs(coeffs, tc)
+            const += tk
+        return coeffs, const
+    if isinstance(expr, Mul):
+        # A product is affine only if at most one factor is non-constant.
+        const_part: Number = 1
+        symbolic: Optional[Expr] = None
+        for factor in expr.factors:
+            if isinstance(factor, Const):
+                const_part *= factor.value
+            elif symbolic is None:
+                symbolic = factor
+            else:
+                raise _NotAffine()
+        if symbolic is None:
+            return {}, const_part
+        coeffs, const = _affine_decompose(symbolic)
+        return ({name: coeff * const_part for name, coeff in coeffs.items()},
+                const * const_part)
+    raise _NotAffine()
+
+
+# -- convenience constructors --------------------------------------------------
+
+
+def sym(name: str) -> Sym:
+    """Create a symbol."""
+    return Sym(name)
+
+
+def const(value: Number) -> Const:
+    """Create a constant."""
+    return Const(value)
+
+
+def read(array: str, *indices: ExprLike) -> Read:
+    """Create an array-element read for use in computation bodies."""
+    return Read(array, indices)
+
+
+def call(func: str, *args: ExprLike) -> Call:
+    """Create an intrinsic function call."""
+    return Call(func, args)
+
+
+def minimum(*args: ExprLike) -> Expr:
+    return Min.make([_as_expr(a) for a in args])
+
+
+def maximum(*args: ExprLike) -> Expr:
+    return Max.make([_as_expr(a) for a in args])
+
+
+def as_expr(value: ExprLike) -> Expr:
+    """Public coercion helper (ints, floats, and names become expressions)."""
+    return _as_expr(value)

@@ -1,0 +1,139 @@
+"""Visitors and structural rewriting utilities for loop-nest trees."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from .nodes import Computation, LibraryCall, Loop, Node, Program
+
+
+class NodeVisitor:
+    """Pre-order visitor over programs and loop trees.
+
+    Subclasses override ``visit_loop``, ``visit_computation`` and
+    ``visit_library_call``; the default implementations recurse.
+    """
+
+    def visit_program(self, program: Program) -> None:
+        for node in program.body:
+            self.visit(node)
+
+    def visit(self, node: Node) -> None:
+        if isinstance(node, Loop):
+            self.visit_loop(node)
+        elif isinstance(node, Computation):
+            self.visit_computation(node)
+        elif isinstance(node, LibraryCall):
+            self.visit_library_call(node)
+        else:
+            raise TypeError(f"unexpected node type {type(node).__name__}")
+
+    def visit_loop(self, loop: Loop) -> None:
+        for child in loop.body:
+            self.visit(child)
+
+    def visit_computation(self, comp: Computation) -> None:
+        return None
+
+    def visit_library_call(self, call: LibraryCall) -> None:
+        return None
+
+
+class NodeTransformer:
+    """Post-order rewriting visitor.
+
+    ``visit_*`` methods return a node, a list of nodes (to splice in place),
+    or ``None`` (to delete the node).
+    """
+
+    def transform_program(self, program: Program) -> Program:
+        program.body = self._transform_body(program.body)
+        return program
+
+    def _transform_body(self, body: List[Node]) -> List[Node]:
+        new_body: List[Node] = []
+        for node in body:
+            result = self.transform(node)
+            if result is None:
+                continue
+            if isinstance(result, list):
+                new_body.extend(result)
+            else:
+                new_body.append(result)
+        return new_body
+
+    def transform(self, node: Node):
+        if isinstance(node, Loop):
+            node.body = self._transform_body(node.body)
+            return self.visit_loop(node)
+        if isinstance(node, Computation):
+            return self.visit_computation(node)
+        if isinstance(node, LibraryCall):
+            return self.visit_library_call(node)
+        raise TypeError(f"unexpected node type {type(node).__name__}")
+
+    def visit_loop(self, loop: Loop):
+        return loop
+
+    def visit_computation(self, comp: Computation):
+        return comp
+
+    def visit_library_call(self, call: LibraryCall):
+        return call
+
+
+def walk_with_ancestors(program: Program) -> Iterator[Tuple[Node, Tuple[Loop, ...]]]:
+    """Yield ``(node, enclosing_loops)`` for every node in program order.
+
+    ``enclosing_loops`` is ordered from outermost to innermost and does not
+    include the node itself.
+    """
+
+    def recurse(node: Node, ancestors: Tuple[Loop, ...]) -> Iterator[Tuple[Node, Tuple[Loop, ...]]]:
+        yield node, ancestors
+        if isinstance(node, Loop):
+            inner = ancestors + (node,)
+            for child in node.body:
+                yield from recurse(child, inner)
+
+    for top in program.body:
+        yield from recurse(top, ())
+
+
+def enclosing_loops_of(program: Program, target: Node) -> Tuple[Loop, ...]:
+    """Return the loops enclosing ``target`` (outermost first)."""
+    for node, ancestors in walk_with_ancestors(program):
+        if node is target:
+            return ancestors
+    raise ValueError("target node is not part of the program")
+
+
+def find_parent(program: Program, target: Node) -> Tuple[Optional[Loop], List[Node]]:
+    """Return ``(parent_loop, body_list)`` containing ``target``.
+
+    ``parent_loop`` is ``None`` when the node sits at the program's top level.
+    """
+    if target in program.body:
+        return None, program.body
+    for loop in program.iter_loops():
+        if target in loop.body:
+            return loop, loop.body
+    raise ValueError("target node is not part of the program")
+
+
+def replace_node(program: Program, old: Node, new_nodes: List[Node]) -> None:
+    """Replace ``old`` with ``new_nodes`` in place, wherever it occurs."""
+    _, body = find_parent(program, old)
+    index = body.index(old)
+    body[index:index + 1] = new_nodes
+
+
+def map_computations(program: Program,
+                     fn: Callable[[Computation], Computation]) -> Program:
+    """Apply ``fn`` to every computation, rebuilding the tree in place."""
+
+    class _Mapper(NodeTransformer):
+        def visit_computation(self, comp: Computation):
+            return fn(comp)
+
+    return _Mapper().transform_program(program)

@@ -1,0 +1,36 @@
+"""A-priori loop nest normalization — the paper's primary contribution.
+
+The two normalization criteria of Section 2:
+
+* :func:`maximal_loop_fission` — split loop bodies into atomic nests,
+* :func:`minimize_strides` — per nest, pick the legal loop order with the
+  minimal stride cost,
+
+plus loop normal form and canonical iterator renaming, combined in
+:func:`normalize` (the pipeline of Figure 5).
+"""
+
+from .fission import (FissionReport, fission_loop, is_maximally_fissioned,
+                      maximal_loop_fission)
+from .loop_normal_form import (CANONICAL_ITERATOR_NAMES,
+                               canonicalize_iterator_names,
+                               normalize_loop_bounds, normalize_program_bounds)
+from .pipeline import (NormalizationOptions, NormalizationReport, PassManager,
+                       normalize, normalize_program)
+from .scalar_expansion import (ScalarExpansionReport, contract_arrays,
+                               expand_scalars)
+from .stride_minimization import (EXHAUSTIVE_DEPTH_LIMIT,
+                                  StrideMinimizationReport, apply_permutation,
+                                  candidate_orders, find_minimal_permutation,
+                                  minimize_strides)
+
+__all__ = [
+    "FissionReport", "fission_loop", "is_maximally_fissioned", "maximal_loop_fission",
+    "CANONICAL_ITERATOR_NAMES", "canonicalize_iterator_names",
+    "normalize_loop_bounds", "normalize_program_bounds",
+    "NormalizationOptions", "NormalizationReport", "PassManager",
+    "normalize", "normalize_program",
+    "EXHAUSTIVE_DEPTH_LIMIT", "StrideMinimizationReport", "apply_permutation",
+    "candidate_orders", "find_minimal_permutation", "minimize_strides",
+    "ScalarExpansionReport", "expand_scalars",
+]

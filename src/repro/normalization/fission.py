@@ -1,0 +1,147 @@
+"""Maximal loop fission (Section 2.1).
+
+The first normalization criterion splits every loop body into as many
+separate loop nests as data dependences allow.  The result is a sequence of
+*atomic* loop nests whose bodies cannot be separated further.
+
+Legality follows classical loop distribution: the children of a loop body
+are partitioned into the strongly connected components (SCCs) of their
+dependence graph (including loop-carried dependences in both directions);
+each SCC becomes its own loop, and the loops are emitted in a topological
+order of the SCC condensation.  Statements in different SCCs have no
+dependence cycle, so executing one group's loop to completion before the
+next preserves all dependences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+import networkx as nx
+
+from ..ir.nodes import Computation, LibraryCall, Loop, Node, Program
+from ..analysis.dependence import body_dependence_pairs
+
+#: Safety bound for the fixed-point iteration; fission strictly reduces the
+#: number of children per loop so this is never reached in practice.
+MAX_FIXED_POINT_ITERATIONS = 64
+
+
+@dataclass
+class FissionReport:
+    """Summary of what maximal fission did to a program."""
+
+    loops_split: int = 0
+    nests_created: int = 0
+    iterations: int = 0
+    atomic_nests: int = 0
+
+    def merge(self, other: "FissionReport") -> None:
+        self.loops_split += other.loops_split
+        self.nests_created += other.nests_created
+
+
+def _dependence_graph(loop: Loop) -> nx.DiGraph:
+    """Dependence graph over the direct children of ``loop``."""
+    graph = nx.DiGraph()
+    graph.add_nodes_from(range(len(loop.body)))
+    for src, dst, dep in body_dependence_pairs(loop):
+        if src == dst:
+            continue
+        graph.add_edge(src, dst, dependence=dep)
+    return graph
+
+
+def _partition_children(loop: Loop) -> List[List[int]]:
+    """Partition child indices into SCC groups in topological order.
+
+    Children that end up in the same group must stay in the same loop.  Ties
+    in the topological order are broken by original program order so that the
+    transformation is deterministic and order-preserving when possible.
+    """
+    graph = _dependence_graph(loop)
+    condensation = nx.condensation(graph)
+    order = list(nx.lexicographical_topological_sort(
+        condensation, key=lambda scc: min(condensation.nodes[scc]["members"])))
+    groups: List[List[int]] = []
+    for scc in order:
+        members = sorted(condensation.nodes[scc]["members"])
+        groups.append(members)
+    return groups
+
+
+def fission_loop(loop: Loop) -> Tuple[List[Loop], bool]:
+    """Split one loop into one loop per dependence-SCC of its body.
+
+    Returns ``(loops, changed)``.  When no split is possible the original
+    loop is returned unchanged.
+    """
+    if len(loop.body) < 2:
+        return [loop], False
+
+    groups = _partition_children(loop)
+    if len(groups) <= 1:
+        return [loop], False
+
+    new_loops: List[Loop] = []
+    for group in groups:
+        body = [loop.body[index] for index in group]
+        new_loops.append(Loop(
+            iterator=loop.iterator,
+            start=loop.start,
+            end=loop.end,
+            step=loop.step,
+            body=body,
+            parallel=loop.parallel,
+            vectorized=loop.vectorized,
+            unroll=loop.unroll,
+            tile_of=loop.tile_of,
+        ))
+    return new_loops, True
+
+
+def _fission_node(node: Node, report: FissionReport) -> List[Node]:
+    """Recursively fission a subtree, bottom-up."""
+    if not isinstance(node, Loop):
+        return [node]
+
+    new_body: List[Node] = []
+    for child in node.body:
+        new_body.extend(_fission_node(child, report))
+    node.body = new_body
+
+    loops, changed = fission_loop(node)
+    if changed:
+        report.loops_split += 1
+        report.nests_created += len(loops) - 1
+    return list(loops)
+
+
+def maximal_loop_fission(program: Program) -> FissionReport:
+    """Apply maximal loop fission to a program, in place.
+
+    The pass runs to a fixed point: fission is re-applied until no loop body
+    can be split further (Section 3.2, "fixed-point pipeline").
+    """
+    report = FissionReport()
+    for iteration in range(MAX_FIXED_POINT_ITERATIONS):
+        before_split = report.loops_split
+        new_top: List[Node] = []
+        for node in program.body:
+            new_top.extend(_fission_node(node, report))
+        program.body = new_top
+        report.iterations = iteration + 1
+        if report.loops_split == before_split:
+            break
+    report.atomic_nests = sum(1 for node in program.body if isinstance(node, Loop))
+    return report
+
+
+def is_maximally_fissioned(program: Program) -> bool:
+    """True if no loop in the program can be split further."""
+    for loop in program.iter_loops():
+        _, changed = fission_loop(loop.copy())
+        if changed:
+            return False
+    return True

@@ -1,0 +1,127 @@
+"""Loop normal form: zero-based, unit-step loops with canonical iterator names.
+
+This is the classical pre-conditioning step applied before the paper's two
+normalization criteria: every counted loop is rewritten so that its iterator
+runs from 0 with step 1, and iterator names are canonicalized per nest so
+that structurally identical nests compare equal.  Both rewrites are exact
+(the body is re-indexed through substitution), so semantics are preserved by
+construction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..ir.nodes import Computation, LibraryCall, Loop, Node, Program
+from ..ir.symbols import Const, Expr, FloorDiv, Sym
+
+#: Canonical iterator names used by :func:`canonicalize_iterator_names`.
+CANONICAL_ITERATOR_NAMES = [
+    "i0", "i1", "i2", "i3", "i4", "i5", "i6", "i7", "i8", "i9",
+    "i10", "i11", "i12", "i13", "i14", "i15",
+]
+
+
+def normalize_loop_bounds(node: Node) -> Node:
+    """Rewrite all loops in a subtree to start at 0 with step 1 (in place).
+
+    For a loop ``for (i = start; i < end; i += step)`` the rewritten loop is
+    ``for (i = 0; i < ceil((end - start) / step); i++)`` and every use of
+    ``i`` in the body becomes ``start + step * i``.  Loops whose step is not
+    a positive constant are left untouched (they cannot be lifted by the
+    symbolic representation anyway).
+    """
+    if isinstance(node, Loop):
+        for child in node.body:
+            normalize_loop_bounds(child)
+        _normalize_single_loop(node)
+    return node
+
+
+def _normalize_single_loop(loop: Loop) -> None:
+    start, step = loop.start, loop.step
+    if isinstance(step, Const) and step.value <= 0:
+        return
+    if start == Const(0) and step == Const(1):
+        return
+    if not isinstance(step, Const):
+        return
+
+    iterator = loop.iterator
+    replacement: Expr = Sym(iterator)
+    if step.value != 1:
+        replacement = replacement * step.value
+    replacement = replacement + start
+    mapping = {iterator: replacement}
+
+    def rewrite(node: Node) -> None:
+        if isinstance(node, Loop):
+            node.start = node.start.substitute(mapping)
+            node.end = node.end.substitute(mapping)
+            node.step = node.step.substitute(mapping)
+            for child in node.body:
+                rewrite(child)
+        elif isinstance(node, Computation):
+            node.target = node.target.substitute(mapping)
+            node.value = node.value.substitute(mapping)
+
+    for child in loop.body:
+        rewrite(child)
+
+    span = loop.end - loop.start
+    if step.value == 1:
+        new_end = span
+    else:
+        # ceil(span / step) == floor((span + step - 1) / step)
+        new_end = FloorDiv.make(span + (step.value - 1), step)
+    loop.start = Const(0)
+    loop.end = new_end
+    loop.step = Const(1)
+
+
+def normalize_program_bounds(program: Program) -> Program:
+    """Apply :func:`normalize_loop_bounds` to every top-level node (in place)."""
+    for node in program.body:
+        normalize_loop_bounds(node)
+    return program
+
+
+def canonicalize_iterator_names(program: Program,
+                                names: Optional[List[str]] = None) -> Program:
+    """Rename loop iterators to a canonical sequence per top-level nest.
+
+    Within each top-level loop nest, iterators are renamed to ``i0, i1, ...``
+    in pre-order.  Renaming is capture-free because loop iterators are only
+    visible within their own nest.
+    """
+    names = names or CANONICAL_ITERATOR_NAMES
+
+    for top in program.body:
+        if not isinstance(top, Loop):
+            continue
+        loops = list(top.iter_loops())
+        if len(loops) > len(names):
+            raise ValueError(
+                f"loop nest deeper than {len(names)} levels cannot be canonicalized")
+        mapping: Dict[str, str] = {}
+        for index, loop in enumerate(loops):
+            mapping[loop.iterator] = names[index]
+        _rename_iterators(top, mapping)
+    return program
+
+
+def _rename_iterators(node: Node, mapping: Dict[str, str]) -> None:
+    substitution = {old: Sym(new) for old, new in mapping.items()}
+    if isinstance(node, Loop):
+        if node.iterator in mapping:
+            node.iterator = mapping[node.iterator]
+        node.start = node.start.substitute(substitution)
+        node.end = node.end.substitute(substitution)
+        node.step = node.step.substitute(substitution)
+        for child in node.body:
+            _rename_iterators(child, mapping)
+    elif isinstance(node, Computation):
+        node.target = node.target.substitute(substitution)
+        node.value = node.value.substitute(substitution)
+    elif isinstance(node, LibraryCall):
+        node.flop_expr = node.flop_expr.substitute(substitution)

@@ -1,0 +1,323 @@
+"""Scalar expansion.
+
+Large applications such as CLOUDSC compute many intermediate scalars inside
+their innermost loops (Figure 10a): each iteration writes a scalar and uses
+it a few instructions later.  Those scalars serialize the loop body — no
+fission (and no parallelization) is possible while every statement shares
+them.  Scalar expansion promotes such per-iteration temporaries to transient
+arrays indexed by the loop iterator, after which maximal loop fission can
+split the body into individual computations (Figure 10b stores them in the
+local arrays ``ZQP_0``/``ZCOND_0``).
+
+A scalar is expanded over a loop only when it is *private* to an iteration:
+
+* every access to the scalar in the whole program is inside that loop,
+* within the loop body (in program order) the first access is a write, and
+* the scalar is transient (not part of the program's observable state).
+
+These conditions make the transformation trivially semantics-preserving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..ir.arrays import Array
+from ..ir.nodes import ArrayAccess, Computation, LibraryCall, Loop, Node, Program
+from ..ir.symbols import Expr, Read, Sym
+
+
+@dataclass
+class ScalarExpansionReport:
+    """Summary of the scalar-expansion pass."""
+
+    expanded: List[Tuple[str, str]] = None  # (scalar, loop iterator)
+
+    def __post_init__(self) -> None:
+        if self.expanded is None:
+            self.expanded = []
+
+    @property
+    def count(self) -> int:
+        return len(self.expanded)
+
+
+def _scalar_accesses_in(node: Node, scalars: Set[str]) -> List[Tuple[str, bool]]:
+    """All accesses to the given scalars in a subtree: (name, is_write), in order."""
+    out: List[Tuple[str, bool]] = []
+
+    def visit_expr(expr: Expr) -> None:
+        if isinstance(expr, Read) and expr.array in scalars and not expr.indices:
+            out.append((expr.array, False))
+        for child in expr.children():
+            visit_expr(child)
+
+    def recurse(current: Node) -> None:
+        if isinstance(current, Loop):
+            for child in current.body:
+                recurse(child)
+        elif isinstance(current, Computation):
+            visit_expr(current.value)
+            if current.target.array in scalars and not current.target.indices:
+                out.append((current.target.array, True))
+        elif isinstance(current, LibraryCall):
+            for name in list(current.inputs):
+                if name in scalars:
+                    out.append((name, False))
+            for name in list(current.outputs):
+                if name in scalars:
+                    out.append((name, True))
+
+    recurse(node)
+    return out
+
+
+def _rewrite_scalar(node: Node, scalar: str, iterator: str, new_name: str) -> None:
+    """Replace scalar accesses with accesses to ``new_name[iterator]`` in place."""
+
+    def rewrite_expr(expr: Expr) -> Expr:
+        if isinstance(expr, Read) and expr.array == scalar and not expr.indices:
+            return Read(new_name, (Sym(iterator),))
+        children = expr.children()
+        if not children:
+            return expr
+        return _rebuild(expr, [rewrite_expr(child) for child in children])
+
+    def recurse(current: Node) -> None:
+        if isinstance(current, Loop):
+            for child in current.body:
+                recurse(child)
+        elif isinstance(current, Computation):
+            current.value = rewrite_expr(current.value)
+            if current.target.array == scalar and not current.target.indices:
+                current.target = ArrayAccess(new_name, (Sym(iterator),))
+
+    recurse(node)
+
+
+def _rebuild(expr: Expr, children: List[Expr]) -> Expr:
+    """Rebuild an expression node with new children."""
+    from ..ir.symbols import Add, Call, FloorDiv, Max, Min, Mod, Mul, Read as ReadExpr
+
+    if isinstance(expr, Add):
+        return Add.make(children)
+    if isinstance(expr, Mul):
+        return Mul.make(children)
+    if isinstance(expr, FloorDiv):
+        return FloorDiv.make(children[0], children[1])
+    if isinstance(expr, Mod):
+        return Mod.make(children[0], children[1])
+    if isinstance(expr, Min):
+        return Min.make(children)
+    if isinstance(expr, Max):
+        return Max.make(children)
+    if isinstance(expr, ReadExpr):
+        return ReadExpr(expr.array, children)
+    if isinstance(expr, Call):
+        return Call(expr.func, children)
+    return expr
+
+
+def contract_arrays(program: Program) -> int:
+    """Array contraction: the inverse of scalar expansion.
+
+    After producer/consumer fusion, many expanded temporaries are written and
+    read within a single loop iteration again; demoting them back to scalars
+    removes their memory traffic (Figure 10b keeps only the temporaries that
+    actually cross loop boundaries as local arrays).  Returns the number of
+    arrays contracted.
+
+    A transient rank-1 array qualifies when all of its accesses are inside a
+    single loop, every subscript is exactly that loop's iterator, and the
+    first access per iteration is a write.
+    """
+    contracted = 0
+    candidates = [name for name, arr in program.arrays.items()
+                  if arr.transient and arr.rank == 1]
+    if not candidates:
+        return 0
+
+    # Locate, for each candidate, the loops that contain accesses to it.
+    for name in candidates:
+        containing: List[Loop] = []
+        access_count = 0
+        simple = True
+
+        def inspect(loop: Loop) -> None:
+            nonlocal access_count, simple
+            local: List[Tuple[str, bool]] = []
+
+            def visit_expr(expr: Expr) -> None:
+                nonlocal simple
+                if isinstance(expr, Read) and expr.array == name:
+                    local.append((name, False))
+                    if list(expr.indices) != [Sym(loop.iterator)]:
+                        simple = False
+                for child in expr.children():
+                    visit_expr(child)
+
+            def recurse(node: Node) -> None:
+                nonlocal simple
+                if isinstance(node, Loop):
+                    for child in node.body:
+                        recurse(child)
+                elif isinstance(node, Computation):
+                    visit_expr(node.value)
+                    if node.target.array == name:
+                        local.append((name, True))
+                        if list(node.target.indices) != [Sym(loop.iterator)]:
+                            simple = False
+
+            for child in loop.body:
+                recurse(child)
+            if local:
+                containing.append(loop)
+                access_count += len(local)
+                if not local[0][1]:
+                    simple = False
+
+        # Only the *innermost* loops directly enclosing accesses matter; walk
+        # all loops and keep those whose immediate body (recursively, but not
+        # through another loop that also qualifies) touches the array.
+        direct_parents: List[Loop] = []
+        for top in program.body:
+            if not isinstance(top, Loop):
+                continue
+            for loop in top.iter_loops():
+                touches = False
+                for child in loop.body:
+                    if isinstance(child, Computation):
+                        if (child.target.array == name
+                                or any(acc.array == name for acc in child.reads())):
+                            touches = True
+                if touches:
+                    direct_parents.append(loop)
+        if len(direct_parents) != 1:
+            continue
+        loop = direct_parents[0]
+        inspect(loop)
+        if not simple or access_count == 0:
+            continue
+        # Every access program-wide must be inside this loop.
+        total = 0
+        for node in program.body:
+            total += len(_scalar_like_accesses(node, name))
+        if total != access_count:
+            continue
+
+        scalar_name = name
+        array_decl = program.arrays[name]
+        del program.arrays[name]
+        program.arrays[scalar_name] = Array(name=scalar_name, shape=(),
+                                            dtype=array_decl.dtype, transient=True)
+        _rewrite_array_to_scalar(loop, name)
+        contracted += 1
+    return contracted
+
+
+def _scalar_like_accesses(node: Node, name: str) -> List[Tuple[str, bool]]:
+    out: List[Tuple[str, bool]] = []
+
+    def visit_expr(expr: Expr) -> None:
+        if isinstance(expr, Read) and expr.array == name:
+            out.append((name, False))
+        for child in expr.children():
+            visit_expr(child)
+
+    def recurse(current: Node) -> None:
+        if isinstance(current, Loop):
+            for child in current.body:
+                recurse(child)
+        elif isinstance(current, Computation):
+            visit_expr(current.value)
+            if current.target.array == name:
+                out.append((name, True))
+
+    recurse(node)
+    return out
+
+
+def _rewrite_array_to_scalar(node: Node, name: str) -> None:
+    def rewrite_expr(expr: Expr) -> Expr:
+        if isinstance(expr, Read) and expr.array == name:
+            return Read(name, ())
+        children = expr.children()
+        if not children:
+            return expr
+        return _rebuild(expr, [rewrite_expr(child) for child in children])
+
+    def recurse(current: Node) -> None:
+        if isinstance(current, Loop):
+            for child in current.body:
+                recurse(child)
+        elif isinstance(current, Computation):
+            current.value = rewrite_expr(current.value)
+            if current.target.array == name:
+                current.target = ArrayAccess(name, ())
+
+    recurse(node)
+
+
+def expand_scalars(program: Program) -> ScalarExpansionReport:
+    """Apply scalar expansion to every eligible (scalar, loop) pair, in place."""
+    report = ScalarExpansionReport()
+
+    transient_scalars = {name for name, arr in program.arrays.items()
+                         if arr.transient and arr.is_scalar}
+    if not transient_scalars:
+        return report
+
+    # Count accesses per scalar per loop and per top-level region so that we
+    # can check the "private to one loop" condition.
+    global_counts: Dict[str, int] = {name: 0 for name in transient_scalars}
+    for node in program.body:
+        for name, _ in _scalar_accesses_in(node, transient_scalars):
+            global_counts[name] += 1
+
+    def eligible_in_loop(loop: Loop, scalar: str) -> bool:
+        # The expansion array's extent is the loop's upper bound, which must
+        # therefore not depend on other loop iterators.
+        iterators = {other.iterator for top_node in program.body
+                     if isinstance(top_node, Loop)
+                     for other in top_node.iter_loops()}
+        if loop.end.free_symbols() & iterators:
+            return False
+        accesses = _scalar_accesses_in(loop, {scalar})
+        if not accesses:
+            return False
+        if len(accesses) != global_counts[scalar]:
+            return False
+        # First access in program order must be a write.
+        return accesses[0][1]
+
+    def innermost_candidates(loop: Loop) -> List[Loop]:
+        # Post-order so that scalars are expanded over the innermost loop that
+        # fully contains their uses.
+        result = []
+        for child in loop.body:
+            if isinstance(child, Loop):
+                result.extend(innermost_candidates(child))
+        result.append(loop)
+        return result
+
+    handled: Set[str] = set()
+    for top in list(program.body):
+        if not isinstance(top, Loop):
+            continue
+        for loop in innermost_candidates(top):
+            for scalar in sorted(transient_scalars - handled):
+                if not eligible_in_loop(loop, scalar):
+                    continue
+                new_name = f"{scalar}__x{loop.iterator}"
+                suffix = 0
+                while new_name in program.arrays:
+                    suffix += 1
+                    new_name = f"{scalar}__x{loop.iterator}{suffix}"
+                program.add_array(Array(name=new_name, shape=(loop.end,),
+                                        dtype=program.arrays[scalar].dtype,
+                                        transient=True))
+                _rewrite_scalar(loop, scalar, loop.iterator, new_name)
+                handled.add(scalar)
+                report.expanded.append((scalar, loop.iterator))
+    return report

@@ -1,0 +1,176 @@
+"""Stride minimization (Section 2.2).
+
+After maximal fission every loop nest is atomic.  The second normalization
+criterion replaces each nest with the legal permutation of its loops that
+minimizes the ``stride(loop)`` cost function — by exhaustive enumeration for
+practically-relevant depths, and by sorting groups of iterators as an
+approximation for deep nests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import permutations as iter_permutations
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..ir.arrays import Array
+from ..ir.nodes import Loop, Node, Program
+from ..analysis.dependence import permutation_is_legal
+from ..analysis.strides import nest_stride_cost
+
+#: Nests whose perfectly nested band is at most this deep are permuted by
+#: exhaustive enumeration; deeper nests use the grouped-sort approximation.
+EXHAUSTIVE_DEPTH_LIMIT = 6
+
+
+@dataclass
+class StrideMinimizationReport:
+    """Summary of the stride-minimization pass."""
+
+    nests_considered: int = 0
+    nests_permuted: int = 0
+    permutations_evaluated: int = 0
+    total_cost_before: float = 0.0
+    total_cost_after: float = 0.0
+
+
+def _band_bounds_legal(band: Sequence[Loop], order: Sequence[str]) -> bool:
+    """Structural legality: a loop's bounds may only reference iterators that
+    are *outside* it after permutation (triangular domains constrain order)."""
+    position = {iterator: idx for idx, iterator in enumerate(order)}
+    band_iterators = set(position)
+    for loop in band:
+        referenced = ((loop.start.free_symbols() | loop.end.free_symbols()
+                       | loop.step.free_symbols()) & band_iterators)
+        for other in referenced:
+            if position[other] >= position[loop.iterator]:
+                return False
+    return True
+
+
+def apply_permutation(nest: Loop, order: Sequence[str]) -> Loop:
+    """Rebuild the nest's perfectly nested band in the given loop order.
+
+    The innermost body (everything below the band) is preserved.  The caller
+    is responsible for legality; :func:`find_minimal_permutation` only offers
+    legal orders.
+    """
+    band = nest.perfectly_nested_band()
+    by_iterator: Dict[str, Loop] = {loop.iterator: loop for loop in band}
+    if sorted(order) != sorted(by_iterator):
+        raise ValueError(f"order {list(order)} does not match band "
+                         f"{[l.iterator for l in band]}")
+    innermost_body = band[-1].body
+
+    current_body: List[Node] = innermost_body
+    rebuilt: Optional[Loop] = None
+    for iterator in reversed(list(order)):
+        template = by_iterator[iterator]
+        rebuilt = Loop(
+            iterator=template.iterator,
+            start=template.start,
+            end=template.end,
+            step=template.step,
+            body=current_body,
+            parallel=template.parallel,
+            vectorized=template.vectorized,
+            unroll=template.unroll,
+            tile_of=template.tile_of,
+        )
+        current_body = [rebuilt]
+    assert rebuilt is not None
+    return rebuilt
+
+
+def candidate_orders(nest: Loop) -> List[Tuple[str, ...]]:
+    """All structurally and semantically legal loop orders of the nest band."""
+    band = nest.perfectly_nested_band()
+    iterators = [loop.iterator for loop in band]
+    legal: List[Tuple[str, ...]] = []
+    for order in iter_permutations(iterators):
+        if not _band_bounds_legal(band, order):
+            continue
+        if not permutation_is_legal(nest, order):
+            continue
+        legal.append(order)
+    return legal
+
+
+def _grouped_sort_order(nest: Loop, arrays: Mapping[str, Array],
+                        parameters: Optional[Mapping[str, int]]) -> Tuple[str, ...]:
+    """Approximate order for deep nests: sort iterators by the stride cost
+    they would incur if placed innermost (smallest innermost)."""
+    band = nest.perfectly_nested_band()
+    iterators = [loop.iterator for loop in band]
+
+    def innermost_cost(iterator: str) -> float:
+        order = [it for it in iterators if it != iterator] + [iterator]
+        return nest_stride_cost(nest, arrays, parameters, order)
+
+    ranked = sorted(iterators, key=innermost_cost, reverse=True)
+    return tuple(ranked)
+
+
+def find_minimal_permutation(nest: Loop, arrays: Mapping[str, Array],
+                             parameters: Optional[Mapping[str, int]] = None
+                             ) -> Tuple[Tuple[str, ...], float, int]:
+    """Find the legal loop order with minimal stride cost.
+
+    Returns ``(order, cost, evaluated)`` where ``evaluated`` is the number of
+    permutations whose cost was computed.  The current order is always a
+    candidate, so the result never increases the cost.
+    """
+    band = nest.perfectly_nested_band()
+    iterators = tuple(loop.iterator for loop in band)
+    current_cost = nest_stride_cost(nest, arrays, parameters, iterators)
+    if len(band) <= 1:
+        return iterators, current_cost, 1
+
+    if len(band) > EXHAUSTIVE_DEPTH_LIMIT:
+        candidate = _grouped_sort_order(nest, arrays, parameters)
+        evaluated = len(band) + 1
+        if (_band_bounds_legal(band, candidate)
+                and permutation_is_legal(nest, candidate)):
+            cost = nest_stride_cost(nest, arrays, parameters, candidate)
+            if cost < current_cost:
+                return candidate, cost, evaluated
+        return iterators, current_cost, evaluated
+
+    best_order = iterators
+    best_cost = current_cost
+    evaluated = 0
+    for order in candidate_orders(nest):
+        cost = nest_stride_cost(nest, arrays, parameters, order)
+        evaluated += 1
+        if cost < best_cost - 1e-12:
+            best_cost = cost
+            best_order = order
+        elif abs(cost - best_cost) <= 1e-12 and order < best_order:
+            # Deterministic tie-break: lexicographically smallest order.
+            best_order = order
+    return best_order, best_cost, max(evaluated, 1)
+
+
+def minimize_strides(program: Program,
+                     parameters: Optional[Mapping[str, int]] = None
+                     ) -> StrideMinimizationReport:
+    """Apply stride minimization to every top-level loop nest, in place."""
+    report = StrideMinimizationReport()
+    new_body: List[Node] = []
+    for node in program.body:
+        if not isinstance(node, Loop):
+            new_body.append(node)
+            continue
+        report.nests_considered += 1
+        before = nest_stride_cost(node, program.arrays, parameters)
+        report.total_cost_before += before
+        order, cost, evaluated = find_minimal_permutation(node, program.arrays, parameters)
+        report.permutations_evaluated += evaluated
+        current = tuple(loop.iterator for loop in node.perfectly_nested_band())
+        if order != current:
+            node = apply_permutation(node, order)
+            report.nests_permuted += 1
+        report.total_cost_after += cost
+        new_body.append(node)
+    program.body = new_body
+    return report

@@ -1,0 +1,147 @@
+"""The daisy normalized auto-scheduler (Section 4).
+
+daisy is the paper's auto-scheduler built on top of a-priori normalization:
+
+1. the program is normalized (maximal fission + stride minimization),
+2. every nest matching a BLAS-3 kernel is replaced by the library call,
+3. every other nest is optimized with a recipe retrieved from the
+   transfer-tuning database by embedding similarity; if no suitable entry
+   exists, an evolutionary search finds a recipe (and stores it).
+
+Because recipes are recorded against *normalized* nests with canonical
+iterator names, a recipe found on the A variant of a benchmark applies
+unchanged to the normalized B variant — this is the robustness mechanism the
+paper evaluates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..ir.nodes import Loop, Program
+from ..normalization.pipeline import NormalizationOptions, normalize
+from ..perf.machine import DEFAULT_MACHINE, MachineModel
+from ..transforms.idiom import ReplaceWithLibraryCall, match_blas3
+from ..transforms.recipe import Recipe, apply_recipe
+from .base import NestScheduleInfo, ScheduleResult, Scheduler, retarget_recipe
+from .database import TuningDatabase
+from .embedding import embed_nest
+from .evolutionary import EvolutionarySearch, SearchConfig
+
+#: Maximum embedding distance at which a database recipe is considered a match.
+DEFAULT_MAX_DISTANCE = 6.0
+
+
+@dataclass
+class DaisyConfig:
+    """Configuration of the daisy scheduler."""
+
+    threads: int = 1
+    search: SearchConfig = field(default_factory=SearchConfig)
+    max_database_distance: float = DEFAULT_MAX_DISTANCE
+    #: When True, nests without a database match are tuned on the fly.
+    search_on_miss: bool = True
+    #: When True, nests that fail to lift/normalize are still parallelized
+    #: naively (with atomics for reductions), reproducing the behavior the
+    #: paper reports for correlation/covariance.
+    fallback_parallelize: bool = False
+
+
+class DaisyScheduler(Scheduler):
+    """Normalization + similarity-based transfer tuning."""
+
+    name = "daisy"
+
+    def __init__(self, machine: MachineModel = DEFAULT_MACHINE,
+                 config: Optional[DaisyConfig] = None,
+                 database: Optional[TuningDatabase] = None,
+                 normalization: Optional[NormalizationOptions] = None):
+        self.config = config or DaisyConfig()
+        super().__init__(machine, self.config.threads)
+        self.database = database if database is not None else TuningDatabase()
+        self.normalization = normalization or NormalizationOptions()
+        self._search = EvolutionarySearch(self.cost_model, self.config.search)
+
+    # -- seeding ---------------------------------------------------------------------
+
+    def tune(self, program: Program, parameters: Mapping[str, int],
+             label: Optional[str] = None) -> ScheduleResult:
+        """Tune a program (an A variant) and record its recipes in the database.
+
+        Returns the scheduled program so that callers can also use the tuned
+        A variant directly.
+        """
+        return self._run(program, parameters, seeding=True, label=label)
+
+    # -- scheduling -------------------------------------------------------------------
+
+    def schedule(self, program: Program,
+                 parameters: Mapping[str, int]) -> ScheduleResult:
+        """Schedule a program using only the existing database entries."""
+        return self._run(program, parameters, seeding=False)
+
+    # -- core -------------------------------------------------------------------------
+
+    def _run(self, program: Program, parameters: Mapping[str, int],
+             seeding: bool, label: Optional[str] = None) -> ScheduleResult:
+        normalized, _report = normalize(program, self.normalization)
+        result = ScheduleResult(scheduler=self.name, program=normalized)
+
+        for index in range(len(normalized.body)):
+            node = normalized.body[index]
+            if not isinstance(node, Loop):
+                continue
+            info = self._schedule_nest(normalized, index, parameters, seeding,
+                                       label or program.name)
+            result.nests.append(info)
+        return result
+
+    def _schedule_nest(self, program: Program, index: int,
+                       parameters: Mapping[str, int], seeding: bool,
+                       label: str) -> NestScheduleInfo:
+        nest = program.body[index]
+        assert isinstance(nest, Loop)
+
+        # 1. BLAS-3 idiom detection on the normalized nest.
+        if match_blas3(nest) is not None:
+            recipe = Recipe(f"{label}#{index}:blas", [ReplaceWithLibraryCall(index)])
+            embedding = embed_nest(nest, program.arrays, parameters,
+                                   label=f"{label}#{index}")
+            application = apply_recipe(program, recipe, strict=False)
+            if seeding:
+                self.database.add(embedding, recipe)
+            status = "optimized" if application.fully_applied else "failed"
+            return NestScheduleInfo(index, status, recipe, "blas idiom")
+
+        embedding = embed_nest(nest, program.arrays, parameters,
+                               label=f"{label}#{index}")
+
+        # 2. Transfer tuning: nearest database entry within the distance bound.
+        entry = self.database.best_match(embedding, self.config.max_database_distance)
+        if entry is not None and not seeding:
+            recipe = retarget_recipe(entry.recipe, index)
+            application = apply_recipe(program, recipe, strict=False)
+            if application.applied:
+                return NestScheduleInfo(index, "optimized", recipe,
+                                        f"transfer from {entry.label}")
+            # The recipe could not be applied at all: fall through to search
+            # (or leave unchanged when search is disabled).
+            if not self.config.search_on_miss:
+                return NestScheduleInfo(index, "unchanged", None,
+                                        f"recipe from {entry.label} not applicable")
+
+        # 3. Evolutionary search (seeded with the recipes of the most similar
+        #    nests, mirroring the epoch re-seeding of the paper).
+        if seeding or self.config.search_on_miss:
+            seeds: List[Recipe] = []
+            for _distance, neighbor in self.database.query(embedding, k=10):
+                seeds.append(retarget_recipe(neighbor.recipe, index))
+            outcome = self._search.search(program, index, parameters, seeds)
+            apply_recipe(program, outcome.recipe, strict=False)
+            if seeding:
+                self.database.add(embedding, outcome.recipe, runtime=outcome.runtime)
+            return NestScheduleInfo(index, "optimized", outcome.recipe,
+                                    f"evolutionary search ({outcome.evaluated} evals)")
+
+        return NestScheduleInfo(index, "unchanged", None, "no database match")

@@ -1,0 +1,102 @@
+"""Transfer-tuning database.
+
+The database stores pairs of (performance embedding, optimization recipe) for
+normalized loop nests.  The daisy scheduler seeds it from the normalized A
+variants of the benchmarks and queries it when scheduling new programs
+(Section 4, "Seeding a Scheduling Database").
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..transforms.recipe import Recipe
+from .embedding import EMBEDDING_SIZE, PerformanceEmbedding, pairwise_distance
+
+
+@dataclass
+class DatabaseEntry:
+    """One tuned loop nest: its embedding, its recipe, and provenance."""
+
+    embedding: Tuple[float, ...]
+    recipe: Recipe
+    label: str = ""
+    runtime: Optional[float] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "embedding": list(self.embedding),
+            "recipe": self.recipe.to_dict(),
+            "label": self.label,
+            "runtime": self.runtime,
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, object]) -> "DatabaseEntry":
+        return DatabaseEntry(
+            embedding=tuple(float(x) for x in data["embedding"]),
+            recipe=Recipe.from_dict(data["recipe"]),
+            label=str(data.get("label", "")),
+            runtime=data.get("runtime"),
+        )
+
+
+class TuningDatabase:
+    """A collection of tuned loop nests queried by embedding similarity."""
+
+    def __init__(self, entries: Optional[List[DatabaseEntry]] = None):
+        self.entries: List[DatabaseEntry] = list(entries or [])
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def add(self, embedding: PerformanceEmbedding, recipe: Recipe,
+            runtime: Optional[float] = None) -> DatabaseEntry:
+        """Insert a tuned nest into the database."""
+        if len(embedding.vector) != EMBEDDING_SIZE:
+            raise ValueError(
+                f"embedding has {len(embedding.vector)} features, expected {EMBEDDING_SIZE}")
+        entry = DatabaseEntry(embedding=tuple(embedding.vector), recipe=recipe,
+                              label=embedding.label, runtime=runtime)
+        self.entries.append(entry)
+        return entry
+
+    def query(self, embedding: PerformanceEmbedding,
+              k: int = 1) -> List[Tuple[float, DatabaseEntry]]:
+        """Return the ``k`` nearest entries as ``(distance, entry)`` pairs."""
+        scored = [(pairwise_distance(embedding.vector, entry.embedding), entry)
+                  for entry in self.entries]
+        scored.sort(key=lambda pair: pair[0])
+        return scored[:k]
+
+    def best_match(self, embedding: PerformanceEmbedding,
+                   max_distance: Optional[float] = None
+                   ) -> Optional[DatabaseEntry]:
+        """The nearest entry, or None if the database is empty or too far."""
+        results = self.query(embedding, k=1)
+        if not results:
+            return None
+        distance, entry = results[0]
+        if max_distance is not None and distance > max_distance:
+            return None
+        return entry
+
+    # -- persistence -----------------------------------------------------------
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps([entry.to_dict() for entry in self.entries], indent=indent)
+
+    @staticmethod
+    def from_json(text: str) -> "TuningDatabase":
+        return TuningDatabase([DatabaseEntry.from_dict(item) for item in json.loads(text)])
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+
+    @staticmethod
+    def load(path: str) -> "TuningDatabase":
+        with open(path, "r", encoding="utf-8") as handle:
+            return TuningDatabase.from_json(handle.read())

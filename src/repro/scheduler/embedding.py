@@ -1,0 +1,182 @@
+"""Performance embeddings of loop nests.
+
+The daisy scheduler retrieves optimization recipes by *similarity-based
+transfer tuning*: each loop nest is mapped to a fixed-length feature vector
+("performance embedding"), and the Euclidean distance between embeddings
+determines the most similar loop nests (Section 4).  The embedding captures
+the properties that performance depends on after normalization: iteration
+counts, arithmetic intensity, stride classes, reductions, parallelism, and
+footprint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..analysis.affine import computation_accesses
+from ..analysis.parallelism import analyze_loop_parallelism
+from ..analysis.strides import DEFAULT_PARAMETER_VALUE, _array_strides, access_stride
+from ..ir.arrays import Array
+from ..ir.nodes import Computation, LibraryCall, Loop, Node, Program
+from ..perf.model import count_flops
+
+#: Names of the embedding dimensions, in order.
+FEATURE_NAMES: Tuple[str, ...] = (
+    "log_total_iterations",
+    "loop_depth",
+    "band_depth",
+    "num_computations",
+    "num_accesses",
+    "flops_per_iteration",
+    "frac_zero_stride",
+    "frac_unit_stride",
+    "frac_strided",
+    "frac_non_affine",
+    "has_reduction",
+    "num_parallel_loops",
+    "log_footprint_bytes",
+    "is_perfect_nest",
+)
+
+EMBEDDING_SIZE = len(FEATURE_NAMES)
+
+
+@dataclass(frozen=True)
+class PerformanceEmbedding:
+    """A loop nest's feature vector plus a human-readable label."""
+
+    label: str
+    vector: Tuple[float, ...]
+
+    def distance(self, other: "PerformanceEmbedding") -> float:
+        return float(np.linalg.norm(np.asarray(self.vector) - np.asarray(other.vector)))
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(zip(FEATURE_NAMES, self.vector))
+
+
+def _loop_trips(nest: Loop, parameters: Mapping[str, int]) -> Dict[str, float]:
+    bindings = dict(parameters)
+    trips: Dict[str, float] = {}
+    midpoints: Dict[str, float] = {}
+    for loop in nest.iter_loops():
+        env = {**bindings, **midpoints}
+        try:
+            start = loop.start.evaluate(env)
+            end = loop.end.evaluate(env)
+            step = loop.step.evaluate(env)
+            trip = max(0.0, (end - start) / step) if step > 0 else 0.0
+            midpoints[loop.iterator] = start + (end - start) / 2.0
+        except (KeyError, ZeroDivisionError):
+            trip = float(DEFAULT_PARAMETER_VALUE)
+            midpoints[loop.iterator] = trip / 2.0
+        trips[loop.iterator] = trip
+    return trips
+
+
+def embed_nest(nest: Loop, arrays: Mapping[str, Array],
+               parameters: Optional[Mapping[str, int]] = None,
+               label: str = "") -> PerformanceEmbedding:
+    """Compute the performance embedding of one loop nest."""
+    parameters = dict(parameters or {})
+    trips = _loop_trips(nest, parameters)
+
+    total_iterations = 1.0
+    computations: List[Tuple[Computation, List[str]]] = []
+    zero = unit = strided = non_affine = 0
+    flops = 0.0
+    footprint = 0.0
+    has_reduction = 0.0
+
+    def recurse(node: Node, enclosing: List[str]) -> None:
+        nonlocal zero, unit, strided, non_affine, flops, footprint, has_reduction
+        if isinstance(node, Loop):
+            inner = enclosing + [node.iterator]
+            for child in node.body:
+                recurse(child, inner)
+        elif isinstance(node, Computation):
+            computations.append((node, list(enclosing)))
+            iterations = 1.0
+            for iterator in enclosing:
+                iterations *= max(trips.get(iterator, 1.0), 1.0)
+            flops += count_flops(node.value) * iterations
+            if node.is_reduction():
+                has_reduction = 1.0
+            innermost = enclosing[-1] if enclosing else None
+            for access in computation_accesses(node, enclosing):
+                if access.array not in arrays:
+                    continue
+                arr = arrays[access.array]
+                footprint += arr.size_in_bytes(
+                    {**{s: DEFAULT_PARAMETER_VALUE for dim in arr.shape
+                        for s in dim.free_symbols()}, **parameters})
+                if not access.affine:
+                    non_affine += 1
+                    continue
+                if innermost is None:
+                    zero += 1
+                    continue
+                stride = access_stride(access, innermost,
+                                       _array_strides(arr, parameters))
+                if stride is None:
+                    non_affine += 1
+                elif stride == 0:
+                    zero += 1
+                elif abs(stride) == 1:
+                    unit += 1
+                else:
+                    strided += 1
+        elif isinstance(node, LibraryCall):
+            flops += float(node.flop_expr.evaluate(
+                {**{s: DEFAULT_PARAMETER_VALUE for s in node.flop_expr.free_symbols()},
+                 **parameters}))
+
+    recurse(nest, [])
+
+    for loop in nest.perfectly_nested_band():
+        total_iterations *= max(trips.get(loop.iterator, 1.0), 1.0)
+
+    num_accesses = zero + unit + strided + non_affine
+    denominator = max(num_accesses, 1)
+    num_parallel = sum(1 for loop in nest.iter_loops()
+                       if analyze_loop_parallelism(loop).is_parallel)
+    num_computations = len(computations)
+    flops_per_iter = flops / max(total_iterations, 1.0)
+
+    vector = (
+        float(np.log1p(total_iterations)),
+        float(nest.depth()),
+        float(len(nest.perfectly_nested_band())),
+        float(num_computations),
+        float(num_accesses),
+        float(min(flops_per_iter, 64.0)),
+        zero / denominator,
+        unit / denominator,
+        strided / denominator,
+        non_affine / denominator,
+        has_reduction,
+        float(num_parallel),
+        float(np.log1p(footprint)),
+        1.0 if nest.is_perfect_nest() else 0.0,
+    )
+    return PerformanceEmbedding(label=label or nest.iterator, vector=vector)
+
+
+def embed_program(program: Program,
+                  parameters: Optional[Mapping[str, int]] = None
+                  ) -> List[PerformanceEmbedding]:
+    """Embeddings of every top-level loop nest of a program."""
+    embeddings = []
+    for index, node in enumerate(program.body):
+        if isinstance(node, Loop):
+            embeddings.append(embed_nest(node, program.arrays, parameters,
+                                         label=f"{program.name}#{index}"))
+    return embeddings
+
+
+def pairwise_distance(first: Sequence[float], second: Sequence[float]) -> float:
+    """Euclidean distance between two raw embedding vectors."""
+    return float(np.linalg.norm(np.asarray(first) - np.asarray(second)))

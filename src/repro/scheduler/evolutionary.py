@@ -1,0 +1,204 @@
+"""Evolutionary search over transformation recipes.
+
+The optimizations for non-BLAS loop nests in daisy's database are found with
+an evolutionary search: candidate recipes are seeded, mutated and selected
+over several epochs, with the runtime (here: the performance model) as the
+fitness function, and re-seeded from the best recipes of the most similar
+loop nests (Section 4, "Seeding a Scheduling Database").
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..analysis.dependence import legal_permutations
+from ..analysis.parallelism import analyze_loop_parallelism
+from ..ir.nodes import Loop, Program
+from ..perf.model import CostModel
+from ..transforms.base import TransformationError
+from ..transforms.interchange import Interchange
+from ..transforms.parallelize import Parallelize, Unroll, Vectorize
+from ..transforms.recipe import Recipe, apply_recipe
+from ..transforms.tiling import Tile
+
+#: Candidate tile sizes (0 means "do not tile this loop").
+TILE_SIZES = (0, 16, 32, 64, 128)
+UNROLL_FACTORS = (1, 2, 4, 8)
+
+
+@dataclass
+class SearchConfig:
+    """Parameters of the evolutionary search."""
+
+    population_size: int = 8
+    epochs: int = 2
+    generations_per_epoch: int = 3
+    mutation_rate: float = 0.4
+    elite: int = 2
+    seed: int = 0
+
+
+@dataclass
+class SearchOutcome:
+    """Best recipe found for one nest."""
+
+    recipe: Recipe
+    runtime: float
+    evaluated: int
+
+
+@dataclass
+class _Candidate:
+    """Internal representation of one candidate schedule."""
+
+    order: Tuple[str, ...]
+    tile_sizes: Dict[str, int]
+    parallelize: bool
+    vectorize: bool
+    unroll: int
+
+    def to_recipe(self, nest_index: int, name: str = "candidate") -> Recipe:
+        recipe = Recipe(name)
+        recipe.add(Interchange(nest_index, list(self.order)))
+        active_tiles = {k: v for k, v in self.tile_sizes.items() if v > 1}
+        if active_tiles:
+            recipe.add(Tile(nest_index, active_tiles))
+        if self.parallelize:
+            recipe.add(Parallelize(nest_index))
+        if self.vectorize:
+            recipe.add(Vectorize(nest_index))
+        if self.unroll > 1:
+            recipe.add(Unroll(nest_index, factor=self.unroll))
+        return recipe
+
+
+class EvolutionarySearch:
+    """Evolutionary recipe search for a single top-level loop nest."""
+
+    def __init__(self, cost_model: CostModel, config: Optional[SearchConfig] = None):
+        self.cost_model = cost_model
+        self.config = config or SearchConfig()
+        self._rng = random.Random(self.config.seed)
+
+    # -- candidate generation -------------------------------------------------------
+
+    def _legal_orders(self, nest: Loop) -> List[Tuple[str, ...]]:
+        band = nest.perfectly_nested_band()
+        if len(band) > 5:
+            return [tuple(loop.iterator for loop in band)]
+        return legal_permutations(nest)
+
+    def _nest_is_parallelizable(self, nest: Loop) -> bool:
+        return analyze_loop_parallelism(nest).is_parallel
+
+    def random_candidate(self, nest: Loop,
+                         orders: Sequence[Tuple[str, ...]]) -> _Candidate:
+        order = self._rng.choice(list(orders))
+        tile_sizes = {}
+        for iterator in order:
+            tile_sizes[iterator] = self._rng.choice(TILE_SIZES)
+        return _Candidate(
+            order=tuple(order),
+            tile_sizes=tile_sizes,
+            parallelize=self._rng.random() < 0.8,
+            vectorize=self._rng.random() < 0.8,
+            unroll=self._rng.choice(UNROLL_FACTORS),
+        )
+
+    def mutate(self, candidate: _Candidate,
+               orders: Sequence[Tuple[str, ...]]) -> _Candidate:
+        order = candidate.order
+        tile_sizes = dict(candidate.tile_sizes)
+        parallelize = candidate.parallelize
+        vectorize = candidate.vectorize
+        unroll = candidate.unroll
+        roll = self._rng.random()
+        if roll < 0.25:
+            order = tuple(self._rng.choice(list(orders)))
+        elif roll < 0.6 and tile_sizes:
+            iterator = self._rng.choice(list(tile_sizes))
+            tile_sizes[iterator] = self._rng.choice(TILE_SIZES)
+        elif roll < 0.75:
+            parallelize = not parallelize
+        elif roll < 0.9:
+            vectorize = not vectorize
+        else:
+            unroll = self._rng.choice(UNROLL_FACTORS)
+        return _Candidate(order, tile_sizes, parallelize, vectorize, unroll)
+
+    # -- fitness --------------------------------------------------------------------
+
+    def _evaluate(self, program: Program, nest_index: int, candidate: _Candidate,
+                  parameters: Mapping[str, int]) -> Tuple[float, Recipe]:
+        recipe = candidate.to_recipe(nest_index)
+        trial = program.copy()
+        apply_recipe(trial, recipe, strict=False)
+        runtime = self.cost_model.estimate_seconds(trial, parameters)
+        return runtime, recipe
+
+    # -- search ---------------------------------------------------------------------
+
+    def search(self, program: Program, nest_index: int,
+               parameters: Mapping[str, int],
+               seed_recipes: Optional[Sequence[Recipe]] = None) -> SearchOutcome:
+        """Search for the best recipe for one nest of ``program``.
+
+        ``seed_recipes`` (e.g. the best recipes of the most similar nests in
+        the database, or Tiramisu-style candidates) join the initial
+        population after being re-targeted to ``nest_index``.
+        """
+        nest = program.body[nest_index]
+        if not isinstance(nest, Loop):
+            raise TransformationError(f"node {nest_index} is not a loop nest")
+        orders = self._legal_orders(nest)
+
+        population: List[_Candidate] = [
+            self.random_candidate(nest, orders)
+            for _ in range(self.config.population_size)
+        ]
+
+        evaluated = 0
+        best_runtime = float("inf")
+        best_recipe = Recipe("identity")
+
+        seed_evaluations: List[Tuple[float, Recipe]] = []
+        for seed_recipe in (seed_recipes or []):
+            trial = program.copy()
+            apply_recipe(trial, seed_recipe, strict=False)
+            runtime = self.cost_model.estimate_seconds(trial, parameters)
+            evaluated += 1
+            seed_evaluations.append((runtime, seed_recipe))
+            if runtime < best_runtime:
+                best_runtime, best_recipe = runtime, seed_recipe
+
+        for _epoch in range(self.config.epochs):
+            for _generation in range(self.config.generations_per_epoch):
+                scored: List[Tuple[float, _Candidate, Recipe]] = []
+                for candidate in population:
+                    runtime, recipe = self._evaluate(program, nest_index, candidate,
+                                                     parameters)
+                    evaluated += 1
+                    scored.append((runtime, candidate, recipe))
+                    if runtime < best_runtime:
+                        best_runtime, best_recipe = runtime, recipe
+                scored.sort(key=lambda item: item[0])
+                elite = [candidate for _, candidate, _ in scored[:self.config.elite]]
+                next_population = list(elite)
+                while len(next_population) < self.config.population_size:
+                    parent = self._rng.choice(elite)
+                    if self._rng.random() < self.config.mutation_rate:
+                        next_population.append(self.mutate(parent, orders))
+                    else:
+                        next_population.append(self.random_candidate(nest, orders))
+                population = next_population
+
+        # Baseline: leaving the nest untouched must also be considered.
+        identity_runtime = self.cost_model.estimate_seconds(program, parameters)
+        evaluated += 1
+        if identity_runtime < best_runtime:
+            best_runtime, best_recipe = identity_runtime, Recipe("identity")
+
+        return SearchOutcome(recipe=best_recipe, runtime=best_runtime,
+                             evaluated=evaluated)

@@ -1,0 +1,150 @@
+"""Execution models of the Python array frameworks (NumPy, Numba, DaCe).
+
+Figure 9 compares daisy against performance-oriented Python frameworks.  All
+three execute the same NumPy-level program very differently:
+
+* **NumPy** dispatches each array operation to a pre-compiled, vectorized
+  (but single-threaded) C loop, materializing temporaries, and calls BLAS
+  for the operations that have custom operators.  Explicit Python-level
+  loops around array operations pay interpreter dispatch overhead per
+  iteration.
+* **Numba** JIT-compiles explicit loops: innermost unit-stride loops are
+  vectorized and provably parallel outer loops can run in parallel, but
+  loop nests are neither reordered nor lifted to BLAS calls.
+* **DaCe** turns the program into an SDFG: parallel maps are executed with
+  OpenMP, producer/consumer maps are fused, and library nodes (BLAS) are
+  used where the frontend created them — but, without a-priori
+  normalization, loop nests keep the structure the developer wrote.
+
+The pythonic frontend marks Python-level loops by giving their iterators a
+``py_`` prefix; the NumPy model charges dispatch overhead for those.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional
+
+from ..analysis.parallelism import analyze_loop_parallelism
+from ..ir.nodes import LibraryCall, Loop, Program
+from ..transforms.fusion import fuse_producer_consumer_chains
+from ..transforms.idiom import match_blas3, build_library_call
+from ..transforms.parallelize import Parallelize, Vectorize
+from ..transforms.recipe import Recipe, apply_recipe
+from .base import NestScheduleInfo, ScheduleResult, Scheduler
+
+#: Interpreter dispatch cost of one NumPy operator call, seconds.
+PYTHON_DISPATCH_OVERHEAD = 2.0e-6
+#: Prefix that the pythonic frontend gives to interpreter-level loops.
+PYTHON_LOOP_PREFIX = "py_"
+
+
+def _python_loop_iterations(program: Program, parameters: Mapping[str, int]) -> float:
+    """Number of interpreter-level operator dispatches in the program."""
+    total = 0.0
+    for node in program.body:
+        if isinstance(node, LibraryCall):
+            total += 1.0
+            continue
+        if not isinstance(node, Loop):
+            continue
+        multiplier = 1.0
+        found_python_loop = False
+        for loop in node.perfectly_nested_band():
+            if loop.iterator.startswith(PYTHON_LOOP_PREFIX):
+                found_python_loop = True
+                try:
+                    multiplier *= max(1, loop.trip_count(dict(parameters)))
+                except (KeyError, ValueError):
+                    multiplier *= 1.0
+        total += multiplier if found_python_loop else 1.0
+    return total
+
+
+class NumpyScheduler(Scheduler):
+    """NumPy: per-operator vectorized execution, single-threaded, BLAS where
+    custom operators exist."""
+
+    name = "numpy"
+
+    def __init__(self, machine=None, threads: int = 1):
+        from ..perf.machine import DEFAULT_MACHINE
+        # NumPy element-wise operators are single threaded.
+        super().__init__(machine or DEFAULT_MACHINE, 1)
+
+    def schedule(self, program: Program,
+                 parameters: Mapping[str, int]) -> ScheduleResult:
+        scheduled = program.copy()
+        result = ScheduleResult(scheduler=self.name, program=scheduled)
+        for index, node in enumerate(scheduled.body):
+            if not isinstance(node, Loop):
+                continue
+            recipe = Recipe(f"{self.name}#{index}")
+            recipe.add(Vectorize(index, require_unit_stride=True))
+            application = apply_recipe(scheduled, recipe, strict=False)
+            status = "optimized" if application.applied else "unchanged"
+            result.nests.append(NestScheduleInfo(index, status, recipe, "numpy operator"))
+        return result
+
+    def estimate(self, program: Program, parameters: Mapping[str, int]) -> float:
+        result = self.schedule(program, parameters)
+        runtime = self.cost_model.estimate_seconds(result.program, parameters)
+        dispatches = _python_loop_iterations(result.program, parameters)
+        return runtime + dispatches * PYTHON_DISPATCH_OVERHEAD
+
+
+class NumbaScheduler(Scheduler):
+    """Numba: JIT loops, auto-vectorization, auto-parallelization; no BLAS
+    lifting and no loop reordering."""
+
+    name = "numba"
+
+    def schedule(self, program: Program,
+                 parameters: Mapping[str, int]) -> ScheduleResult:
+        scheduled = program.copy()
+        result = ScheduleResult(scheduler=self.name, program=scheduled)
+        for index, node in enumerate(scheduled.body):
+            if not isinstance(node, Loop):
+                continue
+            recipe = Recipe(f"{self.name}#{index}")
+            if analyze_loop_parallelism(node).is_parallel:
+                recipe.add(Parallelize(index))
+            recipe.add(Vectorize(index, require_unit_stride=True))
+            application = apply_recipe(scheduled, recipe, strict=False)
+            status = "optimized" if application.applied else "unchanged"
+            result.nests.append(NestScheduleInfo(index, status, recipe, "numba jit"))
+        return result
+
+
+class DaceScheduler(Scheduler):
+    """DaCe: SDFG map parallelization, map fusion, and BLAS library nodes —
+    without a-priori normalization."""
+
+    name = "dace"
+
+    def schedule(self, program: Program,
+                 parameters: Mapping[str, int]) -> ScheduleResult:
+        scheduled = program.copy()
+        fused = fuse_producer_consumer_chains(scheduled)
+        result = ScheduleResult(scheduler=self.name, program=scheduled,
+                                notes=f"fused {fused} producer/consumer map pairs")
+
+        for index in range(len(scheduled.body)):
+            node = scheduled.body[index]
+            if not isinstance(node, Loop):
+                continue
+            # Library nodes: DaCe replaces loop nests that literally match a
+            # BLAS pattern, but it does not normalize first.
+            match = match_blas3(node)
+            if match is not None:
+                scheduled.body[index] = build_library_call(node, match)
+                result.nests.append(NestScheduleInfo(index, "optimized", None,
+                                                     f"library node {match.routine}"))
+                continue
+            recipe = Recipe(f"{self.name}#{index}")
+            if analyze_loop_parallelism(node).is_parallel:
+                recipe.add(Parallelize(index))
+            recipe.add(Vectorize(index, require_unit_stride=True))
+            application = apply_recipe(scheduled, recipe, strict=False)
+            status = "optimized" if application.applied else "unchanged"
+            result.nests.append(NestScheduleInfo(index, status, recipe, "sdfg map"))
+        return result

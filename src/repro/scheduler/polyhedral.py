@@ -1,0 +1,108 @@
+"""A Polly-like polyhedral baseline scheduler.
+
+Polly detects static control parts (SCoPs), tiles permutable bands, runs
+loops in parallel, and strip-mine-vectorizes innermost loops — but it does
+not perform the a-priori normalization this paper proposes: it neither
+maximally fissions fused computations nor reorders loops to minimize strides
+up front, and it does not replace idioms with BLAS calls.  That is exactly
+the behavior the paper contrasts daisy with (Section 4.1): good on loop
+orders its cost function models well, and unable to repair the strided B
+variants.
+
+This baseline reproduces that behavior on our IR:
+
+* a top-level nest is a SCoP when all of its accesses and bounds are affine;
+* SCoPs get rectangular tiling of the permutable outer band, OpenMP-style
+  parallelization of the outermost parallel loop, and vectorization of the
+  innermost loop when it is unit-stride;
+* non-SCoPs are left untouched.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional
+
+from ..analysis.affine import computation_accesses
+from ..analysis.parallelism import analyze_loop_parallelism
+from ..ir.nodes import Computation, Loop, Node, Program
+from ..transforms.base import TransformationError
+from ..transforms.parallelize import Parallelize, Vectorize
+from ..transforms.recipe import Recipe, apply_recipe
+from ..transforms.tiling import Tile
+from .base import NestScheduleInfo, ScheduleResult, Scheduler
+
+#: Default tile size used by Polly's isl scheduler.
+POLLY_TILE_SIZE = 32
+
+
+def nest_is_scop(nest: Loop) -> bool:
+    """True when every access and every loop bound in the nest is affine."""
+    def recurse(node: Node, enclosing: List[str]) -> bool:
+        if isinstance(node, Loop):
+            symbols = (node.start.free_symbols() | node.end.free_symbols()
+                       | node.step.free_symbols())
+            # Bounds may reference parameters and outer iterators only; any
+            # Read/Call inside bounds would have produced non-affine symbols
+            # at construction time, so checking affinity of accesses suffices.
+            inner = enclosing + [node.iterator]
+            return all(recurse(child, inner) for child in node.body)
+        if isinstance(node, Computation):
+            for access in computation_accesses(node, enclosing):
+                if not access.affine:
+                    return False
+            return True
+        return False
+
+    return recurse(nest, [])
+
+
+class PollyScheduler(Scheduler):
+    """Tiling + parallelization + strip-mine vectorization, no normalization."""
+
+    name = "polly"
+
+    def __init__(self, machine=None, threads: int = 1,
+                 tile_size: int = POLLY_TILE_SIZE, second_level_tiling: bool = True):
+        from ..perf.machine import DEFAULT_MACHINE
+        super().__init__(machine or DEFAULT_MACHINE, threads)
+        self.tile_size = tile_size
+        self.second_level_tiling = second_level_tiling
+
+    def schedule(self, program: Program,
+                 parameters: Mapping[str, int]) -> ScheduleResult:
+        scheduled = program.copy()
+        result = ScheduleResult(scheduler=self.name, program=scheduled)
+
+        for index, node in enumerate(scheduled.body):
+            if not isinstance(node, Loop):
+                continue
+            if not nest_is_scop(node):
+                result.nests.append(NestScheduleInfo(index, "unsupported", None,
+                                                     "not a SCoP"))
+                continue
+            recipe = self._build_recipe(node, index)
+            application = apply_recipe(scheduled, recipe, strict=False)
+            status = "optimized" if application.applied else "unchanged"
+            detail = "; ".join(msg for _, msg in application.failed)
+            result.nests.append(NestScheduleInfo(index, status, recipe, detail))
+        return result
+
+    def _build_recipe(self, nest: Loop, index: int) -> Recipe:
+        recipe = Recipe(f"polly#{index}")
+        band = nest.perfectly_nested_band()
+
+        # Tile the parallel loops of the band (Polly tiles permutable bands).
+        tile_sizes = {}
+        for loop in band:
+            info = analyze_loop_parallelism(loop)
+            if info.is_parallel and len(band) >= 2:
+                tile_sizes[loop.iterator] = self.tile_size
+        if tile_sizes:
+            recipe.add(Tile(index, tile_sizes))
+
+        # -polly-parallel: outermost parallel loop runs with OpenMP.
+        recipe.add(Parallelize(index))
+        # -polly-vectorizer=stripmine: innermost loop, profitable only when
+        # the accesses are contiguous.
+        recipe.add(Vectorize(index, require_unit_stride=True))
+        return recipe

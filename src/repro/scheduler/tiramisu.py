@@ -1,0 +1,189 @@
+"""A Tiramisu-auto-scheduler-like baseline.
+
+The paper runs the Tiramisu auto-scheduler as a standalone Monte-Carlo Tree
+Search guided by its learned performance model, fed through an adapter that
+applies maximal loop fission and only converts *perfectly nested parallel*
+loops (Section 4, "Baselines").  Nests outside that class are unsupported —
+the "X" marks in Figure 6.
+
+We reproduce that structure: maximal fission, a support check, and an MCTS
+over (interchange, tile, parallelize, vectorize, unroll) decisions.  The
+guiding model is our analytical cost model perturbed with Gaussian noise to
+stand in for the learned model's prediction error; the top candidates are
+then re-evaluated without noise ("measured") and the best is kept, exactly
+like the paper's top-3 protocol.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..analysis.dependence import legal_permutations
+from ..analysis.parallelism import is_fully_parallel_band
+from ..ir.nodes import Loop, Program
+from ..normalization.fission import maximal_loop_fission
+from ..transforms.parallelize import Parallelize, Unroll, Vectorize
+from ..transforms.recipe import Recipe, apply_recipe
+from ..transforms.interchange import Interchange
+from ..transforms.tiling import Tile
+from .base import NestScheduleInfo, ScheduleResult, Scheduler
+
+TILE_CHOICES = (0, 32, 64, 128)
+UNROLL_CHOICES = (1, 4)
+
+
+@dataclass
+class MctsConfig:
+    """Parameters of the Monte-Carlo tree search."""
+
+    rollouts: int = 24
+    exploration: float = 0.7
+    top_candidates: int = 3
+    #: Relative standard deviation of the surrogate model's prediction noise.
+    model_noise: float = 0.35
+    seed: int = 0
+
+
+@dataclass
+class _DecisionNode:
+    visits: int = 0
+    value: float = 0.0
+    children: Dict[Tuple, "_DecisionNode"] = field(default_factory=dict)
+
+
+class TiramisuScheduler(Scheduler):
+    """Maximal-fission adapter + noisy-model MCTS over schedule decisions."""
+
+    name = "tiramisu"
+
+    def __init__(self, machine=None, threads: int = 1,
+                 config: Optional[MctsConfig] = None):
+        from ..perf.machine import DEFAULT_MACHINE
+        super().__init__(machine or DEFAULT_MACHINE, threads)
+        self.config = config or MctsConfig()
+        self._rng = random.Random(self.config.seed)
+
+    # -- public ----------------------------------------------------------------------
+
+    def schedule(self, program: Program,
+                 parameters: Mapping[str, int]) -> ScheduleResult:
+        scheduled = program.copy()
+        # The adapter applies maximal loop fission before conversion.
+        maximal_loop_fission(scheduled)
+        result = ScheduleResult(scheduler=self.name, program=scheduled)
+
+        supported_any = False
+        for index, node in enumerate(scheduled.body):
+            if not isinstance(node, Loop):
+                continue
+            if not self._supported(node):
+                result.nests.append(NestScheduleInfo(index, "unsupported", None,
+                                                     "not a perfectly nested parallel loop"))
+                continue
+            supported_any = True
+            recipe = self._mcts(scheduled, index, parameters)
+            application = apply_recipe(scheduled, recipe, strict=False)
+            status = "optimized" if application.applied else "unchanged"
+            result.nests.append(NestScheduleInfo(index, status, recipe,
+                                                 f"mcts ({self.config.rollouts} rollouts)"))
+        # The paper marks whole benchmarks with X when the scheduler could not
+        # be applied successfully.
+        result.unsupported = not supported_any
+        return result
+
+    # -- support check ------------------------------------------------------------------
+
+    def _supported(self, nest: Loop) -> bool:
+        if not nest.is_perfect_nest():
+            return False
+        band = nest.perfectly_nested_band()
+        # Only the outer (non-reduction) part of the band must be parallel;
+        # require at least the outermost loop to be parallel.
+        from ..analysis.parallelism import analyze_loop_parallelism
+        if not analyze_loop_parallelism(band[0]).is_parallel:
+            return False
+        # Loop bounds must be rectangular (no dependence on outer iterators).
+        iterators = {loop.iterator for loop in band}
+        for loop in band:
+            bound_symbols = (loop.start.free_symbols() | loop.end.free_symbols()
+                             | loop.step.free_symbols())
+            if bound_symbols & iterators:
+                return False
+        return True
+
+    # -- search -----------------------------------------------------------------------
+
+    def _candidate_space(self, nest: Loop) -> List[Tuple]:
+        band = nest.perfectly_nested_band()
+        orders = legal_permutations(nest) if len(band) <= 4 else [
+            tuple(loop.iterator for loop in band)]
+        return [("order", order) for order in orders]
+
+    def _random_schedule(self, nest: Loop, orders: Sequence[Tuple[str, ...]]
+                         ) -> Dict[str, object]:
+        order = self._rng.choice(list(orders))
+        tiles = {iterator: self._rng.choice(TILE_CHOICES) for iterator in order}
+        return {
+            "order": order,
+            "tiles": tiles,
+            "parallel": self._rng.random() < 0.9,
+            "vectorize": self._rng.random() < 0.7,
+            "unroll": self._rng.choice(UNROLL_CHOICES),
+        }
+
+    def _to_recipe(self, decision: Dict[str, object], index: int) -> Recipe:
+        recipe = Recipe(f"tiramisu#{index}")
+        recipe.add(Interchange(index, list(decision["order"])))
+        tiles = {k: v for k, v in decision["tiles"].items() if v and v > 1}
+        if tiles:
+            recipe.add(Tile(index, tiles))
+        if decision["parallel"]:
+            recipe.add(Parallelize(index))
+        if decision["vectorize"]:
+            recipe.add(Vectorize(index, require_unit_stride=False))
+        if decision["unroll"] > 1:
+            recipe.add(Unroll(index, factor=decision["unroll"]))
+        return recipe
+
+    def _surrogate(self, program: Program, index: int, decision: Dict[str, object],
+                   parameters: Mapping[str, int]) -> Tuple[float, Recipe]:
+        recipe = self._to_recipe(decision, index)
+        trial = program.copy()
+        apply_recipe(trial, recipe, strict=False)
+        runtime = self.cost_model.estimate_seconds(trial, parameters)
+        noisy = runtime * max(0.05, 1.0 + self._rng.gauss(0.0, self.config.model_noise))
+        return noisy, recipe
+
+    def _measure(self, program: Program, recipe: Recipe,
+                 parameters: Mapping[str, int]) -> float:
+        trial = program.copy()
+        apply_recipe(trial, recipe, strict=False)
+        return self.cost_model.estimate_seconds(trial, parameters)
+
+    def _mcts(self, program: Program, index: int,
+              parameters: Mapping[str, int]) -> Recipe:
+        nest = program.body[index]
+        assert isinstance(nest, Loop)
+        band = nest.perfectly_nested_band()
+        orders = (legal_permutations(nest) if len(band) <= 4
+                  else [tuple(loop.iterator for loop in band)])
+
+        # Rollouts: sample schedules, score them with the noisy surrogate.
+        scored: List[Tuple[float, Recipe]] = []
+        for _ in range(self.config.rollouts):
+            decision = self._random_schedule(nest, orders)
+            scored.append(self._surrogate(program, index, decision, parameters))
+        scored.sort(key=lambda item: item[0])
+
+        # Measure the top candidates exactly and keep the best.
+        top = scored[:self.config.top_candidates]
+        best_recipe = Recipe("identity")
+        best_runtime = self._measure(program, best_recipe, parameters)
+        for _, recipe in top:
+            runtime = self._measure(program, recipe, parameters)
+            if runtime < best_runtime:
+                best_runtime, best_recipe = runtime, recipe
+        return best_recipe

@@ -1,0 +1,82 @@
+"""Transformation framework.
+
+The daisy auto-scheduler (Section 4) stores *optimization recipes* — sequences
+of loop transformations such as interchange, tiling, parallelization and
+vectorization — in a database and applies them to normalized loop nests.
+Each transformation is therefore:
+
+* addressable (it names the top-level nest it applies to),
+* checkable (it can refuse to apply when illegal), and
+* serializable (recipes are persisted alongside embeddings).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Type
+
+from ..ir.nodes import Loop, Program
+
+
+class TransformationError(Exception):
+    """Raised when a transformation cannot be applied legally."""
+
+
+class Transformation:
+    """Base class for all transformations.
+
+    Subclasses implement :meth:`apply`, which mutates the given program in
+    place (programs are cheap to copy; callers that need the original copy it
+    first), and :meth:`params`, which returns the JSON-serializable parameter
+    dictionary used for persistence.
+    """
+
+    #: Registry of transformation names to classes, for deserialization.
+    registry: Dict[str, Type["Transformation"]] = {}
+
+    #: Short name used in serialized recipes; set by subclasses.
+    name: str = "transformation"
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        if cls.name in Transformation.registry:
+            raise ValueError(f"duplicate transformation name {cls.name!r}")
+        Transformation.registry[cls.name] = cls
+
+    def apply(self, program: Program) -> Program:
+        raise NotImplementedError
+
+    def params(self) -> Dict[str, Any]:
+        raise NotImplementedError
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "params": self.params()}
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "Transformation":
+        name = data["name"]
+        if name not in Transformation.registry:
+            raise ValueError(f"unknown transformation {name!r}")
+        return Transformation.registry[name](**data.get("params", {}))
+
+    def __repr__(self) -> str:
+        args = ", ".join(f"{key}={value!r}" for key, value in self.params().items())
+        return f"{type(self).__name__}({args})"
+
+
+def get_nest(program: Program, nest_index: int) -> Loop:
+    """Fetch the top-level loop nest at ``nest_index`` or raise."""
+    if nest_index < 0 or nest_index >= len(program.body):
+        raise TransformationError(
+            f"nest index {nest_index} out of range for program {program.name!r} "
+            f"with {len(program.body)} top-level nodes")
+    node = program.body[nest_index]
+    if not isinstance(node, Loop):
+        raise TransformationError(
+            f"top-level node {nest_index} of {program.name!r} is not a loop")
+    return node
+
+
+def set_nest(program: Program, nest_index: int, nest: Loop) -> None:
+    """Replace the top-level nest at ``nest_index``."""
+    program.body[nest_index] = nest

@@ -1,0 +1,249 @@
+"""Loop-nest fusion.
+
+Producer-consumer fusion of adjacent loop nests with matching iteration
+domains is the optimization recipe discovered for the CLOUDSC erosion kernel
+(Section 5.1, Figure 10b): after maximal fission, one-to-one
+producer/consumer nests are re-fused so that intermediate values stay in
+short-lived local storage.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..analysis.dataflow import producer_consumer_pairs
+from ..analysis.dependence import dependences_between
+from ..ir.nodes import Loop, Node, Program
+from ..ir.symbols import Sym
+from .base import Transformation, TransformationError, get_nest
+
+
+def _rename_nest_iterators(nest: Loop, mapping: Dict[str, str]) -> Loop:
+    """Return a copy of ``nest`` with band iterators renamed per ``mapping``."""
+    clone = nest.copy()
+    substitution = {old: Sym(new) for old, new in mapping.items()}
+
+    def rewrite(node: Node) -> None:
+        if isinstance(node, Loop):
+            if node.iterator in mapping:
+                node.iterator = mapping[node.iterator]
+            node.start = node.start.substitute(substitution)
+            node.end = node.end.substitute(substitution)
+            node.step = node.step.substitute(substitution)
+            for child in node.body:
+                rewrite(child)
+        else:
+            if hasattr(node, "target"):
+                node.target = node.target.substitute(substitution)
+                node.value = node.value.substitute(substitution)
+
+    rewrite(clone)
+    return clone
+
+
+def _matching_band_depth(first: Loop, second: Loop) -> int:
+    """Number of leading band levels with identical bounds and steps."""
+    band_a = first.perfectly_nested_band()
+    band_b = second.perfectly_nested_band()
+    depth = 0
+    for loop_a, loop_b in zip(band_a, band_b):
+        if (loop_a.start == loop_b.start and loop_a.end == loop_b.end
+                and loop_a.step == loop_b.step):
+            depth += 1
+        else:
+            break
+    return depth
+
+
+def can_fuse(first: Loop, second: Loop, depth: Optional[int] = None) -> bool:
+    """Check whether fusing the two nests over their matching band is legal.
+
+    Fusion is accepted when every dependence between the two bodies over the
+    fused iterators is loop-independent (same-iteration), which is exactly
+    the one-to-one producer/consumer condition used in the case study.
+    """
+    match = _matching_band_depth(first, second)
+    if depth is not None:
+        match = min(match, depth)
+    if match == 0:
+        return False
+
+    band_a = first.perfectly_nested_band()[:match]
+    band_b = second.perfectly_nested_band()[:match]
+    mapping = {b.iterator: a.iterator for a, b in zip(band_a, band_b)}
+    renamed_second = _rename_nest_iterators(second, mapping)
+
+    fused_iterators = [loop.iterator for loop in band_a]
+    inner_a = first.perfectly_nested_band()[match - 1].body
+    inner_b = renamed_second.perfectly_nested_band()[match - 1].body
+
+    for node_a in inner_a:
+        for node_b in inner_b:
+            for dep in dependences_between(node_a, node_b, fused_iterators):
+                if not dep.loop_independent:
+                    return False
+            for dep in dependences_between(node_b, node_a, fused_iterators):
+                if not dep.loop_independent:
+                    return False
+    return True
+
+
+def fuse_nests(first: Loop, second: Loop, depth: Optional[int] = None) -> Loop:
+    """Fuse two nests over their matching band; caller checks legality."""
+    match = _matching_band_depth(first, second)
+    if depth is not None:
+        match = min(match, depth)
+    if match == 0:
+        raise TransformationError("loop nests have no matching band to fuse over")
+
+    band_a = first.perfectly_nested_band()[:match]
+    band_b = second.perfectly_nested_band()[:match]
+    mapping = {b.iterator: a.iterator for a, b in zip(band_a, band_b)}
+    renamed_second = _rename_nest_iterators(second, mapping)
+
+    fused = first.copy()
+    fused_inner = fused.perfectly_nested_band()[match - 1]
+    second_inner = renamed_second.perfectly_nested_band()[match - 1]
+    fused_inner.body = list(fused_inner.body) + list(second_inner.body)
+    return fused
+
+
+class Fuse(Transformation):
+    """Fuse two top-level loop nests over their matching outer band."""
+
+    name = "fuse"
+
+    def __init__(self, first_index: int, second_index: int,
+                 depth: Optional[int] = None):
+        self.first_index = int(first_index)
+        self.second_index = int(second_index)
+        self.depth = depth
+
+    def params(self) -> Dict[str, Any]:
+        return {"first_index": self.first_index, "second_index": self.second_index,
+                "depth": self.depth}
+
+    def apply(self, program: Program) -> Program:
+        if self.first_index == self.second_index:
+            raise TransformationError("cannot fuse a nest with itself")
+        first = get_nest(program, self.first_index)
+        second = get_nest(program, self.second_index)
+        if not can_fuse(first, second, self.depth):
+            raise TransformationError(
+                f"nests {self.first_index} and {self.second_index} of "
+                f"{program.name!r} cannot be fused legally")
+        # Fusion is only valid if no other node between the two nests touches
+        # the containers flowing between them; require adjacency for safety.
+        lo, hi = sorted((self.first_index, self.second_index))
+        between = program.body[lo + 1:hi]
+        if between:
+            raise TransformationError(
+                "fusion requires the two nests to be adjacent in program order")
+        fused = fuse_nests(first, second, self.depth)
+        program.body[lo:hi + 1] = [fused]
+        return program
+
+
+def fuse_chains_in_body(body: List[Node]) -> int:
+    """Fuse adjacent one-to-one producer/consumer loops within a body list.
+
+    This is the in-place building block used both at a program's top level
+    and inside an outer loop (the CLOUDSC vertical loop).  Returns the number
+    of fusions performed.
+    """
+    from ..analysis.dataflow import build_dataflow_graph
+
+    fused_total = 0
+    changed = True
+    while changed:
+        changed = False
+        graph = build_dataflow_graph(list(body))
+        for producer, consumer, data in sorted(graph.edges(data=True)):
+            if "flow" not in data["kinds"]:
+                continue
+            if consumer != producer + 1:
+                continue
+            first = body[producer]
+            second = body[consumer]
+            if not isinstance(first, Loop) or not isinstance(second, Loop):
+                continue
+            # The flowing containers must not be touched by any other node.
+            exclusive = True
+            for array in data["arrays"]:
+                for index in graph.nodes:
+                    if index in (producer, consumer):
+                        continue
+                    if (array in graph.nodes[index]["writes"]
+                            or array in graph.nodes[index]["reads"]):
+                        exclusive = False
+            if not exclusive:
+                continue
+            if not can_fuse(first, second):
+                continue
+            body[producer:consumer + 1] = [fuse_nests(first, second)]
+            fused_total += 1
+            changed = True
+            break
+    return fused_total
+
+
+def fuse_adjacent_loops(body: List[Node], depth: Optional[int] = None,
+                        min_depth: int = 1) -> int:
+    """Greedily fuse adjacent loops of a body whenever fusion is legal.
+
+    Unlike :func:`fuse_chains_in_body` this does not require a one-to-one
+    producer/consumer relation — any pair of *adjacent* loops whose matching
+    band carries only loop-independent dependences is fused.  Adjacency plus
+    :func:`can_fuse` guarantees legality because the relative order of all
+    statements is preserved.
+
+    ``min_depth`` restricts fusion to pairs whose matching band is at least
+    that deep; with ``min_depth=2`` only outer loops are re-joined (e.g. the
+    CLOUDSC block and vertical loops that maximal fission split), while
+    innermost-level fission is preserved.
+    """
+    fused_total = 0
+    index = 0
+    while index + 1 < len(body):
+        first = body[index]
+        second = body[index + 1]
+        if (isinstance(first, Loop) and isinstance(second, Loop)
+                and _matching_band_depth(first, second) >= min_depth
+                and can_fuse(first, second, depth)):
+            body[index:index + 2] = [fuse_nests(first, second, depth)]
+            fused_total += 1
+            continue
+        index += 1
+    return fused_total
+
+
+def fuse_chains_in_loop(loop: Loop) -> int:
+    """Fuse one-to-one producer/consumer chains among a loop's children."""
+    return fuse_chains_in_body(loop.body)
+
+
+def fuse_producer_consumer_chains(program: Program) -> int:
+    """Greedily fuse adjacent one-to-one producer/consumer nests, in place.
+
+    Returns the number of fusions performed.  This is the recipe applied to
+    the CLOUDSC vertical loop after maximal fission.
+    """
+    fused_total = 0
+    changed = True
+    while changed:
+        changed = False
+        pairs = producer_consumer_pairs(program)
+        for producer, consumer, _arrays in sorted(pairs):
+            if consumer != producer + 1:
+                continue
+            first = program.body[producer]
+            second = program.body[consumer]
+            if not isinstance(first, Loop) or not isinstance(second, Loop):
+                continue
+            if not can_fuse(first, second):
+                continue
+            program.body[producer:consumer + 1] = [fuse_nests(first, second)]
+            fused_total += 1
+            changed = True
+            break
+    return fused_total

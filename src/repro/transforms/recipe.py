@@ -1,0 +1,88 @@
+"""Optimization recipes: named, serializable transformation sequences.
+
+A recipe is what the transfer-tuning database stores per loop nest: the
+sequence of transformations (interchange, tiling, parallelization,
+vectorization, idiom replacement, ...) that turned the normalized nest into
+its optimized form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..ir.nodes import Program
+from .base import Transformation, TransformationError
+
+
+@dataclass
+class Recipe:
+    """A named sequence of transformations."""
+
+    name: str
+    transformations: List[Transformation] = field(default_factory=list)
+    notes: str = ""
+
+    def add(self, transformation: Transformation) -> "Recipe":
+        self.transformations.append(transformation)
+        return self
+
+    def __len__(self) -> int:
+        return len(self.transformations)
+
+    def __iter__(self):
+        return iter(self.transformations)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "notes": self.notes,
+            "transformations": [t.to_dict() for t in self.transformations],
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "Recipe":
+        return Recipe(
+            name=data["name"],
+            notes=data.get("notes", ""),
+            transformations=[Transformation.from_dict(entry)
+                             for entry in data.get("transformations", [])],
+        )
+
+
+@dataclass
+class RecipeApplication:
+    """Outcome of applying a recipe to a program."""
+
+    recipe: Recipe
+    applied: List[Transformation] = field(default_factory=list)
+    failed: List[Tuple[Transformation, str]] = field(default_factory=list)
+
+    @property
+    def fully_applied(self) -> bool:
+        return not self.failed
+
+    def summary(self) -> str:
+        return (f"recipe {self.recipe.name!r}: applied {len(self.applied)}/"
+                f"{len(self.recipe)} transformations")
+
+
+def apply_recipe(program: Program, recipe: Recipe,
+                 strict: bool = False) -> RecipeApplication:
+    """Apply a recipe to ``program`` in place.
+
+    With ``strict=True`` the first illegal transformation raises; otherwise
+    illegal transformations are recorded and skipped — mirroring the paper's
+    behavior that a transformation sequence "cannot be applied" when a B loop
+    nest does not reduce to an A loop nest.
+    """
+    result = RecipeApplication(recipe=recipe)
+    for transformation in recipe.transformations:
+        try:
+            transformation.apply(program)
+            result.applied.append(transformation)
+        except TransformationError as error:
+            if strict:
+                raise
+            result.failed.append((transformation, str(error)))
+    return result

@@ -1,0 +1,14 @@
+"""Workloads: PolyBench A/B/NPBench variants and the CLOUDSC proxy."""
+
+from .cloudsc import (DEFAULT_CONFIGURATION, WEAK_SCALING_POINTS,
+                      CloudscConfiguration, build_cloudsc_model,
+                      build_erosion_kernel)
+from .registry import BenchmarkSpec, all_benchmarks, benchmark, benchmark_names
+from .sizes import POLYBENCH_SIZES, SIZE_CLASSES, benchmark_sizes
+
+__all__ = [
+    "DEFAULT_CONFIGURATION", "WEAK_SCALING_POINTS", "CloudscConfiguration",
+    "build_cloudsc_model", "build_erosion_kernel",
+    "BenchmarkSpec", "all_benchmarks", "benchmark", "benchmark_names",
+    "POLYBENCH_SIZES", "SIZE_CLASSES", "benchmark_sizes",
+]

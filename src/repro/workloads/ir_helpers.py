@@ -1,0 +1,6 @@
+"""Convenience re-exports for workload definitions."""
+
+from ..ir.builder import ProgramBuilder
+from ..ir.nodes import Program
+
+__all__ = ["ProgramBuilder", "Program"]

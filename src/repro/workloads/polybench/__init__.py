@@ -1,0 +1,21 @@
+"""PolyBench benchmark definitions (A, B, and NPBench-style variants)."""
+
+from .blas2 import (build_atax_a, build_atax_b, build_atax_npbench,
+                    build_bicg_a, build_bicg_b, build_bicg_npbench,
+                    build_gemver_a, build_gemver_b, build_gemver_npbench,
+                    build_gesummv_a, build_gesummv_b, build_gesummv_npbench,
+                    build_mvt_a, build_mvt_b, build_mvt_npbench)
+from .blas3 import (build_2mm_a, build_2mm_b, build_2mm_npbench,
+                    build_3mm_a, build_3mm_b, build_3mm_npbench,
+                    build_gemm_a, build_gemm_b, build_gemm_npbench,
+                    build_syr2k_a, build_syr2k_b, build_syr2k_npbench,
+                    build_syrk_a, build_syrk_b, build_syrk_npbench)
+from .stats import (build_correlation_a, build_correlation_b,
+                    build_correlation_npbench, build_covariance_a,
+                    build_covariance_b, build_covariance_npbench)
+from .stencils import (build_fdtd2d_a, build_fdtd2d_b, build_fdtd2d_npbench,
+                       build_heat3d_a, build_heat3d_b, build_heat3d_npbench,
+                       build_jacobi2d_a, build_jacobi2d_b,
+                       build_jacobi2d_npbench)
+
+__all__ = [name for name in dir() if name.startswith("build_")]

@@ -1,0 +1,276 @@
+"""BLAS-2-like PolyBench kernels: atax, bicg, mvt, gemver, gesummv.
+
+See :mod:`repro.workloads.polybench.blas3` for the A/B/NPBench variant
+conventions.  All B variants keep per-element floating-point accumulation
+order identical to the A variants, so A and B agree bitwise under the
+reference interpreter.
+"""
+
+from __future__ import annotations
+
+from ..ir_helpers import ProgramBuilder
+from ...ir.nodes import Program
+
+
+# ----------------------------------------------------------------------------
+# atax: y = A^T @ (A @ x)
+# ----------------------------------------------------------------------------
+
+def build_atax_a() -> Program:
+    b = ProgramBuilder("atax_a", parameters=["M", "N"])
+    b.add_array("A", ("M", "N"))
+    b.add_array("x", ("N",))
+    b.add_array("y", ("N",))
+    b.add_array("tmp", ("M",), transient=True)
+    with b.loop("i", 0, "N"):
+        b.assign(("y", "i"), 0.0)
+    with b.loop("i", 0, "M"):
+        b.assign(("tmp", "i"), 0.0)
+        with b.loop("j", 0, "N"):
+            b.assign(("tmp", "i"), b.read("tmp", "i") + b.read("A", "i", "j") * b.read("x", "j"))
+        with b.loop("j", 0, "N"):
+            b.assign(("y", "j"), b.read("y", "j") + b.read("A", "i", "j") * b.read("tmp", "i"))
+    return b.finish()
+
+
+def build_atax_b() -> Program:
+    """atax with the two matrix-vector products in separate loop nests."""
+    b = ProgramBuilder("atax_b", parameters=["M", "N"])
+    b.add_array("A", ("M", "N"))
+    b.add_array("x", ("N",))
+    b.add_array("y", ("N",))
+    b.add_array("tmp", ("M",), transient=True)
+    with b.loop("i", 0, "N"):
+        b.assign(("y", "i"), 0.0)
+    with b.loop("i", 0, "M"):
+        b.assign(("tmp", "i"), 0.0)
+    with b.loop("i", 0, "M"):
+        with b.loop("j", 0, "N"):
+            b.assign(("tmp", "i"), b.read("tmp", "i") + b.read("A", "i", "j") * b.read("x", "j"))
+    with b.loop("j", 0, "N"):
+        with b.loop("i", 0, "M"):
+            b.assign(("y", "j"), b.read("y", "j") + b.read("A", "i", "j") * b.read("tmp", "i"))
+    return b.finish()
+
+
+def build_atax_npbench() -> Program:
+    """NPBench atax (``A.T @ (A @ x)``): two matvec operators with temporaries."""
+    program = build_atax_b()
+    program.name = "atax_npbench"
+    return program
+
+
+# ----------------------------------------------------------------------------
+# bicg: s = A^T @ r,  q = A @ p
+# ----------------------------------------------------------------------------
+
+def build_bicg_a() -> Program:
+    b = ProgramBuilder("bicg_a", parameters=["M", "N"])
+    b.add_array("A", ("N", "M"))
+    b.add_array("s", ("M",))
+    b.add_array("q", ("N",))
+    b.add_array("p", ("M",))
+    b.add_array("r", ("N",))
+    with b.loop("i", 0, "M"):
+        b.assign(("s", "i"), 0.0)
+    with b.loop("i", 0, "N"):
+        b.assign(("q", "i"), 0.0)
+        with b.loop("j", 0, "M"):
+            b.assign(("s", "j"), b.read("s", "j") + b.read("r", "i") * b.read("A", "i", "j"))
+            b.assign(("q", "i"), b.read("q", "i") + b.read("A", "i", "j") * b.read("p", "j"))
+    return b.finish()
+
+
+def build_bicg_b() -> Program:
+    """bicg with the two products fissioned into independent nests."""
+    b = ProgramBuilder("bicg_b", parameters=["M", "N"])
+    b.add_array("A", ("N", "M"))
+    b.add_array("s", ("M",))
+    b.add_array("q", ("N",))
+    b.add_array("p", ("M",))
+    b.add_array("r", ("N",))
+    with b.loop("i", 0, "M"):
+        b.assign(("s", "i"), 0.0)
+    with b.loop("i", 0, "N"):
+        b.assign(("q", "i"), 0.0)
+    with b.loop("j", 0, "M"):
+        with b.loop("i", 0, "N"):
+            b.assign(("s", "j"), b.read("s", "j") + b.read("r", "i") * b.read("A", "i", "j"))
+    with b.loop("i", 0, "N"):
+        with b.loop("j", 0, "M"):
+            b.assign(("q", "i"), b.read("q", "i") + b.read("A", "i", "j") * b.read("p", "j"))
+    return b.finish()
+
+
+def build_bicg_npbench() -> Program:
+    program = build_bicg_b()
+    program.name = "bicg_npbench"
+    return program
+
+
+# ----------------------------------------------------------------------------
+# mvt: x1 += A @ y1,  x2 += A^T @ y2
+# ----------------------------------------------------------------------------
+
+def build_mvt_a() -> Program:
+    b = ProgramBuilder("mvt_a", parameters=["N"])
+    b.add_array("A", ("N", "N"))
+    b.add_array("x1", ("N",))
+    b.add_array("x2", ("N",))
+    b.add_array("y1", ("N",))
+    b.add_array("y2", ("N",))
+    with b.loop("i", 0, "N"):
+        with b.loop("j", 0, "N"):
+            b.assign(("x1", "i"), b.read("x1", "i") + b.read("A", "i", "j") * b.read("y1", "j"))
+    with b.loop("i", 0, "N"):
+        with b.loop("j", 0, "N"):
+            b.assign(("x2", "i"), b.read("x2", "i") + b.read("A", "j", "i") * b.read("y2", "j"))
+    return b.finish()
+
+
+def build_mvt_b() -> Program:
+    """mvt with both products fused in one loop nest."""
+    b = ProgramBuilder("mvt_b", parameters=["N"])
+    b.add_array("A", ("N", "N"))
+    b.add_array("x1", ("N",))
+    b.add_array("x2", ("N",))
+    b.add_array("y1", ("N",))
+    b.add_array("y2", ("N",))
+    with b.loop("i", 0, "N"):
+        with b.loop("j", 0, "N"):
+            b.assign(("x1", "i"), b.read("x1", "i") + b.read("A", "i", "j") * b.read("y1", "j"))
+            b.assign(("x2", "i"), b.read("x2", "i") + b.read("A", "j", "i") * b.read("y2", "j"))
+    return b.finish()
+
+
+def build_mvt_npbench() -> Program:
+    program = build_mvt_a()
+    program.name = "mvt_npbench"
+    return program
+
+
+# ----------------------------------------------------------------------------
+# gemver
+# ----------------------------------------------------------------------------
+
+def build_gemver_a() -> Program:
+    b = ProgramBuilder("gemver_a", parameters=["N"])
+    b.add_array("A", ("N", "N"))
+    b.add_array("u1", ("N",))
+    b.add_array("v1", ("N",))
+    b.add_array("u2", ("N",))
+    b.add_array("v2", ("N",))
+    b.add_array("w", ("N",))
+    b.add_array("x", ("N",))
+    b.add_array("y", ("N",))
+    b.add_array("z", ("N",))
+    b.add_scalar("alpha")
+    b.add_scalar("beta")
+    with b.loop("i", 0, "N"):
+        with b.loop("j", 0, "N"):
+            b.assign(("A", "i", "j"),
+                     b.read("A", "i", "j") + b.read("u1", "i") * b.read("v1", "j")
+                     + b.read("u2", "i") * b.read("v2", "j"))
+    with b.loop("i", 0, "N"):
+        with b.loop("j", 0, "N"):
+            b.assign(("x", "i"),
+                     b.read("x", "i") + b.read("beta") * b.read("A", "j", "i") * b.read("y", "j"))
+    with b.loop("i", 0, "N"):
+        b.assign(("x", "i"), b.read("x", "i") + b.read("z", "i"))
+    with b.loop("i", 0, "N"):
+        with b.loop("j", 0, "N"):
+            b.assign(("w", "i"),
+                     b.read("w", "i") + b.read("alpha") * b.read("A", "i", "j") * b.read("x", "j"))
+    return b.finish()
+
+
+def build_gemver_b() -> Program:
+    """gemver with transposed traversal of the rank-2 update and matvecs."""
+    b = ProgramBuilder("gemver_b", parameters=["N"])
+    b.add_array("A", ("N", "N"))
+    b.add_array("u1", ("N",))
+    b.add_array("v1", ("N",))
+    b.add_array("u2", ("N",))
+    b.add_array("v2", ("N",))
+    b.add_array("w", ("N",))
+    b.add_array("x", ("N",))
+    b.add_array("y", ("N",))
+    b.add_array("z", ("N",))
+    b.add_scalar("alpha")
+    b.add_scalar("beta")
+    with b.loop("j", 0, "N"):
+        with b.loop("i", 0, "N"):
+            b.assign(("A", "i", "j"),
+                     b.read("A", "i", "j") + b.read("u1", "i") * b.read("v1", "j")
+                     + b.read("u2", "i") * b.read("v2", "j"))
+    with b.loop("j", 0, "N"):
+        with b.loop("i", 0, "N"):
+            b.assign(("x", "i"),
+                     b.read("x", "i") + b.read("beta") * b.read("A", "j", "i") * b.read("y", "j"))
+    with b.loop("i", 0, "N"):
+        b.assign(("x", "i"), b.read("x", "i") + b.read("z", "i"))
+    with b.loop("j", 0, "N"):
+        with b.loop("i", 0, "N"):
+            b.assign(("w", "i"),
+                     b.read("w", "i") + b.read("alpha") * b.read("A", "i", "j") * b.read("x", "j"))
+    return b.finish()
+
+
+def build_gemver_npbench() -> Program:
+    program = build_gemver_a()
+    program.name = "gemver_npbench"
+    return program
+
+
+# ----------------------------------------------------------------------------
+# gesummv: y = alpha * A @ x + beta * B @ x
+# ----------------------------------------------------------------------------
+
+def build_gesummv_a() -> Program:
+    b = ProgramBuilder("gesummv_a", parameters=["N"])
+    b.add_array("A", ("N", "N"))
+    b.add_array("B", ("N", "N"))
+    b.add_array("x", ("N",))
+    b.add_array("y", ("N",))
+    b.add_array("tmp", ("N",), transient=True)
+    b.add_scalar("alpha")
+    b.add_scalar("beta")
+    with b.loop("i", 0, "N"):
+        b.assign(("tmp", "i"), 0.0)
+        b.assign(("y", "i"), 0.0)
+        with b.loop("j", 0, "N"):
+            b.assign(("tmp", "i"), b.read("tmp", "i") + b.read("A", "i", "j") * b.read("x", "j"))
+            b.assign(("y", "i"), b.read("y", "i") + b.read("B", "i", "j") * b.read("x", "j"))
+        b.assign(("y", "i"), b.read("alpha") * b.read("tmp", "i") + b.read("beta") * b.read("y", "i"))
+    return b.finish()
+
+
+def build_gesummv_b() -> Program:
+    """gesummv with the two matvecs and the final combination fissioned."""
+    b = ProgramBuilder("gesummv_b", parameters=["N"])
+    b.add_array("A", ("N", "N"))
+    b.add_array("B", ("N", "N"))
+    b.add_array("x", ("N",))
+    b.add_array("y", ("N",))
+    b.add_array("tmp", ("N",), transient=True)
+    b.add_scalar("alpha")
+    b.add_scalar("beta")
+    with b.loop("i", 0, "N"):
+        b.assign(("tmp", "i"), 0.0)
+    with b.loop("i", 0, "N"):
+        b.assign(("y", "i"), 0.0)
+    with b.loop("i", 0, "N"):
+        with b.loop("j", 0, "N"):
+            b.assign(("tmp", "i"), b.read("tmp", "i") + b.read("A", "i", "j") * b.read("x", "j"))
+    with b.loop("i", 0, "N"):
+        with b.loop("j", 0, "N"):
+            b.assign(("y", "i"), b.read("y", "i") + b.read("B", "i", "j") * b.read("x", "j"))
+    with b.loop("i", 0, "N"):
+        b.assign(("y", "i"), b.read("alpha") * b.read("tmp", "i") + b.read("beta") * b.read("y", "i"))
+    return b.finish()
+
+
+def build_gesummv_npbench() -> Program:
+    program = build_gesummv_b()
+    program.name = "gesummv_npbench"
+    return program

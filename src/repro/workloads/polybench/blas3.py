@@ -1,0 +1,377 @@
+"""BLAS-3-like PolyBench kernels: gemm, 2mm, 3mm, syrk, syr2k.
+
+Each benchmark provides three builders:
+
+* ``build_<name>_a``   — the original PolyBench loop structure (A variant),
+* ``build_<name>_b``   — a semantically equivalent alternative composition
+  and permutation of the loops (B variant), the kind of variation a
+  developer might legitimately write,
+* ``build_<name>_npbench`` — the structure produced by translating the
+  NPBench (NumPy) implementation operator by operator: separate nests per
+  array operation, reduction initialisation inside the operation's nest, and
+  ``py_``-prefixed loops where the NumPy code iterates in the interpreter.
+
+The A and B variants are checked for observational equivalence by the test
+suite using the reference interpreter.
+"""
+
+from __future__ import annotations
+
+from ..ir_helpers import ProgramBuilder
+from ...ir.nodes import Program
+
+
+# ----------------------------------------------------------------------------
+# gemm: C = alpha * A @ B + beta * C
+# ----------------------------------------------------------------------------
+
+def build_gemm_a() -> Program:
+    """PolyBench gemm: beta-scaling fused above the contraction loop."""
+    b = ProgramBuilder("gemm_a", parameters=["NI", "NJ", "NK"])
+    b.add_array("C", ("NI", "NJ"))
+    b.add_array("A", ("NI", "NK"))
+    b.add_array("B", ("NK", "NJ"))
+    b.add_scalar("alpha")
+    b.add_scalar("beta")
+    with b.loop("i", 0, "NI"):
+        with b.loop("j", 0, "NJ"):
+            b.assign(("C", "i", "j"), b.read("C", "i", "j") * b.read("beta"))
+            with b.loop("k", 0, "NK"):
+                b.assign(("C", "i", "j"),
+                         b.read("C", "i", "j")
+                         + b.read("alpha") * b.read("A", "i", "k") * b.read("B", "k", "j"))
+    return b.finish()
+
+
+def build_gemm_b() -> Program:
+    """Alternative gemm: fissioned scaling, k-outermost accumulation."""
+    b = ProgramBuilder("gemm_b", parameters=["NI", "NJ", "NK"])
+    b.add_array("C", ("NI", "NJ"))
+    b.add_array("A", ("NI", "NK"))
+    b.add_array("B", ("NK", "NJ"))
+    b.add_scalar("alpha")
+    b.add_scalar("beta")
+    with b.loop("j", 0, "NJ"):
+        with b.loop("i", 0, "NI"):
+            b.assign(("C", "i", "j"), b.read("C", "i", "j") * b.read("beta"))
+    with b.loop("k", 0, "NK"):
+        with b.loop("j", 0, "NJ"):
+            with b.loop("i", 0, "NI"):
+                b.assign(("C", "i", "j"),
+                         b.read("C", "i", "j")
+                         + b.read("alpha") * b.read("A", "i", "k") * b.read("B", "k", "j"))
+    return b.finish()
+
+
+def build_gemm_npbench() -> Program:
+    """NPBench gemm (``C[:] = alpha * A @ B + beta * C``), operator by operator."""
+    b = ProgramBuilder("gemm_npbench", parameters=["NI", "NJ", "NK"])
+    b.add_array("C", ("NI", "NJ"))
+    b.add_array("A", ("NI", "NK"))
+    b.add_array("B", ("NK", "NJ"))
+    b.add_array("tmp", ("NI", "NJ"), transient=True)
+    b.add_scalar("alpha")
+    b.add_scalar("beta")
+    # A @ B: reduction initialisation inside the nest (imperfect nest).
+    with b.loop("i", 0, "NI"):
+        with b.loop("j", 0, "NJ"):
+            b.assign(("tmp", "i", "j"), 0.0)
+            with b.loop("k", 0, "NK"):
+                b.assign(("tmp", "i", "j"),
+                         b.read("tmp", "i", "j") + b.read("A", "i", "k") * b.read("B", "k", "j"))
+    # alpha * tmp + beta * C, one element-wise operator.
+    with b.loop("i", 0, "NI"):
+        with b.loop("j", 0, "NJ"):
+            b.assign(("C", "i", "j"),
+                     b.read("alpha") * b.read("tmp", "i", "j")
+                     + b.read("beta") * b.read("C", "i", "j"))
+    return b.finish()
+
+
+# ----------------------------------------------------------------------------
+# 2mm: D = alpha * A @ B @ C + beta * D
+# ----------------------------------------------------------------------------
+
+def build_2mm_a() -> Program:
+    b = ProgramBuilder("2mm_a", parameters=["NI", "NJ", "NK", "NL"])
+    b.add_array("tmp", ("NI", "NJ"), transient=True)
+    b.add_array("A", ("NI", "NK"))
+    b.add_array("B", ("NK", "NJ"))
+    b.add_array("C", ("NJ", "NL"))
+    b.add_array("D", ("NI", "NL"))
+    b.add_scalar("alpha")
+    b.add_scalar("beta")
+    with b.loop("i", 0, "NI"):
+        with b.loop("j", 0, "NJ"):
+            b.assign(("tmp", "i", "j"), 0.0)
+            with b.loop("k", 0, "NK"):
+                b.assign(("tmp", "i", "j"),
+                         b.read("tmp", "i", "j")
+                         + b.read("alpha") * b.read("A", "i", "k") * b.read("B", "k", "j"))
+    with b.loop("i", 0, "NI"):
+        with b.loop("j", 0, "NL"):
+            b.assign(("D", "i", "j"), b.read("D", "i", "j") * b.read("beta"))
+            with b.loop("k", 0, "NJ"):
+                b.assign(("D", "i", "j"),
+                         b.read("D", "i", "j") + b.read("tmp", "i", "k") * b.read("C", "k", "j"))
+    return b.finish()
+
+
+def build_2mm_b() -> Program:
+    """2mm with fissioned initialisation and permuted contraction loops."""
+    b = ProgramBuilder("2mm_b", parameters=["NI", "NJ", "NK", "NL"])
+    b.add_array("tmp", ("NI", "NJ"), transient=True)
+    b.add_array("A", ("NI", "NK"))
+    b.add_array("B", ("NK", "NJ"))
+    b.add_array("C", ("NJ", "NL"))
+    b.add_array("D", ("NI", "NL"))
+    b.add_scalar("alpha")
+    b.add_scalar("beta")
+    with b.loop("j", 0, "NJ"):
+        with b.loop("i", 0, "NI"):
+            b.assign(("tmp", "i", "j"), 0.0)
+    with b.loop("k", 0, "NK"):
+        with b.loop("j", 0, "NJ"):
+            with b.loop("i", 0, "NI"):
+                b.assign(("tmp", "i", "j"),
+                         b.read("tmp", "i", "j")
+                         + b.read("alpha") * b.read("A", "i", "k") * b.read("B", "k", "j"))
+    with b.loop("j", 0, "NL"):
+        with b.loop("i", 0, "NI"):
+            b.assign(("D", "i", "j"), b.read("D", "i", "j") * b.read("beta"))
+    with b.loop("i", 0, "NI"):
+        with b.loop("k", 0, "NJ"):
+            with b.loop("j", 0, "NL"):
+                b.assign(("D", "i", "j"),
+                         b.read("D", "i", "j") + b.read("tmp", "i", "k") * b.read("C", "k", "j"))
+    return b.finish()
+
+
+def build_2mm_npbench() -> Program:
+    """NPBench 2mm: two matmul operators plus element-wise updates."""
+    b = ProgramBuilder("2mm_npbench", parameters=["NI", "NJ", "NK", "NL"])
+    b.add_array("tmp", ("NI", "NJ"), transient=True)
+    b.add_array("tmp2", ("NI", "NL"), transient=True)
+    b.add_array("A", ("NI", "NK"))
+    b.add_array("B", ("NK", "NJ"))
+    b.add_array("C", ("NJ", "NL"))
+    b.add_array("D", ("NI", "NL"))
+    b.add_scalar("alpha")
+    b.add_scalar("beta")
+    with b.loop("i", 0, "NI"):
+        with b.loop("j", 0, "NJ"):
+            b.assign(("tmp", "i", "j"), 0.0)
+            with b.loop("k", 0, "NK"):
+                b.assign(("tmp", "i", "j"),
+                         b.read("tmp", "i", "j") + b.read("A", "i", "k") * b.read("B", "k", "j"))
+    with b.loop("i", 0, "NI"):
+        with b.loop("j", 0, "NL"):
+            b.assign(("tmp2", "i", "j"), 0.0)
+            with b.loop("k", 0, "NJ"):
+                b.assign(("tmp2", "i", "j"),
+                         b.read("tmp2", "i", "j") + b.read("tmp", "i", "k") * b.read("C", "k", "j"))
+    with b.loop("i", 0, "NI"):
+        with b.loop("j", 0, "NL"):
+            b.assign(("D", "i", "j"),
+                     b.read("alpha") * b.read("tmp2", "i", "j")
+                     + b.read("beta") * b.read("D", "i", "j"))
+    return b.finish()
+
+
+# ----------------------------------------------------------------------------
+# 3mm: G = (A @ B) @ (C @ D)
+# ----------------------------------------------------------------------------
+
+def build_3mm_a() -> Program:
+    b = ProgramBuilder("3mm_a", parameters=["NI", "NJ", "NK", "NL", "NM"])
+    b.add_array("A", ("NI", "NK"))
+    b.add_array("B", ("NK", "NJ"))
+    b.add_array("C", ("NJ", "NM"))
+    b.add_array("D", ("NM", "NL"))
+    b.add_array("E", ("NI", "NJ"), transient=True)
+    b.add_array("F", ("NJ", "NL"), transient=True)
+    b.add_array("G", ("NI", "NL"))
+    with b.loop("i", 0, "NI"):
+        with b.loop("j", 0, "NJ"):
+            b.assign(("E", "i", "j"), 0.0)
+            with b.loop("k", 0, "NK"):
+                b.assign(("E", "i", "j"),
+                         b.read("E", "i", "j") + b.read("A", "i", "k") * b.read("B", "k", "j"))
+    with b.loop("i", 0, "NJ"):
+        with b.loop("j", 0, "NL"):
+            b.assign(("F", "i", "j"), 0.0)
+            with b.loop("k", 0, "NM"):
+                b.assign(("F", "i", "j"),
+                         b.read("F", "i", "j") + b.read("C", "i", "k") * b.read("D", "k", "j"))
+    with b.loop("i", 0, "NI"):
+        with b.loop("j", 0, "NL"):
+            b.assign(("G", "i", "j"), 0.0)
+            with b.loop("k", 0, "NJ"):
+                b.assign(("G", "i", "j"),
+                         b.read("G", "i", "j") + b.read("E", "i", "k") * b.read("F", "k", "j"))
+    return b.finish()
+
+
+def build_3mm_b() -> Program:
+    """3mm with separated initialisation nests and permuted contractions."""
+    b = ProgramBuilder("3mm_b", parameters=["NI", "NJ", "NK", "NL", "NM"])
+    b.add_array("A", ("NI", "NK"))
+    b.add_array("B", ("NK", "NJ"))
+    b.add_array("C", ("NJ", "NM"))
+    b.add_array("D", ("NM", "NL"))
+    b.add_array("E", ("NI", "NJ"), transient=True)
+    b.add_array("F", ("NJ", "NL"), transient=True)
+    b.add_array("G", ("NI", "NL"))
+    with b.loop("j", 0, "NJ"):
+        with b.loop("i", 0, "NI"):
+            b.assign(("E", "i", "j"), 0.0)
+    with b.loop("k", 0, "NK"):
+        with b.loop("i", 0, "NI"):
+            with b.loop("j", 0, "NJ"):
+                b.assign(("E", "i", "j"),
+                         b.read("E", "i", "j") + b.read("A", "i", "k") * b.read("B", "k", "j"))
+    with b.loop("i", 0, "NJ"):
+        with b.loop("j", 0, "NL"):
+            b.assign(("F", "i", "j"), 0.0)
+    with b.loop("i", 0, "NJ"):
+        with b.loop("k", 0, "NM"):
+            with b.loop("j", 0, "NL"):
+                b.assign(("F", "i", "j"),
+                         b.read("F", "i", "j") + b.read("C", "i", "k") * b.read("D", "k", "j"))
+    with b.loop("j", 0, "NL"):
+        with b.loop("i", 0, "NI"):
+            b.assign(("G", "i", "j"), 0.0)
+    with b.loop("k", 0, "NJ"):
+        with b.loop("j", 0, "NL"):
+            with b.loop("i", 0, "NI"):
+                b.assign(("G", "i", "j"),
+                         b.read("G", "i", "j") + b.read("E", "i", "k") * b.read("F", "k", "j"))
+    return b.finish()
+
+
+def build_3mm_npbench() -> Program:
+    """NPBench 3mm is structurally the A variant (three matmul operators)."""
+    program = build_3mm_a()
+    program.name = "3mm_npbench"
+    return program
+
+
+# ----------------------------------------------------------------------------
+# syrk: C = alpha * A @ A^T + beta * C   (lower triangle)
+# ----------------------------------------------------------------------------
+
+def build_syrk_a() -> Program:
+    b = ProgramBuilder("syrk_a", parameters=["N", "M"])
+    b.add_array("C", ("N", "N"))
+    b.add_array("A", ("N", "M"))
+    b.add_scalar("alpha")
+    b.add_scalar("beta")
+    with b.loop("i", 0, "N"):
+        with b.loop("j", 0, b.sym("i") + 1):
+            b.assign(("C", "i", "j"), b.read("C", "i", "j") * b.read("beta"))
+        with b.loop("k", 0, "M"):
+            with b.loop("j", 0, b.sym("i") + 1):
+                b.assign(("C", "i", "j"),
+                         b.read("C", "i", "j")
+                         + b.read("alpha") * b.read("A", "i", "k") * b.read("A", "j", "k"))
+    return b.finish()
+
+
+def build_syrk_b() -> Program:
+    """syrk with fissioned scaling and (j, k) interchanged accumulation."""
+    b = ProgramBuilder("syrk_b", parameters=["N", "M"])
+    b.add_array("C", ("N", "N"))
+    b.add_array("A", ("N", "M"))
+    b.add_scalar("alpha")
+    b.add_scalar("beta")
+    with b.loop("i", 0, "N"):
+        with b.loop("j", 0, b.sym("i") + 1):
+            b.assign(("C", "i", "j"), b.read("C", "i", "j") * b.read("beta"))
+    with b.loop("i", 0, "N"):
+        with b.loop("j", 0, b.sym("i") + 1):
+            with b.loop("k", 0, "M"):
+                b.assign(("C", "i", "j"),
+                         b.read("C", "i", "j")
+                         + b.read("alpha") * b.read("A", "i", "k") * b.read("A", "j", "k"))
+    return b.finish()
+
+
+def build_syrk_npbench() -> Program:
+    """NPBench syrk: an interpreter-level loop over rows with sliced updates."""
+    b = ProgramBuilder("syrk_npbench", parameters=["N", "M"])
+    b.add_array("C", ("N", "N"))
+    b.add_array("A", ("N", "M"))
+    b.add_scalar("alpha")
+    b.add_scalar("beta")
+    with b.loop("py_i", 0, "N"):
+        with b.loop("j", 0, b.sym("py_i") + 1):
+            b.assign(("C", "py_i", "j"), b.read("C", "py_i", "j") * b.read("beta"))
+        with b.loop("k", 0, "M"):
+            with b.loop("j", 0, b.sym("py_i") + 1):
+                b.assign(("C", "py_i", "j"),
+                         b.read("C", "py_i", "j")
+                         + b.read("alpha") * b.read("A", "py_i", "k") * b.read("A", "j", "k"))
+    return b.finish()
+
+
+# ----------------------------------------------------------------------------
+# syr2k: C = alpha * (A @ B^T + B @ A^T) + beta * C   (lower triangle)
+# ----------------------------------------------------------------------------
+
+def build_syr2k_a() -> Program:
+    b = ProgramBuilder("syr2k_a", parameters=["N", "M"])
+    b.add_array("C", ("N", "N"))
+    b.add_array("A", ("N", "M"))
+    b.add_array("B", ("N", "M"))
+    b.add_scalar("alpha")
+    b.add_scalar("beta")
+    with b.loop("i", 0, "N"):
+        with b.loop("j", 0, b.sym("i") + 1):
+            b.assign(("C", "i", "j"), b.read("C", "i", "j") * b.read("beta"))
+        with b.loop("k", 0, "M"):
+            with b.loop("j", 0, b.sym("i") + 1):
+                b.assign(("C", "i", "j"),
+                         b.read("C", "i", "j")
+                         + b.read("A", "j", "k") * b.read("alpha") * b.read("B", "i", "k")
+                         + b.read("B", "j", "k") * b.read("alpha") * b.read("A", "i", "k"))
+    return b.finish()
+
+
+def build_syr2k_b() -> Program:
+    b = ProgramBuilder("syr2k_b", parameters=["N", "M"])
+    b.add_array("C", ("N", "N"))
+    b.add_array("A", ("N", "M"))
+    b.add_array("B", ("N", "M"))
+    b.add_scalar("alpha")
+    b.add_scalar("beta")
+    with b.loop("i", 0, "N"):
+        with b.loop("j", 0, b.sym("i") + 1):
+            b.assign(("C", "i", "j"), b.read("C", "i", "j") * b.read("beta"))
+    with b.loop("i", 0, "N"):
+        with b.loop("j", 0, b.sym("i") + 1):
+            with b.loop("k", 0, "M"):
+                b.assign(("C", "i", "j"),
+                         b.read("C", "i", "j")
+                         + b.read("A", "j", "k") * b.read("alpha") * b.read("B", "i", "k")
+                         + b.read("B", "j", "k") * b.read("alpha") * b.read("A", "i", "k"))
+    return b.finish()
+
+
+def build_syr2k_npbench() -> Program:
+    """NPBench syr2k: interpreter-level row loop with sliced updates."""
+    b = ProgramBuilder("syr2k_npbench", parameters=["N", "M"])
+    b.add_array("C", ("N", "N"))
+    b.add_array("A", ("N", "M"))
+    b.add_array("B", ("N", "M"))
+    b.add_scalar("alpha")
+    b.add_scalar("beta")
+    with b.loop("py_i", 0, "N"):
+        with b.loop("j", 0, b.sym("py_i") + 1):
+            b.assign(("C", "py_i", "j"), b.read("C", "py_i", "j") * b.read("beta"))
+        with b.loop("k", 0, "M"):
+            with b.loop("j", 0, b.sym("py_i") + 1):
+                b.assign(("C", "py_i", "j"),
+                         b.read("C", "py_i", "j")
+                         + b.read("A", "j", "k") * b.read("alpha") * b.read("B", "py_i", "k")
+                         + b.read("B", "j", "k") * b.read("alpha") * b.read("A", "py_i", "k"))
+    return b.finish()

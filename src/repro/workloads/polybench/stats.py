@@ -1,0 +1,180 @@
+"""Data-mining PolyBench kernels: correlation and covariance.
+
+Both kernels normalize a data matrix column-wise and then compute a
+(symmetric, triangular) second-moment matrix.  The PolyBench reference
+guards the standard deviation against zero with a conditional; our IR has no
+conditionals, so the guard is dropped — the test suite feeds data with
+non-degenerate columns, which keeps A and B numerically identical.
+"""
+
+from __future__ import annotations
+
+from ..ir_helpers import ProgramBuilder
+from ...ir.nodes import Program
+
+
+# ----------------------------------------------------------------------------
+# covariance
+# ----------------------------------------------------------------------------
+
+def build_covariance_a() -> Program:
+    b = ProgramBuilder("covariance_a", parameters=["M", "N"])
+    b.add_array("data", ("N", "M"))
+    b.add_array("cov", ("M", "M"))
+    b.add_array("mean", ("M",), transient=True)
+    b.add_scalar("float_n")
+    with b.loop("j", 0, "M"):
+        b.assign(("mean", "j"), 0.0)
+        with b.loop("i", 0, "N"):
+            b.assign(("mean", "j"), b.read("mean", "j") + b.read("data", "i", "j"))
+        b.assign(("mean", "j"), b.call("div", b.read("mean", "j"), b.read("float_n")))
+    with b.loop("i", 0, "N"):
+        with b.loop("j", 0, "M"):
+            b.assign(("data", "i", "j"), b.read("data", "i", "j") - b.read("mean", "j"))
+    with b.loop("i", 0, "M"):
+        with b.loop("j", b.sym("i"), "M"):
+            b.assign(("cov", "i", "j"), 0.0)
+            with b.loop("k", 0, "N"):
+                b.assign(("cov", "i", "j"),
+                         b.read("cov", "i", "j") + b.read("data", "k", "i") * b.read("data", "k", "j"))
+            b.assign(("cov", "i", "j"),
+                     b.call("div", b.read("cov", "i", "j"), b.read("float_n") - 1.0))
+            b.assign(("cov", "j", "i"), b.read("cov", "i", "j"))
+    return b.finish()
+
+
+def build_covariance_b() -> Program:
+    """covariance with every phase fissioned and the mean loop transposed."""
+    b = ProgramBuilder("covariance_b", parameters=["M", "N"])
+    b.add_array("data", ("N", "M"))
+    b.add_array("cov", ("M", "M"))
+    b.add_array("mean", ("M",), transient=True)
+    b.add_scalar("float_n")
+    with b.loop("j", 0, "M"):
+        b.assign(("mean", "j"), 0.0)
+    with b.loop("i", 0, "N"):
+        with b.loop("j", 0, "M"):
+            b.assign(("mean", "j"), b.read("mean", "j") + b.read("data", "i", "j"))
+    with b.loop("j", 0, "M"):
+        b.assign(("mean", "j"), b.call("div", b.read("mean", "j"), b.read("float_n")))
+    with b.loop("j", 0, "M"):
+        with b.loop("i", 0, "N"):
+            b.assign(("data", "i", "j"), b.read("data", "i", "j") - b.read("mean", "j"))
+    with b.loop("i", 0, "M"):
+        with b.loop("j", b.sym("i"), "M"):
+            b.assign(("cov", "i", "j"), 0.0)
+    with b.loop("k", 0, "N"):
+        with b.loop("i", 0, "M"):
+            with b.loop("j", b.sym("i"), "M"):
+                b.assign(("cov", "i", "j"),
+                         b.read("cov", "i", "j") + b.read("data", "k", "i") * b.read("data", "k", "j"))
+    with b.loop("i", 0, "M"):
+        with b.loop("j", b.sym("i"), "M"):
+            b.assign(("cov", "i", "j"),
+                     b.call("div", b.read("cov", "i", "j"), b.read("float_n") - 1.0))
+            b.assign(("cov", "j", "i"), b.read("cov", "i", "j"))
+    return b.finish()
+
+
+def build_covariance_npbench() -> Program:
+    program = build_covariance_b()
+    program.name = "covariance_npbench"
+    return program
+
+
+# ----------------------------------------------------------------------------
+# correlation
+# ----------------------------------------------------------------------------
+
+def build_correlation_a() -> Program:
+    b = ProgramBuilder("correlation_a", parameters=["M", "N"])
+    b.add_array("data", ("N", "M"))
+    b.add_array("corr", ("M", "M"))
+    b.add_array("mean", ("M",), transient=True)
+    b.add_array("stddev", ("M",), transient=True)
+    b.add_scalar("float_n")
+    with b.loop("j", 0, "M"):
+        b.assign(("mean", "j"), 0.0)
+        with b.loop("i", 0, "N"):
+            b.assign(("mean", "j"), b.read("mean", "j") + b.read("data", "i", "j"))
+        b.assign(("mean", "j"), b.call("div", b.read("mean", "j"), b.read("float_n")))
+    with b.loop("j", 0, "M"):
+        b.assign(("stddev", "j"), 0.0)
+        with b.loop("i", 0, "N"):
+            b.assign(("stddev", "j"),
+                     b.read("stddev", "j")
+                     + (b.read("data", "i", "j") - b.read("mean", "j"))
+                     * (b.read("data", "i", "j") - b.read("mean", "j")))
+        b.assign(("stddev", "j"),
+                 b.call("sqrt", b.call("div", b.read("stddev", "j"), b.read("float_n"))))
+    with b.loop("i", 0, "N"):
+        with b.loop("j", 0, "M"):
+            b.assign(("data", "i", "j"),
+                     b.call("div", b.read("data", "i", "j") - b.read("mean", "j"),
+                            b.call("sqrt", b.read("float_n")) * b.read("stddev", "j")))
+    with b.loop("i", 0, b.sym("M") - 1):
+        b.assign(("corr", "i", "i"), 1.0)
+        with b.loop("j", b.sym("i") + 1, "M"):
+            b.assign(("corr", "i", "j"), 0.0)
+            with b.loop("k", 0, "N"):
+                b.assign(("corr", "i", "j"),
+                         b.read("corr", "i", "j")
+                         + b.read("data", "k", "i") * b.read("data", "k", "j"))
+            b.assign(("corr", "j", "i"), b.read("corr", "i", "j"))
+    b.assign(("corr", b.sym("M") - 1, b.sym("M") - 1), 1.0)
+    return b.finish()
+
+
+def build_correlation_b() -> Program:
+    """correlation with fissioned phases and permuted traversal orders."""
+    b = ProgramBuilder("correlation_b", parameters=["M", "N"])
+    b.add_array("data", ("N", "M"))
+    b.add_array("corr", ("M", "M"))
+    b.add_array("mean", ("M",), transient=True)
+    b.add_array("stddev", ("M",), transient=True)
+    b.add_scalar("float_n")
+    with b.loop("j", 0, "M"):
+        b.assign(("mean", "j"), 0.0)
+    with b.loop("i", 0, "N"):
+        with b.loop("j", 0, "M"):
+            b.assign(("mean", "j"), b.read("mean", "j") + b.read("data", "i", "j"))
+    with b.loop("j", 0, "M"):
+        b.assign(("mean", "j"), b.call("div", b.read("mean", "j"), b.read("float_n")))
+    with b.loop("j", 0, "M"):
+        b.assign(("stddev", "j"), 0.0)
+    with b.loop("i", 0, "N"):
+        with b.loop("j", 0, "M"):
+            b.assign(("stddev", "j"),
+                     b.read("stddev", "j")
+                     + (b.read("data", "i", "j") - b.read("mean", "j"))
+                     * (b.read("data", "i", "j") - b.read("mean", "j")))
+    with b.loop("j", 0, "M"):
+        b.assign(("stddev", "j"),
+                 b.call("sqrt", b.call("div", b.read("stddev", "j"), b.read("float_n"))))
+    with b.loop("j", 0, "M"):
+        with b.loop("i", 0, "N"):
+            b.assign(("data", "i", "j"),
+                     b.call("div", b.read("data", "i", "j") - b.read("mean", "j"),
+                            b.call("sqrt", b.read("float_n")) * b.read("stddev", "j")))
+    with b.loop("i", 0, b.sym("M") - 1):
+        b.assign(("corr", "i", "i"), 1.0)
+    with b.loop("i", 0, b.sym("M") - 1):
+        with b.loop("j", b.sym("i") + 1, "M"):
+            b.assign(("corr", "i", "j"), 0.0)
+    with b.loop("k", 0, "N"):
+        with b.loop("i", 0, b.sym("M") - 1):
+            with b.loop("j", b.sym("i") + 1, "M"):
+                b.assign(("corr", "i", "j"),
+                         b.read("corr", "i", "j")
+                         + b.read("data", "k", "i") * b.read("data", "k", "j"))
+    with b.loop("i", 0, b.sym("M") - 1):
+        with b.loop("j", b.sym("i") + 1, "M"):
+            b.assign(("corr", "j", "i"), b.read("corr", "i", "j"))
+    b.assign(("corr", b.sym("M") - 1, b.sym("M") - 1), 1.0)
+    return b.finish()
+
+
+def build_correlation_npbench() -> Program:
+    program = build_correlation_b()
+    program.name = "correlation_npbench"
+    return program

@@ -1,0 +1,184 @@
+"""Stencil PolyBench kernels: jacobi-2d, fdtd-2d, heat-3d.
+
+The B variants traverse the spatial dimensions in a permuted (strided)
+order — the variation the paper highlights for fdtd-2d, where "strided
+memory accesses in the B implementation [can] neither Polly nor icc optimize
+well" (Section 4.1).  The time loop is never permuted (it carries the
+dependence between sweeps), so A and B remain semantically identical.
+"""
+
+from __future__ import annotations
+
+from ..ir_helpers import ProgramBuilder
+from ...ir.nodes import Program
+
+
+# ----------------------------------------------------------------------------
+# jacobi-2d
+# ----------------------------------------------------------------------------
+
+def _jacobi_update(b: ProgramBuilder, dst: str, src: str) -> None:
+    b.assign((dst, "i", "j"),
+             0.2 * (b.read(src, "i", "j")
+                    + b.read(src, "i", b.sym("j") - 1)
+                    + b.read(src, "i", b.sym("j") + 1)
+                    + b.read(src, b.sym("i") + 1, "j")
+                    + b.read(src, b.sym("i") - 1, "j")))
+
+
+def build_jacobi2d_a() -> Program:
+    b = ProgramBuilder("jacobi2d_a", parameters=["TSTEPS", "N"])
+    b.add_array("A", ("N", "N"))
+    b.add_array("B", ("N", "N"))
+    with b.loop("t", 0, "TSTEPS"):
+        with b.loop("i", 1, b.sym("N") - 1):
+            with b.loop("j", 1, b.sym("N") - 1):
+                _jacobi_update(b, "B", "A")
+        with b.loop("i", 1, b.sym("N") - 1):
+            with b.loop("j", 1, b.sym("N") - 1):
+                _jacobi_update(b, "A", "B")
+    return b.finish()
+
+
+def build_jacobi2d_b() -> Program:
+    """jacobi-2d traversing columns first (strided accesses)."""
+    b = ProgramBuilder("jacobi2d_b", parameters=["TSTEPS", "N"])
+    b.add_array("A", ("N", "N"))
+    b.add_array("B", ("N", "N"))
+    with b.loop("t", 0, "TSTEPS"):
+        with b.loop("j", 1, b.sym("N") - 1):
+            with b.loop("i", 1, b.sym("N") - 1):
+                _jacobi_update(b, "B", "A")
+        with b.loop("j", 1, b.sym("N") - 1):
+            with b.loop("i", 1, b.sym("N") - 1):
+                _jacobi_update(b, "A", "B")
+    return b.finish()
+
+
+def build_jacobi2d_npbench() -> Program:
+    """NPBench jacobi-2d: whole-array operations per sweep (row-major order)."""
+    program = build_jacobi2d_a()
+    program.name = "jacobi2d_npbench"
+    return program
+
+
+# ----------------------------------------------------------------------------
+# fdtd-2d
+# ----------------------------------------------------------------------------
+
+def build_fdtd2d_a() -> Program:
+    b = ProgramBuilder("fdtd2d_a", parameters=["TMAX", "NX", "NY"])
+    b.add_array("ex", ("NX", "NY"))
+    b.add_array("ey", ("NX", "NY"))
+    b.add_array("hz", ("NX", "NY"))
+    b.add_array("fict", ("TMAX",))
+    with b.loop("t", 0, "TMAX"):
+        with b.loop("j", 0, "NY"):
+            b.assign(("ey", 0, "j"), b.read("fict", "t"))
+        with b.loop("i", 1, "NX"):
+            with b.loop("j", 0, "NY"):
+                b.assign(("ey", "i", "j"),
+                         b.read("ey", "i", "j")
+                         - 0.5 * (b.read("hz", "i", "j") - b.read("hz", b.sym("i") - 1, "j")))
+        with b.loop("i", 0, "NX"):
+            with b.loop("j", 1, "NY"):
+                b.assign(("ex", "i", "j"),
+                         b.read("ex", "i", "j")
+                         - 0.5 * (b.read("hz", "i", "j") - b.read("hz", "i", b.sym("j") - 1)))
+        with b.loop("i", 0, b.sym("NX") - 1):
+            with b.loop("j", 0, b.sym("NY") - 1):
+                b.assign(("hz", "i", "j"),
+                         b.read("hz", "i", "j")
+                         - 0.7 * (b.read("ex", "i", b.sym("j") + 1) - b.read("ex", "i", "j")
+                                  + b.read("ey", b.sym("i") + 1, "j") - b.read("ey", "i", "j")))
+    return b.finish()
+
+
+def build_fdtd2d_b() -> Program:
+    """fdtd-2d with the field updates traversed column-first (strided)."""
+    b = ProgramBuilder("fdtd2d_b", parameters=["TMAX", "NX", "NY"])
+    b.add_array("ex", ("NX", "NY"))
+    b.add_array("ey", ("NX", "NY"))
+    b.add_array("hz", ("NX", "NY"))
+    b.add_array("fict", ("TMAX",))
+    with b.loop("t", 0, "TMAX"):
+        with b.loop("j", 0, "NY"):
+            b.assign(("ey", 0, "j"), b.read("fict", "t"))
+        with b.loop("j", 0, "NY"):
+            with b.loop("i", 1, "NX"):
+                b.assign(("ey", "i", "j"),
+                         b.read("ey", "i", "j")
+                         - 0.5 * (b.read("hz", "i", "j") - b.read("hz", b.sym("i") - 1, "j")))
+        with b.loop("j", 1, "NY"):
+            with b.loop("i", 0, "NX"):
+                b.assign(("ex", "i", "j"),
+                         b.read("ex", "i", "j")
+                         - 0.5 * (b.read("hz", "i", "j") - b.read("hz", "i", b.sym("j") - 1)))
+        with b.loop("j", 0, b.sym("NY") - 1):
+            with b.loop("i", 0, b.sym("NX") - 1):
+                b.assign(("hz", "i", "j"),
+                         b.read("hz", "i", "j")
+                         - 0.7 * (b.read("ex", "i", b.sym("j") + 1) - b.read("ex", "i", "j")
+                                  + b.read("ey", b.sym("i") + 1, "j") - b.read("ey", "i", "j")))
+    return b.finish()
+
+
+def build_fdtd2d_npbench() -> Program:
+    program = build_fdtd2d_a()
+    program.name = "fdtd2d_npbench"
+    return program
+
+
+# ----------------------------------------------------------------------------
+# heat-3d
+# ----------------------------------------------------------------------------
+
+def _heat_update(b: ProgramBuilder, dst: str, src: str) -> None:
+    i, j, k = b.sym("i"), b.sym("j"), b.sym("k")
+    b.assign((dst, "i", "j", "k"),
+             0.125 * (b.read(src, i + 1, "j", "k") - 2.0 * b.read(src, "i", "j", "k")
+                      + b.read(src, i - 1, "j", "k"))
+             + 0.125 * (b.read(src, "i", j + 1, "k") - 2.0 * b.read(src, "i", "j", "k")
+                        + b.read(src, "i", j - 1, "k"))
+             + 0.125 * (b.read(src, "i", "j", k + 1) - 2.0 * b.read(src, "i", "j", "k")
+                        + b.read(src, "i", "j", k - 1))
+             + b.read(src, "i", "j", "k"))
+
+
+def build_heat3d_a() -> Program:
+    b = ProgramBuilder("heat3d_a", parameters=["TSTEPS", "N"])
+    b.add_array("A", ("N", "N", "N"))
+    b.add_array("B", ("N", "N", "N"))
+    with b.loop("t", 0, "TSTEPS"):
+        with b.loop("i", 1, b.sym("N") - 1):
+            with b.loop("j", 1, b.sym("N") - 1):
+                with b.loop("k", 1, b.sym("N") - 1):
+                    _heat_update(b, "B", "A")
+        with b.loop("i", 1, b.sym("N") - 1):
+            with b.loop("j", 1, b.sym("N") - 1):
+                with b.loop("k", 1, b.sym("N") - 1):
+                    _heat_update(b, "A", "B")
+    return b.finish()
+
+
+def build_heat3d_b() -> Program:
+    """heat-3d traversing the innermost dimension outermost (strided)."""
+    b = ProgramBuilder("heat3d_b", parameters=["TSTEPS", "N"])
+    b.add_array("A", ("N", "N", "N"))
+    b.add_array("B", ("N", "N", "N"))
+    with b.loop("t", 0, "TSTEPS"):
+        with b.loop("k", 1, b.sym("N") - 1):
+            with b.loop("j", 1, b.sym("N") - 1):
+                with b.loop("i", 1, b.sym("N") - 1):
+                    _heat_update(b, "B", "A")
+        with b.loop("k", 1, b.sym("N") - 1):
+            with b.loop("j", 1, b.sym("N") - 1):
+                with b.loop("i", 1, b.sym("N") - 1):
+                    _heat_update(b, "A", "B")
+    return b.finish()
+
+
+def build_heat3d_npbench() -> Program:
+    program = build_heat3d_a()
+    program.name = "heat3d_npbench"
+    return program

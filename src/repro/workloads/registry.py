@@ -1,0 +1,110 @@
+"""Benchmark registry.
+
+Maps each of the 15 PolyBench benchmarks selected by the paper to its A, B,
+and NPBench-style variant builders plus its size presets, and provides the
+single entry point the experiments iterate over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from ..ir.nodes import Program  # noqa: F401  (re-exported for typing convenience)
+from . import sizes as size_presets
+from .polybench import (build_2mm_a, build_2mm_b, build_2mm_npbench, build_3mm_a,
+               build_3mm_b, build_3mm_npbench, build_atax_a, build_atax_b,
+               build_atax_npbench, build_bicg_a, build_bicg_b,
+               build_bicg_npbench, build_correlation_a, build_correlation_b,
+               build_correlation_npbench, build_covariance_a,
+               build_covariance_b, build_covariance_npbench, build_fdtd2d_a,
+               build_fdtd2d_b, build_fdtd2d_npbench, build_gemm_a,
+               build_gemm_b, build_gemm_npbench, build_gemver_a,
+               build_gemver_b, build_gemver_npbench, build_gesummv_a,
+               build_gesummv_b, build_gesummv_npbench, build_heat3d_a,
+               build_heat3d_b, build_heat3d_npbench, build_jacobi2d_a,
+               build_jacobi2d_b, build_jacobi2d_npbench, build_mvt_a,
+               build_mvt_b, build_mvt_npbench, build_syr2k_a, build_syr2k_b,
+               build_syr2k_npbench, build_syrk_a, build_syrk_b,
+               build_syrk_npbench)
+
+Builder = Callable[[], "Program"]
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """One benchmark with all of its implementation variants."""
+
+    name: str
+    category: str
+    build_a: Builder
+    build_b: Builder
+    build_npbench: Builder
+    #: Containers whose final contents define the benchmark's output.
+    outputs: Tuple[str, ...]
+    #: Scalar inputs and the values PolyBench initializes them with.
+    scalars: Mapping[str, float]
+
+    def sizes(self, size: str = "large") -> Dict[str, int]:
+        return size_presets.benchmark_sizes(self.name, size)
+
+    def variant(self, which: str) -> "Program":
+        """Build one of the variants: ``"a"``, ``"b"`` or ``"npbench"``."""
+        builders = {"a": self.build_a, "b": self.build_b, "npbench": self.build_npbench}
+        if which not in builders:
+            raise KeyError(f"unknown variant {which!r}")
+        return builders[which]()
+
+
+_BENCHMARKS: List[BenchmarkSpec] = [
+    BenchmarkSpec("gemm", "blas3", build_gemm_a, build_gemm_b, build_gemm_npbench,
+                  outputs=("C",), scalars={"alpha": 1.5, "beta": 1.2}),
+    BenchmarkSpec("2mm", "blas3", build_2mm_a, build_2mm_b, build_2mm_npbench,
+                  outputs=("D",), scalars={"alpha": 1.5, "beta": 1.2}),
+    BenchmarkSpec("3mm", "blas3", build_3mm_a, build_3mm_b, build_3mm_npbench,
+                  outputs=("G",), scalars={}),
+    BenchmarkSpec("syrk", "blas3", build_syrk_a, build_syrk_b, build_syrk_npbench,
+                  outputs=("C",), scalars={"alpha": 1.5, "beta": 1.2}),
+    BenchmarkSpec("syr2k", "blas3", build_syr2k_a, build_syr2k_b, build_syr2k_npbench,
+                  outputs=("C",), scalars={"alpha": 1.5, "beta": 1.2}),
+    BenchmarkSpec("atax", "blas2", build_atax_a, build_atax_b, build_atax_npbench,
+                  outputs=("y",), scalars={}),
+    BenchmarkSpec("bicg", "blas2", build_bicg_a, build_bicg_b, build_bicg_npbench,
+                  outputs=("s", "q"), scalars={}),
+    BenchmarkSpec("mvt", "blas2", build_mvt_a, build_mvt_b, build_mvt_npbench,
+                  outputs=("x1", "x2"), scalars={}),
+    BenchmarkSpec("gemver", "blas2", build_gemver_a, build_gemver_b, build_gemver_npbench,
+                  outputs=("w",), scalars={"alpha": 1.5, "beta": 1.2}),
+    BenchmarkSpec("gesummv", "blas2", build_gesummv_a, build_gesummv_b,
+                  build_gesummv_npbench, outputs=("y",),
+                  scalars={"alpha": 1.5, "beta": 1.2}),
+    BenchmarkSpec("correlation", "stats", build_correlation_a, build_correlation_b,
+                  build_correlation_npbench, outputs=("corr",),
+                  scalars={"float_n": 1400.0}),
+    BenchmarkSpec("covariance", "stats", build_covariance_a, build_covariance_b,
+                  build_covariance_npbench, outputs=("cov",),
+                  scalars={"float_n": 1400.0}),
+    BenchmarkSpec("fdtd-2d", "stencil", build_fdtd2d_a, build_fdtd2d_b,
+                  build_fdtd2d_npbench, outputs=("ex", "ey", "hz"), scalars={}),
+    BenchmarkSpec("jacobi-2d", "stencil", build_jacobi2d_a, build_jacobi2d_b,
+                  build_jacobi2d_npbench, outputs=("A",), scalars={}),
+    BenchmarkSpec("heat-3d", "stencil", build_heat3d_a, build_heat3d_b,
+                  build_heat3d_npbench, outputs=("A",), scalars={}),
+]
+
+_BY_NAME: Dict[str, BenchmarkSpec] = {spec.name: spec for spec in _BENCHMARKS}
+
+
+def all_benchmarks() -> List[BenchmarkSpec]:
+    """The 15 parallelizable PolyBench benchmarks selected by the paper."""
+    return list(_BENCHMARKS)
+
+
+def benchmark(name: str) -> BenchmarkSpec:
+    if name not in _BY_NAME:
+        raise KeyError(f"unknown benchmark {name!r}; known: {sorted(_BY_NAME)}")
+    return _BY_NAME[name]
+
+
+def benchmark_names() -> List[str]:
+    return [spec.name for spec in _BENCHMARKS]

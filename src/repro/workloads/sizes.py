@@ -1,0 +1,101 @@
+"""Problem-size presets for the PolyBench benchmarks.
+
+The paper evaluates the LARGE dataset of PolyBench 4.2.  The ``mini`` sizes
+are used by the correctness tests (the interpreter is slow), ``small`` by
+quick experiments, and ``large`` by the benchmark harness that regenerates
+the paper's figures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+#: parameter bindings per benchmark and size class.
+POLYBENCH_SIZES: Dict[str, Dict[str, Dict[str, int]]] = {
+    "gemm": {
+        "mini": {"NI": 12, "NJ": 14, "NK": 16},
+        "small": {"NI": 60, "NJ": 70, "NK": 80},
+        "large": {"NI": 1000, "NJ": 1100, "NK": 1200},
+    },
+    "2mm": {
+        "mini": {"NI": 10, "NJ": 12, "NK": 14, "NL": 16},
+        "small": {"NI": 40, "NJ": 50, "NK": 70, "NL": 80},
+        "large": {"NI": 800, "NJ": 900, "NK": 1100, "NL": 1200},
+    },
+    "3mm": {
+        "mini": {"NI": 10, "NJ": 12, "NK": 14, "NL": 16, "NM": 18},
+        "small": {"NI": 40, "NJ": 50, "NK": 60, "NL": 70, "NM": 80},
+        "large": {"NI": 800, "NJ": 900, "NK": 1000, "NL": 1100, "NM": 1200},
+    },
+    "atax": {
+        "mini": {"M": 14, "N": 16},
+        "small": {"M": 116, "N": 124},
+        "large": {"M": 1900, "N": 2100},
+    },
+    "bicg": {
+        "mini": {"M": 14, "N": 16},
+        "small": {"M": 116, "N": 124},
+        "large": {"M": 1900, "N": 2100},
+    },
+    "mvt": {
+        "mini": {"N": 16},
+        "small": {"N": 120},
+        "large": {"N": 4000},
+    },
+    "gemver": {
+        "mini": {"N": 16},
+        "small": {"N": 120},
+        "large": {"N": 4000},
+    },
+    "gesummv": {
+        "mini": {"N": 16},
+        "small": {"N": 90},
+        "large": {"N": 2800},
+    },
+    "syrk": {
+        "mini": {"M": 12, "N": 14},
+        "small": {"M": 60, "N": 80},
+        "large": {"M": 1000, "N": 1200},
+    },
+    "syr2k": {
+        "mini": {"M": 12, "N": 14},
+        "small": {"M": 60, "N": 80},
+        "large": {"M": 1000, "N": 1200},
+    },
+    "correlation": {
+        "mini": {"M": 12, "N": 14},
+        "small": {"M": 80, "N": 100},
+        "large": {"M": 1200, "N": 1400},
+    },
+    "covariance": {
+        "mini": {"M": 12, "N": 14},
+        "small": {"M": 80, "N": 100},
+        "large": {"M": 1200, "N": 1400},
+    },
+    "jacobi-2d": {
+        "mini": {"TSTEPS": 4, "N": 10},
+        "small": {"TSTEPS": 20, "N": 90},
+        "large": {"TSTEPS": 500, "N": 1300},
+    },
+    "fdtd-2d": {
+        "mini": {"TMAX": 4, "NX": 10, "NY": 12},
+        "small": {"TMAX": 20, "NX": 60, "NY": 80},
+        "large": {"TMAX": 500, "NX": 1000, "NY": 1200},
+    },
+    "heat-3d": {
+        "mini": {"TSTEPS": 3, "N": 8},
+        "small": {"TSTEPS": 20, "N": 40},
+        "large": {"TSTEPS": 500, "N": 120},
+    },
+}
+
+SIZE_CLASSES = ("mini", "small", "large")
+
+
+def benchmark_sizes(benchmark: str, size: str = "large") -> Dict[str, int]:
+    """Parameter bindings for a benchmark at a given size class."""
+    if benchmark not in POLYBENCH_SIZES:
+        raise KeyError(f"unknown benchmark {benchmark!r}")
+    if size not in POLYBENCH_SIZES[benchmark]:
+        raise KeyError(f"unknown size class {size!r} for {benchmark!r}")
+    return dict(POLYBENCH_SIZES[benchmark][size])

@@ -1,0 +1,129 @@
+"""Tests for dataflow graphs, parallelism detection, strides and reuse."""
+
+import pytest
+
+from conftest import build_gemm, build_stencil, build_vector_add
+from repro.analysis import (analyze_loop_parallelism, build_dataflow_graph,
+                            estimate_reuse, is_fully_parallel_band,
+                            nest_stride_cost, nest_stride_report,
+                            node_reads_writes, out_of_order_count,
+                            outermost_parallel_loop, parallel_loops,
+                            producer_consumer_pairs, program_dataflow,
+                            program_stride_cost, topological_order)
+from repro.ir import ProgramBuilder
+from repro.normalization import normalize_program
+from repro.workloads.polybench import build_atax_b, build_gesummv_b
+
+
+class TestDataflow:
+    def test_reads_writes_summary(self, gemm_program):
+        reads, writes = node_reads_writes(gemm_program.body[1])
+        assert writes == {"C"}
+        assert {"A", "B", "alpha"} <= reads
+
+    def test_flow_edge_between_nests(self):
+        program = build_atax_b()
+        graph = program_dataflow(program)
+        # tmp is produced by nest 2 and consumed by nest 3.
+        assert graph.has_edge(2, 3)
+        assert "flow" in graph[2][3]["kinds"]
+
+    def test_topological_order_respects_program_order(self):
+        program = build_gesummv_b()
+        graph = program_dataflow(program)
+        order = topological_order(graph)
+        assert order.index(2) < order.index(4)
+
+    def test_producer_consumer_pairs_exclusive(self):
+        b = ProgramBuilder("p", parameters=["N"])
+        b.add_array("x", ("N",))
+        b.add_array("t", ("N",), transient=True)
+        b.add_array("y", ("N",))
+        with b.loop("i", 0, "N"):
+            b.assign(("t", "i"), b.read("x", "i") * 2)
+        with b.loop("i", 0, "N"):
+            b.assign(("y", "i"), b.read("t", "i") + 1)
+        pairs = producer_consumer_pairs(b.finish())
+        assert pairs and pairs[0][:2] == (0, 1)
+
+
+class TestParallelism:
+    def test_vector_add_parallel(self, vector_add_program):
+        info = analyze_loop_parallelism(vector_add_program.body[0])
+        assert info.is_parallel and not info.is_reduction
+
+    def test_reduction_loop_detected(self):
+        b = ProgramBuilder("p", parameters=["N"])
+        b.add_array("s", ())
+        b.add_array("x", ("N",))
+        with b.loop("i", 0, "N"):
+            b.accumulate(("s",), b.read("x", "i"))
+        info = analyze_loop_parallelism(b.finish().body[0])
+        assert not info.is_parallel and info.is_reduction
+
+    def test_sequential_recurrence(self):
+        b = ProgramBuilder("p", parameters=["N"])
+        b.add_array("x", ("N",))
+        with b.loop("i", 1, "N"):
+            b.assign(("x", "i"), b.read("x", b.sym("i") - 1) + 1.0)
+        info = analyze_loop_parallelism(b.finish().body[0])
+        assert not info.is_parallel and not info.is_reduction
+
+    def test_privatizable_scalar_allows_parallelism(self):
+        b = ProgramBuilder("p", parameters=["N"])
+        b.add_array("x", ("N",))
+        b.add_array("y", ("N",))
+        b.add_scalar("tmp", transient=True)
+        with b.loop("i", 0, "N"):
+            b.assign(("tmp",), b.read("x", "i") * 2)
+            b.assign(("y", "i"), b.read("tmp") + 1)
+        program = b.finish()
+        info = analyze_loop_parallelism(program.body[0], program.arrays)
+        assert info.is_parallel and info.requires_privatization
+
+    def test_gemm_parallel_loops(self, gemm_program):
+        names = parallel_loops(gemm_program.body[1])
+        assert "i" in names and "j" in names and "k" not in names
+        assert outermost_parallel_loop(gemm_program.body[1]).iterator == "i"
+        assert not is_fully_parallel_band(gemm_program.body[1])
+
+    def test_stencil_time_loop_sequential(self, stencil_program):
+        info = analyze_loop_parallelism(stencil_program.body[0])
+        assert not info.is_parallel
+
+
+class TestStridesAndReuse:
+    def test_loop_order_changes_stride_cost(self, gemm_program, gemm_params):
+        nest = gemm_program.body[1]
+        cost_ijk = nest_stride_cost(nest, gemm_program.arrays, gemm_params,
+                                    order=["i", "j", "k"])
+        cost_ikj = nest_stride_cost(nest, gemm_program.arrays, gemm_params,
+                                    order=["i", "k", "j"])
+        assert cost_ikj < cost_ijk
+
+    def test_report_per_level(self, gemm_program, gemm_params):
+        nest = gemm_program.body[1]
+        report = nest_stride_report(nest, gemm_program.arrays, gemm_params)
+        assert report.level_cost("k") > report.level_cost("j")
+        assert report.non_affine_accesses == 0
+
+    def test_out_of_order_count_detects_transposed_traversal(self):
+        b = ProgramBuilder("p", parameters=["N"])
+        b.add_array("A", ("N", "N"))
+        with b.loop("j", 0, "N"):
+            with b.loop("i", 0, "N"):
+                b.assign(("A", "i", "j"), 1.0)
+        bad = b.finish()
+        good = normalize_program(bad)
+        assert out_of_order_count(bad.body[0], bad.arrays) > 0
+        assert out_of_order_count(good.body[0], good.arrays) == 0
+
+    def test_program_stride_cost_sums_nests(self, gemm_program, gemm_params):
+        total = program_stride_cost(gemm_program, gemm_params)
+        assert total > 0
+
+    def test_reuse_estimate(self, gemm_program, gemm_params):
+        nest = gemm_program.body[1]
+        estimate = estimate_reuse(nest, gemm_program.arrays, gemm_params)
+        assert estimate.innermost_footprint >= 4
+        assert estimate.reuse_of("C") is not None

@@ -1,0 +1,121 @@
+"""Integration tests for the experiment harnesses (fast settings).
+
+These tests assert the *qualitative* properties the paper's figures rest on,
+not absolute runtimes: daisy is robust across A/B variants, the ablation
+shows Norm+Opt dominating, the Python comparison favors daisy, and the
+CLOUDSC pipeline improves the erosion kernel.
+"""
+
+import pytest
+
+from repro.experiments import (ExperimentSettings, figure1, figure6, figure7,
+                               figure9, figure11, figure12, summary, table1)
+
+SUBSET = ["gemm", "atax", "jacobi-2d"]
+
+
+@pytest.fixture(scope="module")
+def settings():
+    return ExperimentSettings.fast(benchmarks=SUBSET)
+
+
+@pytest.fixture(scope="module")
+def fig6_rows(settings):
+    return figure6.run(settings)
+
+
+class TestFigure1:
+    def test_daisy_insensitive_to_loop_order(self, settings):
+        rows = figure1.run(settings)
+        daisy_rows = [row for row in rows if row["scheduler"] == "daisy"]
+        assert len(daisy_rows) == 6
+        spread = max(r["relative_to_best_order"] for r in daisy_rows)
+        assert spread < 1.2
+
+    def test_baseline_sensitive_to_loop_order(self, settings):
+        rows = figure1.run(settings)
+        spreads = {}
+        for scheduler in ("icc", "polly"):
+            entries = [r["relative_to_best_order"] for r in rows
+                       if r["scheduler"] == scheduler]
+            spreads[scheduler] = max(entries)
+        assert max(spreads.values()) > 1.2
+
+
+class TestFigure6:
+    def test_row_count(self, fig6_rows):
+        assert len(fig6_rows) == len(SUBSET) * 4 * 2
+
+    def test_daisy_ab_ratio_close_to_one(self, fig6_rows):
+        stats = figure6.robustness_summary(fig6_rows)
+        daisy = next(row for row in stats if row["scheduler"] == "daisy")
+        assert daisy["mean_ab_ratio"] < 1.15
+
+    def test_daisy_not_slower_than_baselines_on_average(self, fig6_rows):
+        stats = figure6.robustness_summary(fig6_rows)
+        for row in stats:
+            if row["scheduler"] == "daisy":
+                continue
+            assert row["geo_speedup_of_daisy_A"] >= 0.9
+            assert row["geo_speedup_of_daisy_B"] >= 0.9
+
+    def test_formatting(self, fig6_rows):
+        text = figure6.format_results(fig6_rows)
+        assert "benchmark" in text and "gemm" in text
+
+
+class TestFigure7:
+    def test_full_pipeline_wins(self, settings):
+        rows = figure7.run(settings)
+        for benchmark in SUBSET:
+            for variant in ("A", "B"):
+                by_config = {row["configuration"]: row["normalized_runtime"]
+                             for row in rows
+                             if row["benchmark"] == benchmark and row["variant"] == variant}
+                assert by_config["norm+opt"] <= by_config["clang"] * 1.05
+                assert by_config["norm+opt"] <= min(by_config["opt"], by_config["norm"]) * 1.1
+
+
+class TestFigure9:
+    def test_daisy_competitive_with_frameworks(self, settings):
+        rows = figure9.run(settings)
+        stats = {row["framework"]: row["geo_mean_vs_daisy"]
+                 for row in figure9.framework_summary(rows)}
+        assert stats["daisy"] == pytest.approx(1.0)
+        assert stats["numpy"] >= 1.0
+        assert stats["numba"] >= 0.95
+        assert stats["dace"] >= 0.95
+
+
+class TestCloudscExperiments:
+    def test_table1_shape(self, settings):
+        rows = table1.run(settings)
+        by_version = {row["version"]: row for row in rows if "version" in row}
+        assert by_version["optimized"]["single_iteration_ms"] < by_version["original"]["single_iteration_ms"]
+        assert by_version["optimized"]["l1_loads"] < by_version["original"]["l1_loads"]
+        ratio = (by_version["original"]["klev_iterations_ms"]
+                 / by_version["optimized"]["klev_iterations_ms"])
+        assert ratio > 1.5
+
+    def test_figure11_daisy_fastest(self, settings):
+        rows = figure11.run(settings)
+        runtimes = {row["version"]: row["normalized_runtime"] for row in rows
+                    if row["version"] in figure11.VERSIONS}
+        assert runtimes["fortran"] == pytest.approx(1.0)
+        assert runtimes["daisy"] < 1.0
+        assert runtimes["c"] > 1.0 and runtimes["dace"] > runtimes["c"]
+
+    def test_figure12_strong_scaling_improves_with_threads(self, settings):
+        rows = figure12.run_strong_scaling(settings, threads=(1, 12))
+        daisy = {row["threads"]: row["runtime_s"] for row in rows
+                 if row["version"] == "daisy"}
+        fortran = {row["threads"]: row["runtime_s"] for row in rows
+                   if row["version"] == "fortran"}
+        assert daisy[12] < daisy[1]
+        assert daisy[12] <= fortran[12]
+
+    def test_figure12_weak_scaling_rows(self, settings):
+        rows = figure12.run_weak_scaling(settings, points=((65536, 1), (131072, 2)))
+        assert len(rows) == 2 * len(figure12.VERSIONS)
+        daisy_rows = [row for row in rows if row["version"] == "daisy"]
+        assert all(row["daisy_speedup_over_fortran"] >= 0.95 for row in daisy_rows)

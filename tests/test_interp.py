@@ -1,0 +1,101 @@
+"""Tests for the reference interpreter."""
+
+import numpy as np
+import pytest
+
+from conftest import build_gemm, build_vector_add
+from repro.interp import (ExecutionError, allocate_storage,
+                          programs_equivalent, run_program)
+from repro.ir import ProgramBuilder
+
+
+class TestExecution:
+    def test_vector_add_matches_numpy(self, rng):
+        program = build_vector_add()
+        x = rng.uniform(size=8)
+        y = rng.uniform(size=8)
+        result = run_program(program, {"N": 8}, {"x": x, "y": y})
+        assert np.allclose(result["z"], x + y)
+
+    def test_gemm_matches_numpy(self, rng):
+        program = build_gemm(with_scaling=False)
+        params = {"NI": 5, "NJ": 6, "NK": 7}
+        a = rng.uniform(size=(5, 7))
+        b = rng.uniform(size=(7, 6))
+        c = rng.uniform(size=(5, 6))
+        result = run_program(program, params,
+                             {"A": a, "B": b, "C": c, "alpha": np.array(2.0),
+                              "beta": np.array(1.0)})
+        assert np.allclose(result["C"], c + 2.0 * (a @ b))
+
+    def test_intrinsics(self):
+        b = ProgramBuilder("p", parameters=["N"])
+        b.add_array("x", ("N",))
+        b.add_array("y", ("N",))
+        with b.loop("i", 0, "N"):
+            b.assign(("y", "i"), b.call("sqrt", b.read("x", "i"))
+                     + b.call("fmax", b.read("x", "i"), 2.0))
+        result = run_program(b.finish(), {"N": 3}, {"x": np.array([1.0, 4.0, 9.0])})
+        # sqrt(x) + max(x, 2): 1+2, 2+4, 3+9
+        assert np.allclose(result["y"], [3.0, 6.0, 12.0])
+
+    def test_strided_and_offset_loops(self):
+        b = ProgramBuilder("p", parameters=["N"])
+        b.add_array("x", ("N",))
+        with b.loop("i", 1, "N", 2):
+            b.assign(("x", "i"), 1.0)
+        result = run_program(b.finish(), {"N": 6}, {"x": np.zeros(6)})
+        assert np.allclose(result["x"], [0, 1, 0, 1, 0, 1])
+
+    def test_scalar_containers(self):
+        b = ProgramBuilder("p", parameters=["N"])
+        b.add_array("x", ("N",))
+        b.add_scalar("s", transient=True)
+        b.add_array("out", ("N",))
+        with b.loop("i", 0, "N"):
+            b.assign(("s",), b.read("x", "i") * 2)
+            b.assign(("out", "i"), b.read("s") + 1)
+        result = run_program(b.finish(), {"N": 4}, {"x": np.arange(4.0)})
+        assert np.allclose(result["out"], np.arange(4.0) * 2 + 1)
+
+    def test_unknown_intrinsic_raises(self):
+        b = ProgramBuilder("p", parameters=["N"])
+        b.add_array("x", ("N",))
+        with b.loop("i", 0, "N"):
+            b.assign(("x", "i"), b.call("frobnicate", 1.0))
+        with pytest.raises(ExecutionError):
+            run_program(b.finish(), {"N": 2})
+
+    def test_negative_step_rejected(self):
+        b = ProgramBuilder("p", parameters=["N"])
+        b.add_array("x", ("N",))
+        with b.loop("i", 0, "N", -1):
+            b.assign(("x", "i"), 1.0)
+        with pytest.raises(ExecutionError):
+            run_program(b.finish(), {"N": 4})
+
+
+class TestStorageAndEquivalence:
+    def test_allocate_storage_shapes(self, gemm_program):
+        storage = allocate_storage(gemm_program, {"NI": 3, "NJ": 4, "NK": 5})
+        assert storage["C"].shape == (3, 4)
+        assert storage["alpha"].shape == ()
+
+    def test_allocate_storage_reproducible(self, gemm_program):
+        params = {"NI": 3, "NJ": 4, "NK": 5}
+        first = allocate_storage(gemm_program, params, seed=3)
+        second = allocate_storage(gemm_program, params, seed=3)
+        assert np.array_equal(first["A"], second["A"])
+
+    def test_programs_equivalent_positive(self):
+        assert programs_equivalent(build_vector_add(), build_vector_add(), {"N": 8})
+
+    def test_programs_equivalent_negative(self):
+        left = build_vector_add()
+        b = ProgramBuilder("vecsub", parameters=["N"])
+        b.add_array("x", ("N",))
+        b.add_array("y", ("N",))
+        b.add_array("z", ("N",))
+        with b.loop("i", 0, "N"):
+            b.assign(("z", "i"), b.read("x", "i") - b.read("y", "i"))
+        assert not programs_equivalent(left, b.finish(), {"N": 8})

@@ -1,0 +1,218 @@
+"""Tests for the normalization passes: loop normal form, maximal fission,
+stride minimization, scalar expansion, and the combined pipeline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import build_gemm, build_stencil, build_vector_add
+from repro.interp import programs_equivalent, run_program
+from repro.ir import ProgramBuilder, to_pseudocode
+from repro.normalization import (NormalizationOptions, PassManager,
+                                 canonicalize_iterator_names, contract_arrays,
+                                 expand_scalars, find_minimal_permutation,
+                                 is_maximally_fissioned, maximal_loop_fission,
+                                 normalize, normalize_loop_bounds,
+                                 normalize_program, normalize_program_bounds)
+from repro.workloads.polybench import build_gemm_a, build_gemm_b
+
+PARAMS = {"NI": 8, "NJ": 9, "NK": 10}
+
+
+class TestLoopNormalForm:
+    def test_bounds_rewritten_to_zero_base(self):
+        b = ProgramBuilder("p", parameters=["N"])
+        b.add_array("x", ("N",))
+        with b.loop("i", 2, "N", 3):
+            b.assign(("x", "i"), 1.0)
+        program = b.finish()
+        reference = program.copy()
+        normalize_program_bounds(program)
+        loop = program.body[0]
+        assert str(loop.start) == "0" and str(loop.step) == "1"
+        assert programs_equivalent(reference, program, {"N": 20})
+
+    def test_already_normal_loops_untouched(self, vector_add_program):
+        before = to_pseudocode(vector_add_program)
+        normalize_program_bounds(vector_add_program)
+        assert to_pseudocode(vector_add_program) == before
+
+    def test_canonical_iterator_names(self, gemm_program):
+        canonicalize_iterator_names(gemm_program)
+        iterators = [loop.iterator for loop in gemm_program.body[1].iter_loops()]
+        assert iterators == ["i0", "i1", "i2"]
+
+    def test_canonicalization_preserves_semantics(self):
+        program = build_gemm()
+        renamed = program.copy()
+        canonicalize_iterator_names(renamed)
+        assert programs_equivalent(program, renamed, PARAMS)
+
+
+class TestMaximalFission:
+    def test_independent_statements_split(self):
+        b = ProgramBuilder("p", parameters=["N"])
+        b.add_array("x", ("N",))
+        b.add_array("y", ("N",))
+        b.add_array("src", ("N",))
+        with b.loop("i", 0, "N"):
+            b.assign(("x", "i"), b.read("src", "i"))
+            b.assign(("y", "i"), b.read("src", "i") * 2)
+        program = b.finish()
+        report = maximal_loop_fission(program)
+        assert report.loops_split == 1
+        assert len(program.body) == 2
+        assert is_maximally_fissioned(program)
+
+    def test_dependent_statements_stay_together(self):
+        b = ProgramBuilder("p", parameters=["N"])
+        b.add_array("x", ("N",))
+        with b.loop("i", 1, "N"):
+            b.assign(("x", "i"), b.read("x", b.sym("i") - 1) + 1.0)
+            b.assign(("x", b.sym("i") - 1), b.read("x", "i") * 0.5)
+        program = b.finish()
+        maximal_loop_fission(program)
+        assert len(program.body) == 1
+
+    def test_gemm_scaling_split_from_contraction(self):
+        program = build_gemm_a()
+        maximal_loop_fission(program)
+        assert len(program.body) == 2
+        assert programs_equivalent(build_gemm_a(), program, PARAMS)
+
+    def test_fission_preserves_semantics(self, stencil_program):
+        original = stencil_program.copy()
+        maximal_loop_fission(stencil_program)
+        assert programs_equivalent(original, stencil_program, {"T": 3, "N": 12})
+
+
+class TestStrideMinimization:
+    def test_gemm_normalizes_to_ikj(self):
+        program = build_gemm_b()
+        normalized = normalize_program(program)
+        contraction = normalized.body[-1]
+        # After normalization the innermost loop walks the contiguous (j)
+        # dimension of both C and B.
+        comp = list(contraction.iter_computations())[0]
+        innermost = contraction.perfectly_nested_band()[-1].iterator
+        assert comp.target.indices[-1].free_symbols() == {innermost}
+
+    def test_triangular_bounds_respected(self):
+        b = ProgramBuilder("p", parameters=["N"])
+        b.add_array("A", ("N", "N"))
+        with b.loop("i", 0, "N"):
+            with b.loop("j", 0, b.sym("i") + 1):
+                b.assign(("A", "j", "i"), 1.0)
+        program = b.finish()
+        nest = program.body[0]
+        order, _cost, _evaluated = find_minimal_permutation(nest, program.arrays)
+        # j's bound references i, so i must stay outermost regardless of cost.
+        assert order[0] == "i"
+
+    def test_minimization_never_increases_cost(self, gemm_program, gemm_params):
+        from repro.analysis import program_stride_cost
+        before = program_stride_cost(gemm_program, gemm_params)
+        normalized = normalize_program(gemm_program)
+        after = program_stride_cost(normalized, gemm_params)
+        assert after <= before + 1e-9
+
+
+class TestScalarExpansion:
+    def _program_with_scalar(self):
+        b = ProgramBuilder("p", parameters=["N"])
+        b.add_array("x", ("N",))
+        b.add_array("y", ("N",))
+        b.add_scalar("tmp", transient=True)
+        with b.loop("i", 0, "N"):
+            b.assign(("tmp",), b.read("x", "i") * 2)
+            b.assign(("y", "i"), b.read("tmp") + 1)
+        return b.finish()
+
+    def test_expansion_creates_indexed_temporary(self):
+        program = self._program_with_scalar()
+        report = expand_scalars(program)
+        assert report.count == 1
+        expanded_name = report.expanded[0][0]
+        assert any(name.startswith("tmp__x") for name in program.arrays)
+        assert expanded_name == "tmp"
+
+    def test_expansion_preserves_semantics(self):
+        program = self._program_with_scalar()
+        reference = self._program_with_scalar()
+        expand_scalars(program)
+        assert programs_equivalent(reference, program, {"N": 16})
+
+    def test_non_transient_scalars_not_expanded(self):
+        b = ProgramBuilder("p", parameters=["N"])
+        b.add_array("y", ("N",))
+        b.add_scalar("alpha")
+        with b.loop("i", 0, "N"):
+            b.assign(("y", "i"), b.read("alpha") * 2)
+        program = b.finish()
+        assert expand_scalars(program).count == 0
+
+    def test_contraction_inverts_expansion(self):
+        program = self._program_with_scalar()
+        reference = self._program_with_scalar()
+        expand_scalars(program)
+        contracted = contract_arrays(program)
+        assert contracted == 1
+        assert programs_equivalent(reference, program, {"N": 16})
+
+
+class TestPipeline:
+    def test_gemm_variants_reach_same_canonical_form(self):
+        normalized_a, _ = normalize(build_gemm_a())
+        normalized_b, _ = normalize(build_gemm_b())
+        # Identical canonical form, up to the program name in the header line.
+        body_a = to_pseudocode(normalized_a).split("\n", 1)[1]
+        body_b = to_pseudocode(normalized_b).split("\n", 1)[1]
+        assert body_a == body_b
+
+    def test_pipeline_is_semantics_preserving(self):
+        for builder in (build_gemm_a, build_gemm_b, build_stencil, build_vector_add):
+            program = builder()
+            normalized, report = normalize(program)
+            params = PARAMS if "gemm" in program.name else {"T": 3, "N": 12}
+            assert programs_equivalent(program, normalized, params)
+            assert report.validation_errors == ()
+
+    def test_disabling_passes(self):
+        options = NormalizationOptions(apply_fission=False,
+                                       apply_stride_minimization=False,
+                                       canonicalize_iterators=False)
+        program = build_gemm_a()
+        normalized, report = normalize(program, options)
+        assert len(normalized.body) == len(program.body)
+        assert not report.changed
+
+    def test_report_summary_mentions_fission(self):
+        _, report = normalize(build_gemm_a())
+        assert "fission" in report.summary()
+
+    def test_pipeline_idempotent(self):
+        once, _ = normalize(build_gemm_b())
+        twice, report = normalize(once)
+        assert to_pseudocode(once) == to_pseudocode(twice)
+
+    def test_pass_manager_fixed_point(self):
+        calls = []
+
+        def fake_pass(program):
+            calls.append(1)
+            return len(calls) < 3
+
+        manager = PassManager([fake_pass])
+        iterations = manager.run(build_vector_add())
+        assert iterations >= 3
+
+
+@given(st.permutations(["i", "j", "k"]))
+@settings(max_examples=6, deadline=None)
+def test_all_gemm_loop_orders_normalize_equivalently(order):
+    """Property: every GEMM loop order normalizes to a semantically equivalent
+    program (the normalization pipeline never changes observable results)."""
+    program = build_gemm(order=order)
+    normalized, _ = normalize(program)
+    assert programs_equivalent(program, normalized, {"NI": 6, "NJ": 7, "NK": 5})

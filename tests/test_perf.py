@@ -1,0 +1,184 @@
+"""Tests for the performance-model substrate: cache simulator, trace
+generation, analytical cost model, and the measurement protocol."""
+
+import numpy as np
+import pytest
+
+from conftest import build_gemm, build_vector_add
+from repro.ir import ProgramBuilder
+from repro.normalization import normalize_program
+from repro.perf import (CacheHierarchy, CostModel, MachineModel,
+                        MeasurementProtocol, TraceGenerator, build_layout,
+                        count_accesses, count_flops, generate_trace,
+                        measure_with_noise)
+from repro.perf.machine import DEFAULT_MACHINE, CacheLevel
+from repro.transforms import Parallelize, Recipe, ReplaceWithLibraryCall, Tile, Vectorize, apply_recipe
+
+PARAMS = {"NI": 200, "NJ": 220, "NK": 240}
+
+
+class TestCacheSimulator:
+    def _tiny_machine(self):
+        return MachineModel(cache_levels=(
+            CacheLevel("L1", 4 * 64, 64, 2, 100e9, 4),
+            CacheLevel("L2", 64 * 64, 64, 4, 50e9, 12),
+        ))
+
+    def test_repeated_access_hits(self):
+        hierarchy = CacheHierarchy(self._tiny_machine())
+        hierarchy.access(0)
+        level = hierarchy.access(0)
+        assert level == "L1"
+        report = hierarchy.report()
+        assert report.level("L1").hits == 1
+        assert report.level("L1").misses == 1
+
+    def test_eviction_on_capacity_conflict(self):
+        machine = self._tiny_machine()
+        hierarchy = CacheHierarchy(machine)
+        sets = machine.cache_levels[0].num_sets
+        # Access many lines mapping to the same set to force evictions.
+        for line in range(4):
+            hierarchy.access(line * sets * 64)
+        report = hierarchy.report()
+        assert report.level("L1").evictions >= 2
+
+    def test_writeback_counted(self):
+        machine = self._tiny_machine()
+        hierarchy = CacheHierarchy(machine)
+        sets = machine.cache_levels[0].num_sets
+        hierarchy.access(0, is_write=True)
+        for line in range(1, 4):
+            hierarchy.access(line * sets * 64)
+        assert hierarchy.report().level("L1").writebacks >= 1
+
+    def test_dram_accesses_counted(self):
+        hierarchy = CacheHierarchy(self._tiny_machine())
+        hierarchy.access(0)
+        assert hierarchy.report().dram_accesses == 1
+
+    def test_streaming_trace_hit_rate(self):
+        # Sequential 8-byte accesses: 7 of 8 hit within a 64-byte line.
+        hierarchy = CacheHierarchy(DEFAULT_MACHINE)
+        report = hierarchy.run_trace((address, False) for address in range(0, 8 * 512, 8))
+        assert report.level("L1").hit_rate > 0.8
+
+
+class TestTraceGeneration:
+    def test_trace_length_matches_count(self, vector_add_program):
+        params = {"N": 32}
+        trace = generate_trace(vector_add_program, params)
+        assert len(trace) == count_accesses(vector_add_program, params) == 32 * 3
+
+    def test_layout_addresses_disjoint(self, gemm_program):
+        layout = build_layout(gemm_program, {"NI": 4, "NJ": 4, "NK": 4})
+        bases = sorted(layout.bases.values())
+        assert len(set(bases)) == len(bases)
+
+    def test_unit_stride_trace_is_sequential(self, vector_add_program):
+        trace = generate_trace(vector_add_program, {"N": 8})
+        x_addresses = [addr for addr, is_write in trace if not is_write][::2]
+        deltas = np.diff(x_addresses)
+        assert np.all(deltas == 8)
+
+    def test_register_budget_hides_scalars(self):
+        b = ProgramBuilder("p", parameters=["N"])
+        b.add_array("x", ("N",))
+        b.add_array("y", ("N",))
+        b.add_scalar("t", transient=True)
+        with b.loop("i", 0, "N"):
+            b.assign(("t",), b.read("x", "i") * 2)
+            b.assign(("y", "i"), b.read("t") + 1)
+        program = b.finish()
+        small_body = generate_trace(program, {"N": 4})
+        spilled = list(TraceGenerator(program, {"N": 4}, register_budget=0).trace())
+        assert len(spilled) > len(small_body)
+
+
+class TestCostModel:
+    def test_strided_order_costs_more(self):
+        model = CostModel(threads=1)
+        fast = build_gemm(order=("i", "k", "j"), with_scaling=False)
+        slow = build_gemm(order=("j", "k", "i"), with_scaling=False)
+        assert model.estimate_seconds(slow, PARAMS) > model.estimate_seconds(fast, PARAMS)
+
+    def test_parallelization_reduces_time(self):
+        program = normalize_program(build_gemm(with_scaling=False))
+        Parallelize(0).apply(program)
+        sequential = CostModel(threads=1).estimate_seconds(program, PARAMS)
+        parallel = CostModel(threads=12).estimate_seconds(program, PARAMS)
+        assert parallel < sequential
+
+    def test_vectorization_reduces_compute_time(self):
+        program = normalize_program(build_gemm(with_scaling=False))
+        model = CostModel(threads=1)
+        before = model.estimate(program, PARAMS)
+        Vectorize(0, require_unit_stride=False).apply(program)
+        after = model.estimate(program, PARAMS)
+        assert after.nests[0].compute_time < before.nests[0].compute_time
+
+    def test_blas_call_beats_generic_loops(self):
+        program = normalize_program(build_gemm())
+        model = CostModel(threads=1)
+        generic = model.estimate_seconds(program, PARAMS)
+        from repro.transforms import detect_blas3_nests
+        index, _ = detect_blas3_nests(program)[0]
+        ReplaceWithLibraryCall(index).apply(program)
+        assert model.estimate_seconds(program, PARAMS) < generic
+
+    def test_tiling_does_not_hurt_large_gemm(self):
+        big = {"NI": 1000, "NJ": 1000, "NK": 1000}
+        program = normalize_program(build_gemm(with_scaling=False))
+        model = CostModel(threads=1)
+        untiled = model.estimate_seconds(program, big)
+        Tile(0, {"i0": 64, "i1": 64, "i2": 64}).apply(program)
+        tiled = model.estimate_seconds(program, big)
+        assert tiled <= untiled * 1.1
+
+    def test_atomic_reduction_penalty(self):
+        b = ProgramBuilder("p", parameters=["N"])
+        b.add_array("s", ())
+        b.add_array("x", ("N", "N"))
+        with b.loop("i", 0, "N"):
+            with b.loop("j", 0, "N"):
+                b.accumulate(("s",), b.read("x", "i", "j"))
+        program = b.finish()
+        apply_recipe(program, Recipe("r", [Parallelize(0, allow_reductions=True)]))
+        with_atomics = CostModel(threads=12).estimate(program, {"N": 300})
+        assert with_atomics.nests[0].atomic_time > 0
+
+    def test_warm_caches_reduce_runtime(self, vector_add_program):
+        model = CostModel(threads=1)
+        cold = model.estimate_seconds(vector_add_program, {"N": 4096})
+        warm = model.estimate_seconds(vector_add_program, {"N": 4096},
+                                      assume_warm_caches=True)
+        assert warm <= cold
+
+    def test_count_flops(self):
+        from repro.ir.symbols import Read, Call
+        expr = Read("a", ("i",)) * Read("b", ("i",)) + Call("sqrt", (Read("c", ("i",)),))
+        assert count_flops(expr) >= 8
+
+    def test_threads_validated(self):
+        with pytest.raises(ValueError):
+            CostModel(threads=0)
+
+
+class TestMeasurementProtocol:
+    def test_deterministic_measurement_converges_quickly(self):
+        protocol = MeasurementProtocol()
+        result = protocol.run(lambda: 1.0)
+        assert result.converged
+        assert result.repetitions == protocol.min_repetitions
+        assert result.median == 1.0
+
+    def test_noisy_measurement_converges_below_threshold(self):
+        result = measure_with_noise(1.0, noise=0.02, seed=1)
+        assert result.converged
+        assert result.coefficient_of_variation <= 0.05
+        assert 0.9 < result.median < 1.1
+
+    def test_high_noise_hits_repetition_cap(self):
+        protocol = MeasurementProtocol(max_relative_variation=1e-6, max_repetitions=10)
+        result = measure_with_noise(1.0, noise=0.5, seed=2, protocol=protocol)
+        assert result.repetitions == 10

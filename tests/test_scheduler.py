@@ -1,0 +1,176 @@
+"""Tests for embeddings, the tuning database, the evolutionary search, the
+daisy scheduler, and the baseline schedulers."""
+
+import pytest
+
+from conftest import build_gemm, build_stencil, build_vector_add
+from repro.normalization import normalize_program
+from repro.perf import CostModel
+from repro.scheduler import (ClangScheduler, DaceScheduler, DaisyConfig,
+                             DaisyScheduler, EvolutionarySearch, IccScheduler,
+                             MctsConfig, NumbaScheduler, NumpyScheduler,
+                             PollyScheduler, SearchConfig, TiramisuScheduler,
+                             TuningDatabase, embed_nest, embed_program,
+                             nest_is_scop, retarget_recipe)
+from repro.scheduler.embedding import EMBEDDING_SIZE
+from repro.transforms import Recipe, Interchange, Parallelize
+from repro.workloads.polybench import (build_gemm_a, build_gemm_b,
+                                       build_jacobi2d_a, build_jacobi2d_b)
+
+PARAMS = {"NI": 120, "NJ": 140, "NK": 160}
+FAST_SEARCH = SearchConfig(population_size=4, epochs=1, generations_per_epoch=1)
+
+
+class TestEmbeddings:
+    def test_embedding_has_fixed_size(self, gemm_program, gemm_params):
+        embedding = embed_nest(gemm_program.body[1], gemm_program.arrays, gemm_params)
+        assert len(embedding.vector) == EMBEDDING_SIZE
+
+    def test_normalized_variants_have_close_embeddings(self):
+        params = {"NI": 64, "NJ": 64, "NK": 64}
+        norm_a = normalize_program(build_gemm_a())
+        norm_b = normalize_program(build_gemm_b())
+        embeddings_a = embed_program(norm_a, params)
+        embeddings_b = embed_program(norm_b, params)
+        assert len(embeddings_a) == len(embeddings_b)
+        for left, right in zip(embeddings_a, embeddings_b):
+            assert left.distance(right) < 1e-6
+
+    def test_different_kernels_have_distant_embeddings(self, gemm_params):
+        gemm = normalize_program(build_gemm_a())
+        stencil = normalize_program(build_jacobi2d_a())
+        gemm_embedding = embed_program(gemm, gemm_params)[-1]
+        stencil_embedding = embed_program(stencil, {"TSTEPS": 10, "N": 64})[0]
+        assert gemm_embedding.distance(stencil_embedding) > 1.0
+
+
+class TestDatabase:
+    def test_add_and_query_nearest(self, gemm_program, gemm_params):
+        database = TuningDatabase()
+        embedding = embed_nest(gemm_program.body[1], gemm_program.arrays, gemm_params)
+        recipe = Recipe("opt", [Parallelize(0)])
+        database.add(embedding, recipe)
+        match = database.best_match(embedding)
+        assert match is not None and match.recipe.name == "opt"
+
+    def test_distance_bound_rejects_far_matches(self, gemm_program, gemm_params):
+        database = TuningDatabase()
+        embedding = embed_nest(gemm_program.body[1], gemm_program.arrays, gemm_params)
+        database.add(embedding, Recipe("opt"))
+        stencil = normalize_program(build_jacobi2d_a())
+        other = embed_program(stencil, {"TSTEPS": 10, "N": 64})[0]
+        assert database.best_match(other, max_distance=0.5) is None
+
+    def test_persistence_round_trip(self, tmp_path, gemm_program, gemm_params):
+        database = TuningDatabase()
+        embedding = embed_nest(gemm_program.body[1], gemm_program.arrays, gemm_params)
+        database.add(embedding, Recipe("opt", [Interchange(0, ["i", "k", "j"])]))
+        path = tmp_path / "db.json"
+        database.save(str(path))
+        restored = TuningDatabase.load(str(path))
+        assert len(restored) == 1
+        assert restored.entries[0].recipe.transformations[0].name == "interchange"
+
+    def test_retarget_recipe(self):
+        recipe = Recipe("opt", [Interchange(0, ["i", "k", "j"]), Parallelize(0)])
+        moved = retarget_recipe(recipe, 3)
+        assert all(t.params()["nest_index"] == 3 for t in moved)
+
+
+class TestEvolutionarySearch:
+    def test_search_does_not_worsen_runtime(self):
+        program = normalize_program(build_gemm(with_scaling=False))
+        model = CostModel(threads=4)
+        search = EvolutionarySearch(model, FAST_SEARCH)
+        baseline = model.estimate_seconds(program, PARAMS)
+        outcome = search.search(program, 0, PARAMS)
+        assert outcome.runtime <= baseline + 1e-12
+        assert outcome.evaluated > 0
+
+    def test_seed_recipes_considered(self):
+        program = normalize_program(build_gemm(with_scaling=False))
+        model = CostModel(threads=4)
+        search = EvolutionarySearch(model, FAST_SEARCH)
+        seed = Recipe("seed", [Parallelize(0)])
+        outcome = search.search(program, 0, PARAMS, seed_recipes=[seed])
+        assert outcome.runtime <= model.estimate_seconds(program, PARAMS)
+
+
+class TestDaisy:
+    def _daisy(self):
+        return DaisyScheduler(config=DaisyConfig(threads=4, search=FAST_SEARCH))
+
+    def test_ab_variants_get_equal_runtimes(self):
+        daisy = self._daisy()
+        daisy.tune(build_gemm_a(), PARAMS, label="gemm")
+        runtime_a = daisy.estimate(build_gemm_a(), PARAMS)
+        runtime_b = daisy.estimate(build_gemm_b(), PARAMS)
+        assert runtime_b == pytest.approx(runtime_a, rel=0.15)
+
+    def test_blas_idiom_used(self):
+        daisy = self._daisy()
+        result = daisy.tune(build_gemm_a(), PARAMS, label="gemm")
+        assert any("blas" in (info.detail or "") for info in result.nests)
+        assert result.program.library_calls()
+
+    def test_database_populated_by_tuning(self):
+        daisy = self._daisy()
+        daisy.tune(build_gemm_a(), PARAMS, label="gemm")
+        assert len(daisy.database) >= 1
+
+    def test_schedule_without_database_still_runs(self):
+        daisy = self._daisy()
+        result = daisy.schedule(build_jacobi2d_a(), {"TSTEPS": 10, "N": 64})
+        assert result.nests
+
+
+class TestBaselines:
+    def test_polly_optimizes_scop(self, gemm_program):
+        assert nest_is_scop(gemm_program.body[1])
+        polly = PollyScheduler(threads=4)
+        result = polly.schedule(gemm_program, PARAMS)
+        assert any(info.status == "optimized" for info in result.nests)
+
+    def test_polly_is_sensitive_to_loop_order(self):
+        polly = PollyScheduler(threads=4)
+        fast = polly.estimate(build_gemm(order=("i", "k", "j"), with_scaling=False), PARAMS)
+        slow = polly.estimate(build_gemm(order=("j", "k", "i"), with_scaling=False), PARAMS)
+        assert slow >= fast
+
+    def test_icc_parallelizes_clang_does_not(self, vector_add_program):
+        icc_result = IccScheduler(threads=4).schedule(vector_add_program, {"N": 4096})
+        clang_result = ClangScheduler(threads=4).schedule(vector_add_program, {"N": 4096})
+        assert icc_result.program.body[0].parallel
+        assert not clang_result.program.body[0].parallel
+
+    def test_tiramisu_marks_unsupported(self):
+        tiramisu = TiramisuScheduler(threads=4, config=MctsConfig(rollouts=4))
+        stencil = build_stencil()
+        result = tiramisu.schedule(stencil, {"T": 10, "N": 128})
+        assert result.unsupported
+
+    def test_tiramisu_handles_parallel_nest(self):
+        tiramisu = TiramisuScheduler(threads=4, config=MctsConfig(rollouts=4))
+        result = tiramisu.schedule(build_gemm(with_scaling=False), PARAMS)
+        assert not result.unsupported
+
+    def test_frameworks_schedule_npbench_programs(self):
+        from repro.workloads.polybench import build_gemm_npbench
+        program = build_gemm_npbench()
+        for scheduler in (NumpyScheduler(), NumbaScheduler(threads=4),
+                          DaceScheduler(threads=4)):
+            runtime = scheduler.estimate(program, PARAMS)
+            assert runtime > 0
+
+    def test_dace_uses_library_nodes_on_clean_matmul(self):
+        program = normalize_program(build_gemm_a())
+        result = DaceScheduler(threads=4).schedule(program, PARAMS)
+        assert result.program.library_calls()
+
+    def test_numpy_charges_python_dispatch(self):
+        from repro.workloads.polybench import build_syrk_npbench
+        program = build_syrk_npbench()
+        params = {"N": 60, "M": 50}
+        numpy_runtime = NumpyScheduler().estimate(program, params)
+        numba_runtime = NumbaScheduler(threads=1).estimate(program, params)
+        assert numpy_runtime > numba_runtime

@@ -1,0 +1,247 @@
+"""Tests for loop transformations, idiom detection, and recipes."""
+
+import pytest
+
+from conftest import build_gemm, build_stencil, build_vector_add
+from repro.interp import programs_equivalent
+from repro.ir import Loop, ProgramBuilder
+from repro.normalization import normalize_program
+from repro.transforms import (Fuse, Interchange, Parallelize, Recipe,
+                              ReplaceWithLibraryCall, Tile, Transformation,
+                              TransformationError, Unroll, Vectorize,
+                              apply_recipe, can_fuse, detect_blas3_nests,
+                              fuse_adjacent_loops, fuse_chains_in_body,
+                              fuse_nests, match_blas3)
+
+PARAMS = {"NI": 8, "NJ": 9, "NK": 10}
+
+
+class TestInterchange:
+    def test_legal_interchange_applies_and_preserves_semantics(self):
+        program = build_gemm(with_scaling=False)
+        reference = program.copy()
+        Interchange(0, ["i", "k", "j"]).apply(program)
+        band = program.body[0].perfectly_nested_band()
+        assert [loop.iterator for loop in band] == ["i", "k", "j"]
+        assert programs_equivalent(reference, program, PARAMS)
+
+    def test_wrong_iterators_rejected(self):
+        program = build_gemm(with_scaling=False)
+        with pytest.raises(TransformationError):
+            Interchange(0, ["i", "j", "z"]).apply(program)
+
+    def test_illegal_interchange_rejected(self):
+        b = ProgramBuilder("p", parameters=["T", "N"])
+        b.add_array("A", ("T", "N"))
+        with b.loop("t", 1, "T"):
+            with b.loop("i", 1, b.sym("N") - 1):
+                b.assign(("A", "t", "i"),
+                         b.read("A", b.sym("t") - 1, b.sym("i") + 1))
+        program = b.finish()
+        with pytest.raises(TransformationError):
+            Interchange(0, ["i", "t"]).apply(program)
+
+    def test_identity_interchange_is_noop(self):
+        program = build_gemm(with_scaling=False)
+        Interchange(0, ["i", "j", "k"]).apply(program)
+        assert [l.iterator for l in program.body[0].perfectly_nested_band()] == ["i", "j", "k"]
+
+
+class TestTiling:
+    def test_tiling_structure(self):
+        program = build_gemm(with_scaling=False)
+        Tile(0, {"i": 4, "j": 4}).apply(program)
+        band = program.body[0].perfectly_nested_band()
+        iterators = [loop.iterator for loop in band]
+        assert iterators == ["i_t", "j_t", "i", "j", "k"]
+        assert band[0].tile_of == "i"
+
+    def test_tiling_preserves_semantics(self):
+        program = build_gemm(with_scaling=False)
+        reference = program.copy()
+        Tile(0, {"i": 3, "j": 5, "k": 4}).apply(program)
+        assert programs_equivalent(reference, program, PARAMS)
+
+    def test_tiling_handles_non_divisible_sizes(self):
+        program = build_vector_add()
+        reference = program.copy()
+        Tile(0, {"i": 7}).apply(program)
+        assert programs_equivalent(reference, program, {"N": 20})
+
+    def test_tile_size_one_is_noop(self):
+        program = build_gemm(with_scaling=False)
+        Tile(0, {"i": 1}).apply(program)
+        assert [l.iterator for l in program.body[0].perfectly_nested_band()] == ["i", "j", "k"]
+
+    def test_unknown_iterator_rejected(self):
+        program = build_gemm(with_scaling=False)
+        with pytest.raises(TransformationError):
+            Tile(0, {"z": 8}).apply(program)
+
+
+class TestParallelizeVectorizeUnroll:
+    def test_parallelize_outer_gemm_loop(self):
+        program = build_gemm(with_scaling=False)
+        Parallelize(0).apply(program)
+        assert program.body[0].parallel
+
+    def test_parallelize_sequential_loop_rejected(self):
+        program = build_stencil()
+        with pytest.raises(TransformationError):
+            Parallelize(0).apply(program)
+
+    def test_parallelize_reduction_requires_flag(self):
+        b = ProgramBuilder("p", parameters=["N"])
+        b.add_array("s", ())
+        b.add_array("x", ("N",))
+        with b.loop("i", 0, "N"):
+            b.accumulate(("s",), b.read("x", "i"))
+        program = b.finish()
+        with pytest.raises(TransformationError):
+            Parallelize(0).apply(program.copy())
+        Parallelize(0, allow_reductions=True).apply(program)
+        assert program.body[0].parallel
+
+    def test_vectorize_requires_unit_stride(self):
+        b = ProgramBuilder("p", parameters=["N"])
+        b.add_array("A", ("N", "N"))
+        b.add_array("B", ("N", "N"))
+        with b.loop("i", 0, "N"):
+            with b.loop("j", 0, "N"):
+                b.assign(("A", "j", "i"), b.read("B", "j", "i") + 1.0)
+        program = b.finish()
+        with pytest.raises(TransformationError):
+            Vectorize(0).apply(program.copy())
+        Vectorize(0, require_unit_stride=False).apply(program)
+        assert program.body[0].perfectly_nested_band()[-1].vectorized
+
+    def test_vectorize_unit_stride_accepts(self, vector_add_program):
+        Vectorize(0).apply(vector_add_program)
+        assert vector_add_program.body[0].vectorized
+
+    def test_unroll_annotation(self, vector_add_program):
+        Unroll(0, factor=8).apply(vector_add_program)
+        assert vector_add_program.body[0].unroll == 8
+        with pytest.raises(TransformationError):
+            Unroll(0, factor=0).apply(vector_add_program)
+
+
+class TestFusion:
+    def _two_maps(self):
+        b = ProgramBuilder("p", parameters=["N"])
+        b.add_array("x", ("N",))
+        b.add_array("t", ("N",), transient=True)
+        b.add_array("y", ("N",))
+        with b.loop("i", 0, "N"):
+            b.assign(("t", "i"), b.read("x", "i") * 2)
+        with b.loop("i", 0, "N"):
+            b.assign(("y", "i"), b.read("t", "i") + 1)
+        return b.finish()
+
+    def test_can_fuse_producer_consumer(self):
+        program = self._two_maps()
+        assert can_fuse(program.body[0], program.body[1])
+
+    def test_fuse_transformation(self):
+        program = self._two_maps()
+        reference = self._two_maps()
+        Fuse(0, 1).apply(program)
+        assert len(program.body) == 1
+        assert programs_equivalent(reference, program, {"N": 16})
+
+    def test_fusion_with_offset_dependence_rejected(self):
+        b = ProgramBuilder("p", parameters=["N"])
+        b.add_array("x", ("N",))
+        b.add_array("t", ("N",), transient=True)
+        b.add_array("y", ("N",))
+        with b.loop("i", 0, "N"):
+            b.assign(("t", "i"), b.read("x", "i") * 2)
+        with b.loop("i", 1, "N"):
+            b.assign(("y", "i"), b.read("t", b.sym("i") - 1))
+        program = b.finish()
+        # The consumer reads the previous iteration's producer value: the
+        # matching band differs (bounds) and the dependence is not
+        # loop-independent, so fusion must be refused.
+        assert not can_fuse(program.body[0], program.body[1])
+
+    def test_fuse_chains_in_body(self):
+        program = self._two_maps()
+        fused = fuse_chains_in_body(program.body)
+        assert fused == 1 and len(program.body) == 1
+
+    def test_fuse_adjacent_respects_min_depth(self):
+        program = self._two_maps()
+        assert fuse_adjacent_loops(program.body, min_depth=2) == 0
+        assert fuse_adjacent_loops(program.body, min_depth=1) == 1
+
+
+class TestIdiomDetection:
+    def test_gemm_detected_after_normalization(self):
+        program = normalize_program(build_gemm())
+        matches = detect_blas3_nests(program)
+        assert any(match.routine == "gemm" for _, match in matches)
+
+    def test_fused_form_not_detected(self):
+        program = build_gemm()  # scaling statement still fused with the nest
+        assert match_blas3(program.body[1]) is not None  # contraction nest alone is clean
+        assert match_blas3(program.body[0]) is None
+
+    def test_syrk_classified(self):
+        from repro.workloads.polybench import build_syrk_b
+        program = normalize_program(build_syrk_b())
+        matches = detect_blas3_nests(program)
+        assert any(match.routine == "syrk" for _, match in matches)
+
+    def test_replacement_preserves_semantics(self):
+        program = normalize_program(build_gemm())
+        reference = program.copy()
+        index, match = detect_blas3_nests(program)[0]
+        ReplaceWithLibraryCall(index).apply(program)
+        assert program.library_calls()
+        assert programs_equivalent(reference, program, PARAMS)
+
+    def test_replacement_of_non_idiom_raises(self, vector_add_program):
+        with pytest.raises(TransformationError):
+            ReplaceWithLibraryCall(0).apply(vector_add_program)
+
+    def test_flop_expression_positive(self):
+        program = normalize_program(build_gemm())
+        index, match = detect_blas3_nests(program)[0]
+        ReplaceWithLibraryCall(index).apply(program)
+        call = program.library_calls()[0]
+        assert call.flop_expr.evaluate(PARAMS) > 0
+
+
+class TestRecipes:
+    def test_round_trip_serialization(self):
+        recipe = Recipe("opt", [Interchange(0, ["i", "k", "j"]),
+                                Tile(0, {"i": 32}), Parallelize(0), Vectorize(0),
+                                Unroll(0, factor=4)])
+        restored = Recipe.from_dict(recipe.to_dict())
+        assert [t.name for t in restored] == [t.name for t in recipe]
+        assert restored.transformations[1].params()["tile_sizes"] == {"i": 32}
+
+    def test_unknown_transformation_rejected(self):
+        with pytest.raises(ValueError):
+            Transformation.from_dict({"name": "does-not-exist", "params": {}})
+
+    def test_apply_recipe_skips_illegal_steps(self, stencil_program):
+        recipe = Recipe("bad", [Parallelize(0), Unroll(0, factor=2)])
+        result = apply_recipe(stencil_program, recipe, strict=False)
+        assert len(result.failed) == 1 and len(result.applied) == 1
+        assert not result.fully_applied
+
+    def test_apply_recipe_strict_raises(self, stencil_program):
+        recipe = Recipe("bad", [Parallelize(0)])
+        with pytest.raises(TransformationError):
+            apply_recipe(stencil_program, recipe, strict=True)
+
+    def test_recipe_application_preserves_semantics(self):
+        program = build_gemm(with_scaling=False)
+        reference = program.copy()
+        recipe = Recipe("opt", [Interchange(0, ["i", "k", "j"]),
+                                Tile(0, {"i": 4, "k": 4}),
+                                Parallelize(0), Vectorize(0)])
+        result = apply_recipe(program, recipe, strict=False)
+        assert result.fully_applied
+        assert programs_equivalent(reference, program, PARAMS)
