@@ -1,0 +1,16 @@
+"""Helpers shared by the benchmark targets (importable without conftest).
+
+Kept out of ``conftest.py`` so that benchmark modules never rely on the
+ambiguous ``import conftest`` (which resolves differently depending on which
+directories pytest collected).
+"""
+
+
+def attach_rows(benchmark, rows, limit=200):
+    """Store experiment rows on the benchmark report (JSON-serializable)."""
+    serializable = []
+    for row in rows[:limit]:
+        serializable.append({key: (float(value) if isinstance(value, float) else value)
+                             for key, value in row.items()
+                             if isinstance(value, (int, float, str, bool, type(None)))})
+    benchmark.extra_info["rows"] = serializable

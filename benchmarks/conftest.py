@@ -30,13 +30,3 @@ def settings():
     if os.environ.get("REPRO_FULL_SEARCH"):
         return ExperimentSettings()
     return ExperimentSettings.fast()
-
-
-def attach_rows(benchmark, rows, limit=200):
-    """Store experiment rows on the benchmark report (JSON-serializable)."""
-    serializable = []
-    for row in rows[:limit]:
-        serializable.append({key: (float(value) if isinstance(value, float) else value)
-                             for key, value in row.items()
-                             if isinstance(value, (int, float, str, bool, type(None)))})
-    benchmark.extra_info["rows"] = serializable

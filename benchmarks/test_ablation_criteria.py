@@ -7,10 +7,10 @@ daisy pipeline and reports the geometric-mean runtime across the B variants
 contribute and that the combination is the strongest configuration.
 """
 
-from conftest import attach_rows
+from bench_helpers import attach_rows
+from repro.api import NormalizationOptions
 from repro.experiments.common import (ExperimentSettings, geometric_mean,
-                                      make_daisy)
-from repro.normalization import NormalizationOptions
+                                      make_session)
 
 CONFIGURATIONS = {
     "full": NormalizationOptions(),
@@ -28,10 +28,10 @@ def _run(settings: ExperimentSettings):
     specs = settings.selected_benchmarks()
     rows = []
     for label, options in CONFIGURATIONS.items():
-        daisy = make_daisy(settings, seed_specs=specs, normalization=options)
+        session = make_session(settings, seed_specs=specs, normalization=options)
         for spec in specs:
             parameters = spec.sizes(settings.size)
-            runtime = daisy.estimate(spec.variant("b"), parameters)
+            runtime = session.estimate(spec.variant("b"), parameters)
             rows.append({"configuration": label, "benchmark": spec.name,
                          "runtime_s": runtime})
     return rows

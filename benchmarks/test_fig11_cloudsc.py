@@ -1,6 +1,6 @@
 """Figure 11: CLOUDSC full-model sequential runtime (Fortran, C, DaCe, daisy)."""
 
-from conftest import attach_rows
+from bench_helpers import attach_rows
 from repro.experiments import figure11
 
 

@@ -1,6 +1,6 @@
 """Figure 12: CLOUDSC strong and weak scaling."""
 
-from conftest import attach_rows
+from bench_helpers import attach_rows
 from repro.experiments import figure12
 
 

@@ -1,6 +1,6 @@
 """Figure 1: GEMM loop-order sensitivity of auto-schedulers."""
 
-from conftest import attach_rows
+from bench_helpers import attach_rows
 from repro.experiments import figure1
 
 

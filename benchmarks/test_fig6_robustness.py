@@ -1,7 +1,7 @@
 """Figure 6: A/B robustness of daisy vs Polly, icc, and Tiramisu on the 15
 PolyBench benchmarks (LARGE datasets)."""
 
-from conftest import attach_rows
+from bench_helpers import attach_rows
 from repro.experiments import figure6
 
 

@@ -1,7 +1,7 @@
 """Figure 7: ablation — clang, transfer tuning only, normalization only, and
 the full normalization+transfer-tuning pipeline."""
 
-from conftest import attach_rows
+from bench_helpers import attach_rows
 from repro.experiments import figure7, geometric_mean
 
 

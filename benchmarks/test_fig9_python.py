@@ -1,7 +1,7 @@
 """Figure 9: NPBench-style Python implementations under daisy, daisy without
 normalization, NumPy, Numba, and DaCe."""
 
-from conftest import attach_rows
+from bench_helpers import attach_rows
 from repro.experiments import figure9
 
 

@@ -1,7 +1,7 @@
 """Headline geometric-mean speedups (abstract): daisy vs the C compiler,
 Polly, Tiramisu, NumPy, Numba, and DaCe."""
 
-from conftest import attach_rows
+from bench_helpers import attach_rows
 from repro.experiments import summary
 
 

@@ -1,7 +1,7 @@
 """Table 1: the CLOUDSC cloud-erosion loop nest before and after
 normalization (runtime and L1 cache behavior)."""
 
-from conftest import attach_rows
+from bench_helpers import attach_rows
 from repro.experiments import table1
 
 

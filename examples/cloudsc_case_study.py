@@ -9,14 +9,14 @@ Reproduces, on the CLOUDSC proxy:
 * Figure 12 — strong and weak scaling.
 """
 
-from repro.experiments import ExperimentSettings, figure11, figure12, table1
+from repro.api import Session, to_pseudocode
+from repro.experiments import (ExperimentSettings, figure11, figure12, table1)
 from repro.experiments.cloudsc_pipeline import daisy_optimize
-from repro.ir import to_pseudocode
-from repro.workloads import build_erosion_kernel
 
 
 def show_erosion_transformation():
-    kernel = build_erosion_kernel()
+    session = Session()
+    kernel = session.load("erosion")
     print("=== erosion loop nest, as written (Figure 10a) ===")
     print(to_pseudocode(kernel))
     optimized, info = daisy_optimize(kernel, parallel_blocks=False)

@@ -10,13 +10,12 @@ a-priori normalization the same recipes apply.
 
 import sys
 
+from repro.api import Session, benchmark, to_pseudocode
 from repro.experiments import ExperimentSettings, figure9
-from repro.normalization import normalize
-from repro.ir import to_pseudocode
-from repro.workloads import benchmark
 
 
 def show_structural_difference(name="gemm"):
+    session = Session()
     spec = benchmark(name)
     c_variant = spec.variant("a")
     py_variant = spec.variant("npbench")
@@ -25,9 +24,9 @@ def show_structural_difference(name="gemm"):
     print(to_pseudocode(c_variant))
     print("\n--- NPBench variant (operator-by-operator lowering) ---")
     print(to_pseudocode(py_variant))
-    normalized, _ = normalize(py_variant)
+    normalized = session.normalize(py_variant)
     print("\n--- NPBench variant after a-priori normalization ---")
-    print(to_pseudocode(normalized))
+    print(to_pseudocode(normalized.program))
 
 
 def main(argv):

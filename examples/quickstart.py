@@ -1,20 +1,17 @@
 #!/usr/bin/env python3
-"""Quickstart: build a loop nest, normalize it, schedule it, estimate runtime.
+"""Quickstart: the ``repro.api.Session`` facade on GEMM.
 
-This walks through the library's core workflow on GEMM:
+One Session object is the whole pipeline:
 
-1. describe the computation as a loop-nest program (the symbolic IR),
-2. run a-priori normalization (maximal fission + stride minimization),
-3. let the daisy auto-scheduler optimize it,
-4. estimate the runtime of the scheduled program with the machine model,
-5. check that every step preserved the program's semantics.
+1. ``load()``    — C-like source, builder programs, or workload names,
+2. ``normalize()`` — a-priori normalization through a content-addressed cache,
+3. ``tune()`` / ``schedule()`` — the daisy auto-scheduler with transfer tuning,
+4. ``estimate()`` / ``evaluate()`` — the analytical machine model,
+5. ``equivalent()`` — semantic validation with the reference interpreter,
+6. ``report()``  — cache/database statistics of everything above.
 """
 
-from repro.ir import ProgramBuilder, to_pseudocode
-from repro.interp import programs_equivalent
-from repro.normalization import normalize
-from repro.perf import CostModel
-from repro.scheduler import DaisyConfig, DaisyScheduler
+from repro.api import ProgramBuilder, Session, to_pseudocode
 
 
 def build_gemm_variant():
@@ -37,39 +34,54 @@ def build_gemm_variant():
 
 
 def main():
+    session = Session(threads=12)
+
     program = build_gemm_variant()
     print("=== original program ===")
     print(to_pseudocode(program))
 
-    # 1. A-priori normalization: the two criteria of the paper.
-    normalized, report = normalize(program)
+    # 1. A-priori normalization: the two criteria of the paper, served
+    #    through the session's content-addressed cache.
+    normalization = session.normalize(program)
     print("\n=== after a-priori normalization ===")
-    print(report.summary())
-    print(to_pseudocode(normalized))
+    print(normalization.summary())
+    print(to_pseudocode(normalization.program))
 
     # 2. Normalization never changes semantics (checked with the interpreter).
     small = {"NI": 16, "NJ": 18, "NK": 20}
-    assert programs_equivalent(program, normalized, small)
+    assert session.equivalent(program, normalization.program, small)
     print("\nsemantics preserved on a small instance:", small)
 
     # 3. The daisy auto-scheduler: normalization + BLAS idiom detection +
-    #    similarity-based transfer tuning.
-    daisy = DaisyScheduler(config=DaisyConfig(threads=12))
-    result = daisy.tune(program, {"NI": 1000, "NJ": 1100, "NK": 1200})
+    #    similarity-based transfer tuning, recorded in the session database.
+    large = {"NI": 1000, "NJ": 1100, "NK": 1200}
+    tuned = session.tune(program, large)
     print("\n=== daisy schedule ===")
-    print(result.summary())
-    for info in result.nests:
+    print(tuned.result.summary())
+    for info in tuned.result.nests:
         print(f"  nest {info.nest_index}: {info.status} ({info.detail})")
 
-    # 4. Runtime estimates from the analytical machine model.
-    large = {"NI": 1000, "NJ": 1100, "NK": 1200}
-    model = CostModel(threads=12)
-    baseline_time = model.estimate_seconds(program, large)
-    optimized_time = model.estimate_seconds(result.program, large)
+    # 4. Scheduling is content-addressed: once our variant is scheduled, the
+    #    registry's structurally different gemm B variant normalizes to the
+    #    same canonical form and is served straight from the cache.
+    first = session.schedule(program, large)
+    cached = session.schedule("gemm:b", large)
+    print("\nscheduling our gemm    :",
+          "served from cache" if first.from_cache else "scheduled fresh")
+    print("scheduling gemm:b      :",
+          "served from cache" if cached.from_cache else "scheduled fresh")
+    assert cached.canonical_hash == first.canonical_hash
+
+    # 5. Runtime estimates from the analytical machine model.
+    baseline_time = session.evaluate(program, large, threads=12)
+    optimized_time = tuned.runtime_s
     print(f"\nestimated runtime (12 threads, LARGE size):")
     print(f"  as written : {baseline_time * 1e3:8.2f} ms")
     print(f"  daisy      : {optimized_time * 1e3:8.2f} ms")
     print(f"  speedup    : {baseline_time / optimized_time:8.1f}x")
+
+    # 6. Everything the session did, in one report.
+    print("\nsession report:", session.report().summary())
 
 
 if __name__ == "__main__":

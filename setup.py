@@ -1,8 +1,10 @@
 """Setuptools shim.
 
 The build metadata lives in ``pyproject.toml``; this file exists so that
-legacy editable installs (``pip install -e . --no-use-pep517``) work in
-offline environments without the ``wheel`` package.
+``python setup.py egg_info`` and other legacy setuptools entry points keep
+working in offline environments.  For development, either install with
+``pip install -e .`` (needs network for the build backend the first time)
+or simply run with ``PYTHONPATH=src``.
 """
 
 from setuptools import setup

@@ -3,8 +3,8 @@
 The package is organized in layers:
 
 * :mod:`repro.ir` — the symbolic loop-nest representation.
-* :mod:`repro.frontend` — C-like and NumPy-style frontends.
-* :mod:`repro.cfg` — an LLVM-like CFG substrate with loop lifting.
+* :mod:`repro.frontend` — the C-like source frontend (further frontends
+  plug in through :func:`repro.api.register_frontend`).
 * :mod:`repro.analysis` — dependence, dataflow, stride and reuse analyses.
 * :mod:`repro.normalization` — the paper's two normalization criteria.
 * :mod:`repro.transforms` — classical loop transformations and idiom detection.
@@ -12,9 +12,14 @@ The package is organized in layers:
 * :mod:`repro.perf` — the cache/CPU performance-model substrate.
 * :mod:`repro.scheduler` — the daisy auto-scheduler and the baselines.
 * :mod:`repro.workloads` — PolyBench A/B variants, NPBench variants, CLOUDSC proxy.
+* :mod:`repro.api` — the unified Session facade: pluggable scheduler and
+  frontend registries, a content-addressed normalization cache, and batch
+  scheduling.  **New code should go through this layer.**
 * :mod:`repro.experiments` — per-figure/table reproduction harnesses.
 """
 
+from .api import (RegistryError, ScheduleRequest, ScheduleResponse, Session,
+                  register_frontend, register_scheduler)
 from .ir import Program, ProgramBuilder
 from .normalization import NormalizationOptions, normalize, normalize_program
 
@@ -26,5 +31,11 @@ __all__ = [
     "NormalizationOptions",
     "normalize",
     "normalize_program",
+    "Session",
+    "ScheduleRequest",
+    "ScheduleResponse",
+    "RegistryError",
+    "register_scheduler",
+    "register_frontend",
     "__version__",
 ]

@@ -1,0 +1,188 @@
+"""Content-addressed normalization and schedule caching.
+
+The cache has two levels, both keyed by content hashes
+(:mod:`repro.api.hashing`) and safe to share across the threads of a
+:meth:`repro.api.Session.schedule_batch` fan-out:
+
+* **normalization level** — ``hash(program as written) -> normalized program``.
+  Re-scheduling the same program skips fission + stride minimization.
+* **schedule level** — ``hash(canonical form) -> scheduled program``.
+  Because a-priori normalization maps equivalent variants onto one canonical
+  form, scheduling the B variant of a benchmark after the A variant (or GEMM
+  in a second loop order) is served from the cache without re-running the
+  scheduler at all.
+
+Entries are bounded by an LRU policy; cached programs are copied on every
+hit so callers can freely mutate what they get back.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, Optional, Tuple
+
+from ..ir.nodes import Program
+from ..normalization.pipeline import (NormalizationOptions,
+                                      NormalizationReport, normalize)
+from ..scheduler.base import ScheduleResult
+from .hashing import fingerprint, program_content_hash
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of the two cache levels."""
+
+    normalization_hits: int = 0
+    normalization_misses: int = 0
+    schedule_hits: int = 0
+    schedule_misses: int = 0
+    evictions: int = 0
+
+    @property
+    def normalization_requests(self) -> int:
+        return self.normalization_hits + self.normalization_misses
+
+    @property
+    def schedule_requests(self) -> int:
+        return self.schedule_hits + self.schedule_misses
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "normalization_hits": self.normalization_hits,
+            "normalization_misses": self.normalization_misses,
+            "schedule_hits": self.schedule_hits,
+            "schedule_misses": self.schedule_misses,
+            "evictions": self.evictions,
+        }
+
+
+@dataclass
+class NormalizedEntry:
+    """One cached normalization outcome.
+
+    ``program`` is a private copy owned by the cache; :meth:`take` hands out
+    fresh copies.
+    """
+
+    program: Program
+    report: NormalizationReport
+    input_hash: str
+    canonical_hash: str
+    hit: bool = False
+
+    def take(self) -> "NormalizedEntry":
+        return NormalizedEntry(self.program.copy(), self.report,
+                               self.input_hash, self.canonical_hash, self.hit)
+
+
+def _copy_result(result: ScheduleResult) -> ScheduleResult:
+    """A ScheduleResult whose program the receiver may freely mutate."""
+    return ScheduleResult(
+        scheduler=result.scheduler,
+        program=result.program.copy(),
+        nests=list(result.nests),
+        unsupported=result.unsupported,
+        notes=result.notes,
+    )
+
+
+@dataclass
+class ScheduleEntry:
+    """One cached scheduling outcome (per scheduler/parameters/canonical form)."""
+
+    result: ScheduleResult
+    runtime_s: float
+
+    def take(self) -> Tuple[ScheduleResult, float]:
+        return _copy_result(self.result), self.runtime_s
+
+
+class NormalizationCache:
+    """Two-level content-addressed cache shared by one (or more) sessions."""
+
+    def __init__(self, max_entries: int = 1024):
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self._lock = threading.RLock()
+        self._normalized: "OrderedDict[str, NormalizedEntry]" = OrderedDict()
+        self._schedules: "OrderedDict[Hashable, ScheduleEntry]" = OrderedDict()
+
+    # -- normalization level -----------------------------------------------------
+
+    def normalized(self, program: Program,
+                   options: Optional[NormalizationOptions] = None) -> NormalizedEntry:
+        """Normalize ``program`` through the cache.
+
+        Returns a :class:`NormalizedEntry` whose ``program`` is a fresh copy;
+        ``hit`` records whether fission/stride minimization were skipped.
+        """
+        options = options or NormalizationOptions()
+        key = program_content_hash(program, extra={"options": fingerprint(options)})
+        with self._lock:
+            entry = self._normalized.get(key)
+            if entry is not None:
+                self._normalized.move_to_end(key)
+                self.stats.normalization_hits += 1
+                served = entry.take()
+                served.hit = True
+                return served
+            self.stats.normalization_misses += 1
+
+        normalized, report = normalize(program, options)
+        canonical_hash = program_content_hash(normalized)
+        entry = NormalizedEntry(normalized, report, key, canonical_hash)
+        with self._lock:
+            if key not in self._normalized:
+                self._normalized[key] = entry
+                self._evict(self._normalized)
+        return entry.take()
+
+    # -- schedule level ------------------------------------------------------------
+
+    def schedule_key(self, canonical_hash: str, scheduler: str, threads: int,
+                     parameters: Optional[Any],
+                     database_version: Optional[int] = None) -> Hashable:
+        """Key for one scheduling outcome.
+
+        ``database_version`` must be supplied for database-backed schedulers:
+        tuning grows the database, and entries cached before a ``tune()``
+        would otherwise shadow the better transfer-tuned schedules available
+        afterwards.
+        """
+        return (canonical_hash, scheduler, threads,
+                fingerprint(dict(parameters or {})), database_version)
+
+    def lookup_schedule(self, key: Hashable) -> Optional[Tuple[ScheduleResult, float]]:
+        with self._lock:
+            entry = self._schedules.get(key)
+            if entry is None:
+                self.stats.schedule_misses += 1
+                return None
+            self._schedules.move_to_end(key)
+            self.stats.schedule_hits += 1
+            return entry.take()
+
+    def store_schedule(self, key: Hashable, result: ScheduleResult,
+                       runtime_s: float) -> None:
+        entry = ScheduleEntry(_copy_result(result), runtime_s)
+        with self._lock:
+            self._schedules[key] = entry
+            self._evict(self._schedules)
+
+    # -- maintenance -----------------------------------------------------------------
+
+    def _evict(self, store: "OrderedDict[Any, Any]") -> None:
+        while len(store) > self.max_entries:
+            store.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._normalized.clear()
+            self._schedules.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._normalized) + len(self._schedules)

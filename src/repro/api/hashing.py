@@ -1,0 +1,79 @@
+"""Content addressing for programs.
+
+The normalization cache and the schedule cache are keyed by *content hashes*
+of programs.  Two hashes are used:
+
+* :func:`program_content_hash` — the hash of a program's structure as
+  written.  Two builds of the same variant hash equal; different variants do
+  not.
+* the *canonical-form hash* — :func:`program_content_hash` applied to the
+  output of a-priori normalization.  Because normalization maps equivalent
+  loop structures onto one canonical form (the paper's central claim),
+  normalized-equivalent variants — e.g. GEMM in any of its six loop orders —
+  share this hash, which is what lets one variant's schedule be served to
+  another from the cache.
+
+Hashes ignore incidental naming: the program name, statement labels, and the
+declaration order of arrays and parameters do not affect the hash.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import fields, is_dataclass
+from typing import Any, Dict, Mapping, Optional
+
+from ..ir.nodes import Program
+from ..ir.serialization import program_to_dict
+
+
+def canonical_program_dict(program: Program) -> Dict[str, Any]:
+    """A serialization of ``program`` with incidental naming stripped.
+
+    The program name and per-statement names are replaced by empty strings,
+    and arrays/parameters are sorted, so that the dictionary depends only on
+    the loop structure, the access functions, and the array shapes.
+    """
+    data = program_to_dict(program)
+    data["name"] = ""
+    data["parameters"] = sorted(data["parameters"])
+    data["arrays"] = sorted(data["arrays"], key=lambda entry: entry["name"])
+
+    def strip(node: Dict[str, Any]) -> None:
+        if node.get("kind") == "computation":
+            node["name"] = ""
+        for child in node.get("body", ()):
+            strip(child)
+
+    for node in data["body"]:
+        strip(node)
+    return data
+
+
+def _stable_value(value: Any) -> Any:
+    """Reduce configuration values to something JSON/stable-comparable."""
+    if is_dataclass(value) and not isinstance(value, type):
+        return {f.name: _stable_value(getattr(value, f.name)) for f in fields(value)}
+    if isinstance(value, Mapping):
+        return {str(k): _stable_value(v) for k, v in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [_stable_value(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def fingerprint(value: Any) -> str:
+    """A short stable fingerprint of a configuration object (e.g. options)."""
+    text = json.dumps(_stable_value(value), sort_keys=True)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
+
+def program_content_hash(program: Program, extra: Optional[Any] = None) -> str:
+    """SHA-256 content hash of a program (plus optional extra key material)."""
+    payload = {"program": canonical_program_dict(program)}
+    if extra is not None:
+        payload["extra"] = _stable_value(extra)
+    text = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()

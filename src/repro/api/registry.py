@@ -1,0 +1,255 @@
+"""Decorator-based plugin registries for schedulers and frontends.
+
+Every scheduler the repo ships (daisy, the polyhedral/compiler/Tiramisu
+baselines, the Python-framework models, and a pure evolutionary-search
+configuration) registers itself here, and :class:`repro.api.Session` resolves
+schedulers exclusively by name.  Third-party code extends the system the same
+way::
+
+    from repro.api import register_scheduler
+
+    @register_scheduler("my-sched", normalizes=True)
+    def build_my_scheduler(machine=None, threads=1, **options):
+        return MyScheduler(machine, threads)
+
+Frontends translate non-IR inputs (e.g. C-like source text) into
+:class:`~repro.ir.nodes.Program` objects and register under
+:func:`register_frontend`.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from ..ir.nodes import Program
+from ..perf.machine import DEFAULT_MACHINE, MachineModel
+from ..scheduler.base import Scheduler
+
+
+class RegistryError(KeyError):
+    """Raised on unknown lookups or conflicting registrations."""
+
+
+@dataclass
+class PluginInfo:
+    """One registered plugin: its factory plus lookup metadata."""
+
+    name: str
+    factory: Callable[..., Any]
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    def __call__(self, *args: Any, **kwargs: Any) -> Any:
+        return self.factory(*args, **kwargs)
+
+
+class Registry:
+    """A named collection of factories with decorator registration."""
+
+    def __init__(self, kind: str):
+        self.kind = kind
+        self._plugins: Dict[str, PluginInfo] = {}
+        self._lock = threading.RLock()
+
+    def register(self, name: Optional[str] = None, *, overwrite: bool = False,
+                 **metadata: Any) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+        """Decorator registering ``factory`` under ``name``.
+
+        Can also be called directly: ``registry.register("x")(factory)``.
+        Registering an existing name raises :class:`RegistryError` unless
+        ``overwrite=True`` (so typos do not silently shadow built-ins).
+        """
+
+        def decorator(factory: Callable[..., Any]) -> Callable[..., Any]:
+            key = name or getattr(factory, "name", None) or factory.__name__
+            with self._lock:
+                if key in self._plugins and not overwrite:
+                    raise RegistryError(
+                        f"{self.kind} {key!r} is already registered; "
+                        f"pass overwrite=True to replace it")
+                self._plugins[key] = PluginInfo(key, factory, dict(metadata))
+            return factory
+
+        return decorator
+
+    def get(self, name: str) -> PluginInfo:
+        with self._lock:
+            if name not in self._plugins:
+                raise RegistryError(
+                    f"unknown {self.kind} {name!r}; registered: {self.names()}")
+            return self._plugins[name]
+
+    def create(self, name: str, *args: Any, **kwargs: Any) -> Any:
+        """Instantiate the plugin registered under ``name``."""
+        return self.get(name)(*args, **kwargs)
+
+    def metadata(self, name: str) -> Dict[str, Any]:
+        return dict(self.get(name).metadata)
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._plugins)
+
+    def unregister(self, name: str) -> None:
+        with self._lock:
+            if name not in self._plugins:
+                raise RegistryError(f"unknown {self.kind} {name!r}")
+            del self._plugins[name]
+
+    def __contains__(self, name: object) -> bool:
+        with self._lock:
+            return name in self._plugins
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._plugins)
+
+
+#: The process-wide scheduler registry.
+SCHEDULERS = Registry("scheduler")
+#: The process-wide frontend registry.
+FRONTENDS = Registry("frontend")
+
+
+def register_scheduler(name: Optional[str] = None, *, overwrite: bool = False,
+                       **metadata: Any):
+    """Register a scheduler factory (decorator). See :data:`SCHEDULERS`.
+
+    Recognized metadata: ``normalizes`` (bool — the session pre-normalizes
+    programs through the cache before handing them over), ``tunes`` (bool —
+    the scheduler supports database seeding via ``tune``).
+    """
+    return SCHEDULERS.register(name, overwrite=overwrite, **metadata)
+
+
+def register_frontend(name: Optional[str] = None, *, overwrite: bool = False,
+                      **metadata: Any):
+    """Register a frontend factory (decorator). See :data:`FRONTENDS`."""
+    return FRONTENDS.register(name, overwrite=overwrite, **metadata)
+
+
+def create_scheduler(name: str, machine: Optional[MachineModel] = None,
+                     threads: int = 1, **options: Any) -> Scheduler:
+    """Instantiate a registered scheduler by name."""
+    return SCHEDULERS.create(name, machine=machine or DEFAULT_MACHINE,
+                             threads=threads, **options)
+
+
+def scheduler_normalizes(name: str) -> bool:
+    """Whether the named scheduler expects a-priori-normalized input."""
+    return bool(SCHEDULERS.metadata(name).get("normalizes", False))
+
+
+def scheduler_tunes(name: str) -> bool:
+    """Whether the named scheduler supports database seeding via ``tune``."""
+    return bool(SCHEDULERS.metadata(name).get("tunes", False))
+
+
+# ---------------------------------------------------------------------------
+# Built-in registrations
+# ---------------------------------------------------------------------------
+
+def _pre_normalized_options():
+    """Normalization options that make a scheduler's internal pipeline a no-op.
+
+    Session-managed daisy instances receive programs that already went
+    through the content-addressed normalization cache; their internal
+    pipeline must not redo (or undo) that work.
+    """
+    from ..normalization.pipeline import NormalizationOptions
+
+    return NormalizationOptions(
+        normalize_bounds=False,
+        apply_scalar_expansion=False,
+        apply_fission=False,
+        apply_stride_minimization=False,
+        canonicalize_iterators=False,
+        validate=False,
+    )
+
+
+@register_scheduler("daisy", normalizes=True, tunes=True)
+def _make_daisy(machine=None, threads=1, search=None, database=None,
+                pre_normalized=True, normalization=None, **_ignored):
+    from ..normalization.pipeline import NormalizationOptions
+    from ..scheduler.daisy import DaisyConfig, DaisyScheduler
+    from ..scheduler.evolutionary import SearchConfig
+
+    if normalization is None:
+        normalization = (_pre_normalized_options() if pre_normalized
+                         else NormalizationOptions())
+    config = DaisyConfig(threads=threads, search=search or SearchConfig())
+    return DaisyScheduler(machine=machine, config=config, database=database,
+                          normalization=normalization)
+
+
+@register_scheduler("evolutionary", normalizes=True, tunes=True)
+def _make_evolutionary(machine=None, threads=1, search=None, **_ignored):
+    """Pure evolutionary search on normalized nests (no transfer database)."""
+    from ..scheduler.daisy import DaisyConfig, DaisyScheduler
+    from ..scheduler.database import TuningDatabase
+    from ..scheduler.evolutionary import SearchConfig
+
+    config = DaisyConfig(threads=threads, search=search or SearchConfig(),
+                         max_database_distance=-1.0, search_on_miss=True)
+    return DaisyScheduler(machine=machine, config=config,
+                          database=TuningDatabase(),
+                          normalization=_pre_normalized_options())
+
+
+@register_scheduler("polly", normalizes=False)
+def _make_polly(machine=None, threads=1, **_ignored):
+    from ..scheduler.polyhedral import PollyScheduler
+
+    return PollyScheduler(machine, threads=threads)
+
+
+@register_scheduler("clang", normalizes=False)
+def _make_clang(machine=None, threads=1, **_ignored):
+    from ..scheduler.compiler_baseline import ClangScheduler
+
+    return ClangScheduler(machine, threads=threads)
+
+
+@register_scheduler("icc", normalizes=False)
+def _make_icc(machine=None, threads=1, **_ignored):
+    from ..scheduler.compiler_baseline import IccScheduler
+
+    return IccScheduler(machine, threads=threads)
+
+
+@register_scheduler("tiramisu", normalizes=False)
+def _make_tiramisu(machine=None, threads=1, mcts=None, **_ignored):
+    from ..scheduler.tiramisu import MctsConfig, TiramisuScheduler
+
+    return TiramisuScheduler(machine, threads=threads,
+                             config=mcts or MctsConfig())
+
+
+@register_scheduler("numpy", normalizes=False)
+def _make_numpy(machine=None, threads=1, **_ignored):
+    from ..scheduler.frameworks import NumpyScheduler
+
+    return NumpyScheduler(machine)
+
+
+@register_scheduler("numba", normalizes=False)
+def _make_numba(machine=None, threads=1, **_ignored):
+    from ..scheduler.frameworks import NumbaScheduler
+
+    return NumbaScheduler(machine, threads=threads)
+
+
+@register_scheduler("dace", normalizes=False)
+def _make_dace(machine=None, threads=1, **_ignored):
+    from ..scheduler.frameworks import DaceScheduler
+
+    return DaceScheduler(machine, threads=threads)
+
+
+@register_frontend("clike", suffixes=(".c", ".clike"))
+def _clike_frontend(source: str, name: str = "clike_program") -> Program:
+    from ..frontend.clike import parse_clike_program
+
+    return parse_clike_program(source, name)

@@ -1,0 +1,400 @@
+"""The :class:`Session` facade — the one blessed entry point of the repo.
+
+A session owns the four shared resources of the frontend → normalize →
+schedule → measure pipeline:
+
+* a machine model and thread count,
+* a content-addressed :class:`~repro.api.cache.NormalizationCache`,
+* one transfer-tuning :class:`~repro.scheduler.database.TuningDatabase`,
+* lazily-created scheduler instances resolved through the plugin registry.
+
+Typical use::
+
+    from repro.api import Session
+
+    session = Session(threads=12)
+    session.tune("gemm:a")                      # seed the database
+    response = session.schedule("gemm:b")       # served via transfer tuning
+    print(response.summary(), session.report().summary())
+
+``schedule_batch`` fans a list of workloads through a thread pool sharing
+the same cache and database, which is the seam every scaling feature
+(sharding, async serving, multi-backend) plugs into.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..interp.executor import programs_equivalent, run_program
+from ..ir.nodes import Program
+from ..normalization.pipeline import NormalizationOptions
+from ..perf.cache import CacheHierarchy, CacheReport
+from ..perf.machine import DEFAULT_MACHINE, MachineModel
+from ..perf.model import CostModel
+from ..perf.trace import TraceGenerator
+from ..scheduler.base import Scheduler
+from ..scheduler.database import TuningDatabase
+from ..scheduler.evolutionary import SearchConfig
+from ..scheduler.tiramisu import MctsConfig
+from ..workloads import registry as workload_registry
+from .cache import NormalizationCache
+from .hashing import program_content_hash
+from .registry import (FRONTENDS, SCHEDULERS, RegistryError, create_scheduler,
+                       scheduler_normalizes, scheduler_tunes)
+from .types import (ExecuteResponse, NormalizeResponse, ProgramLike,
+                    ScheduleRequest, ScheduleResponse, SessionReport)
+
+#: Items accepted by :meth:`Session.schedule_batch`.
+BatchItem = Union[ScheduleRequest, ProgramLike,
+                  Tuple[ProgramLike, Mapping[str, int]]]
+
+
+class Session:
+    """One configured pipeline instance; thread-safe for batch scheduling."""
+
+    def __init__(self,
+                 machine: Optional[MachineModel] = None,
+                 threads: int = 1,
+                 normalization: Optional[NormalizationOptions] = None,
+                 scheduler: str = "daisy",
+                 search: Optional[SearchConfig] = None,
+                 mcts: Optional[MctsConfig] = None,
+                 size: str = "large",
+                 database: Optional[TuningDatabase] = None,
+                 cache: Optional[NormalizationCache] = None,
+                 max_workers: Optional[int] = None):
+        if scheduler not in SCHEDULERS:
+            raise RegistryError(
+                f"unknown scheduler {scheduler!r}; registered: {SCHEDULERS.names()}")
+        self.machine = machine or DEFAULT_MACHINE
+        self.threads = threads
+        self.normalization = normalization or NormalizationOptions()
+        self.default_scheduler = scheduler
+        self.search = search
+        self.mcts = mcts
+        self.size = size
+        self.database = database if database is not None else TuningDatabase()
+        self.cache = cache if cache is not None else NormalizationCache()
+        self.max_workers = max_workers
+
+        self._lock = threading.RLock()
+        self._schedulers: Dict[Tuple[str, int], Scheduler] = {}
+        self._cost_models: Dict[int, CostModel] = {}
+        self._schedule_calls = 0
+        self._tune_calls = 0
+        self._batch_calls = 0
+        self._execute_calls = 0
+
+    # -- loading ---------------------------------------------------------------------
+
+    def load(self, source: ProgramLike, *, variant: Optional[str] = None,
+             frontend: Optional[str] = None, name: Optional[str] = None) -> Program:
+        """Resolve anything program-like into an IR :class:`Program`.
+
+        Accepts an IR program (returned unchanged), a workload-registry name
+        (``"gemm"``, ``"gemm:b"``, ``"cloudsc"``, ``"erosion"``), or source
+        text for a registered frontend (default: the C-like language).
+        """
+        program, _ = self._resolve(source, variant=variant, frontend=frontend,
+                                   name=name)
+        return program
+
+    def _resolve(self, source: ProgramLike, *, variant: Optional[str] = None,
+                 frontend: Optional[str] = None, name: Optional[str] = None
+                 ) -> Tuple[Program, Optional[Dict[str, int]]]:
+        """Resolve ``source``; also return default parameters when known."""
+        if isinstance(source, Program):
+            return source, None
+        if not isinstance(source, str):
+            raise TypeError(f"cannot load {type(source).__name__}; "
+                            "expected Program, workload name, or source text")
+
+        text = source.strip()
+        workload, _, suffix = text.partition(":")
+        if workload == "cloudsc":
+            from ..workloads.cloudsc import build_cloudsc_model
+            return build_cloudsc_model(), None
+        if workload == "erosion":
+            from ..workloads.cloudsc import build_erosion_kernel
+            return build_erosion_kernel(), None
+        if workload in workload_registry.benchmark_names():
+            spec = workload_registry.benchmark(workload)
+            program = spec.variant(suffix or variant or "a")
+            return program, dict(spec.sizes(self.size))
+
+        if frontend is None and ("\n" in source or "{" in source or "=" in source):
+            frontend = "clike"
+        if frontend is not None:
+            parse = FRONTENDS.get(frontend)
+            program = parse(source, name or f"{frontend}_program")
+            return program, None
+        raise RegistryError(
+            f"{source!r} is neither a known workload "
+            f"({workload_registry.benchmark_names()}) nor parseable source text")
+
+    # -- schedulers -------------------------------------------------------------------
+
+    def scheduler(self, name: Optional[str] = None,
+                  threads: Optional[int] = None) -> Scheduler:
+        """The (lazily created, cached) scheduler instance for ``name``."""
+        name = name or self.default_scheduler
+        threads = self.threads if threads is None else threads
+        key = (name, threads)
+        with self._lock:
+            instance = self._schedulers.get(key)
+            if instance is None:
+                options: Dict[str, Any] = {"search": self.search, "mcts": self.mcts}
+                if name == "daisy":
+                    options["database"] = self.database
+                instance = create_scheduler(name, machine=self.machine,
+                                            threads=threads, **options)
+                self._schedulers[key] = instance
+            return instance
+
+    def _cost_model(self, threads: Optional[int] = None) -> CostModel:
+        threads = self.threads if threads is None else threads
+        with self._lock:
+            model = self._cost_models.get(threads)
+            if model is None:
+                model = CostModel(self.machine, threads)
+                self._cost_models[threads] = model
+            return model
+
+    # -- normalization ----------------------------------------------------------------
+
+    def normalize(self, source: ProgramLike,
+                  options: Optional[NormalizationOptions] = None) -> NormalizeResponse:
+        """Run a-priori normalization through the content-addressed cache."""
+        program = self.load(source)
+        entry = self.cache.normalized(program, options or self.normalization)
+        return NormalizeResponse(program=entry.program, report=entry.report,
+                                 input_hash=entry.input_hash,
+                                 canonical_hash=entry.canonical_hash,
+                                 cache_hit=entry.hit)
+
+    # -- scheduling -------------------------------------------------------------------
+
+    def schedule(self, request: Union[ScheduleRequest, ProgramLike],
+                 parameters: Optional[Mapping[str, int]] = None,
+                 scheduler: Optional[str] = None, *,
+                 threads: Optional[int] = None,
+                 label: Optional[str] = None,
+                 normalize: Optional[bool] = None,
+                 tune: bool = False) -> ScheduleResponse:
+        """Schedule one program; cached at both the normalization and the
+        schedule level.  Returns a :class:`ScheduleResponse`."""
+        if not isinstance(request, ScheduleRequest):
+            request = ScheduleRequest(program=request, parameters=parameters,
+                                      scheduler=scheduler, threads=threads,
+                                      label=label, normalize=normalize, tune=tune)
+        return self._schedule(request)
+
+    def tune(self, source: Union[ScheduleRequest, ProgramLike],
+             parameters: Optional[Mapping[str, int]] = None,
+             label: Optional[str] = None,
+             scheduler: Optional[str] = None) -> ScheduleResponse:
+        """Tune a program and record its recipes in the session database."""
+        return self.schedule(source, parameters, scheduler, label=label, tune=True)
+
+    def seed(self, workloads: Iterable[ProgramLike],
+             variant: str = "a") -> List[ScheduleResponse]:
+        """Seed the database from the (normalized) ``variant`` of each workload."""
+        responses = []
+        for workload in workloads:
+            if isinstance(workload, str) and ":" not in workload:
+                label = workload
+                workload = f"{workload}:{variant}"
+            else:
+                label = None
+            responses.append(self.tune(workload, label=label))
+        return responses
+
+    def estimate(self, source: Union[ScheduleRequest, ProgramLike],
+                 parameters: Optional[Mapping[str, int]] = None,
+                 scheduler: Optional[str] = None, *,
+                 threads: Optional[int] = None,
+                 normalize: Optional[bool] = None) -> float:
+        """Schedule and return the modeled runtime in seconds."""
+        return self.schedule(source, parameters, scheduler, threads=threads,
+                             normalize=normalize).runtime_s
+
+    def _schedule(self, request: ScheduleRequest) -> ScheduleResponse:
+        program, default_parameters = self._resolve(request.program)
+        parameters = dict(request.parameters) if request.parameters else default_parameters
+        if parameters is None:
+            raise ValueError(
+                f"no parameters given for {program.name!r} and none derivable "
+                "from the workload registry")
+
+        name = request.scheduler or self.default_scheduler
+        instance = self.scheduler(name, request.threads)
+        threads = instance.threads
+        normalizes = (scheduler_normalizes(name) if request.normalize is None
+                      else request.normalize)
+
+        if request.tune:
+            if not scheduler_tunes(name):
+                raise RegistryError(
+                    f"scheduler {name!r} does not support tuning (no database)")
+            with self._lock:
+                self._tune_calls += 1
+            normalization = self.normalize(program) if normalizes else None
+            target = normalization.program if normalization else program.copy()
+            result = instance.tune(target, parameters,
+                                   label=request.label or program.name)
+            runtime = instance.cost_model.estimate_seconds(result.program, parameters)
+            return ScheduleResponse(
+                request=request, scheduler=name, program=result.program,
+                result=result, runtime_s=runtime, normalized=normalizes,
+                input_hash=normalization.input_hash if normalization else None,
+                canonical_hash=normalization.canonical_hash if normalization else None,
+                normalization_cache_hit=bool(normalization and normalization.cache_hit))
+
+        with self._lock:
+            self._schedule_calls += 1
+
+        if normalizes:
+            normalization = self.normalize(program)
+            target = normalization.program
+            content_key = normalization.canonical_hash
+            input_hash = normalization.input_hash
+            norm_hit = normalization.cache_hit
+        else:
+            normalization = None
+            target = program
+            content_key = program_content_hash(program)
+            input_hash = content_key
+            norm_hit = False
+
+        # Database-backed schedulers key on the database version too: a
+        # tune() in between grows the database, and a schedule cached before
+        # it must not shadow the transfer-tuned schedule available after.
+        database = getattr(instance, "database", None)
+        key = self.cache.schedule_key(
+            content_key, name, threads, parameters,
+            database_version=len(database) if database is not None else None)
+        cached = self.cache.lookup_schedule(key)
+        if cached is not None:
+            result, runtime = cached
+            # The cached schedule came from a normalized-equivalent program;
+            # keep the caller's program name on the served copy.
+            result.program.name = program.name
+            return ScheduleResponse(
+                request=request, scheduler=name, program=result.program,
+                result=result, runtime_s=runtime, normalized=normalizes,
+                input_hash=input_hash,
+                canonical_hash=content_key if normalizes else None,
+                from_cache=True, normalization_cache_hit=norm_hit)
+
+        result = instance.schedule(target, parameters)
+        runtime = instance.cost_model.estimate_seconds(result.program, parameters)
+        self.cache.store_schedule(key, result, runtime)
+        return ScheduleResponse(
+            request=request, scheduler=name, program=result.program,
+            result=result, runtime_s=runtime, normalized=normalizes,
+            input_hash=input_hash,
+            canonical_hash=content_key if normalizes else None,
+            normalization_cache_hit=norm_hit)
+
+    # -- batching ---------------------------------------------------------------------
+
+    def schedule_batch(self, items: Sequence[BatchItem],
+                       max_workers: Optional[int] = None) -> List[ScheduleResponse]:
+        """Schedule many programs concurrently, sharing one cache and database.
+
+        Results are returned in input order; scheduled programs and runtimes
+        are identical to sequential ``schedule()`` calls, because every stage
+        a worker runs (normalization, database lookup, deterministic per-call
+        search) is a pure function of the session state at batch entry.  Only
+        the ``from_cache`` / ``normalization_cache_hit`` bookkeeping flags can
+        differ: two equivalent items racing may both miss and compute the
+        same result twice instead of one serving the other.
+        """
+        requests = [self._as_request(item) for item in items]
+        for request in requests:
+            if request.tune:
+                raise ValueError("tune requests mutate the database and must "
+                                 "be issued sequentially, not via schedule_batch")
+        with self._lock:
+            self._batch_calls += 1
+        workers = max_workers or self.max_workers or min(8, max(1, len(requests)))
+        if workers <= 1 or len(requests) <= 1:
+            return [self._schedule(request) for request in requests]
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(self._schedule, requests))
+
+    @staticmethod
+    def _as_request(item: BatchItem) -> ScheduleRequest:
+        if isinstance(item, ScheduleRequest):
+            return item
+        if isinstance(item, tuple):
+            program, parameters = item
+            return ScheduleRequest(program=program, parameters=parameters)
+        return ScheduleRequest(program=item)
+
+    # -- measurement and execution ----------------------------------------------------
+
+    def evaluate(self, source: ProgramLike,
+                 parameters: Optional[Mapping[str, int]] = None, *,
+                 threads: Optional[int] = None,
+                 assume_warm_caches: bool = False) -> float:
+        """Modeled runtime of a program *as given* (no scheduling)."""
+        program, default_parameters = self._resolve(source)
+        parameters = parameters if parameters is not None else default_parameters
+        if parameters is None:
+            raise ValueError(f"no parameters given for {program.name!r}")
+        return self._cost_model(threads).estimate_seconds(
+            program, parameters, assume_warm_caches=assume_warm_caches)
+
+    def cache_report(self, source: ProgramLike,
+                     parameters: Mapping[str, int]) -> CacheReport:
+        """Run the address trace of a program through the cache simulator."""
+        program = self.load(source)
+        trace = TraceGenerator(program, parameters).trace()
+        return CacheHierarchy(self.machine).run_trace(trace)
+
+    def execute(self, source: ProgramLike,
+                parameters: Optional[Mapping[str, int]] = None,
+                inputs: Optional[Mapping[str, np.ndarray]] = None,
+                seed: int = 0) -> ExecuteResponse:
+        """Interpret a program on concrete (or reproducible random) inputs."""
+        program, default_parameters = self._resolve(source)
+        parameters = dict(parameters) if parameters else default_parameters
+        if parameters is None:
+            raise ValueError(f"no parameters given for {program.name!r}")
+        with self._lock:
+            self._execute_calls += 1
+        outputs = run_program(program, parameters, inputs, seed)
+        return ExecuteResponse(program=program, parameters=dict(parameters),
+                               outputs=dict(outputs))
+
+    def equivalent(self, first: ProgramLike, second: ProgramLike,
+                   parameters: Mapping[str, int], **kwargs: Any) -> bool:
+        """Observational equivalence of two programs on random inputs."""
+        return programs_equivalent(self.load(first), self.load(second),
+                                   parameters, **kwargs)
+
+    # -- introspection ----------------------------------------------------------------
+
+    def report(self) -> SessionReport:
+        """Counters: calls, cache hits/misses, database size, schedulers."""
+        stats = self.cache.stats
+        with self._lock:
+            return SessionReport(
+                schedule_calls=self._schedule_calls,
+                tune_calls=self._tune_calls,
+                batch_calls=self._batch_calls,
+                execute_calls=self._execute_calls,
+                normalization_hits=stats.normalization_hits,
+                normalization_misses=stats.normalization_misses,
+                schedule_cache_hits=stats.schedule_hits,
+                schedule_cache_misses=stats.schedule_misses,
+                cache_evictions=stats.evictions,
+                database_entries=len(self.database),
+                schedulers=sorted({name for name, _ in self._schedulers}),
+            )

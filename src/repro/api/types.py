@@ -1,0 +1,213 @@
+"""Typed request/response objects of the :class:`repro.api.Session` facade.
+
+Consumers used to pass ad-hoc ``(program, parameters)`` tuples around and
+unpack ``(program, report)`` results; the facade instead speaks small
+dataclasses that serialize to plain dictionaries (so batch jobs can be
+persisted, shipped to workers, and replayed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+from ..ir.nodes import Program
+from ..ir.serialization import program_from_dict, program_to_dict
+from ..normalization.pipeline import NormalizationReport
+from ..scheduler.base import NestScheduleInfo, ScheduleResult
+from ..transforms.recipe import Recipe
+
+#: What ``Session.load`` accepts: an IR program, C-like source text, or a
+#: workload-registry name (optionally suffixed ``:a`` / ``:b`` / ``:npbench``).
+ProgramLike = Union[Program, str]
+
+
+@dataclass
+class ScheduleRequest:
+    """One scheduling job.
+
+    ``program`` may be anything :meth:`repro.api.Session.load` accepts.
+    ``scheduler`` / ``threads`` / ``normalize`` default to the session's
+    configuration (``normalize=None`` means "whatever the scheduler's
+    registry metadata says").
+    """
+
+    program: ProgramLike
+    parameters: Optional[Mapping[str, int]] = None
+    scheduler: Optional[str] = None
+    threads: Optional[int] = None
+    label: Optional[str] = None
+    normalize: Optional[bool] = None
+    tune: bool = False
+
+    def to_dict(self) -> Dict[str, Any]:
+        program = self.program
+        return {
+            "program": (program_to_dict(program) if isinstance(program, Program)
+                        else program),
+            "parameters": dict(self.parameters) if self.parameters else None,
+            "scheduler": self.scheduler,
+            "threads": self.threads,
+            "label": self.label,
+            "normalize": self.normalize,
+            "tune": self.tune,
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Any]) -> "ScheduleRequest":
+        program = data["program"]
+        if isinstance(program, Mapping):
+            program = program_from_dict(dict(program))
+        return ScheduleRequest(
+            program=program,
+            parameters=data.get("parameters"),
+            scheduler=data.get("scheduler"),
+            threads=data.get("threads"),
+            label=data.get("label"),
+            normalize=data.get("normalize"),
+            tune=bool(data.get("tune", False)),
+        )
+
+
+@dataclass
+class NormalizeResponse:
+    """Outcome of running a program through the normalization cache."""
+
+    program: Program
+    report: NormalizationReport
+    input_hash: str
+    canonical_hash: str
+    cache_hit: bool
+
+    def summary(self) -> str:
+        origin = "cache" if self.cache_hit else "pipeline"
+        return f"{self.report.summary()} [{origin}, {self.canonical_hash[:12]}]"
+
+
+@dataclass
+class ScheduleResponse:
+    """Outcome of one scheduling job.
+
+    ``program`` is the scheduled program; ``result`` carries the per-nest
+    details. ``from_cache`` is True when the whole schedule was served from
+    the content-addressed cache (a normalized-equivalent variant was already
+    scheduled), ``normalization_cache_hit`` when only the normalization was.
+    """
+
+    request: ScheduleRequest
+    scheduler: str
+    program: Program
+    result: ScheduleResult
+    runtime_s: float
+    normalized: bool
+    input_hash: Optional[str] = None
+    canonical_hash: Optional[str] = None
+    from_cache: bool = False
+    normalization_cache_hit: bool = False
+
+    def summary(self) -> str:
+        cached = " [cached]" if self.from_cache else ""
+        return f"{self.result.summary()} est={self.runtime_s:.3e}s{cached}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "request": self.request.to_dict(),
+            "scheduler": self.scheduler,
+            "program": program_to_dict(self.program),
+            "nests": [
+                {
+                    "nest_index": info.nest_index,
+                    "status": info.status,
+                    "recipe": info.recipe.to_dict() if info.recipe else None,
+                    "detail": info.detail,
+                }
+                for info in self.result.nests
+            ],
+            "unsupported": self.result.unsupported,
+            "notes": self.result.notes,
+            "runtime_s": self.runtime_s,
+            "normalized": self.normalized,
+            "input_hash": self.input_hash,
+            "canonical_hash": self.canonical_hash,
+            "from_cache": self.from_cache,
+            "normalization_cache_hit": self.normalization_cache_hit,
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Any]) -> "ScheduleResponse":
+        program = program_from_dict(dict(data["program"]))
+        nests = [
+            NestScheduleInfo(
+                nest_index=entry["nest_index"],
+                status=entry["status"],
+                recipe=Recipe.from_dict(entry["recipe"]) if entry.get("recipe") else None,
+                detail=entry.get("detail", ""),
+            )
+            for entry in data.get("nests", [])
+        ]
+        result = ScheduleResult(scheduler=data["scheduler"], program=program,
+                                nests=nests,
+                                unsupported=bool(data.get("unsupported", False)),
+                                notes=data.get("notes", ""))
+        return ScheduleResponse(
+            request=ScheduleRequest.from_dict(data["request"]),
+            scheduler=data["scheduler"],
+            program=program,
+            result=result,
+            runtime_s=float(data["runtime_s"]),
+            normalized=bool(data.get("normalized", False)),
+            input_hash=data.get("input_hash"),
+            canonical_hash=data.get("canonical_hash"),
+            from_cache=bool(data.get("from_cache", False)),
+            normalization_cache_hit=bool(data.get("normalization_cache_hit", False)),
+        )
+
+
+@dataclass
+class ExecuteResponse:
+    """Outcome of interpreting a program on concrete inputs."""
+
+    program: Program
+    parameters: Dict[str, int]
+    outputs: Dict[str, Any]
+
+    def output(self, name: str) -> Any:
+        return self.outputs[name]
+
+
+@dataclass
+class SessionReport:
+    """A snapshot of everything a session did (returned by ``report()``)."""
+
+    schedule_calls: int = 0
+    tune_calls: int = 0
+    batch_calls: int = 0
+    execute_calls: int = 0
+    normalization_hits: int = 0
+    normalization_misses: int = 0
+    schedule_cache_hits: int = 0
+    schedule_cache_misses: int = 0
+    cache_evictions: int = 0
+    database_entries: int = 0
+    schedulers: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schedule_calls": self.schedule_calls,
+            "tune_calls": self.tune_calls,
+            "batch_calls": self.batch_calls,
+            "execute_calls": self.execute_calls,
+            "normalization_hits": self.normalization_hits,
+            "normalization_misses": self.normalization_misses,
+            "schedule_cache_hits": self.schedule_cache_hits,
+            "schedule_cache_misses": self.schedule_cache_misses,
+            "cache_evictions": self.cache_evictions,
+            "database_entries": self.database_entries,
+            "schedulers": list(self.schedulers),
+        }
+
+    def summary(self) -> str:
+        return (f"{self.schedule_calls} schedules ({self.schedule_cache_hits} served "
+                f"from cache), {self.tune_calls} tunes, "
+                f"{self.normalization_hits}/{self.normalization_hits + self.normalization_misses} "
+                f"normalization cache hits, {self.database_entries} database entries")

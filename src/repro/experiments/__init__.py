@@ -12,10 +12,11 @@
 
 from . import (cloudsc_pipeline, figure1, figure6, figure7, figure9, figure11,
                figure12, summary, table1)
-from .common import ExperimentSettings, format_table, geometric_mean
+from .common import (ExperimentSettings, format_table, geometric_mean,
+                     make_session)
 
 __all__ = [
     "cloudsc_pipeline", "figure1", "figure6", "figure7", "figure9",
     "figure11", "figure12", "summary", "table1",
-    "ExperimentSettings", "format_table", "geometric_mean",
+    "ExperimentSettings", "format_table", "geometric_mean", "make_session",
 ]

@@ -3,27 +3,24 @@
 Every experiment module produces plain data (lists of row dictionaries plus a
 ``format_table`` helper) so that the same code backs the pytest-benchmark
 targets in ``benchmarks/``, the runnable examples, and EXPERIMENTS.md.
+
+All pipeline wiring goes through :mod:`repro.api`: experiments create
+:class:`~repro.api.Session` objects (one per pipeline configuration) and
+resolve every scheduler by registry name, so they automatically share the
+content-addressed normalization cache and the transfer-tuning database.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Iterable, List, Mapping, Optional, Sequence
 
 import numpy as np
 
-from ..ir.nodes import Program
-from ..perf.machine import DEFAULT_MACHINE, MachineModel
-from ..perf.model import CostModel
-from ..scheduler.base import Scheduler
-from ..scheduler.compiler_baseline import ClangScheduler, IccScheduler
-from ..scheduler.daisy import DaisyConfig, DaisyScheduler
-from ..scheduler.evolutionary import SearchConfig
-from ..scheduler.frameworks import DaceScheduler, NumbaScheduler, NumpyScheduler
-from ..scheduler.polyhedral import PollyScheduler
-from ..scheduler.tiramisu import MctsConfig, TiramisuScheduler
-from ..workloads.registry import BenchmarkSpec, all_benchmarks
+from ..api import (DEFAULT_MACHINE, BenchmarkSpec, MachineModel, MctsConfig,
+                   NormalizationOptions, Program, SearchConfig, Session,
+                   all_benchmarks)
 
 #: Thread count of the paper's evaluation machine (Xeon E5-2680v3).
 DEFAULT_THREADS = 12
@@ -61,6 +58,22 @@ class ExperimentSettings:
         wanted = set(self.benchmarks)
         return [spec for spec in specs if spec.name in wanted]
 
+    def session(self, normalization: Optional[NormalizationOptions] = None) -> Session:
+        """A fresh Session configured like this experiment run."""
+        return Session(machine=self.machine, threads=self.threads,
+                       normalization=normalization, search=self.search,
+                       mcts=self.mcts, size=self.size)
+
+
+def make_session(settings: ExperimentSettings,
+                 seed_specs: Optional[Sequence[BenchmarkSpec]] = None,
+                 normalization: Optional[NormalizationOptions] = None) -> Session:
+    """Create a session, optionally seeding its database from A variants."""
+    session = settings.session(normalization)
+    if seed_specs:
+        session.seed([spec.name for spec in seed_specs], variant="a")
+    return session
+
 
 def geometric_mean(values: Iterable[float]) -> float:
     """Geometric mean of positive values (ignores non-positive entries)."""
@@ -70,47 +83,9 @@ def geometric_mean(values: Iterable[float]) -> float:
     return float(np.exp(np.mean(np.log(positive))))
 
 
-def make_daisy(settings: ExperimentSettings,
-               seed_specs: Optional[Sequence[BenchmarkSpec]] = None,
-               normalization=None) -> DaisyScheduler:
-    """Create a daisy scheduler, optionally seeded from benchmark A variants."""
-    config = DaisyConfig(threads=settings.threads, search=settings.search)
-    daisy = DaisyScheduler(machine=settings.machine, config=config,
-                           normalization=normalization)
-    for spec in (seed_specs or []):
-        parameters = benchmark_parameters(spec, settings.size)
-        daisy.tune(spec.variant("a"), parameters, label=spec.name)
-    return daisy
-
-
-def make_baselines(settings: ExperimentSettings) -> Dict[str, Scheduler]:
-    """The auto-scheduler and compiler baselines of Section 4.1."""
-    return {
-        "polly": PollyScheduler(settings.machine, threads=settings.threads),
-        "icc": IccScheduler(settings.machine, threads=settings.threads),
-        "tiramisu": TiramisuScheduler(settings.machine, threads=settings.threads,
-                                      config=settings.mcts),
-    }
-
-
-def make_python_frameworks(settings: ExperimentSettings) -> Dict[str, Scheduler]:
-    """The Python-framework baselines of Section 4.3."""
-    return {
-        "numpy": NumpyScheduler(settings.machine),
-        "numba": NumbaScheduler(settings.machine, threads=settings.threads),
-        "dace": DaceScheduler(settings.machine, threads=settings.threads),
-    }
-
-
-def benchmark_parameters(spec: BenchmarkSpec, size: str) -> Dict[str, int]:
+def benchmark_parameters(spec: BenchmarkSpec, size: str) -> Mapping[str, int]:
     """Concrete parameter bindings (sizes) for a benchmark."""
     return spec.sizes(size)
-
-
-def estimate_runtime(scheduler: Scheduler, program: Program,
-                     parameters: Mapping[str, int]) -> float:
-    """Schedule a program and estimate its runtime with the scheduler's model."""
-    return scheduler.estimate(program, parameters)
 
 
 def format_table(rows: Sequence[Mapping[str, object]],

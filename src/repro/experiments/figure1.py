@@ -6,6 +6,10 @@ whereas a normalizing scheduler maps all of them to the same canonical form.
 This experiment builds GEMM in all six loop orders and reports the estimated
 runtime of each order under the baseline compiler, Polly, the Tiramisu-style
 scheduler, and daisy.
+
+Because all six orders share one canonical form, daisy schedules the first
+order and serves the remaining five from the session's content-addressed
+cache — the cache is the computational expression of the figure's message.
 """
 
 from __future__ import annotations
@@ -13,13 +17,11 @@ from __future__ import annotations
 from itertools import permutations
 from typing import Dict, List, Optional
 
-from ..ir.builder import ProgramBuilder
-from ..ir.nodes import Program
-from ..workloads.registry import benchmark
-from .common import (ExperimentSettings, format_table, make_baselines,
-                     make_daisy)
+from ..api import Program, ProgramBuilder, benchmark
+from .common import ExperimentSettings, format_table, make_session
 
 LOOP_ORDERS = ["".join(order) for order in permutations("ijk")]
+SCHEDULERS = ("daisy", "polly", "icc", "tiramisu")
 
 
 def build_gemm_order(order: str) -> Program:
@@ -49,15 +51,13 @@ def run(settings: Optional[ExperimentSettings] = None) -> List[Dict[str, object]
     spec = benchmark("gemm")
     parameters = spec.sizes(settings.size)
 
-    daisy = make_daisy(settings, seed_specs=[spec])
-    schedulers = {"daisy": daisy}
-    schedulers.update(make_baselines(settings))
+    session = make_session(settings, seed_specs=[spec])
 
     rows: List[Dict[str, object]] = []
     for order in LOOP_ORDERS:
         program = build_gemm_order(order)
-        for name, scheduler in schedulers.items():
-            runtime = scheduler.estimate(program, parameters)
+        for name in SCHEDULERS:
+            runtime = session.estimate(program, parameters, scheduler=name)
             rows.append({"order": order, "scheduler": name, "runtime_s": runtime})
 
     # Normalize each scheduler's runtimes by its best order so the spread

@@ -10,10 +10,10 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from ..perf.model import CostModel
-from ..workloads.cloudsc import CloudscConfiguration, build_cloudsc_model
+from ..api import CloudscConfiguration, build_cloudsc_model
 from .cloudsc_pipeline import (C_CODEGEN_FACTOR, DACE_CODEGEN_FACTOR,
-                               annotate_baseline, daisy_optimize)
+                               PIPELINE_OPTIONS, annotate_baseline,
+                               daisy_optimize)
 from .common import ExperimentSettings, format_table
 
 VERSIONS = ("fortran", "c", "dace", "daisy")
@@ -25,14 +25,15 @@ def run(settings: Optional[ExperimentSettings] = None,
     settings = settings or ExperimentSettings()
     configuration = configuration or CloudscConfiguration(nproma=128, nblocks=512)
     parameters = configuration.parameters()
+    session = settings.session(normalization=PIPELINE_OPTIONS)
 
     model_program = build_cloudsc_model()
     baseline = annotate_baseline(model_program, parallel_blocks=False)
-    optimized, pipeline_info = daisy_optimize(model_program, parallel_blocks=False)
+    optimized, pipeline_info = daisy_optimize(model_program, parallel_blocks=False,
+                                              session=session)
 
-    cost = CostModel(settings.machine, threads=1)
-    fortran_runtime = cost.estimate_seconds(baseline, parameters)
-    daisy_runtime = cost.estimate_seconds(optimized, parameters)
+    fortran_runtime = session.evaluate(baseline, parameters, threads=1)
+    daisy_runtime = session.evaluate(optimized, parameters, threads=1)
 
     runtimes = {
         "fortran": fortran_runtime,

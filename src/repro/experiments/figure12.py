@@ -6,32 +6,34 @@ with 1-12 threads; the block loop is the parallel dimension.  Weak scaling
 thread), keeping NPROMA=128.  For both, the Fortran baseline and the daisy
 version are modeled directly and the C/DaCe versions as calibrated factors,
 as in Figure 11.
+
+One session serves every scaling point, so the normalization-plus-fusion
+pipeline runs once and the per-thread-count evaluations hit the cache.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..perf.model import CostModel
-from ..workloads.cloudsc import (WEAK_SCALING_POINTS, CloudscConfiguration,
-                                 build_cloudsc_model)
+from ..api import (WEAK_SCALING_POINTS, CloudscConfiguration, Session,
+                   build_cloudsc_model)
 from .cloudsc_pipeline import (C_CODEGEN_FACTOR, DACE_CODEGEN_FACTOR,
-                               annotate_baseline, daisy_optimize)
+                               PIPELINE_OPTIONS, annotate_baseline,
+                               daisy_optimize)
 from .common import ExperimentSettings, format_table
 
 STRONG_SCALING_THREADS = (1, 2, 4, 6, 8, 10, 12)
 VERSIONS = ("fortran", "c", "dace", "daisy")
 
 
-def _runtimes_for(settings: ExperimentSettings, configuration: CloudscConfiguration,
+def _runtimes_for(session: Session, configuration: CloudscConfiguration,
                   threads: int) -> Dict[str, float]:
     parameters = configuration.parameters()
     program = build_cloudsc_model()
     baseline = annotate_baseline(program, parallel_blocks=True)
-    optimized, _ = daisy_optimize(program, parallel_blocks=True)
-    cost = CostModel(settings.machine, threads=threads)
-    fortran_runtime = cost.estimate_seconds(baseline, parameters)
-    daisy_runtime = cost.estimate_seconds(optimized, parameters)
+    optimized, _ = daisy_optimize(program, parallel_blocks=True, session=session)
+    fortran_runtime = session.evaluate(baseline, parameters, threads=threads)
+    daisy_runtime = session.evaluate(optimized, parameters, threads=threads)
     return {
         "fortran": fortran_runtime,
         "c": fortran_runtime * C_CODEGEN_FACTOR,
@@ -45,10 +47,11 @@ def run_strong_scaling(settings: Optional[ExperimentSettings] = None,
                        ) -> List[Dict[str, object]]:
     """Figure 12a: fixed problem size, increasing thread count."""
     settings = settings or ExperimentSettings()
+    session = settings.session(normalization=PIPELINE_OPTIONS)
     configuration = CloudscConfiguration(nproma=128, nblocks=512)
     rows: List[Dict[str, object]] = []
     for count in threads:
-        runtimes = _runtimes_for(settings, configuration, count)
+        runtimes = _runtimes_for(session, configuration, count)
         for version in VERSIONS:
             rows.append({
                 "threads": count,
@@ -65,11 +68,12 @@ def run_weak_scaling(settings: Optional[ExperimentSettings] = None,
                      ) -> List[Dict[str, object]]:
     """Figure 12b: workload grows proportionally with the thread count."""
     settings = settings or ExperimentSettings()
+    session = settings.session(normalization=PIPELINE_OPTIONS)
     rows: List[Dict[str, object]] = []
     for columns, threads in points:
         nblocks = max(1, columns // 128)
         configuration = CloudscConfiguration(nproma=128, nblocks=nblocks)
-        runtimes = _runtimes_for(settings, configuration, threads)
+        runtimes = _runtimes_for(session, configuration, threads)
         for version in VERSIONS:
             rows.append({
                 "workload": columns,

@@ -12,15 +12,19 @@ A variant:
 The paper's finding is that only Norm+Opt reaches the best performance
 consistently; Opt alone fails whenever the B variant's loop structure does
 not literally match a database entry.
+
+Each daisy configuration is one :class:`repro.api.Session` (sessions are the
+unit of pipeline configuration); the "Norm" configuration reuses the full
+session's normalization cache by scheduling with ``normalize=True`` under
+the clang baseline.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from ..normalization.pipeline import NormalizationOptions, normalize
-from ..scheduler.compiler_baseline import ClangScheduler
-from .common import ExperimentSettings, format_table, make_daisy
+from ..api import NormalizationOptions
+from .common import ExperimentSettings, format_table, make_session
 
 CONFIGURATIONS = ("clang", "opt", "norm", "norm+opt")
 VARIANTS = ("a", "b")
@@ -39,12 +43,12 @@ def run(settings: Optional[ExperimentSettings] = None) -> List[Dict[str, object]
     settings = settings or ExperimentSettings()
     specs = settings.selected_benchmarks()
 
-    clang = ClangScheduler(settings.machine, threads=1)
     # Full daisy: normalization + transfer tuning, seeded from A variants.
-    daisy_full = make_daisy(settings, seed_specs=specs)
+    session_full = make_session(settings, seed_specs=specs)
     # Opt-only: same transfer-tuning machinery but without normalization;
     # its database is seeded from the *unnormalized* A variants.
-    daisy_opt = make_daisy(settings, seed_specs=specs, normalization=NO_NORMALIZATION)
+    session_opt = make_session(settings, seed_specs=specs,
+                               normalization=NO_NORMALIZATION)
 
     rows: List[Dict[str, object]] = []
     for spec in specs:
@@ -53,13 +57,15 @@ def run(settings: Optional[ExperimentSettings] = None) -> List[Dict[str, object]
         for variant in VARIANTS:
             program = spec.variant(variant)
 
-            runtimes[("clang", variant)] = clang.estimate(program, parameters)
-            runtimes[("opt", variant)] = daisy_opt.estimate(program, parameters)
+            runtimes[("clang", variant)] = session_full.estimate(
+                program, parameters, scheduler="clang", threads=1)
+            runtimes[("opt", variant)] = session_opt.estimate(program, parameters)
 
-            normalized, _ = normalize(program)
-            runtimes[("norm", variant)] = clang.estimate(normalized, parameters)
+            # Norm: a-priori normalization, then the plain compiler.
+            runtimes[("norm", variant)] = session_full.estimate(
+                program, parameters, scheduler="clang", threads=1, normalize=True)
 
-            runtimes[("norm+opt", variant)] = daisy_full.estimate(program, parameters)
+            runtimes[("norm+opt", variant)] = session_full.estimate(program, parameters)
 
         baseline = runtimes[("clang", "a")]
         for configuration in CONFIGURATIONS:

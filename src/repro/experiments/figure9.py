@@ -5,6 +5,10 @@ way an array-language frontend lowers them) are scheduled by daisy — using
 the very same database that was seeded from the normalized *C* A variants —
 by daisy without normalization, and by the NumPy, Numba, and DaCe execution
 models.  Runtimes are reported relative to daisy (lower is better).
+
+The framework baselines are ordinary registry schedulers, so one session
+covers daisy, numpy, numba, and dace; the no-normalization ablation is its
+own session (different normalization options, different database).
 """
 
 from __future__ import annotations
@@ -12,7 +16,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from .common import (ExperimentSettings, format_table, geometric_mean,
-                     make_daisy, make_python_frameworks)
+                     make_session)
 from .figure7 import NO_NORMALIZATION
 
 FRAMEWORKS = ("daisy", "daisy_no_norm", "numpy", "numba", "dace")
@@ -24,21 +28,20 @@ def run(settings: Optional[ExperimentSettings] = None) -> List[Dict[str, object]
 
     # The database is seeded from the C A variants (Section 4.3: "we apply
     # the same database-based auto-scheduler from Section 4.1").
-    daisy = make_daisy(settings, seed_specs=specs)
-    daisy_no_norm = make_daisy(settings, seed_specs=specs,
-                               normalization=NO_NORMALIZATION)
-    frameworks = make_python_frameworks(settings)
+    session = make_session(settings, seed_specs=specs)
+    session_no_norm = make_session(settings, seed_specs=specs,
+                                   normalization=NO_NORMALIZATION)
 
     rows: List[Dict[str, object]] = []
     for spec in specs:
         parameters = spec.sizes(settings.size)
         program = spec.variant("npbench")
         runtimes: Dict[str, float] = {
-            "daisy": daisy.estimate(program, parameters),
-            "daisy_no_norm": daisy_no_norm.estimate(program, parameters),
+            "daisy": session.estimate(program, parameters),
+            "daisy_no_norm": session_no_norm.estimate(program, parameters),
         }
-        for name, scheduler in frameworks.items():
-            runtimes[name] = scheduler.estimate(program, parameters)
+        for name in ("numpy", "numba", "dace"):
+            runtimes[name] = session.estimate(program, parameters, scheduler=name)
 
         baseline = runtimes["daisy"]
         for name in FRAMEWORKS:

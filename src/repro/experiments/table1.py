@@ -8,18 +8,17 @@ The table reports, for the erosion loop nest of Figure 10 at NPROMA=128:
 
 Runtimes come from the analytical cost model under the repeated-measurement
 (warm-cache) protocol; L1 statistics come from the cache simulator fed with
-the exact address trace of one kernel execution.
+the exact address trace of one kernel execution.  Both are served by the
+session facade (``evaluate`` and ``cache_report``).
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from ..perf.cache import CacheHierarchy
-from ..perf.model import CostModel
-from ..perf.trace import TraceGenerator
-from ..workloads.cloudsc import build_erosion_kernel
-from .cloudsc_pipeline import annotate_baseline, daisy_optimize
+from ..api import build_erosion_kernel
+from .cloudsc_pipeline import (PIPELINE_OPTIONS, annotate_baseline,
+                               daisy_optimize)
 from .common import ExperimentSettings, format_table
 
 #: Configuration of Section 5.1: NPROMA=128, KLEV vertical levels.
@@ -30,18 +29,19 @@ KLEV = 137
 def run(settings: Optional[ExperimentSettings] = None) -> List[Dict[str, object]]:
     settings = settings or ExperimentSettings()
     parameters = {"NPROMA": NPROMA}
+    session = settings.session(normalization=PIPELINE_OPTIONS)
 
     kernel = build_erosion_kernel()
     original = annotate_baseline(kernel, parallel_blocks=False)
-    optimized, pipeline_info = daisy_optimize(kernel, parallel_blocks=False)
+    optimized, pipeline_info = daisy_optimize(kernel, parallel_blocks=False,
+                                              session=session)
 
-    model = CostModel(settings.machine, threads=1)
     rows: List[Dict[str, object]] = []
     for name, program in (("original", original), ("optimized", optimized)):
-        single = model.estimate_seconds(program, parameters, assume_warm_caches=True)
+        single = session.evaluate(program, parameters, threads=1,
+                                  assume_warm_caches=True)
         sweep = single * KLEV
-        report = CacheHierarchy(settings.machine).run_trace(
-            TraceGenerator(program, parameters).trace())
+        report = session.cache_report(program, parameters)
         rows.append({
             "version": name,
             "single_iteration_ms": single * 1e3,

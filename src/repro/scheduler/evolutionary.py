@@ -9,7 +9,9 @@ loop nests (Section 4, "Seeding a Scheduling Database").
 
 from __future__ import annotations
 
+import json
 import random
+import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -26,6 +28,18 @@ from ..transforms.tiling import Tile
 #: Candidate tile sizes (0 means "do not tile this loop").
 TILE_SIZES = (0, 16, 32, 64, 128)
 UNROLL_FACTORS = (1, 2, 4, 8)
+
+
+def nest_salt(nest: Loop) -> int:
+    """A deterministic salt derived from a nest's content.
+
+    Searches draw from ``Random((seed, salt))`` so that (a) repeated searches
+    of the same nest are reproducible regardless of call order or concurrency
+    and (b) different nests still explore different candidate sequences.
+    """
+    from ..ir.serialization import node_to_dict
+
+    return zlib.crc32(json.dumps(node_to_dict(nest), sort_keys=True).encode("utf-8"))
 
 
 @dataclass
@@ -80,6 +94,10 @@ class EvolutionarySearch:
     def __init__(self, cost_model: CostModel, config: Optional[SearchConfig] = None):
         self.cost_model = cost_model
         self.config = config or SearchConfig()
+        # Kept as the default rng of random_candidate/mutate for direct
+        # callers; search() itself uses a fresh per-call rng so that results
+        # are reproducible per nest and independent of call order (which also
+        # makes one search instance safe to share across batch threads).
         self._rng = random.Random(self.config.seed)
 
     # -- candidate generation -------------------------------------------------------
@@ -93,39 +111,42 @@ class EvolutionarySearch:
     def _nest_is_parallelizable(self, nest: Loop) -> bool:
         return analyze_loop_parallelism(nest).is_parallel
 
-    def random_candidate(self, nest: Loop,
-                         orders: Sequence[Tuple[str, ...]]) -> _Candidate:
-        order = self._rng.choice(list(orders))
+    def random_candidate(self, nest: Loop, orders: Sequence[Tuple[str, ...]],
+                         rng: Optional[random.Random] = None) -> _Candidate:
+        rng = rng or self._rng
+        order = rng.choice(list(orders))
         tile_sizes = {}
         for iterator in order:
-            tile_sizes[iterator] = self._rng.choice(TILE_SIZES)
+            tile_sizes[iterator] = rng.choice(TILE_SIZES)
         return _Candidate(
             order=tuple(order),
             tile_sizes=tile_sizes,
-            parallelize=self._rng.random() < 0.8,
-            vectorize=self._rng.random() < 0.8,
-            unroll=self._rng.choice(UNROLL_FACTORS),
+            parallelize=rng.random() < 0.8,
+            vectorize=rng.random() < 0.8,
+            unroll=rng.choice(UNROLL_FACTORS),
         )
 
     def mutate(self, candidate: _Candidate,
-               orders: Sequence[Tuple[str, ...]]) -> _Candidate:
+               orders: Sequence[Tuple[str, ...]],
+               rng: Optional[random.Random] = None) -> _Candidate:
+        rng = rng or self._rng
         order = candidate.order
         tile_sizes = dict(candidate.tile_sizes)
         parallelize = candidate.parallelize
         vectorize = candidate.vectorize
         unroll = candidate.unroll
-        roll = self._rng.random()
+        roll = rng.random()
         if roll < 0.25:
-            order = tuple(self._rng.choice(list(orders)))
+            order = tuple(rng.choice(list(orders)))
         elif roll < 0.6 and tile_sizes:
-            iterator = self._rng.choice(list(tile_sizes))
-            tile_sizes[iterator] = self._rng.choice(TILE_SIZES)
+            iterator = rng.choice(list(tile_sizes))
+            tile_sizes[iterator] = rng.choice(TILE_SIZES)
         elif roll < 0.75:
             parallelize = not parallelize
         elif roll < 0.9:
             vectorize = not vectorize
         else:
-            unroll = self._rng.choice(UNROLL_FACTORS)
+            unroll = rng.choice(UNROLL_FACTORS)
         return _Candidate(order, tile_sizes, parallelize, vectorize, unroll)
 
     # -- fitness --------------------------------------------------------------------
@@ -154,8 +175,11 @@ class EvolutionarySearch:
             raise TransformationError(f"node {nest_index} is not a loop nest")
         orders = self._legal_orders(nest)
 
+        # Fresh per-call rng: every search over the same nest draws the same
+        # sequence, regardless of previous calls or concurrent threads.
+        rng = random.Random(f"{self.config.seed}:{nest_salt(nest)}")
         population: List[_Candidate] = [
-            self.random_candidate(nest, orders)
+            self.random_candidate(nest, orders, rng=rng)
             for _ in range(self.config.population_size)
         ]
 
@@ -187,11 +211,12 @@ class EvolutionarySearch:
                 elite = [candidate for _, candidate, _ in scored[:self.config.elite]]
                 next_population = list(elite)
                 while len(next_population) < self.config.population_size:
-                    parent = self._rng.choice(elite)
-                    if self._rng.random() < self.config.mutation_rate:
-                        next_population.append(self.mutate(parent, orders))
+                    parent = rng.choice(elite)
+                    if rng.random() < self.config.mutation_rate:
+                        next_population.append(self.mutate(parent, orders, rng=rng))
                     else:
-                        next_population.append(self.random_candidate(nest, orders))
+                        next_population.append(
+                            self.random_candidate(nest, orders, rng=rng))
                 population = next_population
 
         # Baseline: leaving the nest untouched must also be considered.

@@ -122,16 +122,17 @@ class TiramisuScheduler(Scheduler):
             tuple(loop.iterator for loop in band)]
         return [("order", order) for order in orders]
 
-    def _random_schedule(self, nest: Loop, orders: Sequence[Tuple[str, ...]]
-                         ) -> Dict[str, object]:
-        order = self._rng.choice(list(orders))
-        tiles = {iterator: self._rng.choice(TILE_CHOICES) for iterator in order}
+    def _random_schedule(self, nest: Loop, orders: Sequence[Tuple[str, ...]],
+                         rng: Optional[random.Random] = None) -> Dict[str, object]:
+        rng = rng or self._rng
+        order = rng.choice(list(orders))
+        tiles = {iterator: rng.choice(TILE_CHOICES) for iterator in order}
         return {
             "order": order,
             "tiles": tiles,
-            "parallel": self._rng.random() < 0.9,
-            "vectorize": self._rng.random() < 0.7,
-            "unroll": self._rng.choice(UNROLL_CHOICES),
+            "parallel": rng.random() < 0.9,
+            "vectorize": rng.random() < 0.7,
+            "unroll": rng.choice(UNROLL_CHOICES),
         }
 
     def _to_recipe(self, decision: Dict[str, object], index: int) -> Recipe:
@@ -149,12 +150,14 @@ class TiramisuScheduler(Scheduler):
         return recipe
 
     def _surrogate(self, program: Program, index: int, decision: Dict[str, object],
-                   parameters: Mapping[str, int]) -> Tuple[float, Recipe]:
+                   parameters: Mapping[str, int],
+                   rng: Optional[random.Random] = None) -> Tuple[float, Recipe]:
+        rng = rng or self._rng
         recipe = self._to_recipe(decision, index)
         trial = program.copy()
         apply_recipe(trial, recipe, strict=False)
         runtime = self.cost_model.estimate_seconds(trial, parameters)
-        noisy = runtime * max(0.05, 1.0 + self._rng.gauss(0.0, self.config.model_noise))
+        noisy = runtime * max(0.05, 1.0 + rng.gauss(0.0, self.config.model_noise))
         return noisy, recipe
 
     def _measure(self, program: Program, recipe: Recipe,
@@ -172,10 +175,16 @@ class TiramisuScheduler(Scheduler):
                   else [tuple(loop.iterator for loop in band)])
 
         # Rollouts: sample schedules, score them with the noisy surrogate.
+        # A fresh per-call rng (salted by the nest content) keeps results
+        # independent of call order and makes one scheduler instance safe to
+        # share across batch threads.
+        from .evolutionary import nest_salt
+        rng = random.Random(f"{self.config.seed}:{nest_salt(nest)}")
         scored: List[Tuple[float, Recipe]] = []
         for _ in range(self.config.rollouts):
-            decision = self._random_schedule(nest, orders)
-            scored.append(self._surrogate(program, index, decision, parameters))
+            decision = self._random_schedule(nest, orders, rng=rng)
+            scored.append(self._surrogate(program, index, decision, parameters,
+                                          rng=rng))
         scored.sort(key=lambda item: item[0])
 
         # Measure the top candidates exactly and keep the best.

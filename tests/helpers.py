@@ -1,0 +1,66 @@
+"""Shared program builders for the test suite.
+
+These used to live in ``tests/conftest.py``, but test modules importing them
+via ``from conftest import ...`` collided with ``benchmarks/conftest.py``
+when pytest collected both directories.  A plain helper module has a unique
+import name and works from any rootdir.
+"""
+
+import os
+import sys
+
+# Allow running the tests without installing the package (e.g. straight from
+# a source checkout) by putting ``src`` on the path.
+_SRC = os.path.join(os.path.dirname(__file__), "..", "src")
+if os.path.isdir(_SRC) and _SRC not in sys.path:
+    sys.path.insert(0, os.path.abspath(_SRC))
+
+from repro.ir import ProgramBuilder  # noqa: E402
+
+
+def build_gemm(order=("i", "j", "k"), name=None, with_scaling=True):
+    """A GEMM program with a configurable loop order (helper for many tests)."""
+    order = list(order)
+    b = ProgramBuilder(name or f"gemm_{''.join(order)}", parameters=["NI", "NJ", "NK"])
+    b.add_array("C", ("NI", "NJ"))
+    b.add_array("A", ("NI", "NK"))
+    b.add_array("B", ("NK", "NJ"))
+    b.add_scalar("alpha")
+    b.add_scalar("beta")
+    if with_scaling:
+        with b.loop("i", 0, "NI"):
+            with b.loop("j", 0, "NJ"):
+                b.assign(("C", "i", "j"), b.read("C", "i", "j") * b.read("beta"))
+    bounds = {"i": "NI", "j": "NJ", "k": "NK"}
+    with b.loop(order[0], 0, bounds[order[0]]):
+        with b.loop(order[1], 0, bounds[order[1]]):
+            with b.loop(order[2], 0, bounds[order[2]]):
+                b.assign(("C", "i", "j"),
+                         b.read("C", "i", "j")
+                         + b.read("alpha") * b.read("A", "i", "k") * b.read("B", "k", "j"))
+    return b.finish()
+
+
+def build_vector_add(name="vecadd"):
+    """z = x + y over one loop."""
+    b = ProgramBuilder(name, parameters=["N"])
+    b.add_array("x", ("N",))
+    b.add_array("y", ("N",))
+    b.add_array("z", ("N",))
+    with b.loop("i", 0, "N"):
+        b.assign(("z", "i"), b.read("x", "i") + b.read("y", "i"))
+    return b.finish()
+
+
+def build_stencil(name="stencil1d"):
+    """Sequential-in-time 1-D stencil: carries a dependence on the time loop."""
+    b = ProgramBuilder(name, parameters=["T", "N"])
+    b.add_array("A", ("N",))
+    b.add_array("B", ("N",))
+    with b.loop("t", 0, "T"):
+        with b.loop("i", 1, b.sym("N") - 1):
+            b.assign(("B", "i"),
+                     0.5 * (b.read("A", b.sym("i") - 1) + b.read("A", b.sym("i") + 1)))
+        with b.loop("i", 1, b.sym("N") - 1):
+            b.assign(("A", "i"), b.read("B", "i"))
+    return b.finish()

@@ -2,7 +2,7 @@
 
 import pytest
 
-from conftest import build_gemm, build_stencil, build_vector_add
+from helpers import build_gemm, build_stencil, build_vector_add
 from repro.analysis import (EQ, LT, computation_accesses, decompose_access,
                             dependences_between, legal_permutations,
                             loop_carried_dependences, nest_dependences,

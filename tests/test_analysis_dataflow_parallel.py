@@ -2,7 +2,7 @@
 
 import pytest
 
-from conftest import build_gemm, build_stencil, build_vector_add
+from helpers import build_gemm, build_stencil, build_vector_add
 from repro.analysis import (analyze_loop_parallelism, build_dataflow_graph,
                             estimate_reuse, is_fully_parallel_band,
                             nest_stride_cost, nest_stride_report,

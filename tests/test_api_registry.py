@@ -1,0 +1,106 @@
+"""Tests for the repro.api plugin registries."""
+
+import pytest
+
+from repro.api import (FRONTENDS, SCHEDULERS, Registry, RegistryError,
+                       Scheduler, Session, create_scheduler,
+                       register_scheduler, scheduler_normalizes,
+                       scheduler_tunes)
+
+
+class TestBuiltins:
+    def test_all_shipped_schedulers_registered(self):
+        for name in ("daisy", "evolutionary", "polly", "clang", "icc",
+                     "tiramisu", "numpy", "numba", "dace"):
+            assert name in SCHEDULERS
+
+    def test_clike_frontend_registered(self):
+        assert "clike" in FRONTENDS
+
+    def test_create_scheduler_builds_instances(self):
+        for name in SCHEDULERS.names():
+            instance = create_scheduler(name, threads=2)
+            assert isinstance(instance, Scheduler)
+
+    def test_normalizing_metadata(self):
+        assert scheduler_normalizes("daisy")
+        assert scheduler_normalizes("evolutionary")
+        assert not scheduler_normalizes("polly")
+        assert not scheduler_normalizes("clang")
+
+    def test_tuning_metadata(self):
+        assert scheduler_tunes("daisy")
+        assert not scheduler_tunes("icc")
+
+
+class TestRegistryBehavior:
+    def test_unknown_lookup_raises_with_known_names(self):
+        registry = Registry("widget")
+        with pytest.raises(RegistryError, match="unknown widget 'nope'"):
+            registry.get("nope")
+
+    def test_duplicate_registration_rejected(self):
+        registry = Registry("widget")
+        registry.register("w")(lambda: 1)
+        with pytest.raises(RegistryError, match="already registered"):
+            registry.register("w")(lambda: 2)
+
+    def test_overwrite_allows_replacement(self):
+        registry = Registry("widget")
+        registry.register("w")(lambda: 1)
+        registry.register("w", overwrite=True)(lambda: 2)
+        assert registry.create("w") == 2
+
+    def test_decorator_preserves_factory(self):
+        registry = Registry("widget")
+
+        @registry.register("w", flavor="sweet")
+        def make():
+            return "widget"
+
+        assert make() == "widget"
+        assert registry.metadata("w") == {"flavor": "sweet"}
+
+    def test_unregister(self):
+        registry = Registry("widget")
+        registry.register("w")(lambda: 1)
+        registry.unregister("w")
+        assert "w" not in registry
+        with pytest.raises(RegistryError):
+            registry.unregister("w")
+
+
+class TestCustomScheduler:
+    def test_registered_scheduler_usable_through_session(self, gemm_params):
+        from repro.scheduler.base import ScheduleResult
+
+        class IdentityScheduler(Scheduler):
+            name = "identity-test"
+
+            def schedule(self, program, parameters):
+                return ScheduleResult(scheduler=self.name, program=program.copy())
+
+        @register_scheduler("identity-test", normalizes=False)
+        def _make_identity(machine=None, threads=1, **_ignored):
+            return IdentityScheduler(machine, threads)
+
+        try:
+            session = Session()
+            from helpers import build_gemm
+            response = session.schedule(build_gemm(), gemm_params,
+                                        scheduler="identity-test")
+            assert response.scheduler == "identity-test"
+            assert response.runtime_s > 0
+        finally:
+            SCHEDULERS.unregister("identity-test")
+
+    def test_session_rejects_unknown_default_scheduler(self):
+        with pytest.raises(RegistryError):
+            Session(scheduler="not-a-scheduler")
+
+    def test_schedule_with_unknown_scheduler_raises(self, gemm_params):
+        from helpers import build_gemm
+
+        session = Session()
+        with pytest.raises(RegistryError):
+            session.schedule(build_gemm(), gemm_params, scheduler="bogus")

@@ -1,0 +1,276 @@
+"""Tests for the Session facade: loading, scheduling, caching, batching."""
+
+import numpy as np
+import pytest
+from helpers import build_gemm, build_vector_add
+
+from repro.api import (NormalizationOptions, RegistryError, ScheduleRequest,
+                       ScheduleResponse, SearchConfig, Session)
+
+PARAMS = {"NI": 64, "NJ": 48, "NK": 32}
+
+FAST_SEARCH = SearchConfig(population_size=4, epochs=1, generations_per_epoch=1)
+
+VEC_SOURCE = """
+double x[N];
+double y[N];
+double z[N];
+for (i = 0; i < N; i++) { z[i] = x[i] + y[i]; }
+"""
+
+
+def fast_session(**kwargs):
+    kwargs.setdefault("search", FAST_SEARCH)
+    kwargs.setdefault("threads", 4)
+    return Session(**kwargs)
+
+
+class TestLoad:
+    def test_load_program_passthrough(self):
+        session = fast_session()
+        program = build_gemm()
+        assert session.load(program) is program
+
+    def test_load_workload_names(self):
+        session = fast_session()
+        a = session.load("gemm")
+        b = session.load("gemm:b")
+        npb = session.load("gemm", variant="npbench")
+        assert a.name != b.name and npb.name != a.name
+
+    def test_load_clike_source(self):
+        session = fast_session()
+        program = session.load(VEC_SOURCE, name="vec")
+        assert program.name == "vec"
+        assert set(program.arrays) == {"x", "y", "z"}
+
+    def test_load_special_workloads(self):
+        session = fast_session()
+        assert session.load("erosion").body
+        assert session.load("cloudsc").body
+
+    def test_load_unknown_name_raises(self):
+        session = fast_session()
+        with pytest.raises(RegistryError):
+            session.load("definitely-not-a-workload")
+
+    def test_workload_names_carry_default_parameters(self):
+        session = fast_session(size="small")
+        response = session.schedule("gemm:a", scheduler="clang")
+        assert response.runtime_s > 0
+
+    def test_program_without_parameters_raises(self):
+        session = fast_session()
+        with pytest.raises(ValueError, match="no parameters"):
+            session.schedule(build_gemm())
+
+
+class TestScheduleAndCache:
+    def test_normalized_equivalent_variant_served_from_cache(self):
+        """The acceptance-criterion scenario: scheduling a normalized-
+        equivalent B variant is a schedule-cache hit, visible in report()."""
+        session = fast_session()
+        first = session.schedule(build_gemm(("i", "j", "k")), PARAMS)
+        second = session.schedule(build_gemm(("i", "k", "j")), PARAMS)
+
+        assert not first.from_cache
+        assert second.from_cache
+        assert first.canonical_hash == second.canonical_hash
+        assert second.runtime_s == first.runtime_s
+
+        report = session.report()
+        assert report.schedule_cache_hits == 1
+        assert report.schedule_cache_misses == 1
+        assert report.schedule_calls == 2
+
+    def test_same_program_hits_normalization_cache(self):
+        session = fast_session()
+        session.schedule(build_gemm(), PARAMS)
+        repeat = session.schedule(build_gemm(), PARAMS)
+        assert repeat.from_cache and repeat.normalization_cache_hit
+        assert session.report().normalization_hits == 1
+
+    def test_registry_variants_share_schedule_cache(self):
+        session = fast_session()
+        first = session.schedule("gemm:a")
+        second = session.schedule("gemm:b")
+        assert second.from_cache and not first.from_cache
+        # The served copy keeps the caller's program name.
+        assert second.program.name == session.load("gemm:b").name
+
+    def test_cached_response_program_is_a_copy(self):
+        session = fast_session()
+        session.schedule(build_gemm(), PARAMS)
+        served = session.schedule(build_gemm(), PARAMS)
+        served.program.body.clear()
+        again = session.schedule(build_gemm(), PARAMS)
+        assert again.program.body
+
+    def test_baselines_do_not_normalize_by_default(self):
+        session = fast_session()
+        response = session.schedule(build_gemm(), PARAMS, scheduler="clang")
+        assert not response.normalized and response.canonical_hash is None
+        forced = session.schedule(build_gemm(), PARAMS, scheduler="clang",
+                                  normalize=True)
+        assert forced.normalized and forced.canonical_hash is not None
+
+    def test_baseline_schedules_also_content_cached(self):
+        session = fast_session()
+        first = session.schedule(build_gemm(), PARAMS, scheduler="polly")
+        second = session.schedule(build_gemm(), PARAMS, scheduler="polly")
+        assert second.from_cache and second.runtime_s == first.runtime_s
+
+    def test_tune_populates_database_and_transfers(self):
+        session = fast_session()
+        session.tune("gemm:a", label="gemm")
+        assert session.report().tune_calls == 1
+        assert session.report().database_entries > 0
+        response = session.schedule("gemm:b")
+        statuses = {info.status for info in response.result.nests}
+        assert statuses == {"optimized"}
+
+    def test_tune_invalidates_cached_schedules(self):
+        """A schedule cached before tune() must not shadow the transfer-tuned
+        schedule available afterwards (the database version is in the key)."""
+        session = fast_session()
+        session.schedule("atax:b")  # cached against the empty database
+        session.tune("atax:a", label="atax")
+        after = session.schedule("atax:b")
+        assert not after.from_cache
+        details = [info.detail for info in after.result.nests]
+        assert any("transfer from" in detail for detail in details), details
+
+    def test_tune_on_non_tuning_scheduler_raises(self):
+        session = fast_session()
+        with pytest.raises(RegistryError, match="does not support tuning"):
+            session.tune(build_gemm(), PARAMS, scheduler="clang")
+
+
+class TestRoundTrips:
+    def test_request_round_trip_with_program(self):
+        request = ScheduleRequest(program=build_gemm(), parameters=PARAMS,
+                                  scheduler="daisy", threads=4, label="x",
+                                  normalize=True)
+        restored = ScheduleRequest.from_dict(request.to_dict())
+        assert restored.scheduler == "daisy" and restored.threads == 4
+        assert restored.label == "x" and restored.normalize is True
+        assert dict(restored.parameters) == PARAMS
+        assert restored.program.name == request.program.name
+
+    def test_request_round_trip_with_workload_name(self):
+        request = ScheduleRequest(program="gemm:b")
+        restored = ScheduleRequest.from_dict(request.to_dict())
+        assert restored.program == "gemm:b"
+
+    def test_response_round_trip(self):
+        import json
+
+        session = fast_session()
+        response = session.schedule(build_gemm(), PARAMS)
+        payload = json.loads(json.dumps(response.to_dict()))
+        restored = ScheduleResponse.from_dict(payload)
+        assert restored.runtime_s == response.runtime_s
+        assert restored.canonical_hash == response.canonical_hash
+        assert len(restored.result.nests) == len(response.result.nests)
+        assert [info.status for info in restored.result.nests] \
+            == [info.status for info in response.result.nests]
+        # The restored scheduled program estimates to the same runtime.
+        assert session.evaluate(restored.program, PARAMS) \
+            == pytest.approx(session.evaluate(response.program, PARAMS))
+
+
+class TestBatch:
+    def items(self):
+        return [
+            (build_gemm(("i", "j", "k")), PARAMS),
+            (build_gemm(("i", "k", "j")), PARAMS),
+            (build_vector_add(), {"N": 4096}),
+            ("atax:a", None),
+        ]
+
+    @staticmethod
+    def _signature(responses):
+        return [(r.runtime_s, r.canonical_hash,
+                 tuple(info.status for info in r.result.nests))
+                for r in responses]
+
+    def test_batch_matches_sequential(self):
+        items = [(p, params) for p, params in self.items() if params is not None]
+        sequential = [fast_session().schedule(p, params) for p, params in items]
+        batched = fast_session().schedule_batch(items, max_workers=4)
+        assert self._signature(batched) == self._signature(sequential)
+
+    def test_batch_is_deterministic_across_runs(self):
+        first = fast_session().schedule_batch(self.items(), max_workers=4)
+        second = fast_session().schedule_batch(self.items(), max_workers=4)
+        assert self._signature(first) == self._signature(second)
+
+    def test_batch_shares_cache(self):
+        session = fast_session()
+        # Warm the cache sequentially first: concurrent equivalent items may
+        # legitimately both miss (benign duplicate compute), but a warmed
+        # canonical form must be served to every batch worker.
+        session.schedule(build_gemm(("i", "j", "k")), PARAMS)
+        responses = session.schedule_batch(self.items(), max_workers=4)
+        assert responses[0].from_cache and responses[1].from_cache
+        report = session.report()
+        assert report.schedule_cache_hits >= 2
+        assert report.batch_calls == 1
+
+    def test_batch_accepts_requests_and_preserves_order(self):
+        session = fast_session()
+        requests = [ScheduleRequest(program="gemm:a", scheduler="clang"),
+                    ScheduleRequest(program="atax:a", scheduler="clang")]
+        responses = session.schedule_batch(requests)
+        assert [r.request.program for r in responses] == ["gemm:a", "atax:a"]
+
+    def test_batch_rejects_tune_requests(self):
+        session = fast_session()
+        with pytest.raises(ValueError, match="tune requests"):
+            session.schedule_batch([ScheduleRequest(program="gemm:a", tune=True)])
+
+
+class TestExecutionAndMeasurement:
+    def test_execute_runs_interpreter(self):
+        session = fast_session()
+        x = np.arange(8, dtype=np.float64)
+        y = np.ones(8)
+        result = session.execute(VEC_SOURCE, {"N": 8}, inputs={"x": x, "y": y})
+        np.testing.assert_allclose(result.output("z"), x + 1.0)
+        assert session.report().execute_calls == 1
+
+    def test_equivalence_of_scheduled_program(self):
+        session = fast_session()
+        program = build_gemm()
+        response = session.schedule(program, PARAMS)
+        small = {"NI": 6, "NJ": 5, "NK": 4}
+        assert session.equivalent(program, response.program, small)
+
+    def test_evaluate_does_not_schedule(self):
+        session = fast_session()
+        runtime = session.evaluate(build_gemm(), PARAMS)
+        assert runtime > 0
+        assert session.report().schedule_calls == 0
+
+    def test_cache_report_counts_l1_traffic(self):
+        session = fast_session()
+        report = session.cache_report(build_vector_add(), {"N": 256})
+        assert report.l1_loads > 0
+
+
+class TestNormalizationOptionsPlumbing:
+    def test_session_options_flow_into_normalize(self):
+        session = fast_session(
+            normalization=NormalizationOptions(apply_fission=False))
+        program = build_gemm()
+        response = session.normalize(program)
+        assert response.report.fission.loops_split == 0
+
+    def test_explicit_options_override(self):
+        session = fast_session()
+        response = session.normalize(build_gemm(),
+                                     NormalizationOptions(apply_fission=False))
+        assert response.report.fission.loops_split == 0
+        full = session.normalize(build_gemm())
+        assert full.report.fission.loops_split >= 0
+        assert full.input_hash != response.input_hash

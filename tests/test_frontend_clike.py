@@ -4,7 +4,7 @@ equivalence with builder-constructed programs."""
 import numpy as np
 import pytest
 
-from conftest import build_gemm
+from helpers import build_gemm
 from repro.frontend import parse_clike_program
 from repro.frontend.clike import (LexerError, LoweringError, ParseError,
                                   parse_source, tokenize)

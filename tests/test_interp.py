@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from conftest import build_gemm, build_vector_add
+from helpers import build_gemm, build_vector_add
 from repro.interp import (ExecutionError, allocate_storage,
                           programs_equivalent, run_program)
 from repro.ir import ProgramBuilder

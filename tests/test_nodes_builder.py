@@ -2,7 +2,7 @@
 
 import pytest
 
-from conftest import build_gemm, build_vector_add
+from helpers import build_gemm, build_vector_add
 from repro.ir import (Computation, LibraryCall, Loop, ProgramBuilder,
                       ValidationError, access, to_pseudocode, to_tree,
                       validate_program)

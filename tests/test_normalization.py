@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from conftest import build_gemm, build_stencil, build_vector_add
+from helpers import build_gemm, build_stencil, build_vector_add
 from repro.interp import programs_equivalent, run_program
 from repro.ir import ProgramBuilder, to_pseudocode
 from repro.normalization import (NormalizationOptions, PassManager,

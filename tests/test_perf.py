@@ -4,7 +4,7 @@ generation, analytical cost model, and the measurement protocol."""
 import numpy as np
 import pytest
 
-from conftest import build_gemm, build_vector_add
+from helpers import build_gemm, build_vector_add
 from repro.ir import ProgramBuilder
 from repro.normalization import normalize_program
 from repro.perf import (CacheHierarchy, CostModel, MachineModel,

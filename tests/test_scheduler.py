@@ -3,7 +3,7 @@ daisy scheduler, and the baseline schedulers."""
 
 import pytest
 
-from conftest import build_gemm, build_stencil, build_vector_add
+from helpers import build_gemm, build_stencil, build_vector_add
 from repro.normalization import normalize_program
 from repro.perf import CostModel
 from repro.scheduler import (ClangScheduler, DaceScheduler, DaisyConfig,

@@ -3,7 +3,7 @@
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from conftest import build_gemm, build_stencil, build_vector_add
+from helpers import build_gemm, build_stencil, build_vector_add
 from repro.ir import (expr_from_dict, expr_to_dict, program_from_json,
                       program_to_json, to_pseudocode)
 from repro.ir.serialization import node_from_dict, node_to_dict

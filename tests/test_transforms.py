@@ -2,7 +2,7 @@
 
 import pytest
 
-from conftest import build_gemm, build_stencil, build_vector_add
+from helpers import build_gemm, build_stencil, build_vector_add
 from repro.interp import programs_equivalent
 from repro.ir import Loop, ProgramBuilder
 from repro.normalization import normalize_program
