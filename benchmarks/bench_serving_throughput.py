@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Serving throughput: cold vs warm vs coalesced requests per second.
+
+Drives the async scheduling service (no HTTP overhead; add ``--http`` to
+measure the full JSON-over-HTTP path) with the workload registry:
+
+* **cold**      — first schedule of every registry benchmark (A variants),
+* **warm**      — normalized-equivalent B variants plus A repeats, all
+  served from the content-addressed cache,
+* **coalesced** — bursts of identical concurrent requests that collapse
+  onto single in-flight schedules.
+
+Run: ``PYTHONPATH=src python benchmarks/bench_serving_throughput.py``
+"""
+
+import argparse
+import time
+
+from repro.api import ScheduleRequest, SearchConfig, Session
+from repro.serving import ServiceConfig, ServiceRunner
+from repro.workloads.registry import benchmark_names
+
+
+def measure(runner, requests):
+    started = time.perf_counter()
+    responses = runner.schedule_many(list(requests))
+    elapsed = time.perf_counter() - started
+    cached = sum(1 for response in responses if response.from_cache)
+    return len(responses) / elapsed, cached, elapsed
+
+
+def measure_http(server, names, workers):
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.serving import ServingClient
+
+    client = ServingClient(server.address)
+    started = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        responses = list(pool.map(client.schedule, names))
+    elapsed = time.perf_counter() - started
+    cached = sum(1 for response in responses if response.from_cache)
+    return len(responses) / elapsed, cached, elapsed
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--threads", type=int, default=8,
+                        help="threads the schedules are optimized for")
+    parser.add_argument("--burst", type=int, default=32,
+                        help="duplicate requests per coalescing burst")
+    parser.add_argument("--cache", default=None,
+                        help="SQLite cache path (persistent backend)")
+    parser.add_argument("--shards", type=int, default=0,
+                        help="shard the tuning database N ways")
+    parser.add_argument("--http", action="store_true",
+                        help="measure through the HTTP endpoint as well")
+    args = parser.parse_args()
+
+    database = None
+    if args.shards:
+        from repro.api import ShardedTuningDatabase
+        database = ShardedTuningDatabase(args.shards)
+    session = Session(
+        threads=args.threads, cache_path=args.cache, database=database,
+        search=SearchConfig(population_size=8, epochs=1,
+                            generations_per_epoch=2))
+    names = sorted(benchmark_names())
+    print(f"{len(names)} registry benchmarks: {', '.join(names)}")
+
+    config = ServiceConfig(batch_window_s=0.005, max_batch_size=32)
+    with ServiceRunner(session, config) as runner:
+        cold = [ScheduleRequest(program=f"{name}:a") for name in names]
+        rate, cached, elapsed = measure(runner, cold)
+        print(f"cold:      {rate:8.1f} req/s  "
+              f"({len(cold)} requests, {cached} cached, {elapsed:.3f}s)")
+
+        warm = [ScheduleRequest(program=f"{name}:b") for name in names] \
+            + [ScheduleRequest(program=f"{name}:a") for name in names]
+        rate, cached, elapsed = measure(runner, warm)
+        print(f"warm:      {rate:8.1f} req/s  "
+              f"({len(warm)} requests, {cached} cached, {elapsed:.3f}s)")
+
+        burst = [ScheduleRequest(program=f"{names[0]}:a")
+                 for _ in range(args.burst)]
+        rate, cached, elapsed = measure(runner, burst)
+        print(f"coalesced: {rate:8.1f} req/s  "
+              f"({len(burst)} identical requests, {elapsed:.3f}s)")
+
+        report = session.report()
+        print(f"\n{report.summary()}")
+        print(f"service: {runner.stats.to_dict()}")
+
+    if args.http:
+        from repro.serving import ServingServer
+
+        http_session = Session(
+            threads=args.threads,
+            search=SearchConfig(population_size=8, epochs=1,
+                                generations_per_epoch=2))
+        with ServingServer(http_session, config=config) as server:
+            rate, _, elapsed = measure_http(
+                server, [f"{name}:a" for name in names], workers=8)
+            print(f"\nhttp cold: {rate:8.1f} req/s ({elapsed:.3f}s)")
+            rate, cached, elapsed = measure_http(
+                server, [f"{name}:b" for name in names], workers=8)
+            print(f"http warm: {rate:8.1f} req/s "
+                  f"({cached} cached, {elapsed:.3f}s)")
+
+
+if __name__ == "__main__":
+    main()

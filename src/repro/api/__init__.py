@@ -28,6 +28,7 @@ from ..perf.machine import DEFAULT_MACHINE, CacheLevel, MachineModel
 from ..perf.model import CostModel
 from ..scheduler.base import NestScheduleInfo, ScheduleResult, Scheduler
 from ..scheduler.database import TuningDatabase
+from ..scheduler.sharding import ShardedTuningDatabase, embedding_shard
 from ..scheduler.evolutionary import SearchConfig
 from ..scheduler.tiramisu import MctsConfig
 from ..transforms.fusion import (fuse_adjacent_loops, fuse_chains_in_body,
@@ -36,6 +37,8 @@ from ..workloads.cloudsc import (WEAK_SCALING_POINTS, CloudscConfiguration,
                                  build_cloudsc_model, build_erosion_kernel)
 from ..workloads.registry import (BenchmarkSpec, all_benchmarks, benchmark,
                                   benchmark_names)
+from .backends import (BackendStats, CacheBackend, MemoryCacheBackend,
+                       SQLiteCacheBackend)
 from .cache import CacheStats, NormalizationCache
 from .hashing import canonical_program_dict, fingerprint, program_content_hash
 from .registry import (FRONTENDS, SCHEDULERS, PluginInfo, Registry,
@@ -53,6 +56,7 @@ __all__ = [
     "ExecuteResponse", "SessionReport", "ProgramLike",
     # caching / content addressing
     "NormalizationCache", "CacheStats",
+    "CacheBackend", "BackendStats", "MemoryCacheBackend", "SQLiteCacheBackend",
     "canonical_program_dict", "fingerprint", "program_content_hash",
     # registries
     "Registry", "RegistryError", "PluginInfo", "SCHEDULERS", "FRONTENDS",
@@ -63,6 +67,7 @@ __all__ = [
     "MachineModel", "CacheLevel", "DEFAULT_MACHINE", "CostModel",
     # scheduler interface types
     "Scheduler", "ScheduleResult", "NestScheduleInfo", "TuningDatabase",
+    "ShardedTuningDatabase", "embedding_shard",
     # IR / execution conveniences
     "Program", "ProgramBuilder", "Loop", "to_pseudocode",
     "normalize_program", "programs_equivalent", "run_program",

@@ -1,0 +1,318 @@
+"""Pluggable storage backends for the content-addressed caches.
+
+:class:`~repro.api.cache.NormalizationCache` speaks to a
+:class:`CacheBackend`: a namespaced key/value store with LRU bounds and
+hit/miss/eviction accounting.  Two backends ship:
+
+* :class:`MemoryCacheBackend` — per-namespace ``OrderedDict`` LRU stores
+  holding live Python objects.  This is the historical in-process behavior
+  and the default of every :class:`~repro.api.Session`.
+* :class:`SQLiteCacheBackend` — an on-disk store (stdlib ``sqlite3``) so
+  normalized and scheduled entries survive process restarts.  Values are
+  serialized to JSON through per-namespace codecs bound by the cache layer;
+  a small write-through in-memory hot layer keeps repeat lookups cheap.
+  The backend distinguishes *memory hits* (served from the hot layer) from
+  *disk hits* (decoded from SQLite), which :meth:`repro.api.Session.report`
+  surfaces.
+
+Backends are deliberately ignorant of what they store: the cache layer
+binds ``encode``/``decode`` callables per namespace (:meth:`CacheBackend.bind`)
+so that entry types stay defined next to the cache that owns them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple
+
+Encoder = Callable[[Any], Dict[str, Any]]
+Decoder = Callable[[Dict[str, Any]], Any]
+
+
+@dataclass
+class BackendStats:
+    """Hit/miss/eviction accounting of one backend instance."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    evictions: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "evictions": self.evictions,
+        }
+
+
+class CacheBackend:
+    """Interface every cache storage backend implements.
+
+    A backend is a map ``(namespace, key) -> value`` with LRU recency per
+    namespace.  ``get`` refreshes recency; ``put`` may evict the least
+    recently used entries of the namespace once it exceeds the backend's
+    bound.  All methods must be thread-safe: one backend is shared by every
+    worker of a ``schedule_batch`` fan-out.
+    """
+
+    #: Short identifier surfaced in ``Session.report()``.
+    name = "backend"
+    #: True when entries survive the process (drives report bookkeeping).
+    persistent = False
+
+    def __init__(self) -> None:
+        self.stats = BackendStats()
+        self._codecs: Dict[str, Tuple[Encoder, Decoder]] = {}
+
+    def bind(self, namespace: str, encode: Encoder, decode: Decoder) -> None:
+        """Register the serialization codec of one namespace.
+
+        In-memory backends may ignore the codec; persistent backends use it
+        to map values to and from JSON payloads.
+        """
+        self._codecs[namespace] = (encode, decode)
+
+    # -- storage interface -------------------------------------------------------
+
+    def get(self, namespace: str, key: str) -> Optional[Any]:
+        raise NotImplementedError
+
+    def put(self, namespace: str, key: str, value: Any) -> None:
+        raise NotImplementedError
+
+    def sizes(self) -> Dict[str, int]:
+        """Entry counts per namespace."""
+        raise NotImplementedError
+
+    def clear(self) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release resources (no-op for in-memory backends)."""
+
+    def __len__(self) -> int:
+        return sum(self.sizes().values())
+
+
+class MemoryCacheBackend(CacheBackend):
+    """Per-namespace ``OrderedDict`` LRU stores holding live objects."""
+
+    name = "memory"
+    persistent = False
+
+    def __init__(self, max_entries: int = 1024):
+        super().__init__()
+        self.max_entries = max_entries
+        self._lock = threading.RLock()
+        self._stores: Dict[str, "OrderedDict[str, Any]"] = {}
+
+    def _store(self, namespace: str) -> "OrderedDict[str, Any]":
+        store = self._stores.get(namespace)
+        if store is None:
+            store = self._stores[namespace] = OrderedDict()
+        return store
+
+    def get(self, namespace: str, key: str) -> Optional[Any]:
+        with self._lock:
+            store = self._store(namespace)
+            value = store.get(key)
+            if value is None:
+                self.stats.misses += 1
+                return None
+            store.move_to_end(key)
+            self.stats.memory_hits += 1
+            return value
+
+    def put(self, namespace: str, key: str, value: Any) -> None:
+        with self._lock:
+            store = self._store(namespace)
+            store[key] = value
+            store.move_to_end(key)
+            self.stats.writes += 1
+            while len(store) > self.max_entries:
+                store.popitem(last=False)
+                self.stats.evictions += 1
+
+    def sizes(self) -> Dict[str, int]:
+        with self._lock:
+            return {namespace: len(store)
+                    for namespace, store in self._stores.items()}
+
+    def clear(self) -> None:
+        with self._lock:
+            self._stores.clear()
+
+
+class SQLiteCacheBackend(CacheBackend):
+    """On-disk cache store; entries survive process restarts.
+
+    One table holds every namespace; ``seq`` is a monotonically increasing
+    recency stamp (bumped on every hit) that implements LRU eviction without
+    wall-clock timestamps.  A bounded write-through hot layer serves repeat
+    lookups without touching SQLite or the codec.
+    """
+
+    name = "sqlite"
+    persistent = True
+
+    _SCHEMA = """
+        CREATE TABLE IF NOT EXISTS cache (
+            namespace TEXT NOT NULL,
+            key TEXT NOT NULL,
+            payload TEXT NOT NULL,
+            seq INTEGER NOT NULL,
+            PRIMARY KEY (namespace, key)
+        )
+    """
+
+    def __init__(self, path: str, max_entries: int = 4096,
+                 hot_entries: int = 128):
+        super().__init__()
+        self.path = path
+        self.max_entries = max_entries
+        self.hot_entries = hot_entries
+        self._lock = threading.RLock()
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        self._conn = sqlite3.connect(path, check_same_thread=False)
+        self._conn.execute(self._SCHEMA)
+        self._conn.commit()
+        row = self._conn.execute("SELECT COALESCE(MAX(seq), 0) FROM cache").fetchone()
+        self._seq = int(row[0])
+        self._hot: Dict[str, "OrderedDict[str, Any]"] = {}
+        # Recency updates are buffered here and flushed on the next write
+        # (or close), so cache hits never pay a SQLite write.
+        self._dirty_seq: Dict[Tuple[str, str], int] = {}
+
+    def _codec(self, namespace: str) -> Tuple[Encoder, Decoder]:
+        try:
+            return self._codecs[namespace]
+        except KeyError:
+            raise KeyError(
+                f"no codec bound for namespace {namespace!r}; call bind() first")
+
+    def _hot_store(self, namespace: str) -> "OrderedDict[str, Any]":
+        store = self._hot.get(namespace)
+        if store is None:
+            store = self._hot[namespace] = OrderedDict()
+        return store
+
+    def _remember(self, namespace: str, key: str, value: Any) -> None:
+        store = self._hot_store(namespace)
+        store[key] = value
+        store.move_to_end(key)
+        while len(store) > self.hot_entries:
+            store.popitem(last=False)
+
+    def _touch(self, namespace: str, key: str) -> None:
+        """Record recency in memory; persisted lazily by ``_flush_touches``."""
+        self._seq += 1
+        self._dirty_seq[(namespace, key)] = self._seq
+
+    def _flush_touches(self) -> None:
+        """Write buffered recency updates (called before eviction decisions
+        and on close, so the on-disk LRU order reflects every hit)."""
+        if not self._dirty_seq:
+            return
+        self._conn.executemany(
+            "UPDATE cache SET seq = ? WHERE namespace = ? AND key = ?",
+            [(seq, namespace, key)
+             for (namespace, key), seq in self._dirty_seq.items()])
+        self._dirty_seq.clear()
+
+    def get(self, namespace: str, key: str) -> Optional[Any]:
+        with self._lock:
+            hot = self._hot_store(namespace)
+            value = hot.get(key)
+            if value is not None:
+                hot.move_to_end(key)
+                self.stats.memory_hits += 1
+                self._touch(namespace, key)
+                return value
+            row = self._conn.execute(
+                "SELECT payload FROM cache WHERE namespace = ? AND key = ?",
+                (namespace, key)).fetchone()
+            if row is None:
+                self.stats.misses += 1
+                return None
+            _, decode = self._codec(namespace)
+            try:
+                value = decode(json.loads(row[0]))
+            except Exception:
+                # A stale or incompatible payload (e.g. written by an older
+                # schema of the entry types) must not poison the cache.
+                self._conn.execute(
+                    "DELETE FROM cache WHERE namespace = ? AND key = ?",
+                    (namespace, key))
+                self._conn.commit()
+                self.stats.misses += 1
+                return None
+            self.stats.disk_hits += 1
+            self._remember(namespace, key, value)
+            self._touch(namespace, key)
+            return value
+
+    def put(self, namespace: str, key: str, value: Any) -> None:
+        encode, _ = self._codec(namespace)
+        payload = json.dumps(encode(value), sort_keys=True)
+        with self._lock:
+            self._flush_touches()
+            self._seq += 1
+            self._conn.execute(
+                "INSERT OR REPLACE INTO cache (namespace, key, payload, seq) "
+                "VALUES (?, ?, ?, ?)", (namespace, key, payload, self._seq))
+            self.stats.writes += 1
+            self._remember(namespace, key, value)
+            self._evict(namespace)
+            self._conn.commit()
+
+    def _evict(self, namespace: str) -> None:
+        count = self._conn.execute(
+            "SELECT COUNT(*) FROM cache WHERE namespace = ?",
+            (namespace,)).fetchone()[0]
+        excess = count - self.max_entries
+        if excess <= 0:
+            return
+        victims = self._conn.execute(
+            "SELECT key FROM cache WHERE namespace = ? ORDER BY seq ASC LIMIT ?",
+            (namespace, excess)).fetchall()
+        hot = self._hot_store(namespace)
+        for (key,) in victims:
+            self._conn.execute(
+                "DELETE FROM cache WHERE namespace = ? AND key = ?",
+                (namespace, key))
+            hot.pop(key, None)
+            self._dirty_seq.pop((namespace, key), None)
+            self.stats.evictions += 1
+
+    def sizes(self) -> Dict[str, int]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT namespace, COUNT(*) FROM cache GROUP BY namespace").fetchall()
+            return {namespace: count for namespace, count in rows}
+
+    def clear(self) -> None:
+        with self._lock:
+            self._conn.execute("DELETE FROM cache")
+            self._conn.commit()
+            self._hot.clear()
+            self._dirty_seq.clear()
+
+    def close(self) -> None:
+        with self._lock:
+            self._flush_touches()
+            self._conn.commit()
+            self._conn.close()

@@ -12,22 +12,31 @@ The cache has two levels, both keyed by content hashes
   in a second loop order) is served from the cache without re-running the
   scheduler at all.
 
-Entries are bounded by an LRU policy; cached programs are copied on every
-hit so callers can freely mutate what they get back.
+Storage is delegated to a pluggable :class:`~repro.api.backends.CacheBackend`
+(:class:`~repro.api.backends.MemoryCacheBackend` by default; the SQLite
+backend persists both levels across restarts).  Entries are bounded by an
+LRU policy; cached programs are copied on every hit so callers can freely
+mutate what they get back.
 """
 
 from __future__ import annotations
 
 import threading
-from collections import OrderedDict
-from dataclasses import dataclass, field
-from typing import Any, Dict, Hashable, Optional, Tuple
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Optional, Tuple
 
 from ..ir.nodes import Program
+from ..ir.serialization import program_from_dict, program_to_dict
 from ..normalization.pipeline import (NormalizationOptions,
                                       NormalizationReport, normalize)
 from ..scheduler.base import ScheduleResult
+from .backends import CacheBackend, MemoryCacheBackend
 from .hashing import fingerprint, program_content_hash
+
+#: Backend namespace of the normalization level.
+NORMALIZED_NAMESPACE = "normalized"
+#: Backend namespace of the schedule level.
+SCHEDULE_NAMESPACE = "schedules"
 
 
 @dataclass
@@ -77,14 +86,21 @@ class NormalizedEntry:
                                self.input_hash, self.canonical_hash, self.hit)
 
 
-def _copy_result(result: ScheduleResult) -> ScheduleResult:
-    """A ScheduleResult whose program the receiver may freely mutate."""
-    return ScheduleResult(
-        scheduler=result.scheduler,
-        program=result.program.copy(),
-        nests=list(result.nests),
-        unsupported=result.unsupported,
-        notes=result.notes,
+def _encode_normalized(entry: NormalizedEntry) -> Dict[str, Any]:
+    return {
+        "program": program_to_dict(entry.program),
+        "report": entry.report.to_dict(),
+        "input_hash": entry.input_hash,
+        "canonical_hash": entry.canonical_hash,
+    }
+
+
+def _decode_normalized(payload: Dict[str, Any]) -> NormalizedEntry:
+    return NormalizedEntry(
+        program=program_from_dict(dict(payload["program"])),
+        report=NormalizationReport.from_dict(payload["report"]),
+        input_hash=payload["input_hash"],
+        canonical_hash=payload["canonical_hash"],
     )
 
 
@@ -96,18 +112,39 @@ class ScheduleEntry:
     runtime_s: float
 
     def take(self) -> Tuple[ScheduleResult, float]:
-        return _copy_result(self.result), self.runtime_s
+        return self.result.copy(), self.runtime_s
+
+
+def _encode_schedule(entry: ScheduleEntry) -> Dict[str, Any]:
+    return {"result": entry.result.to_dict(), "runtime_s": entry.runtime_s}
+
+
+def _decode_schedule(payload: Dict[str, Any]) -> ScheduleEntry:
+    return ScheduleEntry(result=ScheduleResult.from_dict(payload["result"]),
+                         runtime_s=float(payload["runtime_s"]))
 
 
 class NormalizationCache:
     """Two-level content-addressed cache shared by one (or more) sessions."""
 
-    def __init__(self, max_entries: int = 1024):
-        self.max_entries = max_entries
-        self.stats = CacheStats()
+    def __init__(self, max_entries: int = 1024,
+                 backend: Optional[CacheBackend] = None):
+        # ``if backend is not None``, not ``or``: an empty backend is falsy
+        # through ``__len__`` and must still win over the default.
+        self.backend = backend if backend is not None else MemoryCacheBackend(max_entries)
+        self.max_entries = getattr(self.backend, "max_entries", max_entries)
+        self.backend.bind(NORMALIZED_NAMESPACE,
+                          _encode_normalized, _decode_normalized)
+        self.backend.bind(SCHEDULE_NAMESPACE, _encode_schedule, _decode_schedule)
+        self._stats = CacheStats()
         self._lock = threading.RLock()
-        self._normalized: "OrderedDict[str, NormalizedEntry]" = OrderedDict()
-        self._schedules: "OrderedDict[Hashable, ScheduleEntry]" = OrderedDict()
+
+    @property
+    def stats(self) -> CacheStats:
+        """A snapshot of the counters; evictions come from the backend (the
+        single source of truth, also visible to other caches sharing it)."""
+        with self._lock:
+            return replace(self._stats, evictions=self.backend.stats.evictions)
 
     # -- normalization level -----------------------------------------------------
 
@@ -120,69 +157,59 @@ class NormalizationCache:
         """
         options = options or NormalizationOptions()
         key = program_content_hash(program, extra={"options": fingerprint(options)})
+        entry = self.backend.get(NORMALIZED_NAMESPACE, key)
         with self._lock:
-            entry = self._normalized.get(key)
             if entry is not None:
-                self._normalized.move_to_end(key)
-                self.stats.normalization_hits += 1
+                self._stats.normalization_hits += 1
                 served = entry.take()
                 served.hit = True
                 return served
-            self.stats.normalization_misses += 1
+            self._stats.normalization_misses += 1
 
         normalized, report = normalize(program, options)
         canonical_hash = program_content_hash(normalized)
         entry = NormalizedEntry(normalized, report, key, canonical_hash)
-        with self._lock:
-            if key not in self._normalized:
-                self._normalized[key] = entry
-                self._evict(self._normalized)
+        self.backend.put(NORMALIZED_NAMESPACE, key, entry)
         return entry.take()
 
     # -- schedule level ------------------------------------------------------------
 
     def schedule_key(self, canonical_hash: str, scheduler: str, threads: int,
                      parameters: Optional[Any],
-                     database_version: Optional[int] = None) -> Hashable:
+                     database_version: Optional[int] = None) -> str:
         """Key for one scheduling outcome.
 
         ``database_version`` must be supplied for database-backed schedulers:
         tuning grows the database, and entries cached before a ``tune()``
         would otherwise shadow the better transfer-tuned schedules available
-        afterwards.
+        afterwards.  Keys are plain strings so that every backend (including
+        on-disk ones) can store them verbatim.
         """
-        return (canonical_hash, scheduler, threads,
-                fingerprint(dict(parameters or {})), database_version)
+        return "|".join((canonical_hash, scheduler, str(threads),
+                         fingerprint(dict(parameters or {})),
+                         str(database_version)))
 
-    def lookup_schedule(self, key: Hashable) -> Optional[Tuple[ScheduleResult, float]]:
+    def lookup_schedule(self, key: str) -> Optional[Tuple[ScheduleResult, float]]:
+        entry = self.backend.get(SCHEDULE_NAMESPACE, key)
         with self._lock:
-            entry = self._schedules.get(key)
             if entry is None:
-                self.stats.schedule_misses += 1
+                self._stats.schedule_misses += 1
                 return None
-            self._schedules.move_to_end(key)
-            self.stats.schedule_hits += 1
+            self._stats.schedule_hits += 1
             return entry.take()
 
-    def store_schedule(self, key: Hashable, result: ScheduleResult,
+    def store_schedule(self, key: str, result: ScheduleResult,
                        runtime_s: float) -> None:
-        entry = ScheduleEntry(_copy_result(result), runtime_s)
-        with self._lock:
-            self._schedules[key] = entry
-            self._evict(self._schedules)
+        entry = ScheduleEntry(result.copy(), runtime_s)
+        self.backend.put(SCHEDULE_NAMESPACE, key, entry)
 
     # -- maintenance -----------------------------------------------------------------
 
-    def _evict(self, store: "OrderedDict[Any, Any]") -> None:
-        while len(store) > self.max_entries:
-            store.popitem(last=False)
-            self.stats.evictions += 1
-
     def clear(self) -> None:
-        with self._lock:
-            self._normalized.clear()
-            self._schedules.clear()
+        self.backend.clear()
+
+    def close(self) -> None:
+        self.backend.close()
 
     def __len__(self) -> int:
-        with self._lock:
-            return len(self._normalized) + len(self._schedules)
+        return len(self.backend)

@@ -185,8 +185,14 @@ def _make_daisy(machine=None, threads=1, search=None, database=None,
 
 
 @register_scheduler("evolutionary", normalizes=True, tunes=True)
-def _make_evolutionary(machine=None, threads=1, search=None, **_ignored):
-    """Pure evolutionary search on normalized nests (no transfer database)."""
+def _make_evolutionary(machine=None, threads=1, search=None, database=None,
+                       **_ignored):
+    """Pure evolutionary search on normalized nests.
+
+    ``max_database_distance=-1`` disables transfer tuning, so scheduling
+    never reads the database — but ``tune()`` records into the session
+    database when one is provided, like every ``tunes=True`` scheduler.
+    """
     from ..scheduler.daisy import DaisyConfig, DaisyScheduler
     from ..scheduler.database import TuningDatabase
     from ..scheduler.evolutionary import SearchConfig
@@ -194,7 +200,8 @@ def _make_evolutionary(machine=None, threads=1, search=None, **_ignored):
     config = DaisyConfig(threads=threads, search=search or SearchConfig(),
                          max_database_distance=-1.0, search_on_miss=True)
     return DaisyScheduler(machine=machine, config=config,
-                          database=TuningDatabase(),
+                          database=database if database is not None
+                          else TuningDatabase(),
                           normalization=_pre_normalized_options())
 
 

@@ -42,6 +42,7 @@ from ..scheduler.database import TuningDatabase
 from ..scheduler.evolutionary import SearchConfig
 from ..scheduler.tiramisu import MctsConfig
 from ..workloads import registry as workload_registry
+from .backends import CacheBackend, SQLiteCacheBackend
 from .cache import NormalizationCache
 from .hashing import program_content_hash
 from .registry import (FRONTENDS, SCHEDULERS, RegistryError, create_scheduler,
@@ -67,6 +68,8 @@ class Session:
                  size: str = "large",
                  database: Optional[TuningDatabase] = None,
                  cache: Optional[NormalizationCache] = None,
+                 cache_backend: Optional[CacheBackend] = None,
+                 cache_path: Optional[str] = None,
                  max_workers: Optional[int] = None):
         if scheduler not in SCHEDULERS:
             raise RegistryError(
@@ -79,16 +82,32 @@ class Session:
         self.mcts = mcts
         self.size = size
         self.database = database if database is not None else TuningDatabase()
-        self.cache = cache if cache is not None else NormalizationCache()
+        if cache is not None and (cache_backend is not None or cache_path is not None):
+            raise ValueError(
+                "pass either a ready cache= or a cache_backend=/cache_path= "
+                "for the session to build one, not both")
+        # The session owns (and may close) the cache only when it built both
+        # the cache and its backend; injected ones may be shared elsewhere.
+        self._owns_cache = cache is None and cache_backend is None
+        if cache is None:
+            # ``cache_path`` is shorthand for a persistent SQLite backend;
+            # an explicit ``cache_backend`` wins over it.
+            if cache_backend is None and cache_path is not None:
+                cache_backend = SQLiteCacheBackend(cache_path)
+            cache = NormalizationCache(backend=cache_backend) \
+                if cache_backend is not None else NormalizationCache()
+        self.cache = cache
         self.max_workers = max_workers
 
         self._lock = threading.RLock()
+        self._executor: Optional[ThreadPoolExecutor] = None
         self._schedulers: Dict[Tuple[str, int], Scheduler] = {}
         self._cost_models: Dict[int, CostModel] = {}
         self._schedule_calls = 0
         self._tune_calls = 0
         self._batch_calls = 0
         self._execute_calls = 0
+        self._coalesced_requests = 0
 
     # -- loading ---------------------------------------------------------------------
 
@@ -149,7 +168,10 @@ class Session:
             instance = self._schedulers.get(key)
             if instance is None:
                 options: Dict[str, Any] = {"search": self.search, "mcts": self.mcts}
-                if name == "daisy":
+                # Every scheduler whose registration says it tunes works
+                # against the session database (registry metadata, not a
+                # hard-coded name, so third-party schedulers join in).
+                if scheduler_tunes(name):
                     options["database"] = self.database
                 instance = create_scheduler(name, machine=self.machine,
                                             threads=threads, **options)
@@ -172,6 +194,10 @@ class Session:
         """Run a-priori normalization through the content-addressed cache."""
         program = self.load(source)
         entry = self.cache.normalized(program, options or self.normalization)
+        # Cache keys are name-insensitive: a hit may carry the program name
+        # of whoever populated the entry.  Serve under the caller's name,
+        # like the schedule-cache-hit path does.
+        entry.program.name = program.name
         return NormalizeResponse(program=entry.program, report=entry.report,
                                  input_hash=entry.input_hash,
                                  canonical_hash=entry.canonical_hash,
@@ -225,7 +251,8 @@ class Session:
 
     def _schedule(self, request: ScheduleRequest) -> ScheduleResponse:
         program, default_parameters = self._resolve(request.program)
-        parameters = dict(request.parameters) if request.parameters else default_parameters
+        parameters = (dict(request.parameters) if request.parameters is not None
+                      else default_parameters)
         if parameters is None:
             raise ValueError(
                 f"no parameters given for {program.name!r} and none derivable "
@@ -274,10 +301,19 @@ class Session:
         # Database-backed schedulers key on the database version too: a
         # tune() in between grows the database, and a schedule cached before
         # it must not shadow the transfer-tuned schedule available after.
+        # The version is content-derived (not the entry count): with a
+        # persistent cache, two different databases of equal size must not
+        # share cached schedules.
         database = getattr(instance, "database", None)
+        if database is not None:
+            database_version = getattr(database, "version", None)
+            if database_version is None:
+                database_version = len(database)
+        else:
+            database_version = None
         key = self.cache.schedule_key(
             content_key, name, threads, parameters,
-            database_version=len(database) if database is not None else None)
+            database_version=database_version)
         cached = self.cache.lookup_schedule(key)
         if cached is not None:
             result, runtime = cached
@@ -304,7 +340,8 @@ class Session:
     # -- batching ---------------------------------------------------------------------
 
     def schedule_batch(self, items: Sequence[BatchItem],
-                       max_workers: Optional[int] = None) -> List[ScheduleResponse]:
+                       max_workers: Optional[int] = None,
+                       return_exceptions: bool = False) -> List[ScheduleResponse]:
         """Schedule many programs concurrently, sharing one cache and database.
 
         Results are returned in input order; scheduled programs and runtimes
@@ -314,19 +351,67 @@ class Session:
         the ``from_cache`` / ``normalization_cache_hit`` bookkeeping flags can
         differ: two equivalent items racing may both miss and compute the
         same result twice instead of one serving the other.
+
+        With ``return_exceptions=True`` a failing item yields its exception
+        in the result list instead of aborting the whole batch (the serving
+        layer uses this so one bad request cannot fail its batchmates).
         """
         requests = [self._as_request(item) for item in items]
-        for request in requests:
-            if request.tune:
-                raise ValueError("tune requests mutate the database and must "
-                                 "be issued sequentially, not via schedule_batch")
+        tune_message = ("tune requests mutate the database and must "
+                        "be issued sequentially, not via schedule_batch")
+        if not return_exceptions:
+            for request in requests:
+                if request.tune:
+                    raise ValueError(tune_message)
         with self._lock:
             self._batch_calls += 1
-        workers = max_workers or self.max_workers or min(8, max(1, len(requests)))
+
+        schedule = self._schedule
+        if return_exceptions:
+            def schedule(request):  # noqa: F811 - deliberate wrapper
+                # Tune items yield their rejection in-band too, so one bad
+                # item never aborts the batch in this mode.
+                if request.tune:
+                    return ValueError(tune_message)
+                try:
+                    return self._schedule(request)
+                except Exception as error:  # noqa: BLE001 - handed to caller
+                    return error
+
+        explicit_cap = max_workers or self.max_workers
+        workers = explicit_cap or min(8, max(1, len(requests)))
         if workers <= 1 or len(requests) <= 1:
-            return [self._schedule(request) for request in requests]
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(self._schedule, requests))
+            return [schedule(request) for request in requests]
+        if explicit_cap:
+            # An explicit cap bounds concurrency exactly (callers use it to
+            # limit CPU/memory): a dedicated pool of that width honors it.
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                return list(pool.map(schedule, requests))
+        # Uncapped batches reuse one shared executor: a serving layer calls
+        # schedule_batch once per micro-batch, and spawning/joining a fresh
+        # pool every few milliseconds is pure overhead.
+        return list(self._shared_executor().map(schedule, requests))
+
+    _SHARED_POOL_WIDTH = 8
+
+    def _shared_executor(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self._SHARED_POOL_WIDTH,
+                    thread_name_prefix="repro-session")
+            return self._executor
+
+    def close(self) -> None:
+        """Release the batch executor, and the cache backend if this session
+        created it (an injected ``cache=`` may be shared with other sessions
+        and stays open).  Idempotent."""
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
+        if self._owns_cache:
+            self.cache.close()
 
     @staticmethod
     def _as_request(item: BatchItem) -> ScheduleRequest:
@@ -364,7 +449,8 @@ class Session:
                 seed: int = 0) -> ExecuteResponse:
         """Interpret a program on concrete (or reproducible random) inputs."""
         program, default_parameters = self._resolve(source)
-        parameters = dict(parameters) if parameters else default_parameters
+        parameters = (dict(parameters) if parameters is not None
+                      else default_parameters)
         if parameters is None:
             raise ValueError(f"no parameters given for {program.name!r}")
         with self._lock:
@@ -381,9 +467,17 @@ class Session:
 
     # -- introspection ----------------------------------------------------------------
 
+    def record_coalesced(self, count: int = 1) -> None:
+        """Count ``count`` requests a serving layer coalesced into an
+        identical in-flight request (surfaced by :meth:`report`)."""
+        with self._lock:
+            self._coalesced_requests += count
+
     def report(self) -> SessionReport:
-        """Counters: calls, cache hits/misses, database size, schedulers."""
+        """Counters: calls, cache hits/misses, backend traffic, database size."""
         stats = self.cache.stats
+        backend = self.cache.backend
+        shard_sizes = getattr(self.database, "shard_sizes", None)
         with self._lock:
             return SessionReport(
                 schedule_calls=self._schedule_calls,
@@ -394,7 +488,13 @@ class Session:
                 normalization_misses=stats.normalization_misses,
                 schedule_cache_hits=stats.schedule_hits,
                 schedule_cache_misses=stats.schedule_misses,
-                cache_evictions=stats.evictions,
+                cache_evictions=backend.stats.evictions,
                 database_entries=len(self.database),
                 schedulers=sorted({name for name, _ in self._schedulers}),
+                cache_backend=backend.name,
+                cache_memory_hits=backend.stats.memory_hits,
+                cache_disk_hits=backend.stats.disk_hits,
+                cache_writes=backend.stats.writes,
+                coalesced_requests=self._coalesced_requests,
+                database_shards=list(shard_sizes()) if callable(shard_sizes) else [],
             )

@@ -8,14 +8,13 @@ persisted, shipped to workers, and replayed).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Any, Dict, List, Mapping, Optional, Union
 
 from ..ir.nodes import Program
 from ..ir.serialization import program_from_dict, program_to_dict
 from ..normalization.pipeline import NormalizationReport
-from ..scheduler.base import NestScheduleInfo, ScheduleResult
-from ..transforms.recipe import Recipe
+from ..scheduler.base import ScheduleResult
 
 #: What ``Session.load`` accepts: an IR program, C-like source text, or a
 #: workload-registry name (optionally suffixed ``:a`` / ``:b`` / ``:npbench``).
@@ -45,7 +44,8 @@ class ScheduleRequest:
         return {
             "program": (program_to_dict(program) if isinstance(program, Program)
                         else program),
-            "parameters": dict(self.parameters) if self.parameters else None,
+            "parameters": (dict(self.parameters) if self.parameters is not None
+                           else None),
             "scheduler": self.scheduler,
             "threads": self.threads,
             "label": self.label,
@@ -110,49 +110,30 @@ class ScheduleResponse:
         return f"{self.result.summary()} est={self.runtime_s:.3e}s{cached}"
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        data = self.result.to_dict()
+        if self.program is not self.result.program:
+            # Normally the same object (every construction path shares it);
+            # avoid serializing the full IR twice on the serving hot path.
+            data["program"] = program_to_dict(self.program)
+        data.update({
             "request": self.request.to_dict(),
             "scheduler": self.scheduler,
-            "program": program_to_dict(self.program),
-            "nests": [
-                {
-                    "nest_index": info.nest_index,
-                    "status": info.status,
-                    "recipe": info.recipe.to_dict() if info.recipe else None,
-                    "detail": info.detail,
-                }
-                for info in self.result.nests
-            ],
-            "unsupported": self.result.unsupported,
-            "notes": self.result.notes,
             "runtime_s": self.runtime_s,
             "normalized": self.normalized,
             "input_hash": self.input_hash,
             "canonical_hash": self.canonical_hash,
             "from_cache": self.from_cache,
             "normalization_cache_hit": self.normalization_cache_hit,
-        }
+        })
+        return data
 
     @staticmethod
     def from_dict(data: Mapping[str, Any]) -> "ScheduleResponse":
-        program = program_from_dict(dict(data["program"]))
-        nests = [
-            NestScheduleInfo(
-                nest_index=entry["nest_index"],
-                status=entry["status"],
-                recipe=Recipe.from_dict(entry["recipe"]) if entry.get("recipe") else None,
-                detail=entry.get("detail", ""),
-            )
-            for entry in data.get("nests", [])
-        ]
-        result = ScheduleResult(scheduler=data["scheduler"], program=program,
-                                nests=nests,
-                                unsupported=bool(data.get("unsupported", False)),
-                                notes=data.get("notes", ""))
+        result = ScheduleResult.from_dict(data)
         return ScheduleResponse(
             request=ScheduleRequest.from_dict(data["request"]),
             scheduler=data["scheduler"],
-            program=program,
+            program=result.program,
             result=result,
             runtime_s=float(data["runtime_s"]),
             normalized=bool(data.get("normalized", False)),
@@ -177,7 +158,16 @@ class ExecuteResponse:
 
 @dataclass
 class SessionReport:
-    """A snapshot of everything a session did (returned by ``report()``)."""
+    """A snapshot of everything a session did (returned by ``report()``).
+
+    ``cache_backend`` names the storage backend of the normalization cache;
+    ``cache_memory_hits`` / ``cache_disk_hits`` split backend hits between
+    the in-process layer and persistent storage (disk hits only occur on
+    persistent backends).  ``coalesced_requests`` counts requests a serving
+    layer merged into an identical in-flight request instead of scheduling
+    them again, and ``database_shards`` lists per-shard entry counts when
+    the tuning database is sharded (empty for the unsharded database).
+    """
 
     schedule_calls: int = 0
     tune_calls: int = 0
@@ -190,6 +180,12 @@ class SessionReport:
     cache_evictions: int = 0
     database_entries: int = 0
     schedulers: List[str] = field(default_factory=list)
+    cache_backend: str = "memory"
+    cache_memory_hits: int = 0
+    cache_disk_hits: int = 0
+    cache_writes: int = 0
+    coalesced_requests: int = 0
+    database_shards: List[int] = field(default_factory=list)
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -204,10 +200,32 @@ class SessionReport:
             "cache_evictions": self.cache_evictions,
             "database_entries": self.database_entries,
             "schedulers": list(self.schedulers),
+            "cache_backend": self.cache_backend,
+            "cache_memory_hits": self.cache_memory_hits,
+            "cache_disk_hits": self.cache_disk_hits,
+            "cache_writes": self.cache_writes,
+            "coalesced_requests": self.coalesced_requests,
+            "database_shards": list(self.database_shards),
         }
 
+    @staticmethod
+    def from_dict(data: Mapping[str, Any]) -> "SessionReport":
+        known = {f.name for f in fields(SessionReport)}
+        return SessionReport(**{key: value for key, value in data.items()
+                                if key in known})
+
     def summary(self) -> str:
+        extras = ""
+        if self.cache_backend != "memory":
+            extras += (f", {self.cache_backend} backend "
+                       f"({self.cache_memory_hits} memory / "
+                       f"{self.cache_disk_hits} disk hits)")
+        if self.coalesced_requests:
+            extras += f", {self.coalesced_requests} coalesced requests"
+        if self.database_shards:
+            extras += f", shards {self.database_shards}"
         return (f"{self.schedule_calls} schedules ({self.schedule_cache_hits} served "
                 f"from cache), {self.tune_calls} tunes, "
                 f"{self.normalization_hits}/{self.normalization_hits + self.normalization_misses} "
-                f"normalization cache hits, {self.database_entries} database entries")
+                f"normalization cache hits, {self.database_entries} database entries"
+                + extras)

@@ -13,8 +13,9 @@ with a report of what each stage did.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
-from typing import Callable, List, Mapping, Optional, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 from ..ir.nodes import Program
 from ..ir.validation import validate_program
@@ -46,6 +47,28 @@ class NormalizationReport:
                 f"{self.strides.nests_considered} nests "
                 f"(cost {self.strides.total_cost_before:.1f} -> "
                 f"{self.strides.total_cost_after:.1f})")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "fission": dataclasses.asdict(self.fission),
+            "strides": dataclasses.asdict(self.strides),
+            "scalar_expansion": {
+                "expanded": [list(pair) for pair in self.scalar_expansion.expanded]},
+            "canonical_iterators": self.canonical_iterators,
+            "validation_errors": list(self.validation_errors),
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping[str, object]) -> "NormalizationReport":
+        expansion = data.get("scalar_expansion") or {}
+        return NormalizationReport(
+            fission=FissionReport(**dict(data.get("fission") or {})),
+            strides=StrideMinimizationReport(**dict(data.get("strides") or {})),
+            scalar_expansion=ScalarExpansionReport(
+                expanded=[tuple(pair) for pair in expansion.get("expanded", [])]),
+            canonical_iterators=bool(data.get("canonical_iterators", False)),
+            validation_errors=tuple(data.get("validation_errors", ())),
+        )
 
 
 @dataclass

@@ -10,6 +10,7 @@ from .embedding import (EMBEDDING_SIZE, FEATURE_NAMES, PerformanceEmbedding,
 from .evolutionary import EvolutionarySearch, SearchConfig, SearchOutcome
 from .frameworks import DaceScheduler, NumbaScheduler, NumpyScheduler
 from .polyhedral import PollyScheduler, nest_is_scop
+from .sharding import ShardedTuningDatabase, embedding_shard
 from .tiramisu import MctsConfig, TiramisuScheduler
 
 __all__ = [
@@ -22,5 +23,6 @@ __all__ = [
     "EvolutionarySearch", "SearchConfig", "SearchOutcome",
     "DaceScheduler", "NumbaScheduler", "NumpyScheduler",
     "PollyScheduler", "nest_is_scop",
+    "ShardedTuningDatabase", "embedding_shard",
     "MctsConfig", "TiramisuScheduler",
 ]

@@ -8,6 +8,7 @@ variants of the benchmarks and queries it when scheduling new programs
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -35,11 +36,12 @@ class DatabaseEntry:
 
     @staticmethod
     def from_dict(data: Dict[str, object]) -> "DatabaseEntry":
+        runtime = data.get("runtime")
         return DatabaseEntry(
             embedding=tuple(float(x) for x in data["embedding"]),
             recipe=Recipe.from_dict(data["recipe"]),
             label=str(data.get("label", "")),
-            runtime=data.get("runtime"),
+            runtime=float(runtime) if runtime is not None else None,
         )
 
 
@@ -47,10 +49,31 @@ class TuningDatabase:
     """A collection of tuned loop nests queried by embedding similarity."""
 
     def __init__(self, entries: Optional[List[DatabaseEntry]] = None):
-        self.entries: List[DatabaseEntry] = list(entries or [])
+        self.entries: List[DatabaseEntry] = []
+        self._digest = hashlib.sha256(b"tuning-database")
+        for entry in entries or []:
+            self.add_entry(entry)
 
     def __len__(self) -> int:
         return len(self.entries)
+
+    @property
+    def version(self) -> str:
+        """A content-derived version of the database.
+
+        Schedule-cache keys embed this (not the raw entry count): two
+        databases of equal size but different content must not share cached
+        schedules once the cache persists across processes.
+        """
+        return f"{len(self.entries)}:{self._digest.hexdigest()[:16]}"
+
+    def add_entry(self, entry: DatabaseEntry) -> DatabaseEntry:
+        """Append a ready entry (the seam all mutation funnels through, so
+        the content version stays in sync)."""
+        self.entries.append(entry)
+        self._digest.update(
+            json.dumps(entry.to_dict(), sort_keys=True).encode("utf-8"))
+        return entry
 
     def add(self, embedding: PerformanceEmbedding, recipe: Recipe,
             runtime: Optional[float] = None) -> DatabaseEntry:
@@ -58,10 +81,9 @@ class TuningDatabase:
         if len(embedding.vector) != EMBEDDING_SIZE:
             raise ValueError(
                 f"embedding has {len(embedding.vector)} features, expected {EMBEDDING_SIZE}")
-        entry = DatabaseEntry(embedding=tuple(embedding.vector), recipe=recipe,
-                              label=embedding.label, runtime=runtime)
-        self.entries.append(entry)
-        return entry
+        return self.add_entry(
+            DatabaseEntry(embedding=tuple(embedding.vector), recipe=recipe,
+                          label=embedding.label, runtime=runtime))
 
     def query(self, embedding: PerformanceEmbedding,
               k: int = 1) -> List[Tuple[float, DatabaseEntry]]:

@@ -1,0 +1,254 @@
+"""Sharded transfer-tuning database.
+
+A :class:`ShardedTuningDatabase` partitions its entries across ``N``
+independent :class:`~repro.scheduler.database.TuningDatabase` shards keyed
+by a hash of the performance embedding.  Each shard has its own lock, so
+concurrent tunes touching different shards do not serialize, and each shard
+persists independently — the layout a multi-machine deployment would use,
+with one shard per database node.
+
+Queries run scatter-gather: every shard reports its ``k`` nearest entries
+and the gathered candidates are merged by distance, which returns exactly
+the same nearest neighbors as the unsharded database holding the union of
+all entries (shard-local top-``k`` is a superset filter of global
+top-``k``).
+
+Persistence comes in two formats: a single JSON document (shard structure
+preserved) and a SQLite file with one row per entry, which is what the
+``python -m repro.serving db-shard`` command manipulates.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sqlite3
+import threading
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..transforms.recipe import Recipe
+from .database import DatabaseEntry, TuningDatabase
+from .embedding import PerformanceEmbedding
+
+DEFAULT_NUM_SHARDS = 4
+
+
+def embedding_shard(vector: Sequence[float], num_shards: int) -> int:
+    """Deterministic shard index of one embedding vector.
+
+    The vector is hashed through a stable decimal rendering (so that values
+    round-tripped through JSON land in the same shard) and reduced modulo
+    the shard count.
+    """
+    text = json.dumps([format(float(x), ".12g") for x in vector])
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % num_shards
+
+
+class ShardedTuningDatabase:
+    """Drop-in replacement for :class:`TuningDatabase`, partitioned N ways.
+
+    The query/``best_match``/``add``/``len`` surface matches
+    :class:`TuningDatabase`, so the daisy scheduler and the
+    :class:`~repro.api.Session` facade accept either interchangeably.
+    """
+
+    def __init__(self, num_shards: int = DEFAULT_NUM_SHARDS,
+                 entries: Optional[Iterable[DatabaseEntry]] = None):
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        self.num_shards = num_shards
+        self._shards = [TuningDatabase() for _ in range(num_shards)]
+        self._locks = [threading.RLock() for _ in range(num_shards)]
+        for entry in entries or ():
+            self.add_entry(entry)
+
+    # -- the TuningDatabase surface ------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(self.shard_sizes())
+
+    def add(self, embedding: PerformanceEmbedding, recipe: Recipe,
+            runtime: Optional[float] = None) -> DatabaseEntry:
+        """Insert a tuned nest into the shard its embedding hashes to."""
+        index = embedding_shard(embedding.vector, self.num_shards)
+        with self._locks[index]:
+            return self._shards[index].add(embedding, recipe, runtime)
+
+    def add_entry(self, entry: DatabaseEntry) -> DatabaseEntry:
+        index = embedding_shard(entry.embedding, self.num_shards)
+        with self._locks[index]:
+            return self._shards[index].add_entry(entry)
+
+    def query(self, embedding: PerformanceEmbedding,
+              k: int = 1) -> List[Tuple[float, DatabaseEntry]]:
+        """Scatter the query to every shard, gather, and merge by distance."""
+        gathered: List[Tuple[float, DatabaseEntry]] = []
+        for index in range(self.num_shards):
+            with self._locks[index]:
+                gathered.extend(self._shards[index].query(embedding, k))
+        gathered.sort(key=lambda pair: pair[0])
+        return gathered[:k]
+
+    def best_match(self, embedding: PerformanceEmbedding,
+                   max_distance: Optional[float] = None
+                   ) -> Optional[DatabaseEntry]:
+        results = self.query(embedding, k=1)
+        if not results:
+            return None
+        distance, entry = results[0]
+        if max_distance is not None and distance > max_distance:
+            return None
+        return entry
+
+    # -- shard introspection ---------------------------------------------------------
+
+    @property
+    def entries(self) -> List[DatabaseEntry]:
+        """All entries, shard by shard (a flat copy, not a live view)."""
+        collected: List[DatabaseEntry] = []
+        for index in range(self.num_shards):
+            with self._locks[index]:
+                collected.extend(self._shards[index].entries)
+        return collected
+
+    @property
+    def version(self) -> str:
+        """Content-derived version combining every shard's version (same
+        contract as :attr:`TuningDatabase.version`)."""
+        parts = []
+        for index in range(self.num_shards):
+            with self._locks[index]:
+                parts.append(self._shards[index].version)
+        digest = hashlib.sha256("/".join(parts).encode("utf-8")).hexdigest()
+        return f"{len(self)}:{digest[:16]}"
+
+    def shard_sizes(self) -> List[int]:
+        sizes = []
+        for index in range(self.num_shards):
+            with self._locks[index]:
+                sizes.append(len(self._shards[index]))
+        return sizes
+
+    def merged(self) -> TuningDatabase:
+        """The equivalent unsharded database (a copy)."""
+        return TuningDatabase(self.entries)
+
+    def rebalance(self, num_shards: int) -> "ShardedTuningDatabase":
+        """A new database with the same entries hashed across ``num_shards``."""
+        return ShardedTuningDatabase(num_shards, self.entries)
+
+    @staticmethod
+    def from_database(database: TuningDatabase,
+                      num_shards: int = DEFAULT_NUM_SHARDS
+                      ) -> "ShardedTuningDatabase":
+        return ShardedTuningDatabase(num_shards, database.entries)
+
+    # -- persistence: JSON -------------------------------------------------------------
+
+    def to_json(self, indent: int = 2) -> str:
+        payload = {
+            "num_shards": self.num_shards,
+            "shards": [[entry.to_dict() for entry in shard.entries]
+                       for shard in self._shards],
+        }
+        return json.dumps(payload, indent=indent)
+
+    @staticmethod
+    def from_json(text: str) -> "ShardedTuningDatabase":
+        data = json.loads(text)
+        if isinstance(data, list):
+            # An unsharded TuningDatabase dump: hash its entries into shards.
+            return ShardedTuningDatabase(
+                DEFAULT_NUM_SHARDS,
+                [DatabaseEntry.from_dict(item) for item in data])
+        database = ShardedTuningDatabase(int(data["num_shards"]))
+        for index, shard_entries in enumerate(data["shards"]):
+            for item in shard_entries:
+                database._shards[index].add_entry(DatabaseEntry.from_dict(item))
+        return database
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+
+    @staticmethod
+    def load(path: str) -> "ShardedTuningDatabase":
+        with open(path, "r", encoding="utf-8") as handle:
+            return ShardedTuningDatabase.from_json(handle.read())
+
+    # -- persistence: SQLite -----------------------------------------------------------
+
+    _SCHEMA = """
+        CREATE TABLE IF NOT EXISTS entries (
+            id INTEGER PRIMARY KEY AUTOINCREMENT,
+            shard INTEGER NOT NULL,
+            embedding TEXT NOT NULL,
+            recipe TEXT NOT NULL,
+            label TEXT NOT NULL,
+            runtime REAL
+        )
+    """
+    _META_SCHEMA = """
+        CREATE TABLE IF NOT EXISTS meta (
+            key TEXT PRIMARY KEY,
+            value TEXT NOT NULL
+        )
+    """
+
+    def save_sqlite(self, path: str) -> None:
+        conn = sqlite3.connect(path)
+        try:
+            conn.execute(self._SCHEMA)
+            conn.execute(self._META_SCHEMA)
+            conn.execute("DELETE FROM entries")
+            conn.execute(
+                "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)",
+                ("num_shards", str(self.num_shards)))
+            for index, shard in enumerate(self._shards):
+                with self._locks[index]:
+                    rows = [(index,
+                             json.dumps(list(entry.embedding)),
+                             json.dumps(entry.recipe.to_dict()),
+                             entry.label,
+                             entry.runtime)
+                            for entry in shard.entries]
+                conn.executemany(
+                    "INSERT INTO entries (shard, embedding, recipe, label, runtime) "
+                    "VALUES (?, ?, ?, ?, ?)", rows)
+            conn.commit()
+        finally:
+            conn.close()
+
+    @staticmethod
+    def load_sqlite(path: str,
+                    num_shards: Optional[int] = None) -> "ShardedTuningDatabase":
+        """Load from SQLite; ``num_shards`` rehashes into a new shard count
+        (default: the count the file was saved with)."""
+        conn = sqlite3.connect(path)
+        try:
+            rows = conn.execute(
+                "SELECT shard, embedding, recipe, label, runtime "
+                "FROM entries ORDER BY id").fetchall()
+            meta = conn.execute(
+                "SELECT value FROM meta WHERE key = 'num_shards'").fetchone()
+        finally:
+            conn.close()
+        saved_shards = (int(meta[0]) if meta is not None
+                        else max((row[0] for row in rows), default=0) + 1)
+        target_shards = num_shards or saved_shards
+        # Keeping the saved shard count preserves the stored layout exactly
+        # (like the JSON path); a different count rehashes every entry.
+        preserve_layout = target_shards == saved_shards
+        database = ShardedTuningDatabase(target_shards)
+        for shard, embedding, recipe, label, runtime in rows:
+            entry = DatabaseEntry(
+                embedding=tuple(float(x) for x in json.loads(embedding)),
+                recipe=Recipe.from_dict(json.loads(recipe)),
+                label=label,
+                runtime=float(runtime) if runtime is not None else None)
+            if preserve_layout:
+                database._shards[shard].add_entry(entry)
+            else:
+                database.add_entry(entry)
+        return database

@@ -1,0 +1,26 @@
+"""``repro.serving`` — async scheduling service over the Session facade.
+
+The subsystem layers onto :mod:`repro.api` without changing it:
+
+* :class:`SchedulingService` / :class:`ServiceRunner` — asyncio request
+  queue, micro-batching over ``Session.schedule_batch``, and coalescing of
+  identical in-flight requests by content hash.
+* :class:`ServingServer` / :class:`ServingClient` — a stdlib JSON-over-HTTP
+  endpoint plus its client, speaking the existing
+  ``ScheduleRequest`` / ``ScheduleResponse`` round-trips.
+* persistence is provided by the pluggable cache backends
+  (:class:`repro.api.SQLiteCacheBackend`) and the sharded tuning database
+  (:class:`repro.api.ShardedTuningDatabase`); the ``python -m repro.serving``
+  CLI wires them together (``serve`` / ``warm-cache`` / ``db-shard``).
+"""
+
+from .client import ServingClient, ServingError
+from .http import ServingServer
+from .service import (SchedulingService, ServiceConfig, ServiceRunner,
+                      ServiceStats, request_fingerprint)
+
+__all__ = [
+    "SchedulingService", "ServiceConfig", "ServiceRunner", "ServiceStats",
+    "request_fingerprint",
+    "ServingServer", "ServingClient", "ServingError",
+]

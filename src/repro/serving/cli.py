@@ -1,0 +1,178 @@
+"""``python -m repro.serving`` — serve, warm caches, and manage shards.
+
+Subcommands:
+
+* ``serve``      — boot the JSON-over-HTTP scheduling service.
+* ``warm-cache`` — populate a persistent SQLite cache with the registry
+  workloads so a later ``serve`` starts hot.
+* ``db-shard``   — convert/rebalance tuning databases between the unsharded
+  JSON format, the sharded JSON format, and the sharded SQLite format, or
+  print shard statistics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from ..api.session import Session
+from ..api.types import ScheduleRequest
+from ..scheduler.database import TuningDatabase
+from ..scheduler.sharding import (DEFAULT_NUM_SHARDS, ShardedTuningDatabase)
+from ..workloads.registry import benchmark_names
+from .http import ServingServer
+from .service import ServiceConfig
+
+
+def _session_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scheduler", default="daisy",
+                        help="default scheduler of the session (default: daisy)")
+    parser.add_argument("--threads", type=int, default=4,
+                        help="threads the scheduled code is optimized for")
+    parser.add_argument("--size", default="large",
+                        help="workload-registry size class (default: large)")
+    parser.add_argument("--cache-path", default=None,
+                        help="SQLite file backing the normalization cache "
+                             "(default: in-memory)")
+    parser.add_argument("--db-path", default=None,
+                        help="tuning database to load: .json (sharded or "
+                             "unsharded) or .sqlite")
+    parser.add_argument("--shards", type=int, default=0,
+                        help="shard the tuning database N ways (0: unsharded)")
+
+
+def _load_database(path: Optional[str], shards: int):
+    if path is None:
+        return ShardedTuningDatabase(shards) if shards > 0 else None
+    if path.endswith((".sqlite", ".sqlite3", ".db")):
+        return ShardedTuningDatabase.load_sqlite(path, shards or None)
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    data = json.loads(text)
+    if isinstance(data, dict):  # sharded JSON layout
+        database = ShardedTuningDatabase.from_json(text)
+        return database.rebalance(shards) if shards else database
+    database = TuningDatabase.from_json(text)
+    if shards:
+        return ShardedTuningDatabase.from_database(database, shards)
+    return database
+
+
+def _build_session(args: argparse.Namespace) -> Session:
+    return Session(threads=args.threads, scheduler=args.scheduler,
+                   size=args.size, cache_path=args.cache_path,
+                   database=_load_database(args.db_path, args.shards))
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    session = _build_session(args)
+    config = ServiceConfig(max_batch_size=args.max_batch,
+                           batch_window_s=args.batch_window)
+    server = ServingServer(session, host=args.host, port=args.port,
+                           config=config)
+    server.start()
+    print(f"serving on {server.address} "
+          f"(scheduler={args.scheduler}, threads={args.threads}, "
+          f"cache={'sqlite:' + args.cache_path if args.cache_path else 'memory'}, "
+          f"database={len(session.database)} entries)")
+    try:
+        server.serve_forever()
+    finally:
+        # Flush buffered cache recency and close the backend connection.
+        session.close()
+    return 0
+
+
+def _cmd_warm_cache(args: argparse.Namespace) -> int:
+    session = _build_session(args)
+    names = args.workloads or sorted(benchmark_names())
+    requests: List[ScheduleRequest] = []
+    for name in names:
+        for variant in args.variants:
+            requests.append(ScheduleRequest(program=f"{name}:{variant}"))
+    responses = session.schedule_batch(requests)
+    hits = sum(1 for response in responses if response.from_cache)
+    print(f"warmed {len(responses)} schedules ({hits} already cached) "
+          f"into {args.cache_path}")
+    print(session.report().summary())
+    session.close()
+    return 0
+
+
+def _save_database(database: ShardedTuningDatabase, path: str) -> None:
+    if path.endswith((".sqlite", ".sqlite3", ".db")):
+        database.save_sqlite(path)
+    else:
+        database.save(path)
+
+
+def _cmd_db_shard(args: argparse.Namespace) -> int:
+    database = _load_database(args.input, args.shards)
+    if isinstance(database, TuningDatabase):
+        database = ShardedTuningDatabase.from_database(
+            database, args.shards or DEFAULT_NUM_SHARDS)
+    sizes = database.shard_sizes()
+    print(f"{args.input}: {len(database)} entries across "
+          f"{database.num_shards} shards {sizes}")
+    if args.stats:
+        labels: dict = {}
+        for entry in database.entries:
+            labels[entry.label] = labels.get(entry.label, 0) + 1
+        for label, count in sorted(labels.items()):
+            print(f"  {label or '<unlabeled>'}: {count}")
+    if args.output:
+        _save_database(database, args.output)
+        print(f"wrote {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serving",
+        description="Async scheduling service over the repro.api Session")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    serve = commands.add_parser("serve", help="boot the HTTP scheduling service")
+    _session_arguments(serve)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8422)
+    serve.add_argument("--max-batch", type=int, default=16,
+                       help="largest micro-batch per schedule_batch call")
+    serve.add_argument("--batch-window", type=float, default=0.01,
+                       help="seconds the batcher waits for stragglers")
+    serve.set_defaults(func=_cmd_serve)
+
+    warm = commands.add_parser(
+        "warm-cache", help="pre-schedule workloads into a persistent cache")
+    _session_arguments(warm)
+    warm.add_argument("--workloads", nargs="*", default=None,
+                      help="registry names (default: every benchmark)")
+    warm.add_argument("--variants", nargs="*", default=["a"],
+                      help="variants to warm per workload (default: a)")
+    warm.set_defaults(func=_cmd_warm_cache)
+
+    shard = commands.add_parser(
+        "db-shard", help="shard/rebalance/inspect a tuning database")
+    shard.add_argument("--input", required=True,
+                       help=".json (sharded or unsharded) or .sqlite database")
+    shard.add_argument("--output", default=None,
+                       help="write the sharded database here "
+                            "(.json or .sqlite; default: inspect only)")
+    shard.add_argument("--shards", type=int, default=0,
+                       help="target shard count (default: keep / 4 for "
+                            "unsharded inputs)")
+    shard.add_argument("--stats", action="store_true",
+                       help="print per-label entry counts")
+    shard.set_defaults(func=_cmd_db_shard)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "warm-cache" and not args.cache_path:
+        print("warm-cache requires --cache-path (a persistent backend to warm)",
+              file=sys.stderr)
+        return 2
+    return args.func(args)

@@ -1,0 +1,78 @@
+"""Stdlib HTTP client for the serving endpoint.
+
+Speaks the same :class:`~repro.api.ScheduleRequest` /
+:class:`~repro.api.ScheduleResponse` JSON round-trips as the server; the
+demo, the smoke test, and the benchmark all drive traffic through it.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
+
+from ..api.types import ProgramLike, ScheduleRequest, ScheduleResponse
+
+
+class ServingError(RuntimeError):
+    """A non-2xx response from the serving endpoint."""
+
+    def __init__(self, status: int, payload: Dict[str, Any]):
+        super().__init__(f"HTTP {status}: {payload.get('error', payload)}")
+        self.status = status
+        self.payload = payload
+
+
+class ServingClient:
+    """A thin blocking client: ``schedule`` / ``report`` / ``health``."""
+
+    def __init__(self, base_url: str, timeout: float = 60.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- raw transport -----------------------------------------------------------
+
+    def request(self, method: str, path: str,
+                body: Optional[Dict[str, Any]] = None
+                ) -> Tuple[int, Dict[str, Any]]:
+        """One HTTP exchange; returns ``(status, decoded JSON payload)``."""
+        data = json.dumps(body).encode("utf-8") if body is not None else None
+        request = urllib.request.Request(
+            self.base_url + path, data=data, method=method,
+            headers={"Content-Type": "application/json"} if data else {})
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as reply:
+                return reply.status, json.loads(reply.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            try:
+                payload = json.loads(error.read().decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                payload = {"error": str(error)}
+            return error.code, payload
+
+    def _checked(self, method: str, path: str,
+                 body: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        status, payload = self.request(method, path, body)
+        if status != 200:
+            raise ServingError(status, payload)
+        return payload
+
+    # -- the API -----------------------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        return self._checked("GET", "/healthz")
+
+    def report(self) -> Dict[str, Any]:
+        return self._checked("GET", "/v1/report")
+
+    def schedule(self, program: Union[ScheduleRequest, ProgramLike],
+                 parameters: Optional[Mapping[str, int]] = None,
+                 scheduler: Optional[str] = None,
+                 threads: Optional[int] = None) -> ScheduleResponse:
+        """Schedule one program through the service."""
+        if not isinstance(program, ScheduleRequest):
+            program = ScheduleRequest(program=program, parameters=parameters,
+                                      scheduler=scheduler, threads=threads)
+        payload = self._checked("POST", "/v1/schedule", program.to_dict())
+        return ScheduleResponse.from_dict(payload)

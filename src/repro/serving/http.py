@@ -1,0 +1,214 @@
+"""JSON-over-HTTP endpoint of the scheduling service (stdlib only).
+
+Routes:
+
+* ``GET  /healthz``     — liveness: ``{"status": "ok"}``.
+* ``GET  /v1/report``   — session counters plus service stats.
+* ``POST /v1/schedule`` — body: a :class:`~repro.api.ScheduleRequest` dict
+  (``{"program": "gemm:b"}`` at its simplest); response: the
+  :class:`~repro.api.ScheduleResponse` dict.  Identical concurrent requests
+  are coalesced; repeats are cache hits.
+
+The handler threads of :class:`ThreadingHTTPServer` block on the
+:class:`~repro.serving.service.ServiceRunner`, whose event loop performs the
+actual micro-batching, so HTTP concurrency translates directly into batch
+formation and coalescing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+from ..api.session import Session
+from ..api.types import ScheduleRequest
+from .service import ServiceConfig, ServiceRunner
+
+#: Largest accepted request body (16 MiB guards against runaway programs).
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+#: Largest accepted ``threads`` value.  Session caches one scheduler and
+#: cost model per distinct thread count, so an unbounded client-supplied
+#: value would grow server memory without limit.
+MAX_REQUEST_THREADS = 256
+
+
+class ServingServer:
+    """The HTTP front of one session + async scheduling service."""
+
+    def __init__(self, session: Session, host: str = "127.0.0.1",
+                 port: int = 0, config: Optional[ServiceConfig] = None):
+        self.session = session
+        self.runner = ServiceRunner(session, config)
+        handler = _make_handler(self)
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._thread: Optional[threading.Thread] = None
+        self._started_at = 0.0
+        self._closed = False
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def address(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def __enter__(self) -> "ServingServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def start(self) -> None:
+        """Start the service loop and serve HTTP in a background thread."""
+        if self._closed:
+            # stop() closed the listening socket for good; serving on it
+            # again would accept nothing while looking healthy.
+            raise RuntimeError("server was stopped; create a new ServingServer")
+        if self._thread is not None:
+            return
+        self.runner.start()
+        self._started_at = time.monotonic()
+        self._thread = threading.Thread(target=self._httpd.serve_forever,
+                                        name="repro-serving-http", daemon=True)
+        self._thread.start()
+
+    def serve_forever(self) -> None:
+        """Start and block until interrupted (the CLI ``serve`` entry)."""
+        self.start()
+        try:
+            self._thread.join()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.stop()
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._closed = True
+        self._httpd.shutdown()
+        self._thread.join()
+        self._httpd.server_close()
+        self.runner.stop()
+        self._thread = None
+
+    # -- route implementations ---------------------------------------------------
+
+    def handle_healthz(self) -> Tuple[int, Dict[str, Any]]:
+        return 200, {"status": "ok",
+                     "uptime_s": round(time.monotonic() - self._started_at, 3)}
+
+    def handle_report(self) -> Tuple[int, Dict[str, Any]]:
+        payload = self.session.report().to_dict()
+        payload["service"] = self.runner.stats.to_dict()
+        return 200, payload
+
+    def handle_schedule(self, body: Dict[str, Any]) -> Tuple[int, Dict[str, Any]]:
+        try:
+            request = ScheduleRequest.from_dict(body)
+        except (KeyError, TypeError, ValueError) as error:
+            return 400, {"error": f"invalid schedule request: {error}"}
+        if request.threads is not None and not (
+                isinstance(request.threads, int)
+                and 1 <= request.threads <= MAX_REQUEST_THREADS):
+            return 400, {"error": f"threads must be an integer in "
+                                  f"[1, {MAX_REQUEST_THREADS}]"}
+        try:
+            response = self.runner.schedule(request)
+        except (ValueError, TypeError, KeyError) as error:
+            # Unknown workloads/schedulers raise RegistryError (a KeyError):
+            # the request was malformed, not the server.
+            return 400, {"error": str(error)}
+        except (asyncio.CancelledError, concurrent.futures.CancelledError):
+            # Server shutdown cancelled the in-flight future; CancelledError
+            # is a BaseException and would otherwise kill the handler thread
+            # without sending any response.
+            return 503, {"error": "server is shutting down"}
+        except Exception as error:  # noqa: BLE001 - surfaced as HTTP 500
+            return 500, {"error": f"{type(error).__name__}: {error}"}
+        return 200, response.to_dict()
+
+
+def _make_handler(server: ServingServer):
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+        server_version = "repro-serving/0.1"
+        #: Socket timeout (applied by StreamRequestHandler.setup): a client
+        #: that under-sends its declared body must not pin a handler thread
+        #: forever (slowloris).
+        timeout = 30
+
+        def log_message(self, format: str, *args: Any) -> None:
+            pass  # quiet by default; traffic is visible through /v1/report
+
+        def _reply(self, status: int, payload: Dict[str, Any],
+                   close: bool = False) -> None:
+            body = json.dumps(payload).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            if close:
+                # The request body was not consumed: keeping the connection
+                # alive would desync HTTP/1.1 (unread bytes parse as the
+                # next request line).
+                self.send_header("Connection", "close")
+                self.close_connection = True
+            self.end_headers()
+            self.wfile.write(body)
+
+        def do_GET(self) -> None:  # noqa: N802 - http.server API
+            if self.path == "/healthz":
+                self._reply(*server.handle_healthz())
+            elif self.path == "/v1/report":
+                self._reply(*server.handle_report())
+            else:
+                self._reply(404, {"error": f"unknown path {self.path!r}"})
+
+        def do_POST(self) -> None:  # noqa: N802 - http.server API
+            if self.path != "/v1/schedule":
+                # The body stays unread on this branch too: close so the
+                # next keep-alive request does not parse body bytes.
+                self._reply(404, {"error": f"unknown path {self.path!r}"},
+                            close=True)
+                return
+            try:
+                length = int(self.headers.get("Content-Length") or 0)
+            except ValueError:
+                self._reply(400, {"error": "malformed Content-Length header"},
+                            close=True)
+                return
+            if length <= 0 or length > MAX_BODY_BYTES:
+                self._reply(400, {"error": "missing or oversized request body"},
+                            close=True)
+                return
+            try:
+                raw = self.rfile.read(length)
+            except (TimeoutError, OSError):
+                # The client declared more body than it sent within the
+                # socket timeout.
+                self._reply(408, {"error": "timed out reading request body"},
+                            close=True)
+                return
+            try:
+                body = json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as error:
+                self._reply(400, {"error": f"invalid JSON body: {error}"})
+                return
+            if not isinstance(body, dict):
+                self._reply(400, {"error": "request body must be a JSON object"})
+                return
+            self._reply(*server.handle_schedule(body))
+
+    return Handler

@@ -1,0 +1,314 @@
+"""The asyncio scheduling service core.
+
+:class:`SchedulingService` turns a :class:`~repro.api.Session` into an async
+request processor:
+
+* **request queue** — ``schedule()`` coroutines enqueue their request and
+  await a future; a single batcher task drains the queue.
+* **micro-batching** — the batcher collects up to
+  :attr:`ServiceConfig.max_batch_size` requests (waiting at most
+  :attr:`ServiceConfig.batch_window_s` for stragglers) and runs them through
+  :meth:`repro.api.Session.schedule_batch` in a worker thread, so one cache
+  and one tuning database serve the whole batch.
+* **coalescing** — identical in-flight requests (same program content hash,
+  parameters, scheduler, threads, normalize flag) share one future: burst
+  duplicates cost a single scheduler invocation, counted on
+  ``Session.report().coalesced_requests``.
+
+:class:`ServiceRunner` hosts the service on an event loop in a background
+thread and exposes a blocking ``schedule()`` for synchronous callers (the
+HTTP endpoint, benchmarks, tests).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..api.hashing import fingerprint, program_content_hash
+from ..api.session import Session
+from ..api.types import ScheduleRequest, ScheduleResponse
+from ..ir.nodes import Program
+
+
+@dataclass
+class ServiceConfig:
+    """Tunables of the async scheduling service."""
+
+    #: Largest batch handed to ``Session.schedule_batch`` at once.
+    max_batch_size: int = 16
+    #: How long the batcher waits for more requests after the first arrives.
+    batch_window_s: float = 0.01
+    #: Thread-pool width of each ``schedule_batch`` call (None: session default).
+    max_workers: Optional[int] = None
+
+
+@dataclass
+class ServiceStats:
+    """What the service did since it started."""
+
+    requests: int = 0
+    coalesced: int = 0
+    batches: int = 0
+    scheduled: int = 0
+    errors: int = 0
+    largest_batch: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "requests": self.requests,
+            "coalesced": self.coalesced,
+            "batches": self.batches,
+            "scheduled": self.scheduled,
+            "errors": self.errors,
+            "largest_batch": self.largest_batch,
+        }
+
+
+def request_fingerprint(request: ScheduleRequest) -> str:
+    """Content hash identifying requests that must produce identical responses.
+
+    Programs given as IR hash by structure (name-insensitive), so two
+    clients submitting the same kernel coalesce even if they named it
+    differently; registry names and source text hash as written.  The label
+    is excluded: it only affects tuning provenance, and tune requests are
+    rejected by the service anyway.
+    """
+    program = request.program
+    if isinstance(program, Program):
+        program_key = program_content_hash(program)
+    else:
+        program_key = str(program)
+    return fingerprint({
+        "program": program_key,
+        # None (use registry defaults) and {} (schedule with no bindings)
+        # resolve differently and must not coalesce onto one another.
+        "parameters": (dict(request.parameters)
+                       if request.parameters is not None else None),
+        "scheduler": request.scheduler,
+        "threads": request.threads,
+        "normalize": request.normalize,
+    })
+
+
+@dataclass
+class _Pending:
+    """One queued request plus the future its submitters await."""
+
+    key: str
+    request: ScheduleRequest
+    future: "asyncio.Future[ScheduleResponse]" = field(repr=False, default=None)
+
+
+class SchedulingService:
+    """Async facade over one session: queue, micro-batching, coalescing."""
+
+    def __init__(self, session: Session, config: Optional[ServiceConfig] = None):
+        self.session = session
+        self.config = config or ServiceConfig()
+        self.stats = ServiceStats()
+        self._queue: "Optional[asyncio.Queue[_Pending]]" = None
+        self._inflight: Dict[str, "asyncio.Future[ScheduleResponse]"] = {}
+        self._batcher: Optional[asyncio.Task] = None
+        self._running = False
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    async def start(self) -> None:
+        if self._running:
+            return
+        self._queue = asyncio.Queue()
+        self._running = True
+        self._batcher = asyncio.get_running_loop().create_task(self._run())
+
+    async def stop(self) -> None:
+        if not self._running:
+            return
+        self._running = False
+        if self._batcher is not None:
+            self._batcher.cancel()
+            try:
+                await self._batcher
+            except asyncio.CancelledError:
+                pass
+            self._batcher = None
+        for future in self._inflight.values():
+            if not future.done():
+                future.cancel()
+        self._inflight.clear()
+
+    # -- submission --------------------------------------------------------------
+
+    async def schedule(self, request: ScheduleRequest) -> ScheduleResponse:
+        """Submit one request; awaits its (possibly coalesced) response."""
+        if not self._running:
+            raise RuntimeError("service is not running; call start() first")
+        if request.tune:
+            raise ValueError("tune requests mutate the database and are not "
+                             "served; tune through the session directly")
+        self.stats.requests += 1
+        key = request_fingerprint(request)
+        existing = self._inflight.get(key)
+        if existing is not None:
+            # Coalesce: ride the identical in-flight request.  The response
+            # program is copied so concurrent consumers never share IR.
+            self.stats.coalesced += 1
+            self.session.record_coalesced()
+            response = await asyncio.shield(existing)
+            return self._reissue(response, request)
+        future: "asyncio.Future[ScheduleResponse]" = \
+            asyncio.get_running_loop().create_future()
+        self._inflight[key] = future
+        await self._queue.put(_Pending(key, request, future))
+        return await asyncio.shield(future)
+
+    @staticmethod
+    def _reissue(response: ScheduleResponse,
+                 request: ScheduleRequest) -> ScheduleResponse:
+        copied = response.result.copy()
+        # Match the sequential cache-hit path: the served program keeps the
+        # *rider's* name, not the coalescing leader's (fingerprints are
+        # name-insensitive, so the two can differ for IR-program requests).
+        if isinstance(request.program, Program):
+            copied.program.name = request.program.name
+        # ``from_cache`` keeps its documented meaning (served from the
+        # content-addressed cache): a rider of a cold leader was computed,
+        # not cache-served — coalescing is counted on the session report.
+        return ScheduleResponse(
+            request=request, scheduler=response.scheduler,
+            program=copied.program, result=copied,
+            runtime_s=response.runtime_s, normalized=response.normalized,
+            input_hash=response.input_hash,
+            canonical_hash=response.canonical_hash,
+            from_cache=response.from_cache,
+            normalization_cache_hit=response.normalization_cache_hit)
+
+    # -- the batcher -------------------------------------------------------------
+
+    async def _collect_batch(self) -> List[_Pending]:
+        batch = [await self._queue.get()]
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.config.batch_window_s
+        while len(batch) < self.config.max_batch_size:
+            timeout = deadline - loop.time()
+            if timeout <= 0:
+                break
+            try:
+                batch.append(await asyncio.wait_for(self._queue.get(), timeout))
+            except asyncio.TimeoutError:
+                break
+        return batch
+
+    async def _run(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            batch = await self._collect_batch()
+            self.stats.batches += 1
+            self.stats.largest_batch = max(self.stats.largest_batch, len(batch))
+            requests = [pending.request for pending in batch]
+            try:
+                responses = await loop.run_in_executor(
+                    None, self._schedule_batch, requests)
+            except Exception as error:  # noqa: BLE001 - forwarded to callers
+                # Batch-level failure (e.g. the executor itself); per-item
+                # failures are returned in-band by return_exceptions below.
+                self.stats.errors += len(batch)
+                for pending in batch:
+                    self._inflight.pop(pending.key, None)
+                    if not pending.future.done():
+                        pending.future.set_exception(error)
+                continue
+            for pending, response in zip(batch, responses):
+                self._inflight.pop(pending.key, None)
+                if isinstance(response, Exception):
+                    # One invalid request must not fail its batchmates.
+                    self.stats.errors += 1
+                    if not pending.future.done():
+                        pending.future.set_exception(response)
+                else:
+                    self.stats.scheduled += 1
+                    if not pending.future.done():
+                        pending.future.set_result(response)
+
+    def _schedule_batch(self, requests: List[ScheduleRequest]
+                        ) -> List[ScheduleResponse]:
+        return self.session.schedule_batch(
+            requests, max_workers=self.config.max_workers,
+            return_exceptions=True)
+
+
+class ServiceRunner:
+    """A :class:`SchedulingService` on an event loop in a background thread.
+
+    Synchronous consumers (the HTTP endpoint, scripts, tests) call
+    :meth:`schedule`, which blocks the calling thread while the service
+    batches and coalesces on its own loop.
+    """
+
+    def __init__(self, session: Session, config: Optional[ServiceConfig] = None):
+        self.session = session
+        self.service = SchedulingService(session, config)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+
+    def __enter__(self) -> "ServiceRunner":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    @property
+    def stats(self) -> ServiceStats:
+        return self.service.stats
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._loop = asyncio.new_event_loop()
+
+        def run() -> None:
+            asyncio.set_event_loop(self._loop)
+            self._loop.call_soon(self._started.set)
+            self._loop.run_forever()
+
+        self._thread = threading.Thread(target=run, name="repro-serving",
+                                        daemon=True)
+        self._thread.start()
+        self._started.wait()
+        asyncio.run_coroutine_threadsafe(self.service.start(), self._loop).result()
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        asyncio.run_coroutine_threadsafe(self.service.stop(), self._loop).result()
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join()
+        self._loop.close()
+        self._thread = None
+        self._loop = None
+
+    def schedule(self, request: ScheduleRequest,
+                 timeout: Optional[float] = None) -> ScheduleResponse:
+        """Blocking submit of one request through the async service."""
+        if self._loop is None:
+            raise RuntimeError("runner is not started")
+        future = asyncio.run_coroutine_threadsafe(
+            self.service.schedule(request), self._loop)
+        return future.result(timeout)
+
+    def schedule_many(self, requests: List[ScheduleRequest],
+                      timeout: Optional[float] = None) -> List[ScheduleResponse]:
+        """Submit many requests concurrently; returns responses in order."""
+        if self._loop is None:
+            raise RuntimeError("runner is not started")
+
+        async def gather() -> Tuple[ScheduleResponse, ...]:
+            return await asyncio.gather(
+                *(self.service.schedule(request) for request in requests))
+
+        future = asyncio.run_coroutine_threadsafe(gather(), self._loop)
+        return list(future.result(timeout))

@@ -64,3 +64,19 @@ def build_stencil(name="stencil1d"):
         with b.loop("i", 1, b.sym("N") - 1):
             b.assign(("A", "i"), b.read("B", "i"))
     return b.finish()
+
+
+# -- shared fast-session preset ------------------------------------------------
+
+#: GEMM parameter bindings many API/serving tests schedule with.
+GEMM_PARAMS = {"NI": 64, "NJ": 48, "NK": 32}
+
+
+def fast_session(**kwargs):
+    """A Session with a minimal evolutionary search (fast enough for tests)."""
+    from repro.api import SearchConfig, Session
+
+    kwargs.setdefault("search", SearchConfig(population_size=4, epochs=1,
+                                             generations_per_epoch=1))
+    kwargs.setdefault("threads", 4)
+    return Session(**kwargs)

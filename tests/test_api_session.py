@@ -2,14 +2,11 @@
 
 import numpy as np
 import pytest
-from helpers import build_gemm, build_vector_add
+from helpers import GEMM_PARAMS as PARAMS
+from helpers import build_gemm, build_vector_add, fast_session
 
 from repro.api import (NormalizationOptions, RegistryError, ScheduleRequest,
-                       ScheduleResponse, SearchConfig, Session)
-
-PARAMS = {"NI": 64, "NJ": 48, "NK": 32}
-
-FAST_SEARCH = SearchConfig(population_size=4, epochs=1, generations_per_epoch=1)
+                       ScheduleResponse)
 
 VEC_SOURCE = """
 double x[N];
@@ -17,12 +14,6 @@ double y[N];
 double z[N];
 for (i = 0; i < N; i++) { z[i] = x[i] + y[i]; }
 """
-
-
-def fast_session(**kwargs):
-    kwargs.setdefault("search", FAST_SEARCH)
-    kwargs.setdefault("threads", 4)
-    return Session(**kwargs)
 
 
 class TestLoad:
@@ -89,6 +80,23 @@ class TestScheduleAndCache:
         repeat = session.schedule(build_gemm(), PARAMS)
         assert repeat.from_cache and repeat.normalization_cache_hit
         assert session.report().normalization_hits == 1
+
+    def test_normalization_cache_hit_keeps_callers_program_name(self):
+        session = fast_session()
+        session.normalize(build_gemm(name="first"))
+        served = session.normalize(build_gemm(name="second"))
+        assert served.cache_hit
+        assert served.program.name == "second"
+        # The same holds for the program a fresh schedule normalizes through.
+        response = session.schedule(build_gemm(name="third"), PARAMS)
+        assert response.program.name == "third"
+
+    def test_tuning_schedulers_share_the_session_database(self):
+        """Registry metadata (tunes=True), not a hard-coded name, wires the
+        session database in: evolutionary tunes land there too."""
+        session = fast_session()
+        session.tune("gemm:a", label="gemm", scheduler="evolutionary")
+        assert session.report().database_entries > 0
 
     def test_registry_variants_share_schedule_cache(self):
         session = fast_session()
@@ -162,6 +170,10 @@ class TestRoundTrips:
         restored = ScheduleRequest.from_dict(request.to_dict())
         assert restored.program == "gemm:b"
 
+    def test_explicit_empty_parameters_survive_round_trip(self):
+        data = ScheduleRequest(program="gemm:a", parameters={}).to_dict()
+        assert data["parameters"] == {}  # not collapsed to null
+
     def test_response_round_trip(self):
         import json
 
@@ -228,6 +240,91 @@ class TestBatch:
         session = fast_session()
         with pytest.raises(ValueError, match="tune requests"):
             session.schedule_batch([ScheduleRequest(program="gemm:a", tune=True)])
+
+    def test_batch_return_exceptions_isolates_failures(self):
+        session = fast_session()
+        responses = session.schedule_batch(
+            [ScheduleRequest(program="gemm:a"),
+             ScheduleRequest(program="not-a-workload"),
+             ScheduleRequest(program="atax:a")],
+            max_workers=3, return_exceptions=True)
+        assert responses[0].runtime_s > 0
+        assert isinstance(responses[1], Exception)
+        assert responses[2].runtime_s > 0
+
+    def test_batch_return_exceptions_rejects_tune_in_band(self):
+        session = fast_session()
+        responses = session.schedule_batch(
+            [ScheduleRequest(program="gemm:a"),
+             ScheduleRequest(program="gemm:a", tune=True)],
+            max_workers=2, return_exceptions=True)
+        assert responses[0].runtime_s > 0
+        assert isinstance(responses[1], ValueError)
+        assert session.report().tune_calls == 0  # the tune never ran
+
+    def test_batch_without_return_exceptions_raises(self):
+        session = fast_session()
+        with pytest.raises(Exception):
+            session.schedule_batch([ScheduleRequest(program="not-a-workload"),
+                                    ScheduleRequest(program="gemm:a")],
+                                   max_workers=2)
+
+
+class TestConcurrentCacheLoad:
+    """LRU eviction and hit/miss accounting under schedule_batch concurrency
+    (previously only exercised single-threaded)."""
+
+    ORDERS = [("i", "j", "k"), ("i", "k", "j"), ("k", "i", "j"),
+              ("k", "j", "i"), ("j", "i", "k"), ("j", "k", "i")]
+
+    def test_counters_do_not_lose_updates_under_concurrency(self):
+        session = fast_session()
+        items = [(build_gemm(order), PARAMS)
+                 for order in self.ORDERS for _ in range(4)]
+        responses = session.schedule_batch(items, max_workers=8)
+        assert len(responses) == 24
+        report = session.report()
+        # Every request touches the normalization level exactly once, and
+        # the schedule level exactly once: no update may be lost.
+        assert report.normalization_hits + report.normalization_misses == 24
+        assert report.schedule_cache_hits + report.schedule_cache_misses == 24
+        assert report.schedule_calls == 24
+        # All six orders share one canonical form: at most a few racing
+        # misses, everything else served from the schedule cache.
+        assert report.normalization_misses >= 6
+        assert report.schedule_cache_hits >= 24 - 2 * len(self.ORDERS)
+        assert len({response.runtime_s for response in responses}) == 1
+
+    def test_lru_eviction_under_concurrent_batches(self):
+        from repro.api import MemoryCacheBackend, NormalizationCache
+
+        cache = NormalizationCache(backend=MemoryCacheBackend(max_entries=2))
+        session = fast_session(cache=cache)
+        items = [(build_gemm(order), PARAMS) for order in self.ORDERS] * 2
+        session.schedule_batch(items, max_workers=6)
+        report = session.report()
+        # Six distinct normalization entries through a two-entry store must
+        # evict, and the store must stay within its bound throughout.
+        assert report.cache_evictions > 0
+        sizes = cache.backend.sizes()
+        assert all(size <= 2 for size in sizes.values()), sizes
+        assert report.normalization_hits + report.normalization_misses == 12
+
+    def test_eviction_then_recompute_is_consistent(self):
+        from repro.api import MemoryCacheBackend, NormalizationCache
+
+        cache = NormalizationCache(backend=MemoryCacheBackend(max_entries=1))
+        session = fast_session(cache=cache)
+        first = session.schedule_batch(
+            [(build_gemm(order), PARAMS) for order in self.ORDERS],
+            max_workers=4)
+        second = session.schedule_batch(
+            [(build_gemm(order), PARAMS) for order in self.ORDERS],
+            max_workers=4)
+        # Evicted entries are recomputed to identical results.
+        assert [r.runtime_s for r in first] == [r.runtime_s for r in second]
+        assert [r.canonical_hash for r in first] \
+            == [r.canonical_hash for r in second]
 
 
 class TestExecutionAndMeasurement:

@@ -1,0 +1,142 @@
+"""End-to-end tests of the JSON-over-HTTP serving endpoint."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+from helpers import GEMM_PARAMS as PARAMS
+from helpers import build_gemm, fast_session
+
+from repro.api import ScheduleRequest, ScheduleResponse
+from repro.serving import ServiceConfig, ServingClient, ServingError, ServingServer
+
+
+@pytest.fixture
+def served():
+    """A server on an ephemeral port plus its client."""
+    session = fast_session()
+    with ServingServer(session, config=ServiceConfig(batch_window_s=0.02)) as server:
+        yield session, server, ServingClient(server.address)
+
+
+class TestEndpoints:
+    def test_healthz(self, served):
+        _, _, client = served
+        payload = client.health()
+        assert payload["status"] == "ok"
+
+    def test_schedule_round_trip(self, served):
+        _, _, client = served
+        status, payload = client.request(
+            "POST", "/v1/schedule", ScheduleRequest(program="gemm:a").to_dict())
+        assert status == 200
+        response = ScheduleResponse.from_dict(payload)
+        assert response.scheduler == "daisy"
+        assert response.runtime_s > 0
+        assert response.program.body
+
+    def test_schedule_with_inline_program(self, served):
+        _, _, client = served
+        response = client.schedule(build_gemm(), PARAMS)
+        assert response.runtime_s > 0
+        assert {info.status for info in response.result.nests} <= \
+            {"optimized", "unchanged"}
+
+    def test_equivalent_variant_is_served_from_cache(self, served):
+        _, _, client = served
+        first = client.schedule("gemm:a")
+        second = client.schedule("gemm:b")
+        assert not first.from_cache and second.from_cache
+        assert second.runtime_s == first.runtime_s
+
+    def test_report_reflects_traffic(self, served):
+        session, _, client = served
+        client.schedule("gemm:a")
+        client.schedule("gemm:a")
+        payload = client.report()
+        assert payload["schedule_calls"] == 2
+        assert payload["schedule_cache_hits"] == 1
+        assert payload["service"]["requests"] == 2
+        assert payload["cache_backend"] == "memory"
+        assert session.report().schedule_calls == 2
+
+    def test_duplicate_concurrent_http_requests_coalesce(self, served):
+        session, _, client = served
+        with ThreadPoolExecutor(max_workers=6) as pool:
+            responses = list(pool.map(
+                lambda _: client.schedule("atax:a"), range(6)))
+        assert len({response.runtime_s for response in responses}) == 1
+        report = session.report()
+        # One scheduler invocation total; everything else coalesced or hit
+        # the cache, depending on arrival timing.
+        assert report.schedule_cache_misses == 1
+        assert report.coalesced_requests + report.schedule_cache_hits == 5
+
+
+class TestErrorHandling:
+    def test_unknown_path_is_404(self, served):
+        _, _, client = served
+        status, payload = client.request("GET", "/nope")
+        assert status == 404 and "error" in payload
+        status, _ = client.request("POST", "/nope", {})
+        assert status == 404
+
+    def test_invalid_json_is_400(self, served):
+        import urllib.request
+
+        _, server, _ = served
+        request = urllib.request.Request(
+            server.address + "/v1/schedule", data=b"{not json",
+            method="POST", headers={"Content-Type": "application/json"})
+        try:
+            urllib.request.urlopen(request, timeout=10)
+            status = 200
+        except urllib.error.HTTPError as error:
+            status = error.code
+        assert status == 400
+
+    def test_missing_program_is_400(self, served):
+        _, _, client = served
+        status, payload = client.request("POST", "/v1/schedule", {"threads": 2})
+        assert status == 400 and "invalid schedule request" in payload["error"]
+
+    def test_unknown_workload_is_400(self, served):
+        _, _, client = served
+        with pytest.raises(ServingError) as excinfo:
+            client.schedule("definitely-not-a-workload")
+        assert excinfo.value.status == 400
+
+    def test_tune_request_is_400(self, served):
+        _, _, client = served
+        status, payload = client.request(
+            "POST", "/v1/schedule",
+            ScheduleRequest(program="gemm:a", tune=True).to_dict())
+        assert status == 400 and "tune" in payload["error"]
+
+    def test_body_must_be_an_object(self, served):
+        _, _, client = served
+        status, _ = client.request("POST", "/v1/schedule", None)
+        assert status == 400
+
+
+class TestPersistentServing:
+    def test_server_restart_serves_from_disk_cache(self, tmp_path):
+        """Boot a SQLite-backed server, take it down, boot a fresh one on the
+        same cache file: the identical request is served without scheduling."""
+        path = str(tmp_path / "cache.sqlite")
+
+        session = fast_session(cache_path=path)
+        with ServingServer(session) as server:
+            cold = ServingClient(server.address).schedule("gemm:a")
+            assert not cold.from_cache
+        session.cache.close()
+
+        session = fast_session(cache_path=path)
+        with ServingServer(session) as server:
+            warm = ServingClient(server.address).schedule("gemm:a")
+            assert warm.from_cache
+            assert warm.normalization_cache_hit
+            assert warm.runtime_s == cold.runtime_s
+            report = session.report()
+            assert report.cache_backend == "sqlite"
+            assert report.cache_disk_hits >= 2
+        session.cache.close()

@@ -1,0 +1,240 @@
+"""Tests for the sharded tuning database and database-entry round-trips."""
+
+import json
+import threading
+
+import pytest
+
+from repro.api import (SearchConfig, Session, ShardedTuningDatabase,
+                       TuningDatabase, embedding_shard)
+from repro.scheduler.database import DatabaseEntry
+from repro.scheduler.embedding import EMBEDDING_SIZE, PerformanceEmbedding
+from repro.transforms.recipe import Recipe
+
+FAST_SEARCH = SearchConfig(population_size=4, epochs=1, generations_per_epoch=1)
+
+
+def embedding(seed: float, label: str = "") -> PerformanceEmbedding:
+    vector = tuple(float(seed + i * 0.25) for i in range(EMBEDDING_SIZE))
+    return PerformanceEmbedding(label=label, vector=vector)
+
+
+def seeded_database(count: int = 12) -> TuningDatabase:
+    database = TuningDatabase()
+    for i in range(count):
+        database.add(embedding(float(i), label=f"nest{i}"),
+                     Recipe(f"recipe{i}"), runtime=0.1 * i)
+    return database
+
+
+class TestDatabaseEntryRoundTrip:
+    def test_runtime_is_coerced_to_float(self):
+        """JSON-string runtimes must not silently survive round-trips."""
+        entry = DatabaseEntry.from_dict({
+            "embedding": ["1.0"] * EMBEDDING_SIZE,
+            "recipe": Recipe("r").to_dict(),
+            "label": "x",
+            "runtime": "0.25",
+        })
+        assert entry.runtime == 0.25
+        assert isinstance(entry.runtime, float)
+
+    def test_runtime_none_stays_none(self):
+        entry = DatabaseEntry.from_dict({
+            "embedding": [1.0] * EMBEDDING_SIZE,
+            "recipe": Recipe("r").to_dict(),
+        })
+        assert entry.runtime is None
+
+
+class TestDatabaseVersion:
+    def test_version_changes_on_add(self):
+        database = TuningDatabase()
+        before = database.version
+        database.add(embedding(1.0, "x"), Recipe("r"))
+        assert database.version != before
+
+    def test_equal_size_different_content_different_version(self):
+        """The schedule-cache guarantee: two databases of equal size but
+        different content must not share a version (their cached schedules
+        would otherwise collide in a persistent cache)."""
+        first = TuningDatabase()
+        first.add(embedding(1.0, "x"), Recipe("r1"))
+        second = TuningDatabase()
+        second.add(embedding(2.0, "y"), Recipe("r2"))
+        assert len(first) == len(second)
+        assert first.version != second.version
+
+    def test_version_is_reproducible_across_load(self):
+        database = seeded_database(5)
+        restored = TuningDatabase.from_json(database.to_json())
+        assert restored.version == database.version
+
+    def test_sharded_version_tracks_content(self):
+        flat = seeded_database(6)
+        sharded = ShardedTuningDatabase.from_database(flat, 3)
+        before = sharded.version
+        sharded.add(embedding(99.0, "new"), Recipe("r"))
+        assert sharded.version != before
+        # Same content, same shard layout → same version after a round-trip.
+        restored = ShardedTuningDatabase.from_json(
+            ShardedTuningDatabase.from_database(flat, 3).to_json())
+        assert restored.version == before
+
+
+class TestSharding:
+    def test_shard_assignment_is_deterministic_and_json_stable(self):
+        vector = [0.1 + i for i in range(EMBEDDING_SIZE)]
+        index = embedding_shard(vector, 4)
+        assert embedding_shard(vector, 4) == index
+        # Values round-tripped through JSON land in the same shard.
+        assert embedding_shard(json.loads(json.dumps(vector)), 4) == index
+
+    def test_entries_partition_across_shards(self):
+        sharded = ShardedTuningDatabase.from_database(seeded_database(32), 4)
+        sizes = sharded.shard_sizes()
+        assert sum(sizes) == 32 and len(sizes) == 4
+        assert sum(1 for size in sizes if size > 0) > 1  # actually spread out
+
+    def test_add_routes_by_embedding_hash(self):
+        sharded = ShardedTuningDatabase(num_shards=4)
+        emb = embedding(3.0, "x")
+        sharded.add(emb, Recipe("r"))
+        expected = embedding_shard(emb.vector, 4)
+        assert sharded.shard_sizes()[expected] == 1
+
+    def test_invalid_shard_count_raises(self):
+        with pytest.raises(ValueError):
+            ShardedTuningDatabase(num_shards=0)
+
+
+class TestScatterGather:
+    def test_query_matches_unsharded_database(self):
+        """The acceptance criterion: scatter-gather nearest-neighbor results
+        equal the unsharded database's on the same entries."""
+        flat = seeded_database(16)
+        sharded = ShardedTuningDatabase.from_database(flat, 4)
+        for k in (1, 3, 8):
+            for seed in (0.0, 2.6, 7.1, 15.0):
+                probe = embedding(seed)
+                flat_result = flat.query(probe, k=k)
+                shard_result = sharded.query(probe, k=k)
+                assert [entry.label for _, entry in flat_result] \
+                    == [entry.label for _, entry in shard_result]
+                assert [pytest.approx(d) for d, _ in flat_result] \
+                    == [d for d, _ in shard_result]
+
+    def test_query_matches_on_seeded_benchmarks(self):
+        """Same check on real embeddings: seed from the registry benchmarks
+        and compare nearest neighbors when scheduling the B variants."""
+        flat = Session(threads=4, search=FAST_SEARCH)
+        flat.seed(["gemm", "atax", "bicg"])
+        sharded_db = ShardedTuningDatabase.from_database(flat.database, 4)
+        assert len(sharded_db) == len(flat.database)
+        for entry in flat.database.entries:
+            probe = PerformanceEmbedding(label="probe", vector=entry.embedding)
+            flat_best = flat.database.best_match(probe)
+            shard_best = sharded_db.best_match(probe)
+            assert flat_best is not None
+            assert shard_best.label == flat_best.label
+            assert shard_best.recipe.name == flat_best.recipe.name
+
+    def test_best_match_respects_max_distance(self):
+        sharded = ShardedTuningDatabase.from_database(seeded_database(4), 2)
+        assert sharded.best_match(embedding(0.0), max_distance=1e-6) is not None
+        assert sharded.best_match(embedding(1000.0), max_distance=1.0) is None
+
+    def test_empty_database(self):
+        sharded = ShardedTuningDatabase(num_shards=3)
+        assert len(sharded) == 0
+        assert sharded.query(embedding(1.0), k=2) == []
+        assert sharded.best_match(embedding(1.0)) is None
+
+
+class TestSessionIntegration:
+    def test_session_transfer_tunes_through_sharded_database(self):
+        session = Session(threads=4, search=FAST_SEARCH,
+                          database=ShardedTuningDatabase(num_shards=4))
+        session.tune("gemm:a", label="gemm")
+        assert len(session.database) > 0
+        response = session.schedule("gemm:b")
+        assert {info.status for info in response.result.nests} == {"optimized"}
+        report = session.report()
+        assert report.database_shards and sum(report.database_shards) \
+            == report.database_entries
+
+    def test_unsharded_session_reports_no_shards(self):
+        session = Session(threads=4, search=FAST_SEARCH)
+        assert session.report().database_shards == []
+
+    def test_concurrent_adds_land_once_each(self):
+        sharded = ShardedTuningDatabase(num_shards=4)
+
+        def worker(base):
+            for i in range(base, base + 16):
+                sharded.add(embedding(float(i), f"n{i}"), Recipe(f"r{i}"))
+
+        threads = [threading.Thread(target=worker, args=(n * 16,))
+                   for n in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(sharded) == 64
+        assert len({entry.label for entry in sharded.entries}) == 64
+
+
+class TestPersistence:
+    def test_json_roundtrip_preserves_shards_and_entries(self):
+        sharded = ShardedTuningDatabase.from_database(seeded_database(10), 4)
+        restored = ShardedTuningDatabase.from_json(sharded.to_json())
+        assert restored.num_shards == 4
+        assert restored.shard_sizes() == sharded.shard_sizes()
+        assert [e.label for e in restored.entries] \
+            == [e.label for e in sharded.entries]
+
+    def test_from_json_accepts_unsharded_dump(self):
+        flat = seeded_database(6)
+        restored = ShardedTuningDatabase.from_json(flat.to_json())
+        assert len(restored) == 6
+
+    def test_sqlite_roundtrip(self, tmp_path):
+        path = str(tmp_path / "db.sqlite")
+        sharded = ShardedTuningDatabase.from_database(seeded_database(10), 5)
+        sharded.save_sqlite(path)
+        restored = ShardedTuningDatabase.load_sqlite(path)
+        assert restored.num_shards == 5
+        assert restored.shard_sizes() == sharded.shard_sizes()
+        probe = embedding(4.2)
+        assert restored.best_match(probe).label == sharded.best_match(probe).label
+        # Runtimes come back as floats even though SQLite stores REALs.
+        assert all(isinstance(e.runtime, float) for e in restored.entries
+                   if e.runtime is not None)
+
+    def test_sqlite_preserves_a_custom_shard_layout(self, tmp_path):
+        """Like the JSON path, loading with the saved shard count must keep
+        the stored layout verbatim, even if it differs from what rehashing
+        would produce."""
+        entries = [e.to_dict() for e in seeded_database(4).entries]
+        # A deliberately lopsided, hand-given layout.
+        custom = ShardedTuningDatabase.from_json(json.dumps(
+            {"num_shards": 3, "shards": [entries[:3], [], entries[3:]]}))
+        assert custom.shard_sizes() == [3, 0, 1]
+        path = str(tmp_path / "db.sqlite")
+        custom.save_sqlite(path)
+        restored = ShardedTuningDatabase.load_sqlite(path)
+        assert restored.shard_sizes() == [3, 0, 1]
+
+    def test_sqlite_rebalance_on_load(self, tmp_path):
+        path = str(tmp_path / "db.sqlite")
+        ShardedTuningDatabase.from_database(seeded_database(12), 3).save_sqlite(path)
+        rebalanced = ShardedTuningDatabase.load_sqlite(path, num_shards=6)
+        assert rebalanced.num_shards == 6
+        assert len(rebalanced) == 12
+
+    def test_file_roundtrip(self, tmp_path):
+        path = str(tmp_path / "db.json")
+        sharded = ShardedTuningDatabase.from_database(seeded_database(8), 2)
+        sharded.save(path)
+        assert ShardedTuningDatabase.load(path).shard_sizes() \
+            == sharded.shard_sizes()
