@@ -1,0 +1,99 @@
+"""Pass-pipeline benchmark: cold vs. warm-analysis normalization.
+
+The pass framework's :class:`~repro.passes.AnalysisManager` memoizes per-nest
+analyses (dependence edges for fission, minimal-permutation searches for
+stride minimization) keyed by nest content.  This benchmark normalizes a
+stream of equivalent loop nests — every GEMM loop order, repeated — twice:
+
+* **cold**: a fresh ``AnalysisManager`` per program, i.e. every analysis is
+  recomputed (the pre-PR-3 behavior);
+* **warm**: one shared manager, i.e. repeated/equivalent nests are served
+  from the memo the way the normalization cache serves batch traffic.
+
+Warm must beat cold by a clear margin, and the per-pass timing breakdown of
+both runs is attached to the benchmark report.  Set ``REPRO_BENCH_SMOKE=1``
+for the reduced CI configuration.
+"""
+
+import itertools
+import os
+import time
+
+from bench_helpers import attach_rows
+from repro.ir import ProgramBuilder
+from repro.normalization import normalize
+from repro.passes import AnalysisManager
+
+
+def _build_gemm(order):
+    """GEMM (scaling + contraction) with a configurable contraction order."""
+    bounds = {"i": "NI", "j": "NJ", "k": "NK"}
+    b = ProgramBuilder(f"gemm_{''.join(order)}", parameters=["NI", "NJ", "NK"])
+    b.add_array("C", ("NI", "NJ"))
+    b.add_array("A", ("NI", "NK"))
+    b.add_array("B", ("NK", "NJ"))
+    b.add_scalar("alpha")
+    b.add_scalar("beta")
+    with b.loop("i", 0, "NI"):
+        with b.loop("j", 0, "NJ"):
+            b.assign(("C", "i", "j"), b.read("C", "i", "j") * b.read("beta"))
+    with b.loop(order[0], 0, bounds[order[0]]):
+        with b.loop(order[1], 0, bounds[order[1]]):
+            with b.loop(order[2], 0, bounds[order[2]]):
+                b.assign(("C", "i", "j"),
+                         b.read("C", "i", "j") + b.read("alpha")
+                         * b.read("A", "i", "k") * b.read("B", "k", "j"))
+    return b.finish()
+
+
+def _program_stream(repeats):
+    """``repeats`` copies of GEMM in each of its six loop orders."""
+    programs = []
+    for _ in range(repeats):
+        for order in itertools.permutations(("i", "j", "k")):
+            programs.append(_build_gemm(order))
+    return programs
+
+
+def _timed_run(programs, shared_manager):
+    manager = AnalysisManager()
+    timings = {}
+    started = time.perf_counter()
+    for program in programs:
+        _, report = normalize(
+            program,
+            analysis=manager if shared_manager else AnalysisManager())
+        for name, wall in report.pass_timings().items():
+            timings[name] = timings.get(name, 0.0) + wall
+    elapsed = time.perf_counter() - started
+    return elapsed, timings, manager.stats()
+
+
+def test_warm_analysis_beats_cold_normalization(benchmark):
+    repeats = 2 if os.environ.get("REPRO_BENCH_SMOKE") else 8
+    programs = _program_stream(repeats)
+
+    cold_s, cold_timings, _ = _timed_run(programs, shared_manager=False)
+
+    def warm():
+        return _timed_run(programs, shared_manager=True)
+
+    warm_s, warm_timings, warm_stats = benchmark.pedantic(
+        warm, rounds=1, iterations=1)
+
+    rows = [{"run": "cold", "wall_time_s": cold_s, **cold_timings},
+            {"run": "warm", "wall_time_s": warm_s, **warm_timings}]
+    attach_rows(benchmark, rows)
+    benchmark.extra_info["speedup"] = cold_s / warm_s
+    benchmark.extra_info["analysis"] = warm_stats
+
+    # The shared manager actually served repeat analyses ...
+    assert warm_stats["hits"] > warm_stats["misses"]
+    # ... and memoized normalization is measurably faster than cold runs
+    # (observed ~3-4x; assert a conservative margin to stay robust on noisy
+    # CI machines).
+    assert warm_s < cold_s * 0.75, \
+        f"warm {warm_s:.4f}s not faster than cold {cold_s:.4f}s"
+    # Stride minimization dominates the cold runs and is where the memo wins.
+    assert warm_timings["stride-minimization"] < \
+        cold_timings["stride-minimization"]

@@ -1,34 +1,31 @@
 """Ablation of the two normalization criteria in isolation.
 
 DESIGN.md calls out maximal loop fission and stride minimization as the two
-normalization criteria.  This bench disables each one in turn inside the full
-daisy pipeline and reports the geometric-mean runtime across the B variants
-(the structurally "unfriendly" implementations), showing that both criteria
-contribute and that the combination is the strongest configuration.
+normalization criteria.  This bench drops each one in turn — by selecting
+the corresponding registry-named pipeline, no ad-hoc option flags — inside
+the full daisy pipeline and reports the geometric-mean runtime across the B
+variants (the structurally "unfriendly" implementations), showing that both
+criteria contribute and that the combination is the strongest configuration.
 """
 
 from bench_helpers import attach_rows
-from repro.api import NormalizationOptions
 from repro.experiments.common import (ExperimentSettings, geometric_mean,
                                       make_session)
 
+#: Configuration label -> registry-named normalization pipeline.
 CONFIGURATIONS = {
-    "full": NormalizationOptions(),
-    "no_fission": NormalizationOptions(apply_fission=False,
-                                       apply_scalar_expansion=False),
-    "no_stride_min": NormalizationOptions(apply_stride_minimization=False),
-    "none": NormalizationOptions(apply_fission=False,
-                                 apply_scalar_expansion=False,
-                                 apply_stride_minimization=False,
-                                 canonicalize_iterators=False),
+    "full": "a-priori",
+    "no_fission": "no-fission",
+    "no_stride_min": "no-stride",
+    "none": "identity",
 }
 
 
 def _run(settings: ExperimentSettings):
     specs = settings.selected_benchmarks()
     rows = []
-    for label, options in CONFIGURATIONS.items():
-        session = make_session(settings, seed_specs=specs, normalization=options)
+    for label, pipeline in CONFIGURATIONS.items():
+        session = make_session(settings, seed_specs=specs, pipeline=pipeline)
         for spec in specs:
             parameters = spec.sizes(settings.size)
             runtime = session.estimate(spec.variant("b"), parameters)

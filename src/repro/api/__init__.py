@@ -24,6 +24,9 @@ from ..ir.printer import to_pseudocode
 from ..normalization.pipeline import (NormalizationOptions, NormalizationReport,
                                       normalize_program)
 from ..normalization.scalar_expansion import contract_arrays
+from ..passes import (AnalysisManager, FixedPoint, Pass, PassContext,
+                      PassResult, PassStats, Pipeline, PipelineResult,
+                      get_pipeline, pipeline_names, register_pipeline)
 from ..perf.machine import DEFAULT_MACHINE, CacheLevel, MachineModel
 from ..perf.model import CostModel
 from ..scheduler.base import NestScheduleInfo, ScheduleResult, Scheduler
@@ -65,6 +68,10 @@ __all__ = [
     # configuration surface
     "NormalizationOptions", "NormalizationReport", "SearchConfig", "MctsConfig",
     "MachineModel", "CacheLevel", "DEFAULT_MACHINE", "CostModel",
+    # pass framework
+    "Pass", "PassContext", "PassResult", "PassStats", "Pipeline",
+    "PipelineResult", "FixedPoint", "AnalysisManager",
+    "register_pipeline", "get_pipeline", "pipeline_names",
     # scheduler interface types
     "Scheduler", "ScheduleResult", "NestScheduleInfo", "TuningDatabase",
     "ShardedTuningDatabase", "embedding_shard",

@@ -185,6 +185,7 @@ class SQLiteCacheBackend(CacheBackend):
         self.max_entries = max_entries
         self.hot_entries = hot_entries
         self._lock = threading.RLock()
+        self._closed = False
         directory = os.path.dirname(os.path.abspath(path))
         os.makedirs(directory, exist_ok=True)
         self._conn = sqlite3.connect(path, check_same_thread=False)
@@ -313,6 +314,11 @@ class SQLiteCacheBackend(CacheBackend):
 
     def close(self) -> None:
         with self._lock:
+            # Idempotent: Session.close() documents that a second close is a
+            # no-op, and sqlite3 raises on operating on a closed connection.
+            if self._closed:
+                return
+            self._closed = True
             self._flush_touches()
             self._conn.commit()
             self._conn.close()

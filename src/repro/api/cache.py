@@ -29,6 +29,8 @@ from ..ir.nodes import Program
 from ..ir.serialization import program_from_dict, program_to_dict
 from ..normalization.pipeline import (NormalizationOptions,
                                       NormalizationReport, normalize)
+from ..passes.analysis import AnalysisManager
+from ..passes.base import PassStats
 from ..scheduler.base import ScheduleResult
 from .backends import CacheBackend, MemoryCacheBackend
 from .hashing import fingerprint, program_content_hash
@@ -138,6 +140,11 @@ class NormalizationCache:
         self.backend.bind(SCHEDULE_NAMESPACE, _encode_schedule, _decode_schedule)
         self._stats = CacheStats()
         self._lock = threading.RLock()
+        #: Long-lived memo of per-nest analyses, shared by every pipeline
+        #: run this cache performs (repeat/batch traffic hits it).
+        self.analysis = AnalysisManager()
+        #: Aggregated per-pass timings/change counters of every run.
+        self.pass_stats = PassStats()
 
     @property
     def stats(self) -> CacheStats:
@@ -156,7 +163,15 @@ class NormalizationCache:
         ``hit`` records whether fission/stride minimization were skipped.
         """
         options = options or NormalizationOptions()
-        key = program_content_hash(program, extra={"options": fingerprint(options)})
+        # The *resolved pipeline identity* (name + ordered pass structure) is
+        # part of the key, so results from one pipeline (e.g. "no-fission")
+        # can never be served for another (e.g. the full "a-priori") — in
+        # every backend, since backends store these key strings verbatim.
+        pipeline = options.to_pipeline()
+        key = program_content_hash(program, extra={
+            "pipeline": pipeline.identity(),
+            "parameters": fingerprint(dict(options.parameters or {})),
+        })
         entry = self.backend.get(NORMALIZED_NAMESPACE, key)
         with self._lock:
             if entry is not None:
@@ -166,7 +181,9 @@ class NormalizationCache:
                 return served
             self._stats.normalization_misses += 1
 
-        normalized, report = normalize(program, options)
+        normalized, report = normalize(program, options, self.analysis,
+                                       pipeline=pipeline)
+        self.pass_stats.add(report.passes)
         canonical_hash = program_content_hash(normalized)
         entry = NormalizedEntry(normalized, report, key, canonical_hash)
         self.backend.put(NORMALIZED_NAMESPACE, key, entry)

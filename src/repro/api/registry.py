@@ -155,18 +155,12 @@ def _pre_normalized_options():
 
     Session-managed daisy instances receive programs that already went
     through the content-addressed normalization cache; their internal
-    pipeline must not redo (or undo) that work.
+    pipeline must not redo (or undo) that work — the registered
+    ``"identity"`` pipeline is exactly that no-op.
     """
     from ..normalization.pipeline import NormalizationOptions
 
-    return NormalizationOptions(
-        normalize_bounds=False,
-        apply_scalar_expansion=False,
-        apply_fission=False,
-        apply_stride_minimization=False,
-        canonicalize_iterators=False,
-        validate=False,
-    )
+    return NormalizationOptions.named("identity")
 
 
 @register_scheduler("daisy", normalizes=True, tunes=True)

@@ -33,6 +33,8 @@ import numpy as np
 from ..interp.executor import programs_equivalent, run_program
 from ..ir.nodes import Program
 from ..normalization.pipeline import NormalizationOptions
+from ..passes.registry import (PipelineRegistryError, has_pipeline,
+                               pipeline_names)
 from ..perf.cache import CacheHierarchy, CacheReport
 from ..perf.machine import DEFAULT_MACHINE, MachineModel
 from ..perf.model import CostModel
@@ -62,6 +64,7 @@ class Session:
                  machine: Optional[MachineModel] = None,
                  threads: int = 1,
                  normalization: Optional[NormalizationOptions] = None,
+                 pipeline: Optional[str] = None,
                  scheduler: str = "daisy",
                  search: Optional[SearchConfig] = None,
                  mcts: Optional[MctsConfig] = None,
@@ -76,6 +79,19 @@ class Session:
                 f"unknown scheduler {scheduler!r}; registered: {SCHEDULERS.names()}")
         self.machine = machine or DEFAULT_MACHINE
         self.threads = threads
+        # ``pipeline`` is the registry-named shorthand for ``normalization``
+        # (e.g. "a-priori", "no-fission"); pass one or the other, not both.
+        # Validated eagerly, like the scheduler name above: a typo must fail
+        # at construction, not on the first request of a booted server.
+        if pipeline is not None and normalization is not None:
+            raise ValueError("pass either normalization= options or a "
+                             "pipeline= name, not both")
+        if pipeline is not None:
+            if not has_pipeline(pipeline):
+                raise PipelineRegistryError(
+                    f"unknown pipeline {pipeline!r}; "
+                    f"registered: {pipeline_names()}")
+            normalization = NormalizationOptions.named(pipeline)
         self.normalization = normalization or NormalizationOptions()
         self.default_scheduler = scheduler
         self.search = search
@@ -190,8 +206,17 @@ class Session:
     # -- normalization ----------------------------------------------------------------
 
     def normalize(self, source: ProgramLike,
-                  options: Optional[NormalizationOptions] = None) -> NormalizeResponse:
-        """Run a-priori normalization through the content-addressed cache."""
+                  options: Optional[NormalizationOptions] = None, *,
+                  pipeline: Optional[str] = None) -> NormalizeResponse:
+        """Run a-priori normalization through the content-addressed cache.
+
+        ``pipeline`` selects a registered pipeline by name for this call;
+        without it, ``options`` (or the session default) applies.
+        """
+        if pipeline is not None:
+            if options is not None:
+                raise ValueError("pass either options= or pipeline=, not both")
+            options = NormalizationOptions.named(pipeline)
         program = self.load(source)
         entry = self.cache.normalized(program, options or self.normalization)
         # Cache keys are name-insensitive: a hit may carry the program name
@@ -211,13 +236,15 @@ class Session:
                  threads: Optional[int] = None,
                  label: Optional[str] = None,
                  normalize: Optional[bool] = None,
-                 tune: bool = False) -> ScheduleResponse:
+                 tune: bool = False,
+                 pipeline: Optional[str] = None) -> ScheduleResponse:
         """Schedule one program; cached at both the normalization and the
         schedule level.  Returns a :class:`ScheduleResponse`."""
         if not isinstance(request, ScheduleRequest):
             request = ScheduleRequest(program=request, parameters=parameters,
                                       scheduler=scheduler, threads=threads,
-                                      label=label, normalize=normalize, tune=tune)
+                                      label=label, normalize=normalize, tune=tune,
+                                      pipeline=pipeline)
         return self._schedule(request)
 
     def tune(self, source: Union[ScheduleRequest, ProgramLike],
@@ -263,6 +290,14 @@ class Session:
         threads = instance.threads
         normalizes = (scheduler_normalizes(name) if request.normalize is None
                       else request.normalize)
+        if request.pipeline is not None and not normalizes:
+            # Mirror the eager Session(pipeline=, normalization=) conflict
+            # check: a pipeline on a request that skips normalization would
+            # be silently inert (and spoil coalescing fingerprints).
+            raise ValueError(
+                f"request selects pipeline {request.pipeline!r} but "
+                f"normalization is disabled for it "
+                f"(scheduler {name!r}, normalize={request.normalize})")
 
         if request.tune:
             if not scheduler_tunes(name):
@@ -270,7 +305,8 @@ class Session:
                     f"scheduler {name!r} does not support tuning (no database)")
             with self._lock:
                 self._tune_calls += 1
-            normalization = self.normalize(program) if normalizes else None
+            normalization = (self.normalize(program, pipeline=request.pipeline)
+                             if normalizes else None)
             target = normalization.program if normalization else program.copy()
             result = instance.tune(target, parameters,
                                    label=request.label or program.name)
@@ -286,7 +322,7 @@ class Session:
             self._schedule_calls += 1
 
         if normalizes:
-            normalization = self.normalize(program)
+            normalization = self.normalize(program, pipeline=request.pipeline)
             target = normalization.program
             content_key = normalization.canonical_hash
             input_hash = normalization.input_hash
@@ -474,10 +510,12 @@ class Session:
             self._coalesced_requests += count
 
     def report(self) -> SessionReport:
-        """Counters: calls, cache hits/misses, backend traffic, database size."""
+        """Counters: calls, cache hits/misses, backend traffic, database size,
+        per-pass normalization timings, and memoized-analysis traffic."""
         stats = self.cache.stats
         backend = self.cache.backend
         shard_sizes = getattr(self.database, "shard_sizes", None)
+        analysis = self.cache.analysis
         with self._lock:
             return SessionReport(
                 schedule_calls=self._schedule_calls,
@@ -497,4 +535,7 @@ class Session:
                 cache_writes=backend.stats.writes,
                 coalesced_requests=self._coalesced_requests,
                 database_shards=list(shard_sizes()) if callable(shard_sizes) else [],
+                normalization_passes=self.cache.pass_stats.to_dict(),
+                analysis_hits=analysis.hits,
+                analysis_misses=analysis.misses,
             )

@@ -28,7 +28,9 @@ class ScheduleRequest:
     ``program`` may be anything :meth:`repro.api.Session.load` accepts.
     ``scheduler`` / ``threads`` / ``normalize`` default to the session's
     configuration (``normalize=None`` means "whatever the scheduler's
-    registry metadata says").
+    registry metadata says").  ``pipeline`` selects a registered
+    normalization pipeline by name for this request (``"a-priori"``,
+    ``"no-fission"``, ...; ``None`` uses the session's configuration).
     """
 
     program: ProgramLike
@@ -38,6 +40,7 @@ class ScheduleRequest:
     label: Optional[str] = None
     normalize: Optional[bool] = None
     tune: bool = False
+    pipeline: Optional[str] = None
 
     def to_dict(self) -> Dict[str, Any]:
         program = self.program
@@ -51,6 +54,7 @@ class ScheduleRequest:
             "label": self.label,
             "normalize": self.normalize,
             "tune": self.tune,
+            "pipeline": self.pipeline,
         }
 
     @staticmethod
@@ -66,6 +70,7 @@ class ScheduleRequest:
             label=data.get("label"),
             normalize=data.get("normalize"),
             tune=bool(data.get("tune", False)),
+            pipeline=data.get("pipeline"),
         )
 
 
@@ -167,6 +172,13 @@ class SessionReport:
     layer merged into an identical in-flight request instead of scheduling
     them again, and ``database_shards`` lists per-shard entry counts when
     the tuning database is sharded (empty for the unsharded database).
+
+    ``normalization_passes`` aggregates the instrumented pass results of
+    every pipeline run the session's cache performed: per pass name, the
+    number of runs, how many changed the program, total wall time, and the
+    summed IR-size delta.  ``analysis_hits`` / ``analysis_misses`` count the
+    memoized per-nest analyses served and computed by the cache's
+    :class:`~repro.passes.analysis.AnalysisManager`.
     """
 
     schedule_calls: int = 0
@@ -186,6 +198,9 @@ class SessionReport:
     cache_writes: int = 0
     coalesced_requests: int = 0
     database_shards: List[int] = field(default_factory=list)
+    normalization_passes: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    analysis_hits: int = 0
+    analysis_misses: int = 0
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -206,6 +221,10 @@ class SessionReport:
             "cache_writes": self.cache_writes,
             "coalesced_requests": self.coalesced_requests,
             "database_shards": list(self.database_shards),
+            "normalization_passes": {name: dict(entry) for name, entry
+                                     in self.normalization_passes.items()},
+            "analysis_hits": self.analysis_hits,
+            "analysis_misses": self.analysis_misses,
         }
 
     @staticmethod

@@ -58,18 +58,24 @@ class ExperimentSettings:
         wanted = set(self.benchmarks)
         return [spec for spec in specs if spec.name in wanted]
 
-    def session(self, normalization: Optional[NormalizationOptions] = None) -> Session:
-        """A fresh Session configured like this experiment run."""
+    def session(self, normalization: Optional[NormalizationOptions] = None,
+                pipeline: Optional[str] = None) -> Session:
+        """A fresh Session configured like this experiment run.
+
+        ``pipeline`` selects a registry-named normalization pipeline
+        ("a-priori", "no-fission", ...), the preferred way for ablations.
+        """
         return Session(machine=self.machine, threads=self.threads,
-                       normalization=normalization, search=self.search,
-                       mcts=self.mcts, size=self.size)
+                       normalization=normalization, pipeline=pipeline,
+                       search=self.search, mcts=self.mcts, size=self.size)
 
 
 def make_session(settings: ExperimentSettings,
                  seed_specs: Optional[Sequence[BenchmarkSpec]] = None,
-                 normalization: Optional[NormalizationOptions] = None) -> Session:
+                 normalization: Optional[NormalizationOptions] = None,
+                 pipeline: Optional[str] = None) -> Session:
     """Create a session, optionally seeding its database from A variants."""
-    session = settings.session(normalization)
+    session = settings.session(normalization, pipeline)
     if seed_specs:
         session.seed([spec.name for spec in seed_specs], variant="a")
     return session

@@ -8,7 +8,8 @@ models.  Runtimes are reported relative to daisy (lower is better).
 
 The framework baselines are ordinary registry schedulers, so one session
 covers daisy, numpy, numba, and dace; the no-normalization ablation is its
-own session (different normalization options, different database).
+own session selecting the registry-named ``"identity"`` pipeline (different
+pipeline, different database).
 """
 
 from __future__ import annotations
@@ -17,7 +18,6 @@ from typing import Dict, List, Optional
 
 from .common import (ExperimentSettings, format_table, geometric_mean,
                      make_session)
-from .figure7 import NO_NORMALIZATION
 
 FRAMEWORKS = ("daisy", "daisy_no_norm", "numpy", "numba", "dace")
 
@@ -28,9 +28,9 @@ def run(settings: Optional[ExperimentSettings] = None) -> List[Dict[str, object]
 
     # The database is seeded from the C A variants (Section 4.3: "we apply
     # the same database-based auto-scheduler from Section 4.1").
-    session = make_session(settings, seed_specs=specs)
+    session = make_session(settings, seed_specs=specs, pipeline="a-priori")
     session_no_norm = make_session(settings, seed_specs=specs,
-                                   normalization=NO_NORMALIZATION)
+                                   pipeline="identity")
 
     rows: List[Dict[str, object]] = []
     for spec in specs:

@@ -10,8 +10,8 @@ plus loop normal form and canonical iterator renaming, combined in
 :func:`normalize` (the pipeline of Figure 5).
 """
 
-from .fission import (FissionReport, fission_loop, is_maximally_fissioned,
-                      maximal_loop_fission)
+from .fission import (FissionReport, fission_loop, fission_sweep,
+                      is_maximally_fissioned, maximal_loop_fission)
 from .loop_normal_form import (CANONICAL_ITERATOR_NAMES,
                                canonicalize_iterator_names,
                                normalize_loop_bounds, normalize_program_bounds)
@@ -25,7 +25,8 @@ from .stride_minimization import (EXHAUSTIVE_DEPTH_LIMIT,
                                   minimize_strides)
 
 __all__ = [
-    "FissionReport", "fission_loop", "is_maximally_fissioned", "maximal_loop_fission",
+    "FissionReport", "fission_loop", "fission_sweep", "is_maximally_fissioned",
+    "maximal_loop_fission",
     "CANONICAL_ITERATOR_NAMES", "canonicalize_iterator_names",
     "normalize_loop_bounds", "normalize_program_bounds",
     "NormalizationOptions", "NormalizationReport", "PassManager",

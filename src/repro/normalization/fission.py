@@ -16,12 +16,15 @@ next preserves all dependences.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 import networkx as nx
 
 from ..ir.nodes import Computation, LibraryCall, Loop, Node, Program
 from ..analysis.dependence import body_dependence_pairs
+
+if TYPE_CHECKING:  # deferred to avoid a cycle with repro.passes.library
+    from ..passes.analysis import AnalysisManager
 
 #: Safety bound for the fixed-point iteration; fission strictly reduces the
 #: number of children per loop so this is never reached in practice.
@@ -42,25 +45,43 @@ class FissionReport:
         self.nests_created += other.nests_created
 
 
-def _dependence_graph(loop: Loop) -> nx.DiGraph:
+def _dependence_edges(loop: Loop,
+                      analysis: "Optional[AnalysisManager]" = None
+                      ) -> Tuple[Tuple[int, int], ...]:
+    """Child-index dependence edges of ``loop``'s body (memoizable).
+
+    Only the index pairs matter for fission legality, and they depend solely
+    on the loop's content — so they memoize cleanly by content fingerprint.
+    """
+
+    def compute() -> Tuple[Tuple[int, int], ...]:
+        return tuple((src, dst) for src, dst, _dep in body_dependence_pairs(loop)
+                     if src != dst)
+
+    if analysis is None:
+        return compute()
+    return analysis.cached_node("fission-edges", loop, compute)
+
+
+def _dependence_graph(loop: Loop,
+                      analysis: "Optional[AnalysisManager]" = None) -> nx.DiGraph:
     """Dependence graph over the direct children of ``loop``."""
     graph = nx.DiGraph()
     graph.add_nodes_from(range(len(loop.body)))
-    for src, dst, dep in body_dependence_pairs(loop):
-        if src == dst:
-            continue
-        graph.add_edge(src, dst, dependence=dep)
+    graph.add_edges_from(_dependence_edges(loop, analysis))
     return graph
 
 
-def _partition_children(loop: Loop) -> List[List[int]]:
+def _partition_children(loop: Loop,
+                        analysis: "Optional[AnalysisManager]" = None
+                        ) -> List[List[int]]:
     """Partition child indices into SCC groups in topological order.
 
     Children that end up in the same group must stay in the same loop.  Ties
     in the topological order are broken by original program order so that the
     transformation is deterministic and order-preserving when possible.
     """
-    graph = _dependence_graph(loop)
+    graph = _dependence_graph(loop, analysis)
     condensation = nx.condensation(graph)
     order = list(nx.lexicographical_topological_sort(
         condensation, key=lambda scc: min(condensation.nodes[scc]["members"])))
@@ -71,7 +92,9 @@ def _partition_children(loop: Loop) -> List[List[int]]:
     return groups
 
 
-def fission_loop(loop: Loop) -> Tuple[List[Loop], bool]:
+def fission_loop(loop: Loop,
+                 analysis: "Optional[AnalysisManager]" = None
+                 ) -> Tuple[List[Loop], bool]:
     """Split one loop into one loop per dependence-SCC of its body.
 
     Returns ``(loops, changed)``.  When no split is possible the original
@@ -80,7 +103,7 @@ def fission_loop(loop: Loop) -> Tuple[List[Loop], bool]:
     if len(loop.body) < 2:
         return [loop], False
 
-    groups = _partition_children(loop)
+    groups = _partition_children(loop, analysis)
     if len(groups) <= 1:
         return [loop], False
 
@@ -101,40 +124,54 @@ def fission_loop(loop: Loop) -> Tuple[List[Loop], bool]:
     return new_loops, True
 
 
-def _fission_node(node: Node, report: FissionReport) -> List[Node]:
+def _fission_node(node: Node, report: FissionReport,
+                  analysis: "Optional[AnalysisManager]" = None) -> List[Node]:
     """Recursively fission a subtree, bottom-up."""
     if not isinstance(node, Loop):
         return [node]
 
     new_body: List[Node] = []
     for child in node.body:
-        new_body.extend(_fission_node(child, report))
+        new_body.extend(_fission_node(child, report, analysis))
     node.body = new_body
 
-    loops, changed = fission_loop(node)
+    loops, changed = fission_loop(node, analysis)
     if changed:
         report.loops_split += 1
         report.nests_created += len(loops) - 1
     return list(loops)
 
 
-def maximal_loop_fission(program: Program) -> FissionReport:
+def fission_sweep(program: Program, report: FissionReport,
+                  analysis: "Optional[AnalysisManager]" = None) -> bool:
+    """One bottom-up fission sweep over the program, in place.
+
+    Returns whether any loop was split.  The pass framework drives sweeps to
+    a fixed point through its ``FixedPoint`` groups; ``maximal_loop_fission``
+    keeps the self-contained fixed point for direct callers.
+    """
+    before_split = report.loops_split
+    new_top: List[Node] = []
+    for node in program.body:
+        new_top.extend(_fission_node(node, report, analysis))
+    program.body = new_top
+    report.iterations += 1
+    report.atomic_nests = sum(1 for node in program.body if isinstance(node, Loop))
+    return report.loops_split > before_split
+
+
+def maximal_loop_fission(program: Program,
+                         analysis: "Optional[AnalysisManager]" = None
+                         ) -> FissionReport:
     """Apply maximal loop fission to a program, in place.
 
     The pass runs to a fixed point: fission is re-applied until no loop body
     can be split further (Section 3.2, "fixed-point pipeline").
     """
     report = FissionReport()
-    for iteration in range(MAX_FIXED_POINT_ITERATIONS):
-        before_split = report.loops_split
-        new_top: List[Node] = []
-        for node in program.body:
-            new_top.extend(_fission_node(node, report))
-        program.body = new_top
-        report.iterations = iteration + 1
-        if report.loops_split == before_split:
+    for _iteration in range(MAX_FIXED_POINT_ITERATIONS):
+        if not fission_sweep(program, report, analysis):
             break
-    report.atomic_nests = sum(1 for node in program.body if isinstance(node, Loop))
     return report
 
 

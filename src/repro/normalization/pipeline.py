@@ -1,44 +1,88 @@
-"""The a-priori normalization pipeline (Section 3.2, Figure 5).
+"""The a-priori normalization pipeline, built on the unified pass framework.
 
-``normalize`` runs, in order:
+Since PR 3 normalization is not a hard-coded if-chain: :func:`normalize`
+resolves a :class:`NormalizationOptions` to a named
+:class:`~repro.passes.pipeline.Pipeline` of :class:`~repro.passes.base.Pass`
+stages (``repro.passes``) and runs it on a copy of the input.  The paper's
+Figure 5 order is the registered ``"a-priori"`` pipeline:
 
 1. loop normal form (zero-based, unit-step loops),
-2. **maximal loop fission** to a fixed point,
-3. **stride minimization** per resulting atomic loop nest,
-4. canonical iterator renaming (so equivalent nests compare equal).
+2. scalar expansion of per-iteration temporaries,
+3. **maximal loop fission** as a fixed-point group,
+4. **stride minimization** per resulting atomic loop nest,
+5. canonical iterator renaming (so equivalent nests compare equal),
+6. structural validation.
+
+The Section 4.2 ablations are the sibling registrations ``"no-fission"``,
+``"no-stride"``, ``"no-scalar-expansion"``, and ``"identity"``; consumers
+select pipelines by name (``NormalizationOptions.named("no-fission")``)
+instead of flag combinations.  Every run returns a
+:class:`NormalizationReport` that carries, besides the classic stage
+reports, one instrumented :class:`~repro.passes.base.PassResult` per pass —
+wall time, change flag, counters, IR-size delta — which the Session/serving
+layers aggregate into their reports.  Passing a shared
+:class:`~repro.passes.analysis.AnalysisManager` memoizes per-nest analyses
+(dependence edges, minimal permutations) across runs.
 
 The pipeline never mutates its input; it returns a normalized copy together
-with a report of what each stage did.
+with the report of what each stage did.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 from ..ir.nodes import Program
-from ..ir.validation import validate_program
-from .fission import FissionReport, maximal_loop_fission
-from .loop_normal_form import canonicalize_iterator_names, normalize_program_bounds
-from .scalar_expansion import ScalarExpansionReport, expand_scalars
-from .stride_minimization import StrideMinimizationReport, minimize_strides
+from ..passes.analysis import AnalysisManager
+from ..passes.base import (FunctionPass, PassContext, PassResult,
+                           aggregate_timings)
+from ..passes.pipeline import FixedPoint, Pipeline, PipelineResult
+from ..passes.library import build_normalization_pipeline
+from .fission import FissionReport
+from .scalar_expansion import ScalarExpansionReport
+from .stride_minimization import StrideMinimizationReport
 
 
 @dataclass
 class NormalizationReport:
-    """What the normalization pipeline did to one program."""
+    """What the normalization pipeline did to one program.
+
+    The classic per-stage summaries (``fission``, ``strides``,
+    ``scalar_expansion``) are kept for compatibility; ``passes`` carries the
+    instrumented per-pass results of the pipeline run (one entry per pass
+    application, fixed-point iterations included) and ``pipeline`` names the
+    pipeline that produced them.
+    """
 
     fission: FissionReport = field(default_factory=FissionReport)
     strides: StrideMinimizationReport = field(default_factory=StrideMinimizationReport)
     scalar_expansion: ScalarExpansionReport = field(default_factory=ScalarExpansionReport)
     canonical_iterators: bool = False
     validation_errors: Tuple[str, ...] = ()
+    pipeline: str = ""
+    passes: List[PassResult] = field(default_factory=list)
 
     @property
     def changed(self) -> bool:
+        """Whether any pass changed the program.
+
+        With instrumented pass results available this is exact (bound
+        normalization and scalar expansion included — the historical
+        if-chain ignored both); reports deserialized from old cache entries
+        fall back to the stage counters.
+        """
+        if self.passes:
+            return any(result.changed for result in self.passes)
         return (self.fission.loops_split > 0
-                or self.strides.nests_permuted > 0)
+                or self.strides.nests_permuted > 0
+                or self.scalar_expansion.count > 0)
+
+    def pass_timings(self) -> Dict[str, float]:
+        """Total wall time per pass name for this run."""
+        return aggregate_timings(self.passes)
 
     def summary(self) -> str:
         return (f"fission: split {self.fission.loops_split} loops into "
@@ -56,6 +100,8 @@ class NormalizationReport:
                 "expanded": [list(pair) for pair in self.scalar_expansion.expanded]},
             "canonical_iterators": self.canonical_iterators,
             "validation_errors": list(self.validation_errors),
+            "pipeline": self.pipeline,
+            "passes": [result.to_dict() for result in self.passes],
         }
 
     @staticmethod
@@ -68,6 +114,9 @@ class NormalizationReport:
                 expanded=[tuple(pair) for pair in expansion.get("expanded", [])]),
             canonical_iterators=bool(data.get("canonical_iterators", False)),
             validation_errors=tuple(data.get("validation_errors", ())),
+            pipeline=str(data.get("pipeline", "")),
+            passes=[PassResult.from_dict(entry)
+                    for entry in data.get("passes", ())],
         )
 
 
@@ -75,9 +124,12 @@ class NormalizationReport:
 class NormalizationOptions:
     """Configuration of the normalization pipeline.
 
-    The ablation study (Section 4.2) turns normalization on and off; the
-    options also allow disabling individual criteria for finer-grained
-    ablations.
+    This is a thin constructor over pipeline specs: ``pipeline`` selects a
+    registered pipeline by name (``"a-priori"``, ``"no-fission"``,
+    ``"no-stride"``, ``"no-scalar-expansion"``, ``"identity"``, or any
+    third-party registration) and wins over the individual stage flags,
+    which remain for finer-grained custom pipelines.  :meth:`to_pipeline`
+    resolves either form to the actual :class:`~repro.passes.pipeline.Pipeline`.
     """
 
     normalize_bounds: bool = True
@@ -87,31 +139,67 @@ class NormalizationOptions:
     canonicalize_iterators: bool = True
     parameters: Optional[Mapping[str, int]] = None
     validate: bool = True
+    pipeline: Optional[str] = None
+
+    @classmethod
+    def named(cls, pipeline: str,
+              parameters: Optional[Mapping[str, int]] = None
+              ) -> "NormalizationOptions":
+        """Options selecting a registered pipeline by name."""
+        return cls(pipeline=pipeline, parameters=parameters)
+
+    def to_pipeline(self) -> Pipeline:
+        """Resolve these options to the pipeline they describe."""
+        if self.pipeline is not None:
+            return build_normalization_pipeline(self.pipeline)
+        return build_normalization_pipeline(
+            normalize_bounds=self.normalize_bounds,
+            apply_scalar_expansion=self.apply_scalar_expansion,
+            apply_fission=self.apply_fission,
+            apply_stride_minimization=self.apply_stride_minimization,
+            canonicalize_iterators=self.canonicalize_iterators,
+            validate=self.validate,
+        )
+
+
+def _assemble_report(outcome: PipelineResult,
+                     context: PassContext) -> NormalizationReport:
+    return NormalizationReport(
+        fission=context.scratch.get("fission", FissionReport()),
+        strides=context.scratch.get("strides", StrideMinimizationReport()),
+        scalar_expansion=context.scratch.get("scalar_expansion",
+                                             ScalarExpansionReport()),
+        canonical_iterators=bool(context.scratch.get("canonical_iterators", False)),
+        validation_errors=tuple(context.scratch.get("validation_errors", ())),
+        pipeline=outcome.pipeline,
+        passes=list(outcome.passes),
+    )
 
 
 def normalize(program: Program,
-              options: Optional[NormalizationOptions] = None
+              options: Optional[NormalizationOptions] = None,
+              analysis: Optional[AnalysisManager] = None, *,
+              pipeline: Optional[Pipeline] = None
               ) -> Tuple[Program, NormalizationReport]:
-    """Run the full a-priori normalization pipeline on a copy of ``program``."""
+    """Run the configured normalization pipeline on a copy of ``program``.
+
+    ``analysis`` optionally shares a memo of per-nest analyses across runs
+    (the normalization cache passes its own, long-lived manager here), and
+    ``pipeline`` accepts an already-resolved pipeline so callers that
+    resolved ``options`` for other purposes (e.g. cache keying) do not
+    build it twice.
+    """
     options = options or NormalizationOptions()
+    if pipeline is None:
+        pipeline = options.to_pipeline()
     normalized = program.copy()
-    report = NormalizationReport()
-
-    if options.normalize_bounds:
-        normalize_program_bounds(normalized)
-    if options.apply_scalar_expansion:
-        report.scalar_expansion = expand_scalars(normalized)
-    if options.apply_fission:
-        report.fission = maximal_loop_fission(normalized)
-    if options.apply_stride_minimization:
-        report.strides = minimize_strides(normalized, options.parameters)
-    if options.canonicalize_iterators:
-        canonicalize_iterator_names(normalized)
-        report.canonical_iterators = True
-    if options.validate:
-        report.validation_errors = tuple(validate_program(normalized, strict=False))
-
-    return normalized, report
+    # ``is not None``, not ``or``: an empty AnalysisManager is falsy through
+    # ``__len__`` and must still be used (sharing it is the whole point).
+    context = PassContext(parameters=options.parameters,
+                          analysis=analysis if analysis is not None
+                          else AnalysisManager())
+    outcome = pipeline.run(normalized, context)
+    return normalized, _assemble_report(outcome, context)
 
 
 def normalize_program(program: Program, **kwargs) -> Program:
@@ -121,15 +209,20 @@ def normalize_program(program: Program, **kwargs) -> Program:
 
 
 class PassManager:
-    """A tiny fixed-point pass manager for custom normalization pipelines.
+    """Deprecated shim over the pass framework's fixed-point groups.
 
     Passes are callables ``Program -> bool`` returning whether they changed
-    the program.  The manager repeats the pipeline until no pass reports a
-    change (or the iteration limit is reached).
+    the program.  Use :class:`repro.passes.Pipeline` with a
+    :class:`repro.passes.FixedPoint` group instead; this wrapper remains so
+    pre-PR-3 callers keep working.
     """
 
     def __init__(self, passes: Optional[List[Callable[[Program], bool]]] = None,
                  max_iterations: int = 16):
+        warnings.warn(
+            "repro.normalization.PassManager is deprecated; build a "
+            "repro.passes.Pipeline with a FixedPoint group instead",
+            DeprecationWarning, stacklevel=2)
         self.passes: List[Callable[[Program], bool]] = list(passes or [])
         self.max_iterations = max_iterations
 
@@ -139,10 +232,10 @@ class PassManager:
 
     def run(self, program: Program) -> int:
         """Run the pipeline to a fixed point; returns the iteration count."""
-        for iteration in range(1, self.max_iterations + 1):
-            changed = False
-            for pass_fn in self.passes:
-                changed = bool(pass_fn(program)) or changed
-            if not changed:
-                return iteration
-        return self.max_iterations
+        if not self.passes:
+            return 1
+        group = FixedPoint([FunctionPass(fn) for fn in self.passes],
+                           name="pass-manager",
+                           max_iterations=self.max_iterations)
+        _results, iterations = group.run(program, PassContext())
+        return iterations

@@ -11,12 +11,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import permutations as iter_permutations
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..ir.arrays import Array
 from ..ir.nodes import Loop, Node, Program
 from ..analysis.dependence import permutation_is_legal
 from ..analysis.strides import nest_stride_cost
+
+if TYPE_CHECKING:  # deferred to avoid a cycle with repro.passes.library
+    from ..passes.analysis import AnalysisManager
 
 #: Nests whose perfectly nested band is at most this deep are permuted by
 #: exhaustive enumeration; deeper nests use the grouped-sort approximation.
@@ -151,23 +154,62 @@ def find_minimal_permutation(nest: Loop, arrays: Mapping[str, Array],
     return best_order, best_cost, max(evaluated, 1)
 
 
+def _nest_key_material(arrays: Mapping[str, Array],
+                       parameters: Optional[Mapping[str, int]]) -> Dict[str, object]:
+    """Extra key material for memoized per-nest permutation results.
+
+    Stride costs depend on array shapes/dtypes and the parameter bindings,
+    so both join the nest content fingerprint in the memo key.
+    """
+    return {
+        "arrays": sorted((name, tuple(str(dim) for dim in array.shape),
+                          str(array.dtype))
+                         for name, array in arrays.items()),
+        "parameters": sorted((parameters or {}).items()),
+    }
+
+
 def minimize_strides(program: Program,
-                     parameters: Optional[Mapping[str, int]] = None
+                     parameters: Optional[Mapping[str, int]] = None,
+                     analysis: "Optional[AnalysisManager]" = None
                      ) -> StrideMinimizationReport:
-    """Apply stride minimization to every top-level loop nest, in place."""
+    """Apply stride minimization to every top-level loop nest, in place.
+
+    With an :class:`~repro.passes.analysis.AnalysisManager`, the minimal
+    permutation of each nest — the expensive part: legality checks and cost
+    evaluation over every candidate order — is memoized by nest content, so
+    repeated normalization of equivalent nests skips the search entirely.
+    """
     report = StrideMinimizationReport()
+    extra = _nest_key_material(program.arrays, parameters) \
+        if analysis is not None else None
     new_body: List[Node] = []
     for node in program.body:
         if not isinstance(node, Loop):
             new_body.append(node)
             continue
         report.nests_considered += 1
-        before = nest_stride_cost(node, program.arrays, parameters)
+        computed = []
+
+        def compute(nest: Loop = node) -> Tuple[Tuple[str, ...], float, int, float]:
+            computed.append(True)
+            before = nest_stride_cost(nest, program.arrays, parameters)
+            order, cost, evaluated = find_minimal_permutation(
+                nest, program.arrays, parameters)
+            return tuple(order), cost, evaluated, before
+
+        if analysis is not None:
+            order, cost, evaluated, before = analysis.cached_node(
+                "minimal-permutation", node, compute, extra=extra)
+        else:
+            order, cost, evaluated, before = compute()
+
         report.total_cost_before += before
-        order, cost, evaluated = find_minimal_permutation(node, program.arrays, parameters)
-        report.permutations_evaluated += evaluated
+        # A memo hit skipped the permutation search: it must not re-count
+        # the cached run's evaluations as work done by this run.
+        report.permutations_evaluated += evaluated if computed else 0
         current = tuple(loop.iterator for loop in node.perfectly_nested_band())
-        if order != current:
+        if tuple(order) != current:
             node = apply_permutation(node, order)
             report.nests_permuted += 1
         report.total_cost_after += cost

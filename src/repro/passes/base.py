@@ -1,0 +1,201 @@
+"""The ``Pass`` protocol: one uniform, instrumented unit of program rewriting.
+
+Every rewrite in the repo — a-priori normalization stages and scheduling
+transformations alike — runs through this protocol: a pass mutates a program
+in place and its :meth:`Pass.run` wrapper measures what happened, producing a
+:class:`PassResult` with a changed-flag, named counters, the IR-size delta,
+and wall time.  Pipelines (:mod:`repro.passes.pipeline`) compose passes,
+:class:`PassStats` aggregates their results across many runs for reporting,
+and the :class:`~repro.passes.analysis.AnalysisManager` in the
+:class:`PassContext` lets passes share memoized analyses.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, Mapping, Optional, Tuple, Union
+
+from ..ir.nodes import Program
+from .analysis import AnalysisManager, program_fingerprint
+
+
+def program_ir_size(program: Program) -> int:
+    """Node count of a program (loops, computations, library calls)."""
+
+    def count(node) -> int:
+        total = 1
+        for child in getattr(node, "body", ()):
+            total += count(child)
+        return total
+
+    return sum(count(node) for node in program.body)
+
+
+@dataclass
+class PassResult:
+    """What one pass application did to one program."""
+
+    pass_name: str
+    changed: bool = False
+    wall_time_s: float = 0.0
+    counters: Dict[str, float] = field(default_factory=dict)
+    ir_size_before: int = 0
+    ir_size_after: int = 0
+    error: Optional[str] = None
+
+    @property
+    def ir_size_delta(self) -> int:
+        return self.ir_size_after - self.ir_size_before
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "pass_name": self.pass_name,
+            "changed": self.changed,
+            "wall_time_s": self.wall_time_s,
+            "counters": dict(self.counters),
+            "ir_size_before": self.ir_size_before,
+            "ir_size_after": self.ir_size_after,
+            "error": self.error,
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Any]) -> "PassResult":
+        return PassResult(
+            pass_name=str(data.get("pass_name", "")),
+            changed=bool(data.get("changed", False)),
+            wall_time_s=float(data.get("wall_time_s", 0.0)),
+            counters={str(k): v for k, v in dict(data.get("counters") or {}).items()},
+            ir_size_before=int(data.get("ir_size_before", 0)),
+            ir_size_after=int(data.get("ir_size_after", 0)),
+            error=data.get("error"),
+        )
+
+
+@dataclass
+class PassContext:
+    """Shared state threaded through one pipeline run.
+
+    ``parameters`` are the symbolic-size bindings (used e.g. by stride
+    minimization), ``analysis`` memoizes per-nest analyses across passes *and*
+    across runs when callers share one manager, and ``scratch`` lets passes
+    deposit stage-specific reports for the caller to assemble.
+    """
+
+    parameters: Optional[Mapping[str, int]] = None
+    analysis: AnalysisManager = field(default_factory=AnalysisManager)
+    scratch: Dict[str, Any] = field(default_factory=dict)
+
+
+#: What ``Pass.apply`` may return: nothing (change detected by fingerprint),
+#: a changed-flag, or ``(changed-flag-or-None, counters)``.
+ApplyOutcome = Union[None, bool, Tuple[Optional[bool], Dict[str, float]]]
+
+
+class Pass:
+    """Base class of all passes.
+
+    Subclasses implement :meth:`apply`, which mutates the program in place
+    and reports what it did; :meth:`run` wraps the application with timing,
+    IR-size accounting, and — for passes that cannot cheaply self-report a
+    changed-flag (``detects_change = False``) — content-fingerprint change
+    detection.
+    """
+
+    #: Name used in results, registries, and reports; set by subclasses.
+    name: str = "pass"
+
+    #: When False, ``run`` compares program fingerprints before and after
+    #: ``apply`` to derive the changed-flag.
+    detects_change: bool = True
+
+    def apply(self, program: Program, context: PassContext) -> ApplyOutcome:
+        raise NotImplementedError
+
+    def _invoke(self, program: Program, context: PassContext) -> ApplyOutcome:
+        """Indirection so adapters (e.g. transformations with a legacy
+        single-argument ``apply``) can hook the invocation."""
+        return self.apply(program, context)
+
+    def run(self, program: Program,
+            context: Optional[PassContext] = None) -> PassResult:
+        """Apply the pass and measure it; returns the :class:`PassResult`."""
+        context = context or PassContext()
+        size_before = program_ir_size(program)
+        fingerprint_before = (None if self.detects_change
+                              else program_fingerprint(program))
+        started = time.perf_counter()
+        outcome = self._invoke(program, context)
+        wall_time = time.perf_counter() - started
+
+        changed: Optional[bool]
+        counters: Dict[str, float]
+        if isinstance(outcome, tuple):
+            changed, counters = outcome
+            counters = dict(counters or {})
+        elif isinstance(outcome, bool):
+            changed, counters = outcome, {}
+        else:
+            changed, counters = None, {}
+        if changed is None:
+            # A pass that declared detects_change but reported nothing is
+            # treated conservatively as having changed the program.
+            changed = (True if fingerprint_before is None
+                       else program_fingerprint(program) != fingerprint_before)
+        return PassResult(pass_name=self.name, changed=bool(changed),
+                          wall_time_s=wall_time, counters=counters,
+                          ir_size_before=size_before,
+                          ir_size_after=program_ir_size(program))
+
+
+class FunctionPass(Pass):
+    """Adapter wrapping a plain ``Program -> bool`` callable as a pass."""
+
+    def __init__(self, fn: Callable[[Program], Any], name: Optional[str] = None):
+        self._fn = fn
+        self.name = name or getattr(fn, "__name__", "function-pass")
+
+    def apply(self, program: Program, context: PassContext) -> ApplyOutcome:
+        return bool(self._fn(program))
+
+
+def aggregate_timings(results: Iterable[PassResult]) -> Dict[str, float]:
+    """Total wall time per pass name (fixed-point iterations summed)."""
+    timings: Dict[str, float] = {}
+    for result in results:
+        timings[result.pass_name] = (timings.get(result.pass_name, 0.0)
+                                     + result.wall_time_s)
+    return timings
+
+
+class PassStats:
+    """Thread-safe aggregation of :class:`PassResult` streams.
+
+    One accumulator typically lives on the normalization cache and collects
+    the results of every pipeline run, powering the per-pass counters on
+    ``Session.report()`` and the serving ``/v1/report`` endpoint.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._stats: Dict[str, Dict[str, float]] = {}
+
+    def add(self, results: Iterable[PassResult]) -> None:
+        with self._lock:
+            for result in results:
+                entry = self._stats.setdefault(result.pass_name, {
+                    "runs": 0, "changed": 0, "wall_time_s": 0.0,
+                    "ir_size_delta": 0})
+                entry["runs"] += 1
+                entry["changed"] += 1 if result.changed else 0
+                entry["wall_time_s"] += result.wall_time_s
+                entry["ir_size_delta"] += result.ir_size_delta
+
+    def to_dict(self) -> Dict[str, Dict[str, float]]:
+        with self._lock:
+            return {name: dict(entry) for name, entry in self._stats.items()}
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._stats)

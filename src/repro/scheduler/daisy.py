@@ -17,10 +17,11 @@ paper evaluates.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, Union
 
 from ..ir.nodes import Loop, Program
 from ..normalization.pipeline import NormalizationOptions, normalize
+from ..passes.analysis import AnalysisManager
 from ..perf.machine import DEFAULT_MACHINE, MachineModel
 from ..transforms.idiom import ReplaceWithLibraryCall, match_blas3
 from ..transforms.recipe import Recipe, apply_recipe
@@ -56,11 +57,18 @@ class DaisyScheduler(Scheduler):
     def __init__(self, machine: MachineModel = DEFAULT_MACHINE,
                  config: Optional[DaisyConfig] = None,
                  database: Optional[TuningDatabase] = None,
-                 normalization: Optional[NormalizationOptions] = None):
+                 normalization: Union[NormalizationOptions, str, None] = None):
         self.config = config or DaisyConfig()
         super().__init__(machine, self.config.threads)
         self.database = database if database is not None else TuningDatabase()
+        # ``normalization`` may be options or a registry pipeline name
+        # ("a-priori", "identity", ...); names resolve through the registry.
+        if isinstance(normalization, str):
+            normalization = NormalizationOptions.named(normalization)
         self.normalization = normalization or NormalizationOptions()
+        #: Scheduler-lifetime memo: repeat scheduling of equivalent nests
+        #: reuses dependence/permutation analyses across ``_run`` calls.
+        self._analysis = AnalysisManager()
         self._search = EvolutionarySearch(self.cost_model, self.config.search)
 
     # -- seeding ---------------------------------------------------------------------
@@ -85,7 +93,8 @@ class DaisyScheduler(Scheduler):
 
     def _run(self, program: Program, parameters: Mapping[str, int],
              seeding: bool, label: Optional[str] = None) -> ScheduleResult:
-        normalized, _report = normalize(program, self.normalization)
+        normalized, _report = normalize(program, self.normalization,
+                                        self._analysis)
         result = ScheduleResult(scheduler=self.name, program=normalized)
 
         for index in range(len(normalized.body)):

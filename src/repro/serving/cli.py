@@ -4,7 +4,9 @@ Subcommands:
 
 * ``serve``      — boot the JSON-over-HTTP scheduling service.
 * ``warm-cache`` — populate a persistent SQLite cache with the registry
-  workloads so a later ``serve`` starts hot.
+  workloads so a later ``serve`` starts hot; ``--pipeline`` selects the
+  registry-named normalization pipeline and ``--report-json`` dumps the
+  session report (with per-pass timings) for CI artifacts.
 * ``db-shard``   — convert/rebalance tuning databases between the unsharded
   JSON format, the sharded JSON format, and the sharded SQLite format, or
   print shard statistics.
@@ -33,6 +35,11 @@ def _session_arguments(parser: argparse.ArgumentParser) -> None:
                         help="threads the scheduled code is optimized for")
     parser.add_argument("--size", default="large",
                         help="workload-registry size class (default: large)")
+    parser.add_argument("--pipeline", default=None,
+                        help="registry-named normalization pipeline "
+                             "(a-priori, no-fission, no-stride, "
+                             "no-scalar-expansion, identity; "
+                             "default: a-priori)")
     parser.add_argument("--cache-path", default=None,
                         help="SQLite file backing the normalization cache "
                              "(default: in-memory)")
@@ -63,7 +70,23 @@ def _load_database(path: Optional[str], shards: int):
 def _build_session(args: argparse.Namespace) -> Session:
     return Session(threads=args.threads, scheduler=args.scheduler,
                    size=args.size, cache_path=args.cache_path,
+                   pipeline=args.pipeline,
                    database=_load_database(args.db_path, args.shards))
+
+
+def _format_pass_timings(report) -> str:
+    """Per-pass timing/change lines of a SessionReport (or its dict)."""
+    passes = (report.get("normalization_passes") if isinstance(report, dict)
+              else report.normalization_passes)
+    if not passes:
+        return "  (no normalization pipeline runs)"
+    lines = []
+    for name, entry in sorted(passes.items(),
+                              key=lambda item: -item[1].get("wall_time_s", 0.0)):
+        lines.append(f"  {name}: {entry.get('runs', 0):.0f} runs, "
+                     f"{entry.get('changed', 0):.0f} changed, "
+                     f"{entry.get('wall_time_s', 0.0) * 1e3:.2f} ms")
+    return "\n".join(lines)
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -94,9 +117,17 @@ def _cmd_warm_cache(args: argparse.Namespace) -> int:
             requests.append(ScheduleRequest(program=f"{name}:{variant}"))
     responses = session.schedule_batch(requests)
     hits = sum(1 for response in responses if response.from_cache)
+    report = session.report()
     print(f"warmed {len(responses)} schedules ({hits} already cached) "
-          f"into {args.cache_path}")
-    print(session.report().summary())
+          f"into {args.cache_path} "
+          f"(pipeline={args.pipeline or 'a-priori'})")
+    print(report.summary())
+    print("per-pass timings:")
+    print(_format_pass_timings(report))
+    if args.report_json:
+        with open(args.report_json, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+        print(f"wrote report to {args.report_json}")
     session.close()
     return 0
 
@@ -151,6 +182,9 @@ def build_parser() -> argparse.ArgumentParser:
                       help="registry names (default: every benchmark)")
     warm.add_argument("--variants", nargs="*", default=["a"],
                       help="variants to warm per workload (default: a)")
+    warm.add_argument("--report-json", default=None,
+                      help="dump the full session report (including per-pass "
+                           "timings) to this JSON file")
     warm.set_defaults(func=_cmd_warm_cache)
 
     shard = commands.add_parser(

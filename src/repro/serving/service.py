@@ -90,6 +90,9 @@ def request_fingerprint(request: ScheduleRequest) -> str:
         "scheduler": request.scheduler,
         "threads": request.threads,
         "normalize": request.normalize,
+        # Different normalization pipelines produce different schedules;
+        # they must never ride one another's in-flight request.
+        "pipeline": request.pipeline,
     })
 
 

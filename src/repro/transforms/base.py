@@ -1,13 +1,20 @@
-"""Transformation framework.
+"""Transformations as passes of the unified framework.
 
 The daisy auto-scheduler (Section 4) stores *optimization recipes* — sequences
 of loop transformations such as interchange, tiling, parallelization and
 vectorization — in a database and applies them to normalized loop nests.
-Each transformation is therefore:
+Since PR 3 every transformation is also a :class:`repro.passes.Pass`: the
+same protocol that runs the a-priori normalization stages runs scheduling
+transformations, so recipes convert to instrumented
+:class:`~repro.passes.pipeline.Pipeline` objects
+(:meth:`repro.transforms.recipe.Recipe.to_pipeline`) with per-pass wall time
+and change counters for free.  Each transformation is therefore:
 
 * addressable (it names the top-level nest it applies to),
-* checkable (it can refuse to apply when illegal), and
-* serializable (recipes are persisted alongside embeddings).
+* checkable (it can refuse to apply when illegal, via
+  :class:`TransformationError`),
+* serializable (recipes are persisted alongside embeddings), and
+* instrumented (``run()`` yields a :class:`~repro.passes.base.PassResult`).
 """
 
 from __future__ import annotations
@@ -16,26 +23,35 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Type
 
 from ..ir.nodes import Loop, Program
+from ..passes.base import ApplyOutcome, Pass, PassContext
 
 
 class TransformationError(Exception):
     """Raised when a transformation cannot be applied legally."""
 
 
-class Transformation:
-    """Base class for all transformations.
+class Transformation(Pass):
+    """Base class for all transformations — a serializable, registered pass.
 
     Subclasses implement :meth:`apply`, which mutates the given program in
     place (programs are cheap to copy; callers that need the original copy it
     first), and :meth:`params`, which returns the JSON-serializable parameter
-    dictionary used for persistence.
+    dictionary used for persistence.  The legacy single-argument ``apply``
+    signature is preserved; the :class:`~repro.passes.base.Pass` protocol's
+    ``run(program, context)`` wraps it with timing and fingerprint-based
+    change detection.
     """
 
     #: Registry of transformation names to classes, for deserialization.
     registry: Dict[str, Type["Transformation"]] = {}
 
-    #: Short name used in serialized recipes; set by subclasses.
+    #: Short name used in serialized recipes (and pass results); set by
+    #: subclasses.
     name: str = "transformation"
+
+    #: Transformations cannot cheaply self-report a changed-flag, so
+    #: ``run()`` derives it from content fingerprints.
+    detects_change = False
 
     def __init_subclass__(cls, **kwargs) -> None:
         super().__init_subclass__(**kwargs)
@@ -45,6 +61,11 @@ class Transformation:
 
     def apply(self, program: Program) -> Program:
         raise NotImplementedError
+
+    def _invoke(self, program: Program, context: PassContext) -> ApplyOutcome:
+        # Adapt the legacy ``apply(program)`` signature to the Pass protocol.
+        self.apply(program)
+        return None
 
     def params(self) -> Dict[str, Any]:
         raise NotImplementedError

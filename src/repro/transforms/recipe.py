@@ -3,7 +3,10 @@
 A recipe is what the transfer-tuning database stores per loop nest: the
 sequence of transformations (interchange, tiling, parallelization,
 vectorization, idiom replacement, ...) that turned the normalized nest into
-its optimized form.
+its optimized form.  Because transformations are passes of the unified
+framework, a recipe converts directly to a
+:class:`~repro.passes.pipeline.Pipeline` (:meth:`Recipe.to_pipeline`) whose
+runs are instrumented per transformation.
 """
 
 from __future__ import annotations
@@ -12,6 +15,8 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..ir.nodes import Program
+from ..passes.base import PassContext, PassResult
+from ..passes.pipeline import Pipeline
 from .base import Transformation, TransformationError
 
 
@@ -33,6 +38,15 @@ class Recipe:
     def __iter__(self):
         return iter(self.transformations)
 
+    def to_pipeline(self) -> Pipeline:
+        """This recipe as a pipeline of the unified pass framework.
+
+        Running the pipeline applies the transformations *strictly* (an
+        illegal transformation raises); use :func:`apply_recipe` for the
+        skip-on-failure semantics of transfer tuning.
+        """
+        return Pipeline(self.name, list(self.transformations))
+
     def to_dict(self) -> Dict[str, Any]:
         return {
             "name": self.name,
@@ -52,11 +66,17 @@ class Recipe:
 
 @dataclass
 class RecipeApplication:
-    """Outcome of applying a recipe to a program."""
+    """Outcome of applying a recipe to a program.
+
+    ``results`` carries one instrumented :class:`~repro.passes.base.PassResult`
+    per transformation when the recipe was applied with ``instrument=True``
+    (failed transformations get a result with ``error`` set).
+    """
 
     recipe: Recipe
     applied: List[Transformation] = field(default_factory=list)
     failed: List[Tuple[Transformation, str]] = field(default_factory=list)
+    results: List[PassResult] = field(default_factory=list)
 
     @property
     def fully_applied(self) -> bool:
@@ -68,21 +88,33 @@ class RecipeApplication:
 
 
 def apply_recipe(program: Program, recipe: Recipe,
-                 strict: bool = False) -> RecipeApplication:
+                 strict: bool = False,
+                 instrument: bool = False) -> RecipeApplication:
     """Apply a recipe to ``program`` in place.
 
     With ``strict=True`` the first illegal transformation raises; otherwise
     illegal transformations are recorded and skipped — mirroring the paper's
     behavior that a transformation sequence "cannot be applied" when a B loop
-    nest does not reduce to an A loop nest.
+    nest does not reduce to an A loop nest.  ``instrument=True`` runs each
+    transformation through the pass protocol and collects per-transformation
+    :class:`~repro.passes.base.PassResult` timings (kept off by default: the
+    evolutionary search applies thousands of recipes on its hot path).
     """
     result = RecipeApplication(recipe=recipe)
+    context = PassContext() if instrument else None
     for transformation in recipe.transformations:
         try:
-            transformation.apply(program)
+            if instrument:
+                result.results.append(transformation.run(program, context))
+            else:
+                transformation.apply(program)
             result.applied.append(transformation)
         except TransformationError as error:
             if strict:
                 raise
             result.failed.append((transformation, str(error)))
+            if instrument:
+                result.results.append(PassResult(
+                    pass_name=transformation.name, changed=False,
+                    error=str(error)))
     return result

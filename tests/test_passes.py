@@ -1,0 +1,410 @@
+"""Tests for the unified pass framework (repro.passes) and its integration:
+pipelines, fixed points, the pipeline registry, memoized analyses,
+transformations as passes, pipeline-identity cache keys, and normalization
+idempotence across every registered pipeline."""
+
+import pytest
+from helpers import build_gemm, build_vector_add
+
+from repro.api import (MemoryCacheBackend, NormalizationCache,
+                       NormalizationOptions, ScheduleRequest, Session,
+                       SQLiteCacheBackend, program_content_hash)
+from repro.interp import programs_equivalent
+from repro.ir import ProgramBuilder
+from repro.normalization import normalize
+from repro.passes import (AnalysisManager, FixedPoint, FunctionPass, Pass,
+                          PassContext, PassResult, PassStats, Pipeline,
+                          PipelineRegistryError, build_normalization_pipeline,
+                          get_pipeline, pipeline_names, program_ir_size,
+                          register_pipeline, unregister_pipeline)
+from repro.transforms import Interchange, Parallelize, Recipe, apply_recipe
+from repro.workloads.polybench import build_gemm_a, build_gemm_b
+
+PARAMS = {"NI": 8, "NJ": 9, "NK": 10}
+
+#: The five shipped pipeline names of the paper's Figure 5 + Section 4.2.
+NAMED_PIPELINES = ["a-priori", "identity", "no-fission",
+                   "no-scalar-expansion", "no-stride"]
+
+
+class _CountingPass(Pass):
+    name = "counting"
+
+    def __init__(self, changes=0):
+        self.remaining = changes
+        self.applications = 0
+
+    def apply(self, program, context):
+        self.applications += 1
+        if self.remaining > 0:
+            self.remaining -= 1
+            return True, {"budget": self.remaining}
+        return False, {}
+
+
+class TestPassProtocol:
+    def test_run_produces_instrumented_result(self):
+        result = _CountingPass(changes=1).run(build_vector_add())
+        assert isinstance(result, PassResult)
+        assert result.pass_name == "counting"
+        assert result.changed
+        assert result.wall_time_s >= 0.0
+        assert result.counters == {"budget": 0}
+
+    def test_fingerprint_change_detection(self):
+        class Renamer(Pass):
+            name = "renamer"
+            detects_change = False
+
+            def apply(self, program, context):
+                program.body[0].iterator = "renamed"
+
+        program = build_vector_add()
+        assert Renamer().run(program).changed
+        # Second application leaves the (already renamed) program unchanged.
+        assert not Renamer().run(program).changed
+
+    def test_function_pass_wraps_callables(self):
+        seen = []
+
+        def touch(program):
+            seen.append(program.name)
+            return False
+
+        result = FunctionPass(touch).run(build_vector_add())
+        assert result.pass_name == "touch"
+        assert not result.changed
+        assert seen
+
+    def test_ir_size_accounting(self):
+        program = build_gemm_a()
+        size = program_ir_size(program)
+        assert size > 0
+        result = _CountingPass().run(program)
+        assert result.ir_size_before == result.ir_size_after == size
+        assert result.ir_size_delta == 0
+
+    def test_result_dict_round_trip(self):
+        result = PassResult(pass_name="p", changed=True, wall_time_s=0.25,
+                            counters={"k": 2}, ir_size_before=3,
+                            ir_size_after=5)
+        back = PassResult.from_dict(result.to_dict())
+        assert back == result
+
+
+class TestPipeline:
+    def test_ordered_stages_and_totals(self):
+        pipeline = Pipeline("two", [_CountingPass(changes=1), _CountingPass()])
+        outcome = pipeline.run(build_vector_add())
+        assert [r.pass_name for r in outcome.passes] == ["counting", "counting"]
+        assert outcome.changed
+        assert outcome.wall_time_s >= sum(r.wall_time_s for r in outcome.passes) * 0.5
+        assert outcome.timings()["counting"] >= 0.0
+
+    def test_fixed_point_iterates_until_stable(self):
+        stage = _CountingPass(changes=2)
+        group = FixedPoint([stage], name="fp", max_iterations=10)
+        results, iterations = group.run(build_vector_add(), PassContext())
+        # Two changing iterations plus the stabilizing one.
+        assert iterations == 3
+        assert stage.applications == 3
+        assert [r.changed for r in results] == [True, True, False]
+
+    def test_fixed_point_respects_iteration_bound(self):
+        group = FixedPoint([_CountingPass(changes=100)], max_iterations=4)
+        _results, iterations = group.run(build_vector_add(), PassContext())
+        assert iterations == 4
+
+    def test_identity_names_structure(self):
+        pipeline = build_normalization_pipeline("a-priori")
+        identity = pipeline.identity()
+        assert identity.startswith("a-priori[")
+        assert "fp(maximal-fission)" in identity
+        assert "stride-minimization" in identity
+        # Ablations have distinct identities.
+        assert identity != build_normalization_pipeline("no-fission").identity()
+
+    def test_pass_stats_aggregation(self):
+        stats = PassStats()
+        stats.add([PassResult("a", changed=True, wall_time_s=0.5),
+                   PassResult("a", changed=False, wall_time_s=0.25),
+                   PassResult("b", changed=False, wall_time_s=0.125)])
+        data = stats.to_dict()
+        assert data["a"]["runs"] == 2 and data["a"]["changed"] == 1
+        assert data["a"]["wall_time_s"] == pytest.approx(0.75)
+        assert data["b"]["runs"] == 1
+
+
+class TestRegistry:
+    def test_shipped_pipelines_registered(self):
+        assert set(NAMED_PIPELINES) <= set(pipeline_names())
+        for name in NAMED_PIPELINES:
+            assert get_pipeline(name).name == name
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(PipelineRegistryError):
+            get_pipeline("definitely-not-registered")
+
+    def test_registration_conflicts_and_custom_names(self):
+        @register_pipeline("test-custom-pipeline")
+        def factory():
+            return Pipeline("test-custom-pipeline", [_CountingPass()])
+
+        try:
+            assert get_pipeline("test-custom-pipeline").name == \
+                "test-custom-pipeline"
+            with pytest.raises(PipelineRegistryError):
+                register_pipeline("test-custom-pipeline")(factory)
+            # A named options object resolves third-party names too.
+            options = NormalizationOptions.named("test-custom-pipeline")
+            assert options.to_pipeline().name == "test-custom-pipeline"
+        finally:
+            unregister_pipeline("test-custom-pipeline")
+
+    def test_identity_pipeline_is_empty_noop(self):
+        pipeline = get_pipeline("identity")
+        assert len(pipeline) == 0
+        program = build_gemm_a()
+        before = program_content_hash(program)
+        normalized, report = normalize(program,
+                                       NormalizationOptions.named("identity"))
+        assert program_content_hash(normalized) == before
+        assert not report.changed and not report.passes
+
+
+class TestAnalysisManager:
+    def test_memoizes_by_content(self):
+        manager = AnalysisManager()
+        calls = []
+        loop = build_gemm_a().body[0]
+
+        def compute():
+            calls.append(1)
+            return ("result",)
+
+        assert manager.cached_node("k", loop, compute) == ("result",)
+        assert manager.cached_node("k", loop, compute) == ("result",)
+        assert len(calls) == 1
+        assert manager.stats() == {"hits": 1, "misses": 1, "entries": 1}
+
+    def test_changed_content_recomputes(self):
+        manager = AnalysisManager()
+        program = build_vector_add()
+        loop = program.body[0]
+        manager.cached_node("k", loop, lambda: 1)
+        loop.iterator = "other"  # a pass changed the nest
+        assert manager.cached_node("k", loop, lambda: 2) == 2
+        assert manager.misses == 2
+
+    def test_lru_bound(self):
+        manager = AnalysisManager(max_entries=2)
+        for index in range(5):
+            manager.get("k", str(index), lambda index=index: index)
+        assert len(manager) == 2
+
+    def test_shared_manager_warms_repeat_normalization(self):
+        manager = AnalysisManager()
+        first, _ = normalize(build_gemm_b(), analysis=manager)
+        assert manager.misses > 0 and manager.hits == 0
+        second, _ = normalize(build_gemm_b(), analysis=manager)
+        assert manager.hits > 0
+        assert program_content_hash(first) == program_content_hash(second)
+
+
+class TestTransformationsArePasses:
+    def test_transformation_run_reports_change(self):
+        program = build_gemm_a()
+        normalized, _ = normalize(program)
+        result = Interchange(1, ("i1", "i0", "i2")).run(normalized)
+        assert result.pass_name == "interchange"
+        assert result.changed
+        assert result.wall_time_s >= 0.0
+
+    def test_noop_transformation_reports_unchanged(self):
+        normalized, _ = normalize(build_gemm_a())
+        band = normalized.body[1].perfectly_nested_band()
+        current = tuple(loop.iterator for loop in band)
+        assert not Interchange(1, current).run(normalized).changed
+
+    def test_recipe_to_pipeline(self):
+        recipe = Recipe("r", [Parallelize(0, "i0")])
+        pipeline = recipe.to_pipeline()
+        assert isinstance(pipeline, Pipeline)
+        assert pipeline.pass_names() == ["parallelize"]
+        normalized, _ = normalize(build_vector_add())
+        outcome = pipeline.run(normalized)
+        assert outcome.changed
+        assert normalized.body[0].parallel
+
+    def test_apply_recipe_instrumented(self):
+        normalized, _ = normalize(build_gemm_a())
+        recipe = Recipe("r", [Parallelize(1, "i0"),
+                              Interchange(99, ("i0",))])  # second one fails
+        application = apply_recipe(normalized, recipe, instrument=True)
+        assert len(application.results) == 2
+        assert application.results[0].changed
+        assert application.results[1].error
+        assert len(application.applied) == 1 and len(application.failed) == 1
+
+
+class TestChangedFlag:
+    """Satellite: ``NormalizationReport.changed`` must see every pass."""
+
+    def test_scalar_expansion_alone_reports_changed(self):
+        b = ProgramBuilder("p", parameters=["N"])
+        b.add_array("x", ("N",))
+        b.add_array("y", ("N",))
+        b.add_scalar("tmp", transient=True)
+        with b.loop("i", 0, "N"):
+            b.assign(("tmp",), b.read("x", "i") * 2)
+            b.assign(("y", "i"), b.read("tmp") + 1)
+        program = b.finish()
+        # Disable fission/strides so scalar expansion is the only rewrite.
+        _, report = normalize(program, NormalizationOptions(
+            apply_fission=False, apply_stride_minimization=False,
+            canonicalize_iterators=False))
+        assert report.scalar_expansion.count == 1
+        assert report.fission.loops_split == 0
+        assert report.strides.nests_permuted == 0
+        assert report.changed
+
+    def test_bound_normalization_alone_reports_changed(self):
+        b = ProgramBuilder("p", parameters=["N"])
+        b.add_array("x", ("N",))
+        with b.loop("i", 2, "N", 3):
+            b.assign(("x", "i"), 1.0)
+        program = b.finish()
+        _, report = normalize(program, NormalizationOptions(
+            apply_scalar_expansion=False, apply_fission=False,
+            apply_stride_minimization=False, canonicalize_iterators=False))
+        assert report.fission.loops_split == 0
+        assert report.strides.nests_permuted == 0
+        assert report.changed
+
+    def test_fully_normal_program_reports_unchanged(self):
+        normalized, _ = normalize(build_gemm_a())
+        _, report = normalize(normalized)
+        assert not report.changed
+
+
+class TestPipelineCacheKeys:
+    """Satellite: pipeline identity is part of normalization-cache keys."""
+
+    def _distinct_entries(self, cache):
+        program = build_gemm_a()
+        full = cache.normalized(program, NormalizationOptions.named("a-priori"))
+        ablated = cache.normalized(program,
+                                   NormalizationOptions.named("no-fission"))
+        # Both were misses: the ablated request must not be served from the
+        # full-pipeline entry.
+        assert not full.hit and not ablated.hit
+        assert full.input_hash != ablated.input_hash
+        assert len(full.program.body) > len(ablated.program.body)  # fissioned
+        # Repeats hit their own entries.
+        assert cache.normalized(program,
+                                NormalizationOptions.named("a-priori")).hit
+        assert cache.normalized(program,
+                                NormalizationOptions.named("no-fission")).hit
+        assert cache.stats.normalization_misses == 2
+
+    def test_memory_backend(self):
+        self._distinct_entries(NormalizationCache(backend=MemoryCacheBackend()))
+
+    def test_sqlite_backend(self, tmp_path):
+        backend = SQLiteCacheBackend(str(tmp_path / "cache.sqlite"))
+        cache = NormalizationCache(backend=backend)
+        try:
+            self._distinct_entries(cache)
+        finally:
+            cache.close()
+
+    def test_sqlite_distinct_across_restart(self, tmp_path):
+        path = str(tmp_path / "cache.sqlite")
+        program = build_gemm_a()
+        cache = NormalizationCache(backend=SQLiteCacheBackend(path))
+        cache.normalized(program, NormalizationOptions.named("a-priori"))
+        cache.close()
+        # A fresh process-equivalent cache must hit the full entry but miss
+        # for the ablated pipeline.
+        cache = NormalizationCache(backend=SQLiteCacheBackend(path))
+        try:
+            assert cache.normalized(
+                program, NormalizationOptions.named("a-priori")).hit
+            assert not cache.normalized(
+                program, NormalizationOptions.named("no-fission")).hit
+        finally:
+            cache.close()
+
+    def test_flag_combo_shares_key_with_equivalent_name(self):
+        # The same pass structure must key identically however it was spelled.
+        cache = NormalizationCache()
+        program = build_gemm_a()
+        cache.normalized(program, NormalizationOptions(
+            apply_fission=False, apply_scalar_expansion=False))
+        assert cache.normalized(
+            program, NormalizationOptions.named("no-fission")).hit
+
+
+class TestSessionPipelines:
+    def test_session_accepts_pipeline_name(self):
+        session = Session(pipeline="no-fission")
+        response = session.normalize(build_gemm_a())
+        assert response.report.pipeline == "no-fission"
+        assert response.report.fission.loops_split == 0
+
+    def test_session_rejects_both_forms(self):
+        with pytest.raises(ValueError):
+            Session(pipeline="a-priori",
+                    normalization=NormalizationOptions())
+
+    def test_request_pipeline_round_trip_and_selection(self):
+        request = ScheduleRequest(program="gemm:a", pipeline="no-stride")
+        back = ScheduleRequest.from_dict(request.to_dict())
+        assert back.pipeline == "no-stride"
+
+        session = Session()
+        response = session.normalize(build_gemm_b(), pipeline="no-stride")
+        assert response.report.pipeline == "no-stride"
+        assert response.report.strides.nests_considered == 0
+
+    def test_report_exposes_pass_timings_and_analysis(self):
+        session = Session()
+        session.normalize(build_gemm_a())
+        session.normalize(build_gemm_b())
+        report = session.report()
+        passes = report.normalization_passes
+        assert "stride-minimization" in passes
+        assert passes["stride-minimization"]["runs"] == 2
+        assert passes["stride-minimization"]["wall_time_s"] > 0.0
+        assert "maximal-fission" in passes
+        # The b-variant run reuses analyses of nests the a-variant produced.
+        assert report.analysis_misses > 0
+        data = report.to_dict()
+        assert data["normalization_passes"] == passes
+        assert data["analysis_misses"] == report.analysis_misses
+
+
+class TestIdempotence:
+    """Satellite: normalization is a projection — normalizing twice is a no-op
+    for every registered pipeline over a sample of registry workloads."""
+
+    WORKLOADS = ["gemm:a", "gemm:b", "atax:a", "mvt:b", "jacobi-2d:a",
+                 "syrk:b"]
+
+    @pytest.mark.parametrize("pipeline", NAMED_PIPELINES)
+    def test_normalize_twice_is_noop(self, pipeline):
+        session = Session()
+        options = NormalizationOptions.named(pipeline)
+        for workload in self.WORKLOADS:
+            program = session.load(workload)
+            once, _ = normalize(program, options)
+            twice, report = normalize(once, options)
+            assert not report.changed, (pipeline, workload)
+            assert program_content_hash(once) == program_content_hash(twice), \
+                (pipeline, workload)
+
+    def test_idempotent_runs_preserve_semantics(self):
+        program = build_gemm(order=("k", "j", "i"))
+        once, _ = normalize(program)
+        twice, _ = normalize(once)
+        assert programs_equivalent(program, twice, PARAMS)

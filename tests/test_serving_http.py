@@ -59,6 +59,38 @@ class TestEndpoints:
         assert payload["cache_backend"] == "memory"
         assert session.report().schedule_calls == 2
 
+    def test_report_round_trips_per_pass_timings(self, served):
+        """Satellite: /v1/report must expose the per-pass timing counters of
+        the normalization pipeline after real traffic."""
+        _, _, client = served
+        client.schedule("gemm:a")
+        payload = client.report()
+        passes = payload["normalization_passes"]
+        for name in ("loop-normal-form", "maximal-fission",
+                     "stride-minimization", "canonicalize-iterators"):
+            assert name in passes, name
+            assert passes[name]["runs"] >= 1
+            assert passes[name]["wall_time_s"] >= 0.0
+        assert passes["stride-minimization"]["changed"] >= 0
+        assert payload["analysis_misses"] > 0
+
+    def test_schedule_with_pipeline_name_over_http(self, served):
+        _, _, client = served
+        # gemm:a is a single fused nest, so fission changes its canonical
+        # form — the two pipelines must produce distinct schedule entries.
+        status, payload = client.request(
+            "POST", "/v1/schedule",
+            ScheduleRequest(program="gemm:a", pipeline="no-fission").to_dict())
+        assert status == 200
+        response = ScheduleResponse.from_dict(payload)
+        assert response.request.pipeline == "no-fission"
+        assert len(response.program.body) == 1  # not fissioned
+        # The full-pipeline schedule is a fresh (non-cache) response with a
+        # different canonical hash.
+        full = client.schedule("gemm:a")
+        assert not full.from_cache
+        assert full.canonical_hash != response.canonical_hash
+
     def test_duplicate_concurrent_http_requests_coalesce(self, served):
         session, _, client = served
         with ThreadPoolExecutor(max_workers=6) as pool:
