@@ -1,0 +1,249 @@
+#!/usr/bin/env python3
+"""Multi-process serving: warm-traffic throughput and priority scheduling.
+
+Two measurements back the worker-pool design:
+
+* **warm throughput** — the same warm request mix (every registry benchmark,
+  A and B variants, repeated in distinct waves so nothing coalesces) driven
+  through (a) the single-process async service and (b) the service scattered
+  over a :class:`~repro.serving.workers.WorkerPool`.  Warm requests are pure
+  cache hits — hashing, lookups, IR copies — i.e. GIL-bound Python, which is
+  exactly what the process pool parallelizes.  The acceptance bar is **>= 2x
+  at 4 workers**.
+* **priority under saturation** — the queue is flooded with priority-9
+  requests (distinct parameterizations, so each is real work), then
+  priority-0 requests arrive late.  With the service's priority queue the
+  late urgent requests drain first: every priority-0 request must complete
+  before the queued priority-9 tail.
+
+The throughput measurement needs real cores: a process pool parallelizes
+GIL-bound Python, so on a box with fewer than ~4 usable CPUs the workers
+time-slice one core and the pool can only add IPC overhead.  The benchmark
+prints the usable-core count, asserts the 2x bar only where it is
+physically meaningful (>= 4 cores), and reports the measured numbers
+everywhere.
+
+Run: ``PYTHONPATH=src python benchmarks/bench_multiprocess_serving.py``
+(set ``REPRO_BENCH_SMOKE=1`` for a seconds-long CI-sized run).
+"""
+
+import argparse
+import os
+import sys
+import tempfile
+import time
+
+from repro.api import ScheduleRequest, SearchConfig, Session
+from repro.serving import (ServiceConfig, ServiceRunner, WorkerConfig,
+                           WorkerPool)
+from repro.workloads.registry import benchmark_names
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+
+#: Search small enough that cold misses do not dominate the warm phases.
+FAST_SEARCH = SearchConfig(population_size=4, epochs=1,
+                           generations_per_epoch=1)
+
+
+def warm_requests(names, variants=("a", "b")):
+    return [ScheduleRequest(program=f"{name}:{variant}")
+            for name in names for variant in variants]
+
+
+#: Unmeasured waves that populate the cache and reach steady state (hot
+#: layers on every worker; interpreter warm paths) before timing starts.
+WARMUP_WAVES = 1 if SMOKE else 3
+
+
+def drive_waves(runner, requests, waves):
+    """Submit ``waves`` concurrent waves of distinct requests, sequentially.
+
+    Each wave holds no duplicates, so nothing coalesces and every request
+    does real cache work — the waves model distinct user bursts over one
+    warm cache.
+    """
+    for _ in range(WARMUP_WAVES):
+        runner.schedule_many(list(requests))
+    total = 0
+    started = time.perf_counter()
+    for _ in range(waves):
+        responses = runner.schedule_many(list(requests))
+        total += len(responses)
+    elapsed = time.perf_counter() - started
+    return total / elapsed, elapsed, total
+
+
+def measure_single_process(names, waves, threads, cache_path):
+    session = Session(threads=threads, cache_path=cache_path,
+                      search=FAST_SEARCH)
+    requests = warm_requests(names)
+    config = ServiceConfig(batch_window_s=0.002, max_batch_size=64)
+    try:
+        with ServiceRunner(session, config) as runner:
+            runner.schedule_many(list(requests))  # populate the cache
+            return drive_waves(runner, requests, waves)
+    finally:
+        session.close()
+
+
+def measure_pool(names, waves, threads, workers, cache_path):
+    config = WorkerConfig(threads=threads, cache_path=cache_path,
+                          search=FAST_SEARCH)
+    requests = warm_requests(names)
+    service_config = ServiceConfig(batch_window_s=0.002, max_batch_size=64)
+    session = Session(threads=threads)  # coordinator bookkeeping only
+    try:
+        with WorkerPool(workers, config) as pool:
+            with ServiceRunner(session, service_config, pool=pool) as runner:
+                runner.schedule_many(list(requests))  # populate the cache
+                return drive_waves(runner, requests, waves)
+    finally:
+        session.close()
+
+
+def measure_priority(names, threads, workers, cache_path, bulk=24, urgent=6):
+    """Flood with priority-9 work, then submit priority-0 work late; return
+    the completion ranks of both classes."""
+    import threading
+
+    config = WorkerConfig(threads=threads, cache_path=cache_path,
+                          search=FAST_SEARCH)
+    # Small batches keep the queue deep (only one batch is ever in flight,
+    # everything else stays queued and reorderable), so priorities matter.
+    service_config = ServiceConfig(batch_window_s=0.001, max_batch_size=2)
+    session = Session(threads=threads)
+    completions = []
+    lock = threading.Lock()
+
+    def submit(runner, request, tag):
+        runner.schedule(request)
+        with lock:
+            completions.append(tag)
+
+    def distinct(name, index, priority):
+        # Distinct parameters -> distinct cache keys -> real queued work.
+        from repro.workloads.registry import benchmark
+        sizes = dict(benchmark(name.split(":")[0]).sizes("small"))
+        key = sorted(sizes)[0]
+        sizes[key] = sizes[key] + index + 1
+        return ScheduleRequest(program=name, parameters=sizes,
+                               priority=priority)
+
+    try:
+        with WorkerPool(workers, config) as pool:
+            with ServiceRunner(session, service_config, pool=pool) as runner:
+                name = f"{sorted(names)[0]}:a"
+                threads_list = []
+                for index in range(bulk):
+                    thread = threading.Thread(
+                        target=submit, args=(
+                            runner, distinct(name, index, 9), "p9"))
+                    thread.start()
+                    threads_list.append(thread)
+                # Submit the urgent requests mid-flood: wait until the first
+                # batch completed (the batcher is live) while most of the
+                # bulk work is still queued.
+                deadline = time.time() + 60
+                while time.time() < deadline:
+                    with lock:
+                        done = len(completions)
+                    if done >= max(1, bulk // 8):
+                        break
+                    time.sleep(0.005)
+                for index in range(urgent):
+                    thread = threading.Thread(
+                        target=submit, args=(
+                            runner, distinct(name, bulk + index, 0), "p0"))
+                    thread.start()
+                    threads_list.append(thread)
+                for thread in threads_list:
+                    thread.join()
+    finally:
+        session.close()
+    ranks = {"p0": [], "p9": []}
+    for rank, tag in enumerate(completions):
+        ranks[tag].append(rank)
+    return ranks
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--threads", type=int, default=4)
+    parser.add_argument("--waves", type=int, default=2 if SMOKE else 8,
+                        help="measured warm waves over the full request mix")
+    parser.add_argument("--benchmarks", type=int, default=0,
+                        help="limit the registry benchmarks used (0: all)")
+    parser.add_argument("--skip-priority", action="store_true")
+    parser.add_argument("--require-speedup", type=float, default=-1.0,
+                        help="exit non-zero when the pool speedup is below "
+                             "this bar (default: 2.0 when >= 4 usable "
+                             "cores, otherwise report-only)")
+    args = parser.parse_args(argv)
+
+    try:
+        cores = len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        cores = os.cpu_count() or 1
+    if args.require_speedup < 0:
+        # The 2x bar is the acceptance criterion for 4 workers on >= 4
+        # cores; smaller pools (or boxes) can only report.
+        args.require_speedup = 2.0 if (cores >= 4 and args.workers >= 4) \
+            else 0.0
+
+    names = sorted(benchmark_names())
+    if SMOKE and not args.benchmarks:
+        args.benchmarks = 6
+    if args.benchmarks:
+        names = names[:args.benchmarks]
+    mix = len(names) * 2
+    print(f"{len(names)} benchmarks x 2 variants = {mix} distinct warm "
+          f"requests per wave, {args.waves} waves, "
+          f"{cores} usable cores for {args.workers} workers")
+    if cores < 4:
+        print(f"NOTE: only {cores} usable core(s) — the pool time-slices "
+              f"instead of parallelizing here, so the 2x bar is not "
+              f"asserted (it needs >= 4 cores)")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        single_rate, single_s, total = measure_single_process(
+            names, args.waves, args.threads,
+            os.path.join(tmp, "single.sqlite"))
+        print(f"single-process: {single_rate:8.1f} warm req/s "
+              f"({total} requests, {single_s:.3f}s)")
+
+        pool_rate, pool_s, total = measure_pool(
+            names, args.waves, args.threads, args.workers,
+            os.path.join(tmp, "pool.sqlite"))
+        print(f"pool x{args.workers}:       {pool_rate:8.1f} warm req/s "
+              f"({total} requests, {pool_s:.3f}s)")
+        speedup = pool_rate / single_rate
+        print(f"speedup:        {speedup:8.2f}x "
+              f"({args.workers} workers vs in-process service)")
+
+        if not args.skip_priority:
+            ranks = measure_priority(
+                names, args.threads, args.workers,
+                os.path.join(tmp, "priority.sqlite"),
+                bulk=8 if SMOKE else 24, urgent=3 if SMOKE else 6)
+            last_p0 = max(ranks["p0"])
+            last_p9 = max(ranks["p9"])
+            overtaken = sum(1 for rank in ranks["p9"] if rank > last_p0)
+            print(f"priority: {len(ranks['p0'])} late priority-0 requests "
+                  f"finished by completion #{last_p0} "
+                  f"(last priority-9: #{last_p9}; "
+                  f"{overtaken} queued p9 requests overtaken)")
+            if last_p0 >= last_p9:
+                print("priority FAILED: priority-0 did not overtake the "
+                      "queued priority-9 tail", file=sys.stderr)
+                return 1
+
+    if args.require_speedup and speedup < args.require_speedup:
+        print(f"speedup {speedup:.2f}x below the required "
+              f"{args.require_speedup:.2f}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,16 +6,26 @@ The package is organized in layers:
 * :mod:`repro.frontend` — the C-like source frontend (further frontends
   plug in through :func:`repro.api.register_frontend`).
 * :mod:`repro.analysis` — dependence, dataflow, stride and reuse analyses.
-* :mod:`repro.normalization` — the paper's two normalization criteria.
+* :mod:`repro.passes` — the unified pass framework: instrumented passes,
+  pipelines with fixed-point groups, the named-pipeline registry, and
+  memoized per-nest analyses.
+* :mod:`repro.normalization` — the paper's two normalization criteria,
+  packaged as registered pass pipelines.
 * :mod:`repro.transforms` — classical loop transformations and idiom detection.
 * :mod:`repro.interp` — a reference interpreter for semantic validation.
 * :mod:`repro.perf` — the cache/CPU performance-model substrate.
-* :mod:`repro.scheduler` — the daisy auto-scheduler and the baselines.
+* :mod:`repro.scheduler` — the daisy auto-scheduler, the baselines, and the
+  (sharded) transfer-tuning database.
 * :mod:`repro.workloads` — PolyBench A/B variants, NPBench variants, CLOUDSC proxy.
 * :mod:`repro.api` — the unified Session facade: pluggable scheduler and
-  frontend registries, a content-addressed normalization cache, and batch
-  scheduling.  **New code should go through this layer.**
+  frontend registries, a content-addressed normalization cache over
+  pluggable backends, and batch scheduling.  **New code should go through
+  this layer.**
+* :mod:`repro.serving` — the scheduling service: priority queue, admission
+  control, multi-process worker pool, HTTP endpoint, and CLI.
 * :mod:`repro.experiments` — per-figure/table reproduction harnesses.
+
+See ``README.md`` and ``docs/`` for the user-facing documentation.
 """
 
 from .api import (RegistryError, ScheduleRequest, ScheduleResponse, Session,

@@ -13,7 +13,9 @@ hit/miss/eviction accounting.  Two backends ship:
   a small write-through in-memory hot layer keeps repeat lookups cheap.
   The backend distinguishes *memory hits* (served from the hot layer) from
   *disk hits* (decoded from SQLite), which :meth:`repro.api.Session.report`
-  surfaces.
+  surfaces.  The store is safe to share between processes (WAL journal,
+  busy timeout, retried writes, SQL-side recency stamps), which is how the
+  :class:`~repro.serving.workers.WorkerPool` workers share one cache file.
 
 Backends are deliberately ignorant of what they store: the cache layer
 binds ``encode``/``decode`` callables per namespace (:meth:`CacheBackend.bind`)
@@ -26,6 +28,7 @@ import json
 import os
 import sqlite3
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional, Tuple
@@ -36,13 +39,19 @@ Decoder = Callable[[Dict[str, Any]], Any]
 
 @dataclass
 class BackendStats:
-    """Hit/miss/eviction accounting of one backend instance."""
+    """Hit/miss/eviction accounting of one backend instance.
+
+    ``busy_retries`` counts writes that found the store locked by another
+    process and succeeded on a later attempt (only persistent backends
+    shared across processes ever increment it).
+    """
 
     memory_hits: int = 0
     disk_hits: int = 0
     misses: int = 0
     writes: int = 0
     evictions: int = 0
+    busy_retries: int = 0
 
     @property
     def hits(self) -> int:
@@ -55,6 +64,7 @@ class BackendStats:
             "misses": self.misses,
             "writes": self.writes,
             "evictions": self.evictions,
+            "busy_retries": self.busy_retries,
         }
 
 
@@ -157,12 +167,32 @@ class MemoryCacheBackend(CacheBackend):
 
 
 class SQLiteCacheBackend(CacheBackend):
-    """On-disk cache store; entries survive process restarts.
+    """On-disk cache store; entries survive process restarts and may be
+    shared concurrently by several processes.
 
     One table holds every namespace; ``seq`` is a monotonically increasing
     recency stamp (bumped on every hit) that implements LRU eviction without
     wall-clock timestamps.  A bounded write-through hot layer serves repeat
     lookups without touching SQLite or the codec.
+
+    Cross-process safety (one backend per worker of a
+    :class:`~repro.serving.workers.WorkerPool`, all on the same file):
+
+    * the connection runs in **WAL mode** so readers never block the single
+      writer and vice versa (falls back to the default journal silently on
+      filesystems without WAL support),
+    * a **busy timeout** (default 5 s) makes SQLite wait for a competing
+      writer instead of failing immediately, and writes that still find the
+      store locked are retried with backoff
+      (:attr:`BackendStats.busy_retries` counts them),
+    * recency stamps are computed **inside SQL**
+      (``COALESCE(MAX(seq), 0) + 1``) rather than from a per-process
+      counter, so stamps from different processes interleave monotonically
+      and eviction order stays globally consistent.
+
+    The hot layer is per-process by design: an entry written by one process
+    is served to another from disk on first access and from that process's
+    hot layer afterwards.
     """
 
     name = "sqlite"
@@ -177,9 +207,14 @@ class SQLiteCacheBackend(CacheBackend):
             PRIMARY KEY (namespace, key)
         )
     """
+    #: The seq index keeps the SQL-side recency stamps (MAX(seq)+1 per touch
+    #: and insert) and LRU eviction (ORDER BY seq) off full-table scans.
+    _SEQ_INDEX = "CREATE INDEX IF NOT EXISTS cache_seq ON cache(seq)"
+    #: Attempts per write before a persistent lock is surfaced to the caller.
+    _WRITE_ATTEMPTS = 5
 
     def __init__(self, path: str, max_entries: int = 4096,
-                 hot_entries: int = 128):
+                 hot_entries: int = 128, busy_timeout_s: float = 5.0):
         super().__init__()
         self.path = path
         self.max_entries = max_entries
@@ -189,14 +224,41 @@ class SQLiteCacheBackend(CacheBackend):
         directory = os.path.dirname(os.path.abspath(path))
         os.makedirs(directory, exist_ok=True)
         self._conn = sqlite3.connect(path, check_same_thread=False)
-        self._conn.execute(self._SCHEMA)
-        self._conn.commit()
-        row = self._conn.execute("SELECT COALESCE(MAX(seq), 0) FROM cache").fetchone()
-        self._seq = int(row[0])
+        self._conn.execute(f"PRAGMA busy_timeout = {int(busy_timeout_s * 1000)}")
+        # WAL lets concurrent worker processes read while one writes; on
+        # filesystems that refuse it SQLite keeps the rollback journal and
+        # the busy timeout still serializes writers correctly.
+        self._conn.execute("PRAGMA journal_mode = WAL")
+        self._conn.execute("PRAGMA synchronous = NORMAL")
+        self._with_write_retries(self._create_schema)
         self._hot: Dict[str, "OrderedDict[str, Any]"] = {}
-        # Recency updates are buffered here and flushed on the next write
-        # (or close), so cache hits never pay a SQLite write.
-        self._dirty_seq: Dict[Tuple[str, str], int] = {}
+        # Recency updates are buffered here (insertion-ordered) and flushed
+        # on the next write or on close, so cache hits never pay a SQLite
+        # write.  Values are unused; the dict keeps touch order.
+        self._dirty_seq: Dict[Tuple[str, str], None] = {}
+
+    def _create_schema(self) -> None:
+        self._conn.execute(self._SCHEMA)
+        self._conn.execute(self._SEQ_INDEX)
+        self._conn.commit()
+
+    def _with_write_retries(self, operation: Callable[[], None]) -> None:
+        """Run a write transaction, retrying when another process holds the
+        write lock longer than the busy timeout."""
+        delay = 0.05
+        for attempt in range(self._WRITE_ATTEMPTS):
+            try:
+                operation()
+                return
+            except sqlite3.OperationalError as error:
+                self._conn.rollback()
+                message = str(error).lower()
+                locked = "locked" in message or "busy" in message
+                if not locked or attempt == self._WRITE_ATTEMPTS - 1:
+                    raise
+                self.stats.busy_retries += 1
+                time.sleep(delay)
+                delay *= 2
 
     def _codec(self, namespace: str) -> Tuple[Encoder, Decoder]:
         try:
@@ -220,19 +282,23 @@ class SQLiteCacheBackend(CacheBackend):
 
     def _touch(self, namespace: str, key: str) -> None:
         """Record recency in memory; persisted lazily by ``_flush_touches``."""
-        self._seq += 1
-        self._dirty_seq[(namespace, key)] = self._seq
+        # Re-touching moves the key to the back of the flush order.
+        self._dirty_seq.pop((namespace, key), None)
+        self._dirty_seq[(namespace, key)] = None
 
     def _flush_touches(self) -> None:
-        """Write buffered recency updates (called before eviction decisions
-        and on close, so the on-disk LRU order reflects every hit)."""
+        """Write buffered recency updates (called inside a write transaction
+        before eviction decisions and on close, so the on-disk LRU order
+        reflects every hit).  The stamp is computed in SQL so that touches
+        from concurrent processes interleave monotonically.  The caller
+        clears the buffer only after its transaction commits — a busy retry
+        re-runs these updates."""
         if not self._dirty_seq:
             return
         self._conn.executemany(
-            "UPDATE cache SET seq = ? WHERE namespace = ? AND key = ?",
-            [(seq, namespace, key)
-             for (namespace, key), seq in self._dirty_seq.items()])
-        self._dirty_seq.clear()
+            "UPDATE cache SET seq = (SELECT COALESCE(MAX(seq), 0) + 1 FROM cache) "
+            "WHERE namespace = ? AND key = ?",
+            list(self._dirty_seq))
 
     def get(self, namespace: str, key: str) -> Optional[Any]:
         with self._lock:
@@ -254,11 +320,16 @@ class SQLiteCacheBackend(CacheBackend):
                 value = decode(json.loads(row[0]))
             except Exception:
                 # A stale or incompatible payload (e.g. written by an older
-                # schema of the entry types) must not poison the cache.
-                self._conn.execute(
-                    "DELETE FROM cache WHERE namespace = ? AND key = ?",
-                    (namespace, key))
-                self._conn.commit()
+                # schema of the entry types) must not poison the cache.  The
+                # delete is best-effort: losing it to a concurrent writer's
+                # lock only means the stale row is dropped on a later miss.
+                try:
+                    self._conn.execute(
+                        "DELETE FROM cache WHERE namespace = ? AND key = ?",
+                        (namespace, key))
+                    self._conn.commit()
+                except sqlite3.OperationalError:
+                    self._conn.rollback()
                 self.stats.misses += 1
                 return None
             self.stats.disk_hits += 1
@@ -269,35 +340,52 @@ class SQLiteCacheBackend(CacheBackend):
     def put(self, namespace: str, key: str, value: Any) -> None:
         encode, _ = self._codec(namespace)
         payload = json.dumps(encode(value), sort_keys=True)
-        with self._lock:
+
+        victims: "list[str]" = []
+
+        def write() -> None:
+            # A retry re-runs the whole transaction, so nothing here may
+            # mutate Python-side state — that happens after the commit.
+            victims.clear()
             self._flush_touches()
-            self._seq += 1
             self._conn.execute(
                 "INSERT OR REPLACE INTO cache (namespace, key, payload, seq) "
-                "VALUES (?, ?, ?, ?)", (namespace, key, payload, self._seq))
-            self.stats.writes += 1
-            self._remember(namespace, key, value)
-            self._evict(namespace)
+                "VALUES (?, ?, ?, (SELECT COALESCE(MAX(seq), 0) + 1 FROM cache))",
+                (namespace, key, payload))
+            victims.extend(self._evict(namespace))
             self._conn.commit()
 
-    def _evict(self, namespace: str) -> None:
+        with self._lock:
+            self._with_write_retries(write)
+            self._dirty_seq.clear()
+            self.stats.writes += 1
+            hot = self._hot_store(namespace)
+            for victim in victims:
+                hot.pop(victim, None)
+                self.stats.evictions += 1
+            self._remember(namespace, key, value)
+
+    def _evict(self, namespace: str) -> "list[str]":
+        """Delete the LRU excess of one namespace; returns the victim keys.
+
+        Runs inside the write transaction and touches only SQLite state
+        (a busy retry rolls the deletes back and re-runs them); the caller
+        updates stats and the hot layer after the commit succeeds.
+        """
         count = self._conn.execute(
             "SELECT COUNT(*) FROM cache WHERE namespace = ?",
             (namespace,)).fetchone()[0]
         excess = count - self.max_entries
         if excess <= 0:
-            return
-        victims = self._conn.execute(
+            return []
+        victims = [key for (key,) in self._conn.execute(
             "SELECT key FROM cache WHERE namespace = ? ORDER BY seq ASC LIMIT ?",
-            (namespace, excess)).fetchall()
-        hot = self._hot_store(namespace)
-        for (key,) in victims:
+            (namespace, excess))]
+        for key in victims:
             self._conn.execute(
                 "DELETE FROM cache WHERE namespace = ? AND key = ?",
                 (namespace, key))
-            hot.pop(key, None)
-            self._dirty_seq.pop((namespace, key), None)
-            self.stats.evictions += 1
+        return victims
 
     def sizes(self) -> Dict[str, int]:
         with self._lock:
@@ -306,19 +394,30 @@ class SQLiteCacheBackend(CacheBackend):
             return {namespace: count for namespace, count in rows}
 
     def clear(self) -> None:
-        with self._lock:
+        def wipe() -> None:
             self._conn.execute("DELETE FROM cache")
             self._conn.commit()
+
+        with self._lock:
+            self._with_write_retries(wipe)
             self._hot.clear()
             self._dirty_seq.clear()
 
     def close(self) -> None:
+        def flush() -> None:
+            self._flush_touches()
+            self._conn.commit()
+
         with self._lock:
             # Idempotent: Session.close() documents that a second close is a
             # no-op, and sqlite3 raises on operating on a closed connection.
             if self._closed:
                 return
             self._closed = True
-            self._flush_touches()
-            self._conn.commit()
+            try:
+                self._with_write_retries(flush)
+            except sqlite3.OperationalError:
+                # Recency stamps are advisory; never fail a close over them.
+                pass
+            self._dirty_seq.clear()
             self._conn.close()

@@ -4,8 +4,10 @@ The cache has two levels, both keyed by content hashes
 (:mod:`repro.api.hashing`) and safe to share across the threads of a
 :meth:`repro.api.Session.schedule_batch` fan-out:
 
-* **normalization level** — ``hash(program as written) -> normalized program``.
-  Re-scheduling the same program skips fission + stride minimization.
+* **normalization level** — ``hash(program as written, pipeline identity,
+  parameters) -> normalized program``.  Re-scheduling the same program
+  skips fission + stride minimization; results from one pipeline (e.g. the
+  ``"no-fission"`` ablation) are never served for another.
 * **schedule level** — ``hash(canonical form) -> scheduled program``.
   Because a-priori normalization maps equivalent variants onto one canonical
   form, scheduling the B variant of a benchmark after the A variant (or GEMM

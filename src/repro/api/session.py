@@ -19,7 +19,10 @@ Typical use::
 
 ``schedule_batch`` fans a list of workloads through a thread pool sharing
 the same cache and database, which is the seam every scaling feature
-(sharding, async serving, multi-backend) plugs into.
+(sharding, async serving, multi-backend) plugs into; the serving layer's
+multi-process :class:`~repro.serving.workers.WorkerPool` is its
+process-level analogue, one session per worker over one shared SQLite
+cache file.
 """
 
 from __future__ import annotations
@@ -533,6 +536,7 @@ class Session:
                 cache_memory_hits=backend.stats.memory_hits,
                 cache_disk_hits=backend.stats.disk_hits,
                 cache_writes=backend.stats.writes,
+                cache_busy_retries=backend.stats.busy_retries,
                 coalesced_requests=self._coalesced_requests,
                 database_shards=list(shard_sizes()) if callable(shard_sizes) else [],
                 normalization_passes=self.cache.pass_stats.to_dict(),

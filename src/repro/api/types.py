@@ -20,6 +20,12 @@ from ..scheduler.base import ScheduleResult
 #: workload-registry name (optionally suffixed ``:a`` / ``:b`` / ``:npbench``).
 ProgramLike = Union[Program, str]
 
+#: The priority scale of :attr:`ScheduleRequest.priority`: 0 is the most
+#: urgent, 9 the least.  A serving queue drains strictly in this order.
+HIGHEST_PRIORITY = 0
+LOWEST_PRIORITY = 9
+DEFAULT_PRIORITY = 5
+
 
 @dataclass
 class ScheduleRequest:
@@ -31,6 +37,14 @@ class ScheduleRequest:
     registry metadata says").  ``pipeline`` selects a registered
     normalization pipeline by name for this request (``"a-priori"``,
     ``"no-fission"``, ...; ``None`` uses the session's configuration).
+
+    ``priority`` and ``client`` only matter to a serving layer: priorities
+    run 0 (most urgent) through 9 (least, the default is
+    :data:`DEFAULT_PRIORITY`), and a serving queue drains strictly in
+    priority order (FIFO within one priority).  ``client`` is an opaque
+    caller identity used for per-client admission control; neither field
+    affects the scheduling outcome, so they are excluded from coalescing
+    fingerprints and cache keys.
     """
 
     program: ProgramLike
@@ -41,6 +55,8 @@ class ScheduleRequest:
     normalize: Optional[bool] = None
     tune: bool = False
     pipeline: Optional[str] = None
+    priority: int = DEFAULT_PRIORITY
+    client: Optional[str] = None
 
     def to_dict(self) -> Dict[str, Any]:
         program = self.program
@@ -55,6 +71,8 @@ class ScheduleRequest:
             "normalize": self.normalize,
             "tune": self.tune,
             "pipeline": self.pipeline,
+            "priority": self.priority,
+            "client": self.client,
         }
 
     @staticmethod
@@ -62,6 +80,8 @@ class ScheduleRequest:
         program = data["program"]
         if isinstance(program, Mapping):
             program = program_from_dict(dict(program))
+        # An explicit JSON null priority means "the default", not int(None).
+        priority = data.get("priority")
         return ScheduleRequest(
             program=program,
             parameters=data.get("parameters"),
@@ -71,6 +91,8 @@ class ScheduleRequest:
             normalize=data.get("normalize"),
             tune=bool(data.get("tune", False)),
             pipeline=data.get("pipeline"),
+            priority=DEFAULT_PRIORITY if priority is None else int(priority),
+            client=data.get("client"),
         )
 
 
@@ -168,7 +190,9 @@ class SessionReport:
     ``cache_backend`` names the storage backend of the normalization cache;
     ``cache_memory_hits`` / ``cache_disk_hits`` split backend hits between
     the in-process layer and persistent storage (disk hits only occur on
-    persistent backends).  ``coalesced_requests`` counts requests a serving
+    persistent backends), and ``cache_busy_retries`` counts writes that
+    found the store locked by another process and had to retry — the
+    contention signal of a cache file shared across worker processes.  ``coalesced_requests`` counts requests a serving
     layer merged into an identical in-flight request instead of scheduling
     them again, and ``database_shards`` lists per-shard entry counts when
     the tuning database is sharded (empty for the unsharded database).
@@ -196,6 +220,7 @@ class SessionReport:
     cache_memory_hits: int = 0
     cache_disk_hits: int = 0
     cache_writes: int = 0
+    cache_busy_retries: int = 0
     coalesced_requests: int = 0
     database_shards: List[int] = field(default_factory=list)
     normalization_passes: Dict[str, Dict[str, float]] = field(default_factory=dict)
@@ -219,6 +244,7 @@ class SessionReport:
             "cache_memory_hits": self.cache_memory_hits,
             "cache_disk_hits": self.cache_disk_hits,
             "cache_writes": self.cache_writes,
+            "cache_busy_retries": self.cache_busy_retries,
             "coalesced_requests": self.coalesced_requests,
             "database_shards": list(self.database_shards),
             "normalization_passes": {name: dict(entry) for name, entry

@@ -7,7 +7,12 @@ The two normalization criteria of Section 2:
   minimal stride cost,
 
 plus loop normal form and canonical iterator renaming, combined in
-:func:`normalize` (the pipeline of Figure 5).
+:func:`normalize` (the pipeline of Figure 5).  The stages run as
+instrumented :mod:`repro.passes` pipelines selected by registered name
+(``"a-priori"`` and its ablations — see ``docs/pipelines.md``);
+:class:`NormalizationOptions` is a thin constructor over those pipeline
+specs, and :class:`PassManager` survives only as a deprecation shim over
+:class:`repro.passes.FixedPoint`.
 """
 
 from .fission import (FissionReport, fission_loop, fission_sweep,

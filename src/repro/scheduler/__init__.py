@@ -1,4 +1,8 @@
-"""Auto-schedulers: daisy plus every baseline the paper compares against."""
+"""Auto-schedulers: daisy plus every baseline the paper compares against,
+and the transfer-tuning database they share — unsharded
+(:class:`TuningDatabase`) or partitioned by embedding hash
+(:class:`ShardedTuningDatabase`, the layout multi-process serving maps one
+shard per worker)."""
 
 from .base import (NestScheduleInfo, ScheduleResult, Scheduler,
                    retarget_recipe)

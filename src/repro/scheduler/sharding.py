@@ -130,6 +130,30 @@ class ShardedTuningDatabase:
                 sizes.append(len(self._shards[index]))
         return sizes
 
+    def shard(self, index: int) -> TuningDatabase:
+        """A copy of one shard as a standalone :class:`TuningDatabase`.
+
+        This is the deployment seam of a multi-process (or multi-machine)
+        worker pool: worker ``i`` of ``num_shards`` workers holds exactly
+        ``shard(i)``, and gathered tuning results are routed back through
+        :func:`embedding_shard` / :meth:`add_entries` — see
+        :class:`repro.serving.workers.WorkerPool`.
+        """
+        if not 0 <= index < self.num_shards:
+            raise IndexError(
+                f"shard index {index} out of range for {self.num_shards} shards")
+        with self._locks[index]:
+            return TuningDatabase(list(self._shards[index].entries))
+
+    def add_entries(self, entries: Iterable[DatabaseEntry]) -> int:
+        """Merge entries (e.g. gathered from workers after tuning) into the
+        shards their embeddings hash to; returns how many were added."""
+        count = 0
+        for entry in entries:
+            self.add_entry(entry)
+            count += 1
+        return count
+
     def merged(self) -> TuningDatabase:
         """The equivalent unsharded database (a copy)."""
         return TuningDatabase(self.entries)

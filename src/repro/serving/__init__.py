@@ -2,12 +2,19 @@
 
 The subsystem layers onto :mod:`repro.api` without changing it:
 
-* :class:`SchedulingService` / :class:`ServiceRunner` — asyncio request
-  queue, micro-batching over ``Session.schedule_batch``, and coalescing of
-  identical in-flight requests by content hash.
+* :class:`SchedulingService` / :class:`ServiceRunner` — asyncio priority
+  queue (``ScheduleRequest.priority``, 0 most urgent), admission control
+  (:class:`AdmissionController` sheds load with a typed
+  :class:`AdmissionError`), micro-batching over ``Session.schedule_batch``,
+  and coalescing of identical in-flight requests by content hash.
+* :class:`WorkerPool` / :class:`WorkerConfig` — a multi-process worker pool
+  where every worker holds its own Session over one shared SQLite cache
+  file and one tuning-database shard; the service scatters its
+  micro-batches over the pool when one is attached (``serve --workers N``).
 * :class:`ServingServer` / :class:`ServingClient` — a stdlib JSON-over-HTTP
   endpoint plus its client, speaking the existing
-  ``ScheduleRequest`` / ``ScheduleResponse`` round-trips.
+  ``ScheduleRequest`` / ``ScheduleResponse`` round-trips (load shedding
+  surfaces as ``429`` with a ``Retry-After`` hint).
 * persistence is provided by the pluggable cache backends
   (:class:`repro.api.SQLiteCacheBackend`) and the sharded tuning database
   (:class:`repro.api.ShardedTuningDatabase`); the ``python -m repro.serving``
@@ -16,11 +23,17 @@ The subsystem layers onto :mod:`repro.api` without changing it:
 
 from .client import ServingClient, ServingError
 from .http import ServingServer
-from .service import (SchedulingService, ServiceConfig, ServiceRunner,
+from .service import (AdmissionController, AdmissionError, AdmissionStats,
+                      SchedulingService, ServiceConfig, ServiceRunner,
                       ServiceStats, request_fingerprint)
+from .workers import (PoolStats, WorkerConfig, WorkerError, WorkerPool,
+                      merge_worker_reports)
 
 __all__ = [
     "SchedulingService", "ServiceConfig", "ServiceRunner", "ServiceStats",
+    "AdmissionController", "AdmissionError", "AdmissionStats",
     "request_fingerprint",
+    "WorkerPool", "WorkerConfig", "WorkerError", "PoolStats",
+    "merge_worker_reports",
     "ServingServer", "ServingClient", "ServingError",
 ]

@@ -2,7 +2,11 @@
 
 Subcommands:
 
-* ``serve``      — boot the JSON-over-HTTP scheduling service.
+* ``serve``      — boot the JSON-over-HTTP scheduling service;
+  ``--workers N`` serves through a multi-process
+  :class:`~repro.serving.workers.WorkerPool` sharing one SQLite cache, and
+  ``--max-queue-depth`` / ``--max-client-inflight`` configure admission
+  control (load shedding with HTTP 429).
 * ``warm-cache`` — populate a persistent SQLite cache with the registry
   workloads so a later ``serve`` starts hot; ``--pipeline`` selects the
   registry-named normalization pipeline and ``--report-json`` dumps the
@@ -26,6 +30,7 @@ from ..scheduler.sharding import (DEFAULT_NUM_SHARDS, ShardedTuningDatabase)
 from ..workloads.registry import benchmark_names
 from .http import ServingServer
 from .service import ServiceConfig
+from .workers import WorkerConfig, WorkerPool
 
 
 def _session_arguments(parser: argparse.ArgumentParser) -> None:
@@ -67,11 +72,12 @@ def _load_database(path: Optional[str], shards: int):
     return database
 
 
-def _build_session(args: argparse.Namespace) -> Session:
+def _build_session(args: argparse.Namespace, database=None) -> Session:
+    if database is None:
+        database = _load_database(args.db_path, args.shards)
     return Session(threads=args.threads, scheduler=args.scheduler,
                    size=args.size, cache_path=args.cache_path,
-                   pipeline=args.pipeline,
-                   database=_load_database(args.db_path, args.shards))
+                   pipeline=args.pipeline, database=database)
 
 
 def _format_pass_timings(report) -> str:
@@ -90,21 +96,45 @@ def _format_pass_timings(report) -> str:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    session = _build_session(args)
     config = ServiceConfig(max_batch_size=args.max_batch,
-                           batch_window_s=args.batch_window)
-    server = ServingServer(session, host=args.host, port=args.port,
-                           config=config)
-    server.start()
-    print(f"serving on {server.address} "
-          f"(scheduler={args.scheduler}, threads={args.threads}, "
-          f"cache={'sqlite:' + args.cache_path if args.cache_path else 'memory'}, "
-          f"database={len(session.database)} entries)")
+                           batch_window_s=args.batch_window,
+                           max_queue_depth=args.max_queue_depth,
+                           max_client_inflight=args.max_client_inflight)
+    pool = None
+    session = None
     try:
+        if args.workers > 0:
+            worker_config = WorkerConfig(
+                scheduler=args.scheduler, threads=args.threads, size=args.size,
+                pipeline=args.pipeline, cache_path=args.cache_path)
+            pool = WorkerPool(args.workers, worker_config,
+                              database=_load_database(
+                                  args.db_path, args.shards or args.workers))
+            pool.start()
+            # The coordinator session does coalescing bookkeeping and
+            # reporting; all scheduling happens in the pool.  It shares the
+            # pool's sharded database view and (via WAL) the same cache file.
+            session = _build_session(args, database=pool.database)
+        else:
+            session = _build_session(args)
+        server = ServingServer(session, host=args.host, port=args.port,
+                               config=config, pool=pool)
+        server.start()
+        print(f"serving on {server.address} "
+              f"(scheduler={args.scheduler}, threads={args.threads}, "
+              f"workers={args.workers or 'in-process'}, "
+              f"cache={'sqlite:' + args.cache_path if args.cache_path else 'memory'}, "
+              f"database={len(session.database)} entries, "
+              f"queue-depth={args.max_queue_depth})", flush=True)
         server.serve_forever()
     finally:
-        # Flush buffered cache recency and close the backend connection.
-        session.close()
+        # Reached on a clean shutdown *and* on boot failures (port in use,
+        # bad session config): flush buffered cache recency, close the
+        # backend connection, and stop the worker processes.
+        if pool is not None:
+            pool.close()
+        if session is not None:
+            session.close()
     return 0
 
 
@@ -173,6 +203,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="largest micro-batch per schedule_batch call")
     serve.add_argument("--batch-window", type=float, default=0.01,
                        help="seconds the batcher waits for stragglers")
+    serve.add_argument("--workers", type=int, default=0,
+                       help="serve through N worker processes sharing the "
+                            "cache (0: schedule in-process)")
+    serve.add_argument("--max-queue-depth", type=int, default=256,
+                       help="shed load (HTTP 429) beyond this many queued "
+                            "requests (0: unbounded)")
+    serve.add_argument("--max-client-inflight", type=int, default=0,
+                       help="per-client in-flight request limit "
+                            "(0: unlimited)")
     serve.set_defaults(func=_cmd_serve)
 
     warm = commands.add_parser(

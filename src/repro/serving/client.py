@@ -10,6 +10,7 @@ from __future__ import annotations
 import json
 import urllib.error
 import urllib.request
+from dataclasses import replace
 from typing import Any, Dict, Mapping, Optional, Tuple, Union
 
 from ..api.types import ProgramLike, ScheduleRequest, ScheduleResponse
@@ -69,10 +70,30 @@ class ServingClient:
     def schedule(self, program: Union[ScheduleRequest, ProgramLike],
                  parameters: Optional[Mapping[str, int]] = None,
                  scheduler: Optional[str] = None,
-                 threads: Optional[int] = None) -> ScheduleResponse:
-        """Schedule one program through the service."""
-        if not isinstance(program, ScheduleRequest):
-            program = ScheduleRequest(program=program, parameters=parameters,
-                                      scheduler=scheduler, threads=threads)
-        payload = self._checked("POST", "/v1/schedule", program.to_dict())
+                 threads: Optional[int] = None,
+                 priority: Optional[int] = None,
+                 client: Optional[str] = None) -> ScheduleResponse:
+        """Schedule one program through the service.
+
+        ``priority`` (0 most urgent .. 9) and ``client`` (an opaque identity
+        the server's admission control may rate-limit on) are serving-layer
+        hints; a saturated server answers 429, raised here as a
+        :class:`ServingError` with ``status == 429``.  When a ready
+        :class:`ScheduleRequest` is passed, explicit ``priority=`` /
+        ``client=`` arguments override its fields (on a copy).
+        """
+        if isinstance(program, ScheduleRequest):
+            overrides = {}
+            if priority is not None:
+                overrides["priority"] = priority
+            if client is not None:
+                overrides["client"] = client
+            request = replace(program, **overrides) if overrides else program
+        else:
+            request = ScheduleRequest(program=program, parameters=parameters,
+                                      scheduler=scheduler, threads=threads,
+                                      client=client)
+            if priority is not None:
+                request.priority = priority
+        payload = self._checked("POST", "/v1/schedule", request.to_dict())
         return ScheduleResponse.from_dict(payload)

@@ -3,11 +3,17 @@
 Routes:
 
 * ``GET  /healthz``     — liveness: ``{"status": "ok"}``.
-* ``GET  /v1/report``   — session counters plus service stats.
+* ``GET  /v1/report``   — session counters plus service and admission
+  stats; with an attached worker pool, coordinator pool counters too, and
+  ``?workers=1`` additionally scatter-gathers every worker's session report
+  (slower — it rendezvouses with all worker processes).
 * ``POST /v1/schedule`` — body: a :class:`~repro.api.ScheduleRequest` dict
-  (``{"program": "gemm:b"}`` at its simplest); response: the
+  (``{"program": "gemm:b"}`` at its simplest, optionally with ``priority``
+  0-9 and an opaque ``client`` identity); response: the
   :class:`~repro.api.ScheduleResponse` dict.  Identical concurrent requests
-  are coalesced; repeats are cache hits.
+  are coalesced; repeats are cache hits.  When the service sheds load
+  (queue full or per-client limit) the reply is ``429 Too Many Requests``
+  with a ``Retry-After`` header and a machine-readable ``reason``.
 
 The handler threads of :class:`ThreadingHTTPServer` block on the
 :class:`~repro.serving.service.ServiceRunner`, whose event loop performs the
@@ -23,11 +29,15 @@ import json
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
 
 from ..api.session import Session
-from ..api.types import ScheduleRequest
-from .service import ServiceConfig, ServiceRunner
+from ..api.types import (HIGHEST_PRIORITY, LOWEST_PRIORITY, ScheduleRequest)
+from .service import AdmissionError, ServiceConfig, ServiceRunner
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .workers import WorkerPool
 
 #: Largest accepted request body (16 MiB guards against runaway programs).
 MAX_BODY_BYTES = 16 * 1024 * 1024
@@ -39,12 +49,19 @@ MAX_REQUEST_THREADS = 256
 
 
 class ServingServer:
-    """The HTTP front of one session + async scheduling service."""
+    """The HTTP front of one session + async scheduling service.
+
+    ``pool`` optionally attaches a :class:`~repro.serving.workers.WorkerPool`
+    whose processes serve the micro-batches; the server reports through it
+    but does not own it — whoever created the pool closes it.
+    """
 
     def __init__(self, session: Session, host: str = "127.0.0.1",
-                 port: int = 0, config: Optional[ServiceConfig] = None):
+                 port: int = 0, config: Optional[ServiceConfig] = None,
+                 pool: "Optional[WorkerPool]" = None):
         self.session = session
-        self.runner = ServiceRunner(session, config)
+        self.pool = pool
+        self.runner = ServiceRunner(session, config, pool=pool)
         handler = _make_handler(self)
         self._httpd = ThreadingHTTPServer((host, port), handler)
         self._thread: Optional[threading.Thread] = None
@@ -110,12 +127,24 @@ class ServingServer:
         return 200, {"status": "ok",
                      "uptime_s": round(time.monotonic() - self._started_at, 3)}
 
-    def handle_report(self) -> Tuple[int, Dict[str, Any]]:
+    def handle_report(self, include_workers: bool = False
+                      ) -> Tuple[int, Dict[str, Any]]:
         payload = self.session.report().to_dict()
         payload["service"] = self.runner.stats.to_dict()
+        payload["admission"] = self.runner.service.admission.stats.to_dict()
+        if self.pool is not None:
+            if include_workers:
+                # Full scatter-gather: one session report per worker process
+                # plus the merged aggregate (may block while busy workers
+                # reach the rendezvous barrier).
+                payload["pool"] = self.pool.report()
+            else:
+                payload["pool"] = {"num_workers": self.pool.num_workers,
+                                   **self.pool.stats.to_dict()}
         return 200, payload
 
-    def handle_schedule(self, body: Dict[str, Any]) -> Tuple[int, Dict[str, Any]]:
+    def handle_schedule(self, body: Dict[str, Any]
+                        ) -> "Tuple[int, Dict[str, Any] | str]":
         try:
             request = ScheduleRequest.from_dict(body)
         except (KeyError, TypeError, ValueError) as error:
@@ -125,8 +154,17 @@ class ServingServer:
                 and 1 <= request.threads <= MAX_REQUEST_THREADS):
             return 400, {"error": f"threads must be an integer in "
                                   f"[1, {MAX_REQUEST_THREADS}]"}
+        if not HIGHEST_PRIORITY <= request.priority <= LOWEST_PRIORITY:
+            return 400, {"error": f"priority must be an integer in "
+                                  f"[{HIGHEST_PRIORITY}, {LOWEST_PRIORITY}] "
+                                  f"({HIGHEST_PRIORITY} most urgent)"}
         try:
             response = self.runner.schedule(request)
+        except AdmissionError as error:
+            # Load shedding is not a client mistake: 429 plus a retry hint,
+            # so well-behaved clients back off instead of hammering.
+            return 429, {"error": str(error), "reason": error.reason,
+                         "retry_after_s": error.retry_after_s}
         except (ValueError, TypeError, KeyError) as error:
             # Unknown workloads/schedulers raise RegistryError (a KeyError):
             # the request was malformed, not the server.
@@ -138,6 +176,12 @@ class ServingServer:
             return 503, {"error": "server is shutting down"}
         except Exception as error:  # noqa: BLE001 - surfaced as HTTP 500
             return 500, {"error": f"{type(error).__name__}: {error}"}
+        # Pool responses arrive as pre-encoded JSON text (the worker process
+        # serialized them); reply with those bytes verbatim instead of
+        # re-encoding on the handler thread.
+        encode = getattr(response, "to_json", None)
+        if encode is not None:
+            return 200, encode()
         return 200, response.to_dict()
 
 
@@ -153,12 +197,20 @@ def _make_handler(server: ServingServer):
         def log_message(self, format: str, *args: Any) -> None:
             pass  # quiet by default; traffic is visible through /v1/report
 
-        def _reply(self, status: int, payload: Dict[str, Any],
+        def _reply(self, status: int, payload: "Dict[str, Any] | str",
                    close: bool = False) -> None:
-            body = json.dumps(payload).encode("utf-8")
+            # A str payload is pre-encoded JSON (the worker-pool fast path).
+            body = (payload if isinstance(payload, str)
+                    else json.dumps(payload)).encode("utf-8")
             self.send_response(status)
             self.send_header("Content-Type", "application/json")
             self.send_header("Content-Length", str(len(body)))
+            if status == 429 and isinstance(payload, dict) \
+                    and "retry_after_s" in payload:
+                # Retry-After takes whole seconds; round sub-second hints up
+                # so "0" never tells clients to hammer immediately.
+                self.send_header("Retry-After",
+                                 str(max(1, round(payload["retry_after_s"]))))
             if close:
                 # The request body was not consumed: keeping the connection
                 # alive would desync HTTP/1.1 (unread bytes parse as the
@@ -169,10 +221,14 @@ def _make_handler(server: ServingServer):
             self.wfile.write(body)
 
         def do_GET(self) -> None:  # noqa: N802 - http.server API
-            if self.path == "/healthz":
+            parts = urlsplit(self.path)
+            if parts.path == "/healthz":
                 self._reply(*server.handle_healthz())
-            elif self.path == "/v1/report":
-                self._reply(*server.handle_report())
+            elif parts.path == "/v1/report":
+                query = parse_qs(parts.query)
+                flag = query.get("workers", [""])[-1].strip().lower()
+                include_workers = flag in ("1", "true", "yes", "on")
+                self._reply(*server.handle_report(include_workers))
             else:
                 self._reply(404, {"error": f"unknown path {self.path!r}"})
 

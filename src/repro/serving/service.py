@@ -3,17 +3,26 @@
 :class:`SchedulingService` turns a :class:`~repro.api.Session` into an async
 request processor:
 
-* **request queue** — ``schedule()`` coroutines enqueue their request and
-  await a future; a single batcher task drains the queue.
+* **priority queue** — ``schedule()`` coroutines enqueue their request and
+  await a future; a single batcher task drains the queue strictly in
+  :attr:`~repro.api.ScheduleRequest.priority` order (0 most urgent, FIFO
+  within one priority), so urgent requests overtake queued bulk traffic.
+* **admission control** — an :class:`AdmissionController` sheds load before
+  it queues: a bounded queue depth and optional per-client in-flight limits
+  reject excess requests with a typed :class:`AdmissionError` (the HTTP
+  layer maps it to ``429 Too Many Requests`` with a retry hint).
 * **micro-batching** — the batcher collects up to
   :attr:`ServiceConfig.max_batch_size` requests (waiting at most
   :attr:`ServiceConfig.batch_window_s` for stragglers) and runs them through
-  :meth:`repro.api.Session.schedule_batch` in a worker thread, so one cache
-  and one tuning database serve the whole batch.
+  :meth:`repro.api.Session.schedule_batch` in a worker thread — or scatters
+  them over a :class:`~repro.serving.workers.WorkerPool` when one is
+  attached — so one cache and one tuning database serve the whole batch.
 * **coalescing** — identical in-flight requests (same program content hash,
   parameters, scheduler, threads, normalize flag) share one future: burst
   duplicates cost a single scheduler invocation, counted on
-  ``Session.report().coalesced_requests``.
+  ``Session.report().coalesced_requests``.  Priority and client identity do
+  not split the coalescing key — they affect queue order and admission, not
+  the scheduling outcome.
 
 :class:`ServiceRunner` hosts the service on an event loop in a background
 thread and exposes a blocking ``schedule()`` for synchronous callers (the
@@ -25,12 +34,15 @@ from __future__ import annotations
 import asyncio
 import threading
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from ..api.hashing import fingerprint, program_content_hash
 from ..api.session import Session
 from ..api.types import ScheduleRequest, ScheduleResponse
 from ..ir.nodes import Program
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (workers use api)
+    from .workers import WorkerPool
 
 
 @dataclass
@@ -43,6 +55,16 @@ class ServiceConfig:
     batch_window_s: float = 0.01
     #: Thread-pool width of each ``schedule_batch`` call (None: session default).
     max_workers: Optional[int] = None
+    #: Most requests allowed in the service queue before load shedding
+    #: rejects new arrivals.  0 (the default) is unbounded — identical to
+    #: the pre-admission behavior, so existing programmatic consumers are
+    #: unaffected; the ``serve`` CLI applies an ops default of 256.
+    max_queue_depth: int = 0
+    #: Most in-flight requests per ``ScheduleRequest.client`` identity
+    #: (0: unlimited; requests without a client are never client-limited).
+    max_client_inflight: int = 0
+    #: Retry hint attached to admission rejections (HTTP ``Retry-After``).
+    retry_after_s: float = 0.05
 
 
 @dataclass
@@ -54,6 +76,7 @@ class ServiceStats:
     batches: int = 0
     scheduled: int = 0
     errors: int = 0
+    rejected: int = 0
     largest_batch: int = 0
 
     def to_dict(self) -> Dict[str, int]:
@@ -63,8 +86,105 @@ class ServiceStats:
             "batches": self.batches,
             "scheduled": self.scheduled,
             "errors": self.errors,
+            "rejected": self.rejected,
             "largest_batch": self.largest_batch,
         }
+
+
+class AdmissionError(RuntimeError):
+    """A request the service refused to queue (load shedding).
+
+    ``reason`` is machine-readable (``"queue-full"`` or ``"client-limit"``)
+    and ``retry_after_s`` hints when retrying is sensible; the HTTP layer
+    turns both into a ``429`` response with a ``Retry-After`` header.
+    """
+
+    def __init__(self, reason: str, message: str, retry_after_s: float):
+        super().__init__(message)
+        self.reason = reason
+        self.retry_after_s = retry_after_s
+
+
+@dataclass
+class AdmissionStats:
+    """What the admission controller decided since the service started."""
+
+    admitted: int = 0
+    rejected_queue_full: int = 0
+    rejected_client_limit: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "admitted": self.admitted,
+            "rejected_queue_full": self.rejected_queue_full,
+            "rejected_client_limit": self.rejected_client_limit,
+        }
+
+
+class AdmissionController:
+    """Decides whether a request may enter the service queue.
+
+    Two independent limits, both configured on :class:`ServiceConfig`:
+
+    * **queue depth** — once ``max_queue_depth`` requests are queued, new
+      *work-creating* requests are shed.  Coalescing riders are exempt: a
+      rider attaches to an in-flight schedule and adds nothing to the queue,
+      so rejecting it would shed load the service has already accepted.
+    * **per-client in-flight** — at most ``max_client_inflight`` requests
+      (queued, running, or riding) per :attr:`ScheduleRequest.client`
+      identity, so one client cannot monopolize the queue.  Requests that
+      carry no client identity are not client-limited.
+
+    All calls happen on the service's event loop, so the controller needs no
+    locking; its counters are plain ints safe to read from other threads.
+    """
+
+    def __init__(self, config: ServiceConfig):
+        self.config = config
+        self.stats = AdmissionStats()
+        self._client_inflight: Dict[str, int] = {}
+
+    def admit(self, request: ScheduleRequest, queue_depth: int,
+              rider: bool) -> None:
+        """Admit or raise :class:`AdmissionError`; admitted requests must be
+        paired with exactly one :meth:`release`."""
+        config = self.config
+        client = request.client
+        if client is not None and config.max_client_inflight > 0:
+            inflight = self._client_inflight.get(client, 0)
+            if inflight >= config.max_client_inflight:
+                self.stats.rejected_client_limit += 1
+                raise AdmissionError(
+                    "client-limit",
+                    f"client {client!r} already has {inflight} requests "
+                    f"in flight (limit {config.max_client_inflight})",
+                    config.retry_after_s)
+        if not rider and config.max_queue_depth > 0 \
+                and queue_depth >= config.max_queue_depth:
+            self.stats.rejected_queue_full += 1
+            raise AdmissionError(
+                "queue-full",
+                f"service queue is full ({queue_depth} requests, "
+                f"limit {config.max_queue_depth})",
+                config.retry_after_s)
+        self.stats.admitted += 1
+        if client is not None:
+            self._client_inflight[client] = \
+                self._client_inflight.get(client, 0) + 1
+
+    def release(self, request: ScheduleRequest) -> None:
+        """Return an admitted request's per-client slot."""
+        client = request.client
+        if client is None:
+            return
+        remaining = self._client_inflight.get(client, 0) - 1
+        if remaining > 0:
+            self._client_inflight[client] = remaining
+        else:
+            self._client_inflight.pop(client, None)
+
+    def client_inflight(self, client: str) -> int:
+        return self._client_inflight.get(client, 0)
 
 
 def request_fingerprint(request: ScheduleRequest) -> str:
@@ -98,22 +218,52 @@ def request_fingerprint(request: ScheduleRequest) -> str:
 
 @dataclass
 class _Pending:
-    """One queued request plus the future its submitters await."""
+    """One queued request plus the future its submitters await.
+
+    ``best_priority`` tracks the most urgent priority any coalesced rider
+    has contributed; ``claimed`` marks the entry once a batch picked it up,
+    so stale duplicate queue entries (left behind by re-prioritization) are
+    skipped on pop.
+    """
 
     key: str
     request: ScheduleRequest
     future: "asyncio.Future[ScheduleResponse]" = field(repr=False, default=None)
+    best_priority: int = 0
+    claimed: bool = False
 
 
 class SchedulingService:
-    """Async facade over one session: queue, micro-batching, coalescing."""
+    """Async facade over one session: priority queue, admission control,
+    micro-batching, coalescing.
 
-    def __init__(self, session: Session, config: Optional[ServiceConfig] = None):
+    ``pool`` optionally attaches a :class:`~repro.serving.workers.WorkerPool`:
+    micro-batches are then scattered over worker processes instead of the
+    session's thread pool, with identical queueing/coalescing/error
+    semantics (the pool's ``schedule_batch`` has the same in-band-exception
+    contract as ``Session.schedule_batch(return_exceptions=True)``).
+    """
+
+    def __init__(self, session: Session, config: Optional[ServiceConfig] = None,
+                 pool: "Optional[WorkerPool]" = None):
         self.session = session
         self.config = config or ServiceConfig()
+        self.pool = pool
         self.stats = ServiceStats()
-        self._queue: "Optional[asyncio.Queue[_Pending]]" = None
-        self._inflight: Dict[str, "asyncio.Future[ScheduleResponse]"] = {}
+        self.admission = AdmissionController(self.config)
+        # Entries are ``(priority, arrival_seq, _Pending)``: the asyncio
+        # PriorityQueue pops the smallest tuple, so priority 0 drains first
+        # and the monotonically increasing arrival sequence keeps FIFO order
+        # within one priority (and keeps _Pending out of comparisons).  A
+        # pending may appear more than once (an urgent rider re-enqueues its
+        # queued leader at the better priority); ``_Pending.claimed`` makes
+        # the stale duplicates no-ops on pop.
+        self._queue: "Optional[asyncio.PriorityQueue[Tuple[int, int, _Pending]]]" = None
+        self._arrival_seq = 0
+        # Stale duplicates currently in the queue; subtracted from qsize()
+        # so admission control sees real pending work, not bookkeeping.
+        self._stale_entries = 0
+        self._inflight: Dict[str, _Pending] = {}
         self._batcher: Optional[asyncio.Task] = None
         self._running = False
 
@@ -122,7 +272,8 @@ class SchedulingService:
     async def start(self) -> None:
         if self._running:
             return
-        self._queue = asyncio.Queue()
+        self._queue = asyncio.PriorityQueue()
+        self._stale_entries = 0
         self._running = True
         self._batcher = asyncio.get_running_loop().create_task(self._run())
 
@@ -137,35 +288,70 @@ class SchedulingService:
             except asyncio.CancelledError:
                 pass
             self._batcher = None
-        for future in self._inflight.values():
-            if not future.done():
-                future.cancel()
+        for pending in self._inflight.values():
+            if not pending.future.done():
+                pending.future.cancel()
         self._inflight.clear()
 
     # -- submission --------------------------------------------------------------
 
     async def schedule(self, request: ScheduleRequest) -> ScheduleResponse:
-        """Submit one request; awaits its (possibly coalesced) response."""
+        """Submit one request; awaits its (possibly coalesced) response.
+
+        May raise :class:`AdmissionError` before any work is queued when the
+        service is saturated (queue depth) or the request's client is over
+        its in-flight limit.
+        """
         if not self._running:
             raise RuntimeError("service is not running; call start() first")
         if request.tune:
             raise ValueError("tune requests mutate the database and are not "
                              "served; tune through the session directly")
-        self.stats.requests += 1
         key = request_fingerprint(request)
         existing = self._inflight.get(key)
-        if existing is not None:
-            # Coalesce: ride the identical in-flight request.  The response
-            # program is copied so concurrent consumers never share IR.
-            self.stats.coalesced += 1
-            self.session.record_coalesced()
-            response = await asyncio.shield(existing)
-            return self._reissue(response, request)
-        future: "asyncio.Future[ScheduleResponse]" = \
-            asyncio.get_running_loop().create_future()
-        self._inflight[key] = future
-        await self._queue.put(_Pending(key, request, future))
-        return await asyncio.shield(future)
+        try:
+            self.admission.admit(
+                request,
+                queue_depth=self._queue.qsize() - self._stale_entries,
+                rider=existing is not None)
+        except AdmissionError:
+            self.stats.rejected += 1
+            raise
+        self.stats.requests += 1
+        try:
+            if existing is not None:
+                # Coalesce: ride the identical in-flight request.  The
+                # response program is copied so concurrent consumers never
+                # share IR.
+                self.stats.coalesced += 1
+                self.session.record_coalesced()
+                if request.priority < existing.best_priority \
+                        and not existing.claimed:
+                    # An urgent rider must not drain at its leader's lower
+                    # priority: re-enqueue the still-queued leader at the
+                    # better priority.  The now-stale lower-priority entry
+                    # pops later and is skipped through ``claimed``.
+                    existing.best_priority = request.priority
+                    self._arrival_seq += 1
+                    # The superseded lower-priority entry is now stale.
+                    self._stale_entries += 1
+                    await self._queue.put((request.priority,
+                                           self._arrival_seq, existing))
+                response = await asyncio.shield(existing.future)
+                return self._reissue(response, request)
+            future: "asyncio.Future[ScheduleResponse]" = \
+                asyncio.get_running_loop().create_future()
+            pending = _Pending(key, request, future,
+                               best_priority=request.priority)
+            self._inflight[key] = pending
+            self._arrival_seq += 1
+            await self._queue.put((request.priority, self._arrival_seq,
+                                   pending))
+            return await asyncio.shield(future)
+        finally:
+            # Admitted requests hold their per-client slot until their
+            # response (or failure) resolves, riders included.
+            self.admission.release(request)
 
     @staticmethod
     def _reissue(response: ScheduleResponse,
@@ -190,8 +376,20 @@ class SchedulingService:
 
     # -- the batcher -------------------------------------------------------------
 
+    async def _next_pending(self) -> _Pending:
+        """Pop the most urgent unclaimed request (skipping stale duplicate
+        entries left behind by rider re-prioritization)."""
+        while True:
+            _, _, pending = await self._queue.get()
+            if pending.claimed:
+                self._stale_entries -= 1
+                continue
+            pending.claimed = True
+            return pending
+
     async def _collect_batch(self) -> List[_Pending]:
-        batch = [await self._queue.get()]
+        """Drain up to ``max_batch_size`` requests in priority order."""
+        batch = [await self._next_pending()]
         loop = asyncio.get_running_loop()
         deadline = loop.time() + self.config.batch_window_s
         while len(batch) < self.config.max_batch_size:
@@ -199,7 +397,8 @@ class SchedulingService:
             if timeout <= 0:
                 break
             try:
-                batch.append(await asyncio.wait_for(self._queue.get(), timeout))
+                batch.append(await asyncio.wait_for(
+                    self._next_pending(), timeout))
             except asyncio.TimeoutError:
                 break
         return batch
@@ -237,6 +436,8 @@ class SchedulingService:
 
     def _schedule_batch(self, requests: List[ScheduleRequest]
                         ) -> List[ScheduleResponse]:
+        if self.pool is not None:
+            return self.pool.schedule_batch(requests)
         return self.session.schedule_batch(
             requests, max_workers=self.config.max_workers,
             return_exceptions=True)
@@ -250,9 +451,10 @@ class ServiceRunner:
     batches and coalesces on its own loop.
     """
 
-    def __init__(self, session: Session, config: Optional[ServiceConfig] = None):
+    def __init__(self, session: Session, config: Optional[ServiceConfig] = None,
+                 pool: "Optional[WorkerPool]" = None):
         self.session = session
-        self.service = SchedulingService(session, config)
+        self.service = SchedulingService(session, config, pool=pool)
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._thread: Optional[threading.Thread] = None
         self._started = threading.Event()

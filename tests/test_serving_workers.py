@@ -1,0 +1,562 @@
+"""Tests for multi-process serving: the worker pool, cross-process cache
+correctness, priority ordering, and admission control (HTTP included)."""
+
+import asyncio
+import json
+import multiprocessing
+import threading
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+from helpers import fast_session
+
+from repro.api import (ScheduleRequest, SearchConfig, Session,
+                       SQLiteCacheBackend)
+from repro.serving import (AdmissionController, AdmissionError,
+                           SchedulingService, ServiceConfig, ServingClient,
+                           ServingServer, WorkerConfig, WorkerPool,
+                           merge_worker_reports)
+from repro.serving.workers import PortableScheduleResponse
+
+FAST_SEARCH = SearchConfig(population_size=4, epochs=1,
+                           generations_per_epoch=1)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+# -- cross-process cache correctness ------------------------------------------------
+
+def _identity_codec(backend):
+    backend.bind("ns", lambda value: value, lambda payload: payload)
+    return backend
+
+
+def _hammer_cache(path, worker_id, writes, barrier):
+    """Subprocess body: write distinct keys and re-read earlier ones while
+    sibling processes do the same against the same SQLite file."""
+    backend = _identity_codec(SQLiteCacheBackend(path, busy_timeout_s=10.0))
+    barrier.wait(timeout=60)  # maximize write overlap across processes
+    for index in range(writes):
+        key = f"w{worker_id}-k{index}"
+        backend.put("ns", key, {"worker": worker_id, "index": index})
+        read_back = backend.get("ns", key)
+        assert read_back == {"worker": worker_id, "index": index}
+        # Re-read an earlier key of *some* worker (whatever is visible).
+        other = backend.get("ns", f"w{worker_id}-k{max(0, index - 1)}")
+        assert other is not None
+    backend.close()
+
+
+class TestCrossProcessCache:
+    def test_wal_mode_and_busy_timeout_are_active(self, tmp_path):
+        backend = SQLiteCacheBackend(str(tmp_path / "cache.sqlite"))
+        journal = backend._conn.execute("PRAGMA journal_mode").fetchone()[0]
+        timeout = backend._conn.execute("PRAGMA busy_timeout").fetchone()[0]
+        assert journal == "wal"
+        assert timeout == 5000
+        assert backend.stats.to_dict()["busy_retries"] == 0
+        backend.close()
+
+    def test_two_processes_write_and_read_one_cache(self, tmp_path):
+        """The acceptance scenario: concurrent writers on one SQLite file,
+        no lost or corrupted entries."""
+        path = str(tmp_path / "shared.sqlite")
+        writes = 25
+        context = multiprocessing.get_context("spawn")
+        barrier = context.Barrier(2)
+        processes = [
+            context.Process(target=_hammer_cache,
+                            args=(path, worker_id, writes, barrier))
+            for worker_id in range(2)]
+        for process in processes:
+            process.start()
+        for process in processes:
+            process.join(timeout=120)
+            assert process.exitcode == 0
+        # Every entry both processes wrote is present and intact.
+        backend = _identity_codec(SQLiteCacheBackend(path))
+        assert backend.sizes() == {"ns": 2 * writes}
+        for worker_id in range(2):
+            for index in range(writes):
+                value = backend.get("ns", f"w{worker_id}-k{index}")
+                assert value == {"worker": worker_id, "index": index}
+        backend.close()
+
+    def test_entry_written_by_one_backend_is_served_to_another(self, tmp_path):
+        path = str(tmp_path / "shared.sqlite")
+        writer = _identity_codec(SQLiteCacheBackend(path))
+        writer.put("ns", "key", {"payload": 42})
+        reader = _identity_codec(SQLiteCacheBackend(path))
+        assert reader.get("ns", "key") == {"payload": 42}
+        # Served from disk on first access, from the hot layer afterwards.
+        assert reader.stats.disk_hits == 1
+        assert reader.get("ns", "key") == {"payload": 42}
+        assert reader.stats.memory_hits == 1
+        writer.close()
+        reader.close()
+
+    def test_recency_stamps_interleave_across_connections(self, tmp_path):
+        """LRU eviction respects writes from *other* connections: the seq
+        stamp is computed in SQL, not from a per-process counter."""
+        path = str(tmp_path / "shared.sqlite")
+        first = _identity_codec(SQLiteCacheBackend(path, max_entries=2))
+        second = _identity_codec(SQLiteCacheBackend(path, max_entries=2))
+        first.put("ns", "a", {"v": 1})
+        second.put("ns", "b", {"v": 2})
+        first.put("ns", "c", {"v": 3})  # evicts "a", the globally oldest
+        assert first.get("ns", "a") is None
+        assert second.get("ns", "b") == {"v": 2}
+        assert second.get("ns", "c") == {"v": 3}
+        first.close()
+        second.close()
+
+
+# -- the worker pool ---------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def shared_pool(tmp_path_factory):
+    """One 2-worker pool over a shared SQLite cache, reused module-wide
+    (spawning sessions in subprocesses is the expensive part)."""
+    cache = str(tmp_path_factory.mktemp("pool") / "cache.sqlite")
+    config = WorkerConfig(threads=4, cache_path=cache, search=FAST_SEARCH)
+    with WorkerPool(2, config) as pool:
+        yield pool, cache
+
+
+class TestWorkerPool:
+    def test_batch_returns_in_order_with_inband_errors(self, shared_pool):
+        pool, _ = shared_pool
+        requests = [ScheduleRequest(program="gemm:a"),
+                    ScheduleRequest(program="definitely-not-a-workload"),
+                    ScheduleRequest(program="mvt:a")]
+        results = pool.schedule_batch(requests)
+        assert len(results) == 3
+        assert results[0].result.program.body
+        assert isinstance(results[1], KeyError)  # RegistryError subclass
+        assert results[2].result.program.body
+        # Programs surface under the requested registry names.
+        assert results[0].program.name.startswith("gemm")
+        assert results[2].program.name.startswith("mvt")
+
+    def test_workers_share_the_cache_file(self, shared_pool):
+        pool, _ = shared_pool
+        pool.schedule(ScheduleRequest(program="atax:a"))
+        # The normalized-equivalent B variant is served from the shared
+        # cache no matter which worker computed the A variant.
+        response = pool.schedule(ScheduleRequest(program="atax:b"))
+        assert response.from_cache
+
+    def test_portable_response_json_dict_and_attrs_agree(self, shared_pool):
+        pool, _ = shared_pool
+        response = pool.schedule(ScheduleRequest(program="bicg:a"))
+        assert isinstance(response, PortableScheduleResponse)
+        payload = json.loads(response.to_json())
+        assert payload == response.to_dict()
+        assert response.runtime_s == payload["runtime_s"]
+        assert response.scheduler == payload["scheduler"]
+
+    def test_tune_gathers_and_merges_entries_at_the_coordinator(self, shared_pool):
+        pool, _ = shared_pool
+        before = len(pool.database)
+        results = pool.tune([ScheduleRequest(program="gemm:a", tune=True,
+                                             label="gemm")])
+        assert not isinstance(results[0], Exception)
+        assert len(pool.database) > before
+        assert pool.stats.gathered_entries >= len(pool.database) - before
+        # The merged entries landed in hash-routed shards.
+        assert sum(pool.database.shard_sizes()) == len(pool.database)
+
+    def test_tune_rejects_non_tune_requests(self, shared_pool):
+        pool, _ = shared_pool
+        with pytest.raises(ValueError):
+            pool.tune([ScheduleRequest(program="gemm:a")])
+
+    def test_report_gathers_every_worker(self, shared_pool):
+        pool, _ = shared_pool
+        report = pool.report()
+        assert report["num_workers"] == 2
+        assert report["reports_collected"] == 2
+        merged = report["merged"]
+        assert merged["schedule_calls"] >= 4
+        assert merged["cache_backend"] == "sqlite"
+        assert len(report["per_worker"]) == 2
+        assert report["pool"]["scheduled"] >= 4
+
+    def test_closed_pool_refuses_work(self):
+        config = WorkerConfig(threads=1, search=FAST_SEARCH)
+        pool = WorkerPool(1, config)
+        pool.close()
+        with pytest.raises(RuntimeError):
+            pool.schedule_batch([ScheduleRequest(program="gemm:a")])
+        pool.close()  # idempotent
+
+    def test_cache_survives_pool_generations(self, tmp_path):
+        cache = str(tmp_path / "generations.sqlite")
+        config = WorkerConfig(threads=4, cache_path=cache, search=FAST_SEARCH)
+        with WorkerPool(1, config) as pool:
+            first = pool.schedule(ScheduleRequest(program="gemm:a"))
+            assert not first.from_cache
+        with WorkerPool(1, config) as pool:
+            second = pool.schedule(ScheduleRequest(program="gemm:a"))
+            assert second.from_cache
+            assert second.runtime_s == first.runtime_s
+
+
+class TestMergeWorkerReports:
+    def test_counters_sum_and_shards_concatenate(self):
+        merged = merge_worker_reports([
+            {"schedule_calls": 2, "database_entries": 3,
+             "schedulers": ["daisy"], "cache_backend": "sqlite",
+             "normalization_passes": {"fission": {"runs": 1,
+                                                  "wall_time_s": 0.5}}},
+            {"schedule_calls": 5, "database_entries": 1,
+             "schedulers": ["daisy", "clang"], "cache_backend": "sqlite",
+             "normalization_passes": {"fission": {"runs": 2,
+                                                  "wall_time_s": 0.25}}},
+        ])
+        assert merged["schedule_calls"] == 7
+        assert merged["database_entries"] == 4
+        assert merged["database_shards"] == [3, 1]
+        assert merged["schedulers"] == ["clang", "daisy"]
+        assert merged["cache_backend"] == "sqlite"
+        assert merged["normalization_passes"]["fission"] == {
+            "runs": 3, "wall_time_s": 0.75}
+
+
+# -- priority ordering --------------------------------------------------------------
+
+def _stub_response(program):
+    """A ScheduleResponse-shaped object (enough for service bookkeeping and
+    the coalescing ``_reissue`` path)."""
+    import types
+    result = types.SimpleNamespace(
+        program=types.SimpleNamespace(name=str(program)))
+    result.copy = lambda: result
+    return types.SimpleNamespace(
+        result=result, scheduler="stub", program=result.program,
+        runtime_s=0.0, normalized=False, input_hash=None,
+        canonical_hash=None, from_cache=False,
+        normalization_cache_hit=False)
+
+
+class _StubSession:
+    """Session stand-in recording the order requests reach the executor.
+
+    The first request (program "gate") blocks until released, which pins the
+    batcher while the test stacks the queue — everything enqueued behind the
+    gate must then drain in priority order.
+    """
+
+    def __init__(self):
+        self.order = []
+        self.coalesced = 0
+        self.gate = threading.Event()
+
+    def schedule_batch(self, requests, max_workers=None,
+                       return_exceptions=False):
+        responses = []
+        for request in requests:
+            if request.program == "gate":
+                self.gate.wait(timeout=30)
+            self.order.append(request.program)
+            responses.append(_stub_response(request.program))
+        return responses
+
+    def record_coalesced(self, count=1):
+        self.coalesced += count
+
+
+class TestPriorityOrdering:
+    def test_queue_drains_strictly_by_priority_under_load(self):
+        session = _StubSession()
+
+        async def drive():
+            service = SchedulingService(
+                session, ServiceConfig(max_batch_size=1, batch_window_s=0.0))
+            await service.start()
+            try:
+                gate_task = asyncio.ensure_future(service.schedule(
+                    ScheduleRequest(program="gate")))
+                await asyncio.sleep(0.05)  # the batcher is now blocked
+                submissions = [
+                    ("bulk-1", 9), ("bulk-2", 9), ("mid", 5),
+                    ("urgent-1", 0), ("bulk-3", 9), ("urgent-2", 0),
+                ]
+                tasks = [asyncio.ensure_future(service.schedule(
+                    ScheduleRequest(program=program, priority=priority)))
+                    for program, priority in submissions]
+                while service._queue.qsize() < len(submissions):
+                    await asyncio.sleep(0.005)
+                session.gate.set()
+                await asyncio.gather(gate_task, *tasks)
+            finally:
+                await service.stop()
+
+        run(drive())
+        assert session.order[0] == "gate"
+        assert session.order[1:] == [
+            # Priority first; FIFO within one priority class.
+            "urgent-1", "urgent-2", "mid", "bulk-1", "bulk-2", "bulk-3"]
+
+    def test_urgent_rider_reprioritizes_its_queued_leader(self):
+        """A priority-0 request that coalesces onto a queued priority-9
+        leader must pull the leader forward — it must not drain at the
+        leader's priority behind less urgent work."""
+        session = _StubSession()
+
+        async def drive():
+            service = SchedulingService(
+                session, ServiceConfig(max_batch_size=1, batch_window_s=0.0))
+            await service.start()
+            try:
+                gate_task = asyncio.ensure_future(service.schedule(
+                    ScheduleRequest(program="gate")))
+                await asyncio.sleep(0.05)
+                leader = asyncio.ensure_future(service.schedule(
+                    ScheduleRequest(program="shared", priority=9)))
+                mid = asyncio.ensure_future(service.schedule(
+                    ScheduleRequest(program="mid", priority=5)))
+                while service._queue.qsize() < 2:
+                    await asyncio.sleep(0.005)
+                rider = asyncio.ensure_future(service.schedule(
+                    ScheduleRequest(program="shared", priority=0)))
+                await asyncio.sleep(0.05)   # rider coalesces + re-enqueues
+                session.gate.set()
+                await asyncio.gather(gate_task, leader, mid, rider)
+            finally:
+                await service.stop()
+
+        run(drive())
+        # Without re-prioritization the order would be gate, mid, shared.
+        assert session.order == ["gate", "shared", "mid"]
+        assert session.coalesced == 1
+
+    def test_default_priorities_keep_fifo_order(self):
+        session = _StubSession()
+
+        async def drive():
+            service = SchedulingService(
+                session, ServiceConfig(max_batch_size=1, batch_window_s=0.0))
+            await service.start()
+            try:
+                gate_task = asyncio.ensure_future(service.schedule(
+                    ScheduleRequest(program="gate")))
+                await asyncio.sleep(0.05)
+                tasks = [asyncio.ensure_future(service.schedule(
+                    ScheduleRequest(program=f"r{index}")))
+                    for index in range(4)]
+                while service._queue.qsize() < 4:
+                    await asyncio.sleep(0.005)
+                session.gate.set()
+                await asyncio.gather(gate_task, *tasks)
+            finally:
+                await service.stop()
+
+        run(drive())
+        assert session.order == ["gate", "r0", "r1", "r2", "r3"]
+
+
+# -- admission control --------------------------------------------------------------
+
+class TestAdmissionController:
+    def test_queue_depth_sheds_new_work_but_not_riders(self):
+        controller = AdmissionController(ServiceConfig(max_queue_depth=2))
+        controller.admit(ScheduleRequest(program="a"), queue_depth=1,
+                         rider=False)
+        with pytest.raises(AdmissionError) as caught:
+            controller.admit(ScheduleRequest(program="b"), queue_depth=2,
+                             rider=False)
+        assert caught.value.reason == "queue-full"
+        assert caught.value.retry_after_s > 0
+        # A coalescing rider adds no queue work and is exempt.
+        controller.admit(ScheduleRequest(program="a"), queue_depth=2,
+                         rider=True)
+        stats = controller.stats.to_dict()
+        assert stats == {"admitted": 2, "rejected_queue_full": 1,
+                         "rejected_client_limit": 0}
+
+    def test_client_limit_counts_inflight_and_releases(self):
+        controller = AdmissionController(
+            ServiceConfig(max_client_inflight=2))
+        alice = ScheduleRequest(program="a", client="alice")
+        controller.admit(alice, queue_depth=0, rider=False)
+        controller.admit(alice, queue_depth=0, rider=True)
+        with pytest.raises(AdmissionError) as caught:
+            controller.admit(alice, queue_depth=0, rider=False)
+        assert caught.value.reason == "client-limit"
+        # Other clients (and anonymous requests) are unaffected.
+        controller.admit(ScheduleRequest(program="a", client="bob"),
+                         queue_depth=0, rider=False)
+        controller.admit(ScheduleRequest(program="a"), queue_depth=0,
+                         rider=False)
+        controller.release(alice)
+        controller.admit(alice, queue_depth=0, rider=False)
+        assert controller.client_inflight("alice") == 2
+        assert controller.stats.rejected_client_limit == 1
+
+    def test_service_counts_rejections(self):
+        session = _StubSession()
+
+        async def drive():
+            service = SchedulingService(
+                session, ServiceConfig(max_batch_size=1, batch_window_s=0.0,
+                                       max_client_inflight=1))
+            await service.start()
+            try:
+                # Alice's first request blocks in the executor (the gate);
+                # her second arrives while it is in flight and must be shed.
+                first = asyncio.ensure_future(service.schedule(
+                    ScheduleRequest(program="gate", client="alice")))
+                await asyncio.sleep(0.05)
+                with pytest.raises(AdmissionError):
+                    await service.schedule(
+                        ScheduleRequest(program="other", client="alice"))
+                session.gate.set()
+                await first
+                return (service.stats.rejected,
+                        service.admission.stats.rejected_client_limit)
+            finally:
+                await service.stop()
+
+        rejected, client_limited = run(drive())
+        assert rejected == 1
+        assert client_limited == 1
+        assert session.order == ["gate"]
+
+
+class TestAdmissionOverHttp:
+    def test_queue_full_returns_429_with_retry_after(self):
+        """Flood a 1-deep queue with distinct cold requests: some must be
+        shed as HTTP 429 with Retry-After, the rest succeed."""
+        session = fast_session()
+        config = ServiceConfig(max_batch_size=1, batch_window_s=0.01,
+                               max_queue_depth=1, retry_after_s=0.25)
+        with ServingServer(session, config=config) as server:
+            client = ServingClient(server.address)
+            programs = [("gemm:a", {"NI": 32 + index, "NJ": 32, "NK": 32})
+                        for index in range(8)]
+
+            def submit(item):
+                name, parameters = item
+                return client.request("POST", "/v1/schedule",
+                                      {"program": name,
+                                       "parameters": parameters})
+
+            with ThreadPoolExecutor(max_workers=8) as pool:
+                outcomes = list(pool.map(submit, programs))
+            statuses = [status for status, _ in outcomes]
+            assert any(status == 429 for status in statuses)
+            assert any(status == 200 for status in statuses)
+            rejected = next(payload for status, payload in outcomes
+                            if status == 429)
+            assert rejected["reason"] == "queue-full"
+            assert rejected["retry_after_s"] == 0.25
+            report = client.report()
+            assert report["admission"]["rejected_queue_full"] >= 1
+            assert report["service"]["rejected"] >= 1
+        session.close()
+
+    def test_client_limit_returns_429_and_other_clients_pass(self):
+        session = fast_session()
+        config = ServiceConfig(max_batch_size=1, batch_window_s=0.01,
+                               max_client_inflight=1)
+        with ServingServer(session, config=config) as server:
+            client = ServingClient(server.address)
+
+            def submit(identity, size):
+                return client.request(
+                    "POST", "/v1/schedule",
+                    {"program": "correlation:a", "client": identity,
+                     "parameters": {"M": size, "N": size}})
+
+            with ThreadPoolExecutor(max_workers=6) as pool:
+                futures = [pool.submit(submit, "alice", 24 + index)
+                           for index in range(6)]
+                outcomes = [future.result() for future in futures]
+            statuses = [status for status, _ in outcomes]
+            assert any(status == 429 for status in statuses)
+            assert any(status == 200 for status in statuses)
+            rejected = next(payload for status, payload in outcomes
+                            if status == 429)
+            assert rejected["reason"] == "client-limit"
+            # The limit is per-client: bob is admitted immediately.
+            status, _ = submit("bob", 16)
+            assert status == 200
+        session.close()
+
+    def test_retry_after_header_is_sent(self):
+        session = fast_session()
+        config = ServiceConfig(max_batch_size=1, batch_window_s=0.01,
+                               max_client_inflight=1, retry_after_s=2.0)
+        with ServingServer(session, config=config) as server:
+            statuses = []
+
+            def submit(size):
+                body = json.dumps({"program": "correlation:a",
+                                   "client": "alice",
+                                   "parameters": {"M": size, "N": size}})
+                request = urllib.request.Request(
+                    server.address + "/v1/schedule", data=body.encode(),
+                    method="POST",
+                    headers={"Content-Type": "application/json"})
+                try:
+                    with urllib.request.urlopen(request, timeout=60) as reply:
+                        statuses.append((reply.status, dict(reply.headers)))
+                except urllib.error.HTTPError as error:
+                    statuses.append((error.code, dict(error.headers)))
+
+            with ThreadPoolExecutor(max_workers=6) as pool:
+                list(pool.map(submit, [32 + index for index in range(6)]))
+            rejected = [headers for status, headers in statuses
+                        if status == 429]
+            assert rejected
+            assert rejected[0].get("Retry-After") == "2"
+        session.close()
+
+
+class TestClientOverrides:
+    def test_priority_and_client_override_a_ready_request(self, monkeypatch):
+        client = ServingClient("http://example.invalid")
+        captured = {}
+
+        class _Captured(Exception):
+            pass
+
+        def fake_checked(method, path, body=None):
+            captured["body"] = body
+            raise _Captured()
+
+        monkeypatch.setattr(client, "_checked", fake_checked)
+        original = ScheduleRequest(program="gemm:a")
+        with pytest.raises(_Captured):
+            client.schedule(original, priority=0, client="ops")
+        assert captured["body"]["priority"] == 0
+        assert captured["body"]["client"] == "ops"
+        # The caller's request object is not mutated (override on a copy).
+        assert original.priority == 5
+        assert original.client is None
+
+
+class TestPoolThroughService:
+    def test_server_schedules_through_the_pool(self, shared_pool, tmp_path):
+        pool, cache = shared_pool
+        session = Session(threads=4)
+        config = ServiceConfig(batch_window_s=0.005)
+        with ServingServer(session, config=config, pool=pool) as server:
+            client = ServingClient(server.address)
+            response = client.schedule("gemver:a", priority=0,
+                                       client="test-suite")
+            assert response.runtime_s > 0
+            assert response.program.body
+            report = client.report()
+            assert report["pool"]["num_workers"] == 2
+            assert report["pool"]["scheduled"] >= 1
+            status, full = client.request("GET", "/v1/report?workers=1")
+            assert status == 200
+            assert full["pool"]["reports_collected"] == 2
+            assert full["pool"]["merged"]["schedule_calls"] >= 1
+        session.close()
