@@ -23,12 +23,18 @@ prints the usable-core count, asserts the 2x bar only where it is
 physically meaningful (>= 4 cores), and reports the measured numbers
 everywhere.
 
+Results are persisted to ``BENCH_multiprocess.json`` (``--json`` overrides
+the path, ``--json ''`` disables) so the perf trajectory is tracked across
+PRs like the other benchmark outputs.
+
 Run: ``PYTHONPATH=src python benchmarks/bench_multiprocess_serving.py``
 (set ``REPRO_BENCH_SMOKE=1`` for a seconds-long CI-sized run).
 """
 
 import argparse
+import json
 import os
+import platform
 import sys
 import tempfile
 import time
@@ -179,6 +185,9 @@ def main(argv=None):
                         help="exit non-zero when the pool speedup is below "
                              "this bar (default: 2.0 when >= 4 usable "
                              "cores, otherwise report-only)")
+    parser.add_argument("--json", default="BENCH_multiprocess.json",
+                        help="persist the measured numbers to this JSON "
+                             "file (empty string: print only)")
     args = parser.parse_args(argv)
 
     try:
@@ -205,6 +214,19 @@ def main(argv=None):
               f"instead of parallelizing here, so the 2x bar is not "
               f"asserted (it needs >= 4 cores)")
 
+    results = {
+        "benchmark": "multiprocess_serving",
+        "timestamp": time.time(),
+        "platform": platform.platform(),
+        "smoke": SMOKE,
+        "usable_cores": cores,
+        "workers": args.workers,
+        "threads": args.threads,
+        "waves": args.waves,
+        "benchmarks": len(names),
+        "requests_per_wave": mix,
+        "require_speedup": args.require_speedup,
+    }
     with tempfile.TemporaryDirectory() as tmp:
         single_rate, single_s, total = measure_single_process(
             names, args.waves, args.threads,
@@ -220,6 +242,14 @@ def main(argv=None):
         speedup = pool_rate / single_rate
         print(f"speedup:        {speedup:8.2f}x "
               f"({args.workers} workers vs in-process service)")
+        results.update({
+            "single_process_req_per_s": single_rate,
+            "single_process_elapsed_s": single_s,
+            "pool_req_per_s": pool_rate,
+            "pool_elapsed_s": pool_s,
+            "requests_measured": total,
+            "speedup": speedup,
+        })
 
         if not args.skip_priority:
             ranks = measure_priority(
@@ -233,16 +263,38 @@ def main(argv=None):
                   f"finished by completion #{last_p0} "
                   f"(last priority-9: #{last_p9}; "
                   f"{overtaken} queued p9 requests overtaken)")
+            results["priority"] = {
+                "urgent_requests": len(ranks["p0"]),
+                "bulk_requests": len(ranks["p9"]),
+                "last_urgent_rank": last_p0,
+                "last_bulk_rank": last_p9,
+                "bulk_overtaken": overtaken,
+                "urgent_overtook_bulk": last_p0 < last_p9,
+            }
             if last_p0 >= last_p9:
+                results["passed"] = False
+                _persist(args.json, results)
                 print("priority FAILED: priority-0 did not overtake the "
                       "queued priority-9 tail", file=sys.stderr)
                 return 1
 
+    status = 0
     if args.require_speedup and speedup < args.require_speedup:
         print(f"speedup {speedup:.2f}x below the required "
               f"{args.require_speedup:.2f}x", file=sys.stderr)
-        return 1
-    return 0
+        status = 1
+    results["passed"] = status == 0
+    _persist(args.json, results)
+    return status
+
+
+def _persist(path, results):
+    """Write the measured numbers next to the other BENCH_*.json outputs."""
+    if not path:
+        return
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+    print(f"wrote {path}")
 
 
 if __name__ == "__main__":

@@ -21,8 +21,12 @@ The package is organized in layers:
   frontend registries, a content-addressed normalization cache over
   pluggable backends, and batch scheduling.  **New code should go through
   this layer.**
+* :mod:`repro.observability` — dependency-free metrics (counters, gauges,
+  per-priority latency histograms) with Prometheus text rendering and
+  cross-process registry merging.
 * :mod:`repro.serving` — the scheduling service: priority queue, admission
-  control, multi-process worker pool, HTTP endpoint, and CLI.
+  control, multi-process worker pool, HTTP endpoint (``/metrics`` included),
+  and CLI.
 * :mod:`repro.experiments` — per-figure/table reproduction harnesses.
 
 See ``README.md`` and ``docs/`` for the user-facing documentation.

@@ -24,6 +24,8 @@ from ..ir.printer import to_pseudocode
 from ..normalization.pipeline import (NormalizationOptions, NormalizationReport,
                                       normalize_program)
 from ..normalization.scalar_expansion import contract_arrays
+from ..observability import (Counter, Gauge, Histogram, MetricsRegistry,
+                             merge_registry_dicts, render_registry_dict)
 from ..passes import (AnalysisManager, FixedPoint, Pass, PassContext,
                       PassResult, PassStats, Pipeline, PipelineResult,
                       get_pipeline, pipeline_names, register_pipeline)
@@ -57,6 +59,9 @@ __all__ = [
     "Session",
     "ScheduleRequest", "ScheduleResponse", "NormalizeResponse",
     "ExecuteResponse", "SessionReport", "ProgramLike",
+    # observability
+    "MetricsRegistry", "Counter", "Gauge", "Histogram",
+    "merge_registry_dicts", "render_registry_dict",
     # caching / content addressing
     "NormalizationCache", "CacheStats",
     "CacheBackend", "BackendStats", "MemoryCacheBackend", "SQLiteCacheBackend",

@@ -31,6 +31,7 @@ from ..ir.nodes import Program
 from ..ir.serialization import program_from_dict, program_to_dict
 from ..normalization.pipeline import (NormalizationOptions,
                                       NormalizationReport, normalize)
+from ..observability import MetricsRegistry
 from ..passes.analysis import AnalysisManager
 from ..passes.base import PassStats
 from ..scheduler.base import ScheduleResult
@@ -132,7 +133,8 @@ class NormalizationCache:
     """Two-level content-addressed cache shared by one (or more) sessions."""
 
     def __init__(self, max_entries: int = 1024,
-                 backend: Optional[CacheBackend] = None):
+                 backend: Optional[CacheBackend] = None,
+                 metrics: Optional[MetricsRegistry] = None):
         # ``if backend is not None``, not ``or``: an empty backend is falsy
         # through ``__len__`` and must still win over the default.
         self.backend = backend if backend is not None else MemoryCacheBackend(max_entries)
@@ -147,6 +149,24 @@ class NormalizationCache:
         self.analysis = AnalysisManager()
         #: Aggregated per-pass timings/change counters of every run.
         self.pass_stats = PassStats()
+        #: Instrument registry (a session that builds this cache passes its
+        #: own, so cache and session telemetry land in one registry).
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._metric_requests = self.metrics.counter(
+            "repro_cache_requests_total",
+            "Content-addressed cache lookups by level and outcome.",
+            ("level", "outcome"))
+        self._metric_pass_runs = self.metrics.counter(
+            "repro_pass_runs_total",
+            "Normalization pass applications.", ("pass",))
+        self._metric_pass_changed = self.metrics.counter(
+            "repro_pass_changed_total",
+            "Normalization pass applications that changed the program.",
+            ("pass",))
+        self._metric_pass_wall = self.metrics.counter(
+            "repro_pass_wall_seconds_total",
+            "Total wall time spent inside each normalization pass.",
+            ("pass",))
 
     @property
     def stats(self) -> CacheStats:
@@ -178,14 +198,22 @@ class NormalizationCache:
         with self._lock:
             if entry is not None:
                 self._stats.normalization_hits += 1
+                self._metric_requests.labels("normalization", "hit").inc()
                 served = entry.take()
                 served.hit = True
                 return served
             self._stats.normalization_misses += 1
+        self._metric_requests.labels("normalization", "miss").inc()
 
         normalized, report = normalize(program, options, self.analysis,
                                        pipeline=pipeline)
         self.pass_stats.add(report.passes)
+        for pass_result in report.passes:
+            self._metric_pass_runs.labels(pass_result.pass_name).inc()
+            if pass_result.changed:
+                self._metric_pass_changed.labels(pass_result.pass_name).inc()
+            self._metric_pass_wall.labels(pass_result.pass_name).inc(
+                pass_result.wall_time_s)
         canonical_hash = program_content_hash(normalized)
         entry = NormalizedEntry(normalized, report, key, canonical_hash)
         self.backend.put(NORMALIZED_NAMESPACE, key, entry)
@@ -213,9 +241,12 @@ class NormalizationCache:
         with self._lock:
             if entry is None:
                 self._stats.schedule_misses += 1
-                return None
-            self._stats.schedule_hits += 1
-            return entry.take()
+                outcome = "miss"
+            else:
+                self._stats.schedule_hits += 1
+                outcome = "hit"
+        self._metric_requests.labels("schedule", outcome).inc()
+        return entry.take() if entry is not None else None
 
     def store_schedule(self, key: str, result: ScheduleResult,
                        runtime_s: float) -> None:

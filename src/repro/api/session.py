@@ -36,6 +36,7 @@ import numpy as np
 from ..interp.executor import programs_equivalent, run_program
 from ..ir.nodes import Program
 from ..normalization.pipeline import NormalizationOptions
+from ..observability import MetricsRegistry
 from ..passes.registry import (PipelineRegistryError, has_pipeline,
                                pipeline_names)
 from ..perf.cache import CacheHierarchy, CacheReport
@@ -76,7 +77,8 @@ class Session:
                  cache: Optional[NormalizationCache] = None,
                  cache_backend: Optional[CacheBackend] = None,
                  cache_path: Optional[str] = None,
-                 max_workers: Optional[int] = None):
+                 max_workers: Optional[int] = None,
+                 metrics: Optional[MetricsRegistry] = None):
         if scheduler not in SCHEDULERS:
             raise RegistryError(
                 f"unknown scheduler {scheduler!r}; registered: {SCHEDULERS.names()}")
@@ -108,15 +110,26 @@ class Session:
         # The session owns (and may close) the cache only when it built both
         # the cache and its backend; injected ones may be shared elsewhere.
         self._owns_cache = cache is None and cache_backend is None
+        # One metrics registry per session: cache, service, and session
+        # instruments all land here.  An injected cache brings its own
+        # registry (already holding the cache instruments), which the
+        # session adopts unless the caller supplied one explicitly.
+        if metrics is None:
+            metrics = cache.metrics if cache is not None else MetricsRegistry()
+        self.metrics = metrics
         if cache is None:
             # ``cache_path`` is shorthand for a persistent SQLite backend;
             # an explicit ``cache_backend`` wins over it.
             if cache_backend is None and cache_path is not None:
                 cache_backend = SQLiteCacheBackend(cache_path)
-            cache = NormalizationCache(backend=cache_backend) \
-                if cache_backend is not None else NormalizationCache()
+            cache = (NormalizationCache(backend=cache_backend, metrics=metrics)
+                     if cache_backend is not None
+                     else NormalizationCache(metrics=metrics))
         self.cache = cache
         self.max_workers = max_workers
+        self._metric_calls = self.metrics.counter(
+            "repro_session_calls_total",
+            "Session entry-point calls by kind.", ("kind",))
 
         self._lock = threading.RLock()
         self._executor: Optional[ThreadPoolExecutor] = None
@@ -308,6 +321,7 @@ class Session:
                     f"scheduler {name!r} does not support tuning (no database)")
             with self._lock:
                 self._tune_calls += 1
+            self._metric_calls.labels("tune").inc()
             normalization = (self.normalize(program, pipeline=request.pipeline)
                              if normalizes else None)
             target = normalization.program if normalization else program.copy()
@@ -323,6 +337,7 @@ class Session:
 
         with self._lock:
             self._schedule_calls += 1
+        self._metric_calls.labels("schedule").inc()
 
         if normalizes:
             normalization = self.normalize(program, pipeline=request.pipeline)
@@ -404,6 +419,7 @@ class Session:
                     raise ValueError(tune_message)
         with self._lock:
             self._batch_calls += 1
+        self._metric_calls.labels("batch").inc()
 
         schedule = self._schedule
         if return_exceptions:
@@ -494,6 +510,7 @@ class Session:
             raise ValueError(f"no parameters given for {program.name!r}")
         with self._lock:
             self._execute_calls += 1
+        self._metric_calls.labels("execute").inc()
         outputs = run_program(program, parameters, inputs, seed)
         return ExecuteResponse(program=program, parameters=dict(parameters),
                                outputs=dict(outputs))

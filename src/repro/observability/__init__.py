@@ -1,0 +1,19 @@
+"""``repro.observability`` — dependency-free metrics for the serving stack.
+
+One :class:`MetricsRegistry` per :class:`~repro.api.Session` collects typed
+:class:`Counter` / :class:`Gauge` / :class:`Histogram` instruments from every
+layer: the session and its normalization cache (cache traffic, per-pass wall
+time), the async scheduling service (queue depth, per-priority end-to-end
+latency, admission sheds), and the worker pool (per-worker registries
+scatter-gathered and merged with :func:`merge_registry_dicts`).  The HTTP
+layer serves it all as a Prometheus-text ``/metrics`` endpoint.
+"""
+
+from .metrics import (DEFAULT_LATENCY_BUCKETS, Counter, Gauge, Histogram,
+                      MetricsError, MetricsRegistry, merge_registry_dicts,
+                      render_registry_dict)
+
+__all__ = [
+    "MetricsRegistry", "Counter", "Gauge", "Histogram", "MetricsError",
+    "DEFAULT_LATENCY_BUCKETS", "merge_registry_dicts", "render_registry_dict",
+]

@@ -1,0 +1,518 @@
+"""Dependency-free metrics primitives: counters, gauges, histograms.
+
+The serving stack needs distributional telemetry — *OpenMP Loop Scheduling
+Revisited* (Ciorba et al.) makes the case that validating a scheduling
+policy takes latency distributions, not averages — but the repo must not
+grow a client-library dependency for it.  This module is a small,
+self-contained metrics core:
+
+* :class:`MetricsRegistry` — a named collection of instruments.  Creation
+  is idempotent (asking for an existing name returns the existing
+  instrument, after checking that type/labels/buckets agree), so any layer
+  holding the registry can declare the instruments it touches.
+* :class:`Counter` / :class:`Gauge` / :class:`Histogram` — thread-safe
+  instruments with optional label dimensions (``labels("5")`` /
+  ``labels(priority="5")`` binds one labelled series).  Histograms use
+  fixed upper-bound buckets (Prometheus ``le`` semantics) and support
+  quantile estimation with one-bucket-width resolution.
+* **Prometheus text rendering** — :meth:`MetricsRegistry.render` (and
+  :func:`render_registry_dict` for merged snapshots) produce the
+  Prometheus text exposition format served by the ``/metrics`` endpoint.
+* **Mergeable snapshots** — :meth:`MetricsRegistry.to_dict` is a plain
+  JSON-serializable snapshot; :func:`merge_registry_dicts` sums snapshots
+  from many worker processes into one coordinator view (counters and
+  histogram buckets add; gauges add too, so per-worker queue depths and
+  sizes aggregate to pool totals).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from bisect import bisect_left
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+#: Default latency buckets (seconds): sub-millisecond cache hits through
+#: multi-second cold scheduling runs.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+class MetricsError(ValueError):
+    """Invalid metric declaration or use (bad name, label mismatch, ...)."""
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise MetricsError(f"invalid metric name {name!r}")
+    return name
+
+
+def _escape_label_value(value: str) -> str:
+    return (value.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _format_number(value: float) -> str:
+    """Prometheus-style sample formatting: integral values without a dot."""
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+class _Instrument:
+    """Shared base: a named metric holding one series per label-value tuple."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "",
+                 labelnames: Sequence[str] = ()):
+        self.name = _check_name(name)
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        for label in self.labelnames:
+            if not _LABEL_RE.match(label):
+                raise MetricsError(f"invalid label name {label!r} on {name!r}")
+        self._lock = threading.RLock()
+        self._series: "Dict[Tuple[str, ...], Any]" = {}
+
+    # -- label binding ----------------------------------------------------------
+
+    def labels(self, *values: Any, **kwargs: Any):
+        """Bind one labelled series (``labels("5")`` or ``labels(priority="5")``);
+        values are stringified.  Label-less instruments bind the empty tuple."""
+        if values and kwargs:
+            raise MetricsError("pass label values positionally or by name, "
+                               "not both")
+        if kwargs:
+            try:
+                values = tuple(kwargs[label] for label in self.labelnames)
+            except KeyError as error:
+                raise MetricsError(
+                    f"{self.name} expects labels {self.labelnames}, "
+                    f"got {sorted(kwargs)}") from error
+            if len(kwargs) != len(self.labelnames):
+                raise MetricsError(
+                    f"{self.name} expects labels {self.labelnames}, "
+                    f"got {sorted(kwargs)}")
+        key = tuple(str(value) for value in values)
+        if len(key) != len(self.labelnames):
+            raise MetricsError(
+                f"{self.name} takes {len(self.labelnames)} label value(s) "
+                f"{self.labelnames}, got {len(key)}")
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = self._new_series()
+                self._series[key] = series
+            return series
+
+    def _new_series(self):
+        raise NotImplementedError
+
+    def _default(self):
+        """The series bound to no labels (shortcut for label-less metrics)."""
+        return self.labels()
+
+    def series_items(self) -> List[Tuple[Tuple[str, ...], Any]]:
+        with self._lock:
+            return sorted(self._series.items())
+
+    def signature(self) -> Tuple[str, Tuple[str, ...]]:
+        return (self.kind, self.labelnames)
+
+
+class _CounterSeries:
+    """One monotonically increasing series."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self, lock: threading.RLock):
+        self._lock = lock
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise MetricsError("counters only go up; use a Gauge")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Counter(_Instrument):
+    """A monotonically increasing count (requests served, entries shed)."""
+
+    kind = "counter"
+
+    def _new_series(self) -> _CounterSeries:
+        return _CounterSeries(self._lock)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._default().inc(amount)
+
+    @property
+    def value(self) -> float:
+        return self._default().value
+
+
+class _GaugeSeries:
+    """One settable series."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self, lock: threading.RLock):
+        self._lock = lock
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def set_max(self, value: float) -> None:
+        """Keep the running maximum (high-water marks like largest batch)."""
+        with self._lock:
+            self._value = max(self._value, float(value))
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge(_Instrument):
+    """A value that goes up and down (queue depth, worker count)."""
+
+    kind = "gauge"
+
+    def _new_series(self) -> _GaugeSeries:
+        return _GaugeSeries(self._lock)
+
+    def set(self, value: float) -> None:
+        self._default().set(value)
+
+    def set_max(self, value: float) -> None:
+        self._default().set_max(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._default().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._default().dec(amount)
+
+    @property
+    def value(self) -> float:
+        return self._default().value
+
+
+class _HistogramSeries:
+    """One observation distribution over fixed buckets.
+
+    ``counts[i]`` is the number of observations in bucket *i* alone (the
+    rendering layer accumulates them into Prometheus's cumulative ``le``
+    form); the final slot counts overflow beyond the largest bound.
+    """
+
+    __slots__ = ("_lock", "bounds", "counts", "_sum")
+
+    def __init__(self, lock: threading.RLock, bounds: Tuple[float, ...]):
+        self._lock = lock
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self._sum = 0.0
+
+    def observe(self, value: float) -> None:
+        index = bisect_left(self.bounds, value)
+        with self._lock:
+            self.counts[index] += 1
+            self._sum += value
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return sum(self.counts)
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def quantile(self, q: float) -> float:
+        """Estimated q-quantile: the upper bound of the bucket holding the
+        rank-``ceil(q*count)`` observation — within one bucket width of the
+        exact sorted-sample answer whenever the buckets cover the data."""
+        if not 0.0 <= q <= 1.0:
+            raise MetricsError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            total = sum(self.counts)
+            if total == 0:
+                return math.nan
+            rank = max(1, math.ceil(q * total))
+            seen = 0
+            for index, count in enumerate(self.counts):
+                seen += count
+                if seen >= rank:
+                    if index < len(self.bounds):
+                        return self.bounds[index]
+                    return math.inf
+        return math.inf  # pragma: no cover - loop always reaches rank
+
+
+class Histogram(_Instrument):
+    """Fixed-bucket distribution (latency per priority class, batch sizes)."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = "",
+                 labelnames: Sequence[str] = (),
+                 buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS):
+        super().__init__(name, help, labelnames)
+        bounds = tuple(float(bound) for bound in buckets)
+        if not bounds:
+            raise MetricsError(f"{name!r} needs at least one bucket bound")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise MetricsError(
+                f"{name!r} bucket bounds must strictly increase: {bounds}")
+        if any(math.isinf(b) or math.isnan(b) for b in bounds):
+            raise MetricsError(f"{name!r} bounds must be finite "
+                               "(+Inf is implicit)")
+        self.buckets = bounds
+
+    def _new_series(self) -> _HistogramSeries:
+        return _HistogramSeries(self._lock, self.buckets)
+
+    def observe(self, value: float) -> None:
+        self._default().observe(value)
+
+    @property
+    def count(self) -> int:
+        return self._default().count
+
+    @property
+    def sum(self) -> float:
+        return self._default().sum
+
+    def quantile(self, q: float) -> float:
+        return self._default().quantile(q)
+
+    def signature(self) -> Tuple[str, Tuple[str, ...], Tuple[float, ...]]:  # type: ignore[override]
+        return (self.kind, self.labelnames, self.buckets)
+
+
+class MetricsRegistry:
+    """A named, thread-safe collection of instruments.
+
+    Declaration is idempotent: any layer may ``registry.counter(name, ...)``
+    and receive the one shared instrument, provided type, label names (and
+    histogram buckets) agree with the first declaration.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._metrics: Dict[str, _Instrument] = {}
+
+    # -- declaration ------------------------------------------------------------
+
+    def _declare(self, cls, name: str, help: str,
+                 labelnames: Sequence[str], **kwargs: Any):
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                candidate = cls(name, help, labelnames, **kwargs)
+                if existing.signature() != candidate.signature():
+                    raise MetricsError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.signature()}, re-declared as "
+                        f"{candidate.signature()}")
+                return existing
+            instrument = cls(name, help, labelnames, **kwargs)
+            if not instrument.labelnames:
+                # Label-less instruments expose an explicit 0 sample from
+                # declaration on (labelled series appear on first use).
+                instrument._default()
+            self._metrics[name] = instrument
+            return instrument
+
+    def counter(self, name: str, help: str = "",
+                labelnames: Sequence[str] = ()) -> Counter:
+        return self._declare(Counter, name, help, labelnames)
+
+    def gauge(self, name: str, help: str = "",
+              labelnames: Sequence[str] = ()) -> Gauge:
+        return self._declare(Gauge, name, help, labelnames)
+
+    def histogram(self, name: str, help: str = "",
+                  labelnames: Sequence[str] = (),
+                  buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS
+                  ) -> Histogram:
+        return self._declare(Histogram, name, help, labelnames,
+                             buckets=buckets)
+
+    # -- introspection ----------------------------------------------------------
+
+    def get(self, name: str) -> Optional[_Instrument]:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._metrics
+
+    # -- snapshots ---------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-serializable snapshot (see :func:`merge_registry_dicts`)."""
+        with self._lock:
+            instruments = list(self._metrics.values())
+        snapshot: Dict[str, Any] = {}
+        for instrument in instruments:
+            entry: Dict[str, Any] = {
+                "type": instrument.kind,
+                "help": instrument.help,
+                "labelnames": list(instrument.labelnames),
+                "series": [],
+            }
+            if isinstance(instrument, Histogram):
+                entry["buckets"] = list(instrument.buckets)
+            for key, series in instrument.series_items():
+                if isinstance(series, _HistogramSeries):
+                    with series._lock:
+                        entry["series"].append({
+                            "labels": list(key),
+                            "counts": list(series.counts),
+                            "sum": series._sum,
+                        })
+                else:
+                    entry["series"].append({"labels": list(key),
+                                            "value": series.value})
+            snapshot[instrument.name] = entry
+        return snapshot
+
+    def render(self) -> str:
+        """This registry in the Prometheus text exposition format."""
+        return render_registry_dict(self.to_dict())
+
+
+def merge_registry_dicts(snapshots: Iterable[Mapping[str, Any]]
+                         ) -> Dict[str, Any]:
+    """Sum many :meth:`MetricsRegistry.to_dict` snapshots into one.
+
+    Counters, gauges, and histogram buckets/sums add per label set (gauges
+    add so per-worker depths and sizes aggregate into pool totals); metric
+    type, label names, and histogram buckets must agree across snapshots.
+    """
+    merged: Dict[str, Any] = {}
+    for snapshot in snapshots:
+        for name, entry in snapshot.items():
+            target = merged.get(name)
+            if target is None:
+                merged[name] = {
+                    "type": entry["type"],
+                    "help": entry.get("help", ""),
+                    "labelnames": list(entry.get("labelnames", [])),
+                    "series": [dict(series, labels=list(series["labels"]),
+                                    **({"counts": list(series["counts"])}
+                                       if "counts" in series else {}))
+                               for series in entry.get("series", [])],
+                    **({"buckets": list(entry["buckets"])}
+                       if "buckets" in entry else {}),
+                }
+                continue
+            if target["type"] != entry["type"] \
+                    or target["labelnames"] != list(entry.get("labelnames", [])) \
+                    or target.get("buckets") != (
+                        list(entry["buckets"]) if "buckets" in entry else None):
+                raise MetricsError(
+                    f"cannot merge metric {name!r}: snapshots disagree on "
+                    "type, labels, or buckets")
+            by_labels = {tuple(series["labels"]): series
+                         for series in target["series"]}
+            for series in entry.get("series", []):
+                key = tuple(series["labels"])
+                existing = by_labels.get(key)
+                if existing is None:
+                    copied = dict(series, labels=list(series["labels"]))
+                    if "counts" in series:
+                        copied["counts"] = list(series["counts"])
+                    target["series"].append(copied)
+                    by_labels[key] = copied
+                elif "counts" in series:
+                    existing["counts"] = [a + b for a, b in
+                                          zip(existing["counts"],
+                                              series["counts"])]
+                    existing["sum"] += series["sum"]
+                else:
+                    existing["value"] += series["value"]
+    for entry in merged.values():
+        entry["series"].sort(key=lambda series: series["labels"])
+    return merged
+
+
+def _render_labels(labelnames: Sequence[str], values: Sequence[str],
+                   extra: Optional[Tuple[str, str]] = None) -> str:
+    pairs = [(name, value) for name, value in zip(labelnames, values)]
+    if extra is not None:
+        pairs.append(extra)
+    if not pairs:
+        return ""
+    body = ",".join(f'{name}="{_escape_label_value(str(value))}"'
+                    for name, value in pairs)
+    return "{" + body + "}"
+
+
+def render_registry_dict(snapshot: Mapping[str, Any]) -> str:
+    """Render a (possibly merged) registry snapshot as Prometheus text."""
+    lines: List[str] = []
+    for name in sorted(snapshot):
+        entry = snapshot[name]
+        labelnames = entry.get("labelnames", [])
+        if entry.get("help"):
+            lines.append(f"# HELP {name} {entry['help']}")
+        lines.append(f"# TYPE {name} {entry['type']}")
+        for series in entry.get("series", []):
+            values = series["labels"]
+            if entry["type"] == "histogram":
+                cumulative = 0
+                bounds = list(entry["buckets"]) + [float("inf")]
+                for bound, count in zip(bounds, series["counts"]):
+                    cumulative += count
+                    labels = _render_labels(labelnames, values,
+                                            ("le", _format_number(bound)))
+                    lines.append(f"{name}_bucket{labels} {cumulative}")
+                labels = _render_labels(labelnames, values)
+                lines.append(f"{name}_sum{labels} "
+                             f"{_format_number(series['sum'])}")
+                lines.append(f"{name}_count{labels} {cumulative}")
+            else:
+                labels = _render_labels(labelnames, values)
+                lines.append(f"{name}{labels} "
+                             f"{_format_number(series['value'])}")
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -14,7 +14,9 @@ The subsystem layers onto :mod:`repro.api` without changing it:
 * :class:`ServingServer` / :class:`ServingClient` — a stdlib JSON-over-HTTP
   endpoint plus its client, speaking the existing
   ``ScheduleRequest`` / ``ScheduleResponse`` round-trips (load shedding
-  surfaces as ``429`` with a ``Retry-After`` hint).
+  surfaces as ``429`` with a ``Retry-After`` hint), a Prometheus-text
+  ``/metrics`` scrape backed by :mod:`repro.observability`, and an optional
+  structured JSON access log (:class:`JsonAccessLog`).
 * persistence is provided by the pluggable cache backends
   (:class:`repro.api.SQLiteCacheBackend`) and the sharded tuning database
   (:class:`repro.api.ShardedTuningDatabase`); the ``python -m repro.serving``
@@ -22,18 +24,18 @@ The subsystem layers onto :mod:`repro.api` without changing it:
 """
 
 from .client import ServingClient, ServingError
-from .http import ServingServer
+from .http import JsonAccessLog, ServingServer
 from .service import (AdmissionController, AdmissionError, AdmissionStats,
-                      SchedulingService, ServiceConfig, ServiceRunner,
-                      ServiceStats, request_fingerprint)
+                      RequestTiming, SchedulingService, ServiceConfig,
+                      ServiceRunner, ServiceStats, request_fingerprint)
 from .workers import (PoolStats, WorkerConfig, WorkerError, WorkerPool,
                       merge_worker_reports)
 
 __all__ = [
     "SchedulingService", "ServiceConfig", "ServiceRunner", "ServiceStats",
     "AdmissionController", "AdmissionError", "AdmissionStats",
-    "request_fingerprint",
+    "RequestTiming", "request_fingerprint",
     "WorkerPool", "WorkerConfig", "WorkerError", "PoolStats",
     "merge_worker_reports",
-    "ServingServer", "ServingClient", "ServingError",
+    "ServingServer", "ServingClient", "ServingError", "JsonAccessLog",
 ]

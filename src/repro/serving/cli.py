@@ -4,13 +4,16 @@ Subcommands:
 
 * ``serve``      — boot the JSON-over-HTTP scheduling service;
   ``--workers N`` serves through a multi-process
-  :class:`~repro.serving.workers.WorkerPool` sharing one SQLite cache, and
+  :class:`~repro.serving.workers.WorkerPool` sharing one SQLite cache,
   ``--max-queue-depth`` / ``--max-client-inflight`` configure admission
-  control (load shedding with HTTP 429).
+  control (load shedding with HTTP 429), ``--metrics`` / ``--no-metrics``
+  toggle the Prometheus-text ``/metrics`` endpoint, and ``--access-log``
+  writes structured JSON access logs.
 * ``warm-cache`` — populate a persistent SQLite cache with the registry
   workloads so a later ``serve`` starts hot; ``--pipeline`` selects the
-  registry-named normalization pipeline and ``--report-json`` dumps the
-  session report (with per-pass timings) for CI artifacts.
+  registry-named normalization pipeline, ``--report-json`` dumps the
+  session report (with per-pass timings), and ``--metrics-json`` dumps the
+  metrics-registry snapshot for CI artifacts.
 * ``db-shard``   — convert/rebalance tuning databases between the unsharded
   JSON format, the sharded JSON format, and the sharded SQLite format, or
   print shard statistics.
@@ -117,15 +120,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             session = _build_session(args, database=pool.database)
         else:
             session = _build_session(args)
+        access_log = None
+        if args.access_log:
+            access_log = (sys.stdout if args.access_log == "-"
+                          else args.access_log)
         server = ServingServer(session, host=args.host, port=args.port,
-                               config=config, pool=pool)
+                               config=config, pool=pool,
+                               expose_metrics=args.metrics,
+                               access_log=access_log)
         server.start()
         print(f"serving on {server.address} "
               f"(scheduler={args.scheduler}, threads={args.threads}, "
               f"workers={args.workers or 'in-process'}, "
               f"cache={'sqlite:' + args.cache_path if args.cache_path else 'memory'}, "
               f"database={len(session.database)} entries, "
-              f"queue-depth={args.max_queue_depth})", flush=True)
+              f"queue-depth={args.max_queue_depth}, "
+              f"metrics={'on' if args.metrics else 'off'})", flush=True)
         server.serve_forever()
     finally:
         # Reached on a clean shutdown *and* on boot failures (port in use,
@@ -158,6 +168,14 @@ def _cmd_warm_cache(args: argparse.Namespace) -> int:
         with open(args.report_json, "w", encoding="utf-8") as handle:
             json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
         print(f"wrote report to {args.report_json}")
+    if args.metrics_json:
+        # The full instrument snapshot (counters, gauges, histogram
+        # buckets) — mergeable with other snapshots and renderable via
+        # repro.observability.render_registry_dict.
+        with open(args.metrics_json, "w", encoding="utf-8") as handle:
+            json.dump(session.metrics.to_dict(), handle, indent=2,
+                      sort_keys=True)
+        print(f"wrote metrics snapshot to {args.metrics_json}")
     session.close()
     return 0
 
@@ -212,6 +230,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-client-inflight", type=int, default=0,
                        help="per-client in-flight request limit "
                             "(0: unlimited)")
+    serve.add_argument("--metrics", action="store_true", default=True,
+                       help="expose the Prometheus-text /metrics endpoint "
+                            "(on by default; see --no-metrics)")
+    serve.add_argument("--no-metrics", dest="metrics", action="store_false",
+                       help="disable the /metrics endpoint")
+    serve.add_argument("--access-log", default=None, metavar="PATH",
+                       help="write a JSON-lines access log of schedule "
+                            "traffic to PATH ('-' for stdout)")
     serve.set_defaults(func=_cmd_serve)
 
     warm = commands.add_parser(
@@ -224,6 +250,9 @@ def build_parser() -> argparse.ArgumentParser:
     warm.add_argument("--report-json", default=None,
                       help="dump the full session report (including per-pass "
                            "timings) to this JSON file")
+    warm.add_argument("--metrics-json", default=None,
+                      help="dump the session's metrics-registry snapshot "
+                           "(cache/pass instruments) to this JSON file")
     warm.set_defaults(func=_cmd_warm_cache)
 
     shard = commands.add_parser(

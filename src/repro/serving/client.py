@@ -67,6 +67,25 @@ class ServingClient:
     def report(self) -> Dict[str, Any]:
         return self._checked("GET", "/v1/report")
 
+    def metrics(self, include_workers: bool = False) -> str:
+        """Scrape ``GET /metrics``: the Prometheus text exposition body.
+
+        ``include_workers`` merges every worker process's registry into the
+        scrape when the server runs a pool (slower — it rendezvouses with
+        all workers).
+        """
+        path = "/metrics" + ("?workers=1" if include_workers else "")
+        request = urllib.request.Request(self.base_url + path, method="GET")
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as reply:
+                return reply.read().decode("utf-8")
+        except urllib.error.HTTPError as error:
+            try:
+                payload = json.loads(error.read().decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                payload = {"error": str(error)}
+            raise ServingError(error.code, payload) from error
+
     def schedule(self, program: Union[ScheduleRequest, ProgramLike],
                  parameters: Optional[Mapping[str, int]] = None,
                  scheduler: Optional[str] = None,

@@ -7,6 +7,11 @@ Routes:
   stats; with an attached worker pool, coordinator pool counters too, and
   ``?workers=1`` additionally scatter-gathers every worker's session report
   (slower — it rendezvouses with all worker processes).
+* ``GET  /metrics``     — the session's metrics registry in the Prometheus
+  text exposition format (queue-depth gauge, per-priority latency
+  histograms, admission-shed counters, cache and pass counters); with an
+  attached worker pool, ``?workers=1`` merges every worker's registry into
+  the scrape (rendezvous, like the report).
 * ``POST /v1/schedule`` — body: a :class:`~repro.api.ScheduleRequest` dict
   (``{"program": "gemm:b"}`` at its simplest, optionally with ``priority``
   0-9 and an opaque ``client`` identity); response: the
@@ -14,6 +19,10 @@ Routes:
   are coalesced; repeats are cache hits.  When the service sheds load
   (queue full or per-client limit) the reply is ``429 Too Many Requests``
   with a ``Retry-After`` header and a machine-readable ``reason``.
+
+Schedule traffic can additionally be written to a **structured access log**
+(:class:`JsonAccessLog`): one JSON object per request with a request id,
+priority, client identity, queue wait, total duration, and outcome.
 
 The handler threads of :class:`ThreadingHTTPServer` block on the
 :class:`~repro.serving.service.ServiceRunner`, whose event loop performs the
@@ -25,19 +34,26 @@ from __future__ import annotations
 
 import asyncio
 import concurrent.futures
+import itertools
 import json
 import threading
 import time
+import uuid
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, IO, Optional, Tuple, Union
 from urllib.parse import parse_qs, urlsplit
 
 from ..api.session import Session
 from ..api.types import (HIGHEST_PRIORITY, LOWEST_PRIORITY, ScheduleRequest)
+from ..ir.nodes import Program
+from ..observability import merge_registry_dicts, render_registry_dict
 from .service import AdmissionError, ServiceConfig, ServiceRunner
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .workers import WorkerPool
+
+#: Content type of the Prometheus text exposition format.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 #: Largest accepted request body (16 MiB guards against runaway programs).
 MAX_BODY_BYTES = 16 * 1024 * 1024
@@ -48,22 +64,79 @@ MAX_BODY_BYTES = 16 * 1024 * 1024
 MAX_REQUEST_THREADS = 256
 
 
+class JsonAccessLog:
+    """A thread-safe JSON-lines access log for schedule traffic.
+
+    One JSON object per request: request id, timestamp, priority, client
+    identity, program descriptor, HTTP status, outcome, queue wait, and
+    total duration.  ``target`` may be a file path (opened in append mode
+    and closed with the log) or any writable text stream (shared, left
+    open).
+    """
+
+    def __init__(self, target: "Union[str, IO[str]]"):
+        self._owns_stream = isinstance(target, str)
+        self._stream: "IO[str]" = (open(target, "a", encoding="utf-8")
+                                   if isinstance(target, str) else target)
+        self._lock = threading.Lock()
+
+    def write(self, entry: Dict[str, Any]) -> None:
+        line = json.dumps(entry, sort_keys=True)
+        with self._lock:
+            self._stream.write(line + "\n")
+            self._stream.flush()
+
+    def close(self) -> None:
+        if self._owns_stream:
+            self._stream.close()
+
+
+def _program_descriptor(program: Any) -> str:
+    """A short, log-safe description of a request's program."""
+    if isinstance(program, Program):
+        return f"ir:{program.name}"
+    text = str(program)
+    return text if len(text) <= 80 else text[:77] + "..."
+
+
 class ServingServer:
     """The HTTP front of one session + async scheduling service.
 
     ``pool`` optionally attaches a :class:`~repro.serving.workers.WorkerPool`
     whose processes serve the micro-batches; the server reports through it
     but does not own it — whoever created the pool closes it.
+
+    ``expose_metrics`` controls the ``/metrics`` route (on by default; the
+    scrape itself is read-only and cheap).  ``access_log`` — a path or a
+    writable text stream — enables the structured JSON access log for
+    ``/v1/schedule`` traffic.
     """
 
     def __init__(self, session: Session, host: str = "127.0.0.1",
                  port: int = 0, config: Optional[ServiceConfig] = None,
-                 pool: "Optional[WorkerPool]" = None):
+                 pool: "Optional[WorkerPool]" = None,
+                 expose_metrics: bool = True,
+                 access_log: "Union[None, str, IO[str]]" = None):
         self.session = session
         self.pool = pool
         self.runner = ServiceRunner(session, config, pool=pool)
+        self.metrics = session.metrics
+        self.expose_metrics = expose_metrics
+        self.access_log = (JsonAccessLog(access_log)
+                           if access_log is not None else None)
+        # Request ids: a per-server random prefix plus a monotonic sequence
+        # — unique across restarts, orderable within one.
+        self._id_prefix = uuid.uuid4().hex[:8]
+        self._id_sequence = itertools.count(1)
         handler = _make_handler(self)
-        self._httpd = ThreadingHTTPServer((host, port), handler)
+        try:
+            self._httpd = ThreadingHTTPServer((host, port), handler)
+        except Exception:
+            # Binding can fail (port in use); don't leak the opened log
+            # handle — stop() never runs for a half-constructed server.
+            if self.access_log is not None:
+                self.access_log.close()
+            raise
         self._thread: Optional[threading.Thread] = None
         self._started_at = 0.0
         self._closed = False
@@ -119,6 +192,8 @@ class ServingServer:
         self._thread.join()
         self._httpd.server_close()
         self.runner.stop()
+        if self.access_log is not None:
+            self.access_log.close()
         self._thread = None
 
     # -- route implementations ---------------------------------------------------
@@ -143,46 +218,120 @@ class ServingServer:
                                    **self.pool.stats.to_dict()}
         return 200, payload
 
+    def render_metrics(self, include_workers: bool = False) -> str:
+        """The Prometheus text scrape body of ``GET /metrics``.
+
+        The coordinator registry (service queue/latency/admission plus the
+        coordinator session's cache traffic) renders directly; with a pool
+        and ``include_workers``, every worker's registry is gathered
+        (rendezvous) and merged in, so per-worker cache and pass counters
+        aggregate into the scrape.
+        """
+        if self.pool is not None and include_workers:
+            gathered = self.pool.metrics()
+            snapshots = [self.metrics.to_dict()]
+            snapshots.extend(snapshot for _, snapshot
+                             in sorted(gathered["per_worker"].items()))
+            return render_registry_dict(merge_registry_dicts(snapshots))
+        return self.metrics.render()
+
+    def handle_metrics(self, include_workers: bool = False
+                       ) -> Tuple[int, str, str]:
+        """Returns ``(status, content_type, body)`` for ``GET /metrics``."""
+        if not self.expose_metrics:
+            return (404, "application/json",
+                    json.dumps({"error": "metrics endpoint is disabled"}))
+        return 200, PROMETHEUS_CONTENT_TYPE, self.render_metrics(include_workers)
+
+    def _next_request_id(self) -> str:
+        return f"{self._id_prefix}-{next(self._id_sequence)}"
+
+    def _log_schedule(self, request_id: str, body: Dict[str, Any],
+                      request: Optional[ScheduleRequest], status: int,
+                      outcome: str, started: float,
+                      queue_wait_s: Optional[float],
+                      coalesced: Optional[bool]) -> None:
+        if self.access_log is None:
+            return
+        self.access_log.write({
+            "ts": round(time.time(), 6),
+            "request_id": request_id,
+            "route": "/v1/schedule",
+            "program": _program_descriptor(
+                request.program if request is not None
+                else body.get("program")),
+            "priority": (request.priority if request is not None
+                         else body.get("priority")),
+            "client": (request.client if request is not None
+                       else body.get("client")),
+            "status": status,
+            "outcome": outcome,
+            "queue_wait_s": (round(queue_wait_s, 6)
+                             if queue_wait_s is not None else None),
+            "duration_s": round(time.monotonic() - started, 6),
+            "coalesced": coalesced,
+        })
+
     def handle_schedule(self, body: Dict[str, Any]
                         ) -> "Tuple[int, Dict[str, Any] | str]":
+        started = time.monotonic()
+        request_id = self._next_request_id()
+
+        def done(status: int, payload: "Dict[str, Any] | str", outcome: str,
+                 request: Optional[ScheduleRequest] = None,
+                 queue_wait_s: Optional[float] = None,
+                 coalesced: Optional[bool] = None
+                 ) -> "Tuple[int, Dict[str, Any] | str]":
+            self._log_schedule(request_id, body, request, status, outcome,
+                               started, queue_wait_s, coalesced)
+            return status, payload
+
         try:
             request = ScheduleRequest.from_dict(body)
         except (KeyError, TypeError, ValueError) as error:
-            return 400, {"error": f"invalid schedule request: {error}"}
+            return done(400, {"error": f"invalid schedule request: {error}"},
+                        "invalid")
         if request.threads is not None and not (
                 isinstance(request.threads, int)
                 and 1 <= request.threads <= MAX_REQUEST_THREADS):
-            return 400, {"error": f"threads must be an integer in "
-                                  f"[1, {MAX_REQUEST_THREADS}]"}
+            return done(400, {"error": f"threads must be an integer in "
+                                       f"[1, {MAX_REQUEST_THREADS}]"},
+                        "invalid", request)
         if not HIGHEST_PRIORITY <= request.priority <= LOWEST_PRIORITY:
-            return 400, {"error": f"priority must be an integer in "
-                                  f"[{HIGHEST_PRIORITY}, {LOWEST_PRIORITY}] "
-                                  f"({HIGHEST_PRIORITY} most urgent)"}
+            return done(400, {"error": f"priority must be an integer in "
+                                       f"[{HIGHEST_PRIORITY}, "
+                                       f"{LOWEST_PRIORITY}] "
+                                       f"({HIGHEST_PRIORITY} most urgent)"},
+                        "invalid", request)
         try:
-            response = self.runner.schedule(request)
+            response, timing = self.runner.schedule_timed(request)
         except AdmissionError as error:
             # Load shedding is not a client mistake: 429 plus a retry hint,
             # so well-behaved clients back off instead of hammering.
-            return 429, {"error": str(error), "reason": error.reason,
-                         "retry_after_s": error.retry_after_s}
+            return done(429, {"error": str(error), "reason": error.reason,
+                              "retry_after_s": error.retry_after_s},
+                        "shed", request)
         except (ValueError, TypeError, KeyError) as error:
             # Unknown workloads/schedulers raise RegistryError (a KeyError):
             # the request was malformed, not the server.
-            return 400, {"error": str(error)}
+            return done(400, {"error": str(error)}, "invalid", request)
         except (asyncio.CancelledError, concurrent.futures.CancelledError):
             # Server shutdown cancelled the in-flight future; CancelledError
             # is a BaseException and would otherwise kill the handler thread
             # without sending any response.
-            return 503, {"error": "server is shutting down"}
+            return done(503, {"error": "server is shutting down"},
+                        "cancelled", request)
         except Exception as error:  # noqa: BLE001 - surfaced as HTTP 500
-            return 500, {"error": f"{type(error).__name__}: {error}"}
+            return done(500, {"error": f"{type(error).__name__}: {error}"},
+                        "error", request)
         # Pool responses arrive as pre-encoded JSON text (the worker process
         # serialized them); reply with those bytes verbatim instead of
         # re-encoding on the handler thread.
         encode = getattr(response, "to_json", None)
-        if encode is not None:
-            return 200, encode()
-        return 200, response.to_dict()
+        payload = encode() if encode is not None else response.to_dict()
+        return done(200, payload, "ok", request,
+                    queue_wait_s=timing.queue_wait_s,
+                    coalesced=timing.coalesced)
 
 
 def _make_handler(server: ServingServer):
@@ -220,15 +369,30 @@ def _make_handler(server: ServingServer):
             self.end_headers()
             self.wfile.write(body)
 
+        def _reply_text(self, status: int, content_type: str,
+                        body_text: str) -> None:
+            body = body_text.encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        @staticmethod
+        def _workers_flag(query: Dict[str, list]) -> bool:
+            flag = query.get("workers", [""])[-1].strip().lower()
+            return flag in ("1", "true", "yes", "on")
+
         def do_GET(self) -> None:  # noqa: N802 - http.server API
             parts = urlsplit(self.path)
             if parts.path == "/healthz":
                 self._reply(*server.handle_healthz())
             elif parts.path == "/v1/report":
-                query = parse_qs(parts.query)
-                flag = query.get("workers", [""])[-1].strip().lower()
-                include_workers = flag in ("1", "true", "yes", "on")
+                include_workers = self._workers_flag(parse_qs(parts.query))
                 self._reply(*server.handle_report(include_workers))
+            elif parts.path == "/metrics":
+                include_workers = self._workers_flag(parse_qs(parts.query))
+                self._reply_text(*server.handle_metrics(include_workers))
             else:
                 self._reply(404, {"error": f"unknown path {self.path!r}"})
 

@@ -34,12 +34,13 @@ from __future__ import annotations
 import asyncio
 import threading
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 from ..api.hashing import fingerprint, program_content_hash
 from ..api.session import Session
 from ..api.types import ScheduleRequest, ScheduleResponse
 from ..ir.nodes import Program
+from ..observability import MetricsRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (workers use api)
     from .workers import WorkerPool
@@ -67,17 +68,100 @@ class ServiceConfig:
     retry_after_s: float = 0.05
 
 
-@dataclass
 class ServiceStats:
-    """What the service did since it started."""
+    """What the service did since it started.
 
-    requests: int = 0
-    coalesced: int = 0
-    batches: int = 0
-    scheduled: int = 0
-    errors: int = 0
-    rejected: int = 0
-    largest_batch: int = 0
+    The counters live in a :class:`~repro.observability.MetricsRegistry`
+    (the ``repro_service_*`` instruments scraped at ``/metrics``); this
+    class is the backward-compatible view ``/v1/report`` renders from, so
+    the two are fed by the same increments and cannot drift.  Registry
+    counters are cumulative across service generations (Prometheus
+    semantics: counters never reset within a process), so each view
+    snapshots its construction-time values and reports deltas — a fresh
+    service over a reused session still starts its report at zero.
+    """
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None):
+        metrics = metrics if metrics is not None else MetricsRegistry()
+        self._requests = metrics.counter(
+            "repro_service_requests_total",
+            "Requests admitted into the scheduling service.")
+        self._coalesced = metrics.counter(
+            "repro_service_coalesced_total",
+            "Requests that rode an identical in-flight request.")
+        self._batches = metrics.counter(
+            "repro_service_batches_total", "Micro-batches executed.")
+        self._scheduled = metrics.counter(
+            "repro_service_scheduled_total",
+            "Requests resolved with a schedule response.")
+        self._errors = metrics.counter(
+            "repro_service_errors_total",
+            "Requests resolved with an exception.")
+        self._rejected = metrics.counter(
+            "repro_service_rejected_total",
+            "Requests shed by admission control.")
+        self._largest_batch = metrics.gauge(
+            "repro_service_largest_batch",
+            "High-water mark of the micro-batch size.")
+        self._base = {
+            "requests": self._requests.value,
+            "coalesced": self._coalesced.value,
+            "batches": self._batches.value,
+            "scheduled": self._scheduled.value,
+            "errors": self._errors.value,
+            "rejected": self._rejected.value,
+        }
+
+    # -- recording (used by the service) -----------------------------------------
+
+    def record_request(self) -> None:
+        self._requests.inc()
+
+    def record_coalesced(self) -> None:
+        self._coalesced.inc()
+
+    def record_batch(self, size: int) -> None:
+        self._batches.inc()
+        self._largest_batch.set_max(size)
+
+    def record_scheduled(self) -> None:
+        self._scheduled.inc()
+
+    def record_errors(self, count: int = 1) -> None:
+        self._errors.inc(count)
+
+    def record_rejected(self) -> None:
+        self._rejected.inc()
+
+    # -- the read-only view -------------------------------------------------------
+
+    @property
+    def requests(self) -> int:
+        return int(self._requests.value - self._base["requests"])
+
+    @property
+    def coalesced(self) -> int:
+        return int(self._coalesced.value - self._base["coalesced"])
+
+    @property
+    def batches(self) -> int:
+        return int(self._batches.value - self._base["batches"])
+
+    @property
+    def scheduled(self) -> int:
+        return int(self._scheduled.value - self._base["scheduled"])
+
+    @property
+    def errors(self) -> int:
+        return int(self._errors.value - self._base["errors"])
+
+    @property
+    def rejected(self) -> int:
+        return int(self._rejected.value - self._base["rejected"])
+
+    @property
+    def largest_batch(self) -> int:
+        return int(self._largest_batch.value)
 
     def to_dict(self) -> Dict[str, int]:
         return {
@@ -105,13 +189,49 @@ class AdmissionError(RuntimeError):
         self.retry_after_s = retry_after_s
 
 
-@dataclass
 class AdmissionStats:
-    """What the admission controller decided since the service started."""
+    """What the admission controller decided since the service started.
 
-    admitted: int = 0
-    rejected_queue_full: int = 0
-    rejected_client_limit: int = 0
+    Backed by the ``repro_admission_*`` registry instruments (admitted
+    counter plus a shed counter labelled by reason); ``/v1/report`` renders
+    this view, fed by the same increments as ``/metrics``.  Like
+    :class:`ServiceStats`, the view reports deltas from its construction so
+    a fresh controller over a reused registry starts at zero.
+    """
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None):
+        metrics = metrics if metrics is not None else MetricsRegistry()
+        self._admitted = metrics.counter(
+            "repro_admission_admitted_total",
+            "Requests admitted into the service queue.")
+        self._shed = metrics.counter(
+            "repro_admission_shed_total",
+            "Requests shed by admission control, by reason.", ("reason",))
+        self._base = {
+            "admitted": self._admitted.value,
+            "queue-full": self._shed.labels("queue-full").value,
+            "client-limit": self._shed.labels("client-limit").value,
+        }
+
+    def record_admitted(self) -> None:
+        self._admitted.inc()
+
+    def record_shed(self, reason: str) -> None:
+        self._shed.labels(reason).inc()
+
+    @property
+    def admitted(self) -> int:
+        return int(self._admitted.value - self._base["admitted"])
+
+    @property
+    def rejected_queue_full(self) -> int:
+        return int(self._shed.labels("queue-full").value
+                   - self._base["queue-full"])
+
+    @property
+    def rejected_client_limit(self) -> int:
+        return int(self._shed.labels("client-limit").value
+                   - self._base["client-limit"])
 
     def to_dict(self) -> Dict[str, int]:
         return {
@@ -139,9 +259,10 @@ class AdmissionController:
     locking; its counters are plain ints safe to read from other threads.
     """
 
-    def __init__(self, config: ServiceConfig):
+    def __init__(self, config: ServiceConfig,
+                 metrics: Optional[MetricsRegistry] = None):
         self.config = config
-        self.stats = AdmissionStats()
+        self.stats = AdmissionStats(metrics)
         self._client_inflight: Dict[str, int] = {}
 
     def admit(self, request: ScheduleRequest, queue_depth: int,
@@ -153,7 +274,7 @@ class AdmissionController:
         if client is not None and config.max_client_inflight > 0:
             inflight = self._client_inflight.get(client, 0)
             if inflight >= config.max_client_inflight:
-                self.stats.rejected_client_limit += 1
+                self.stats.record_shed("client-limit")
                 raise AdmissionError(
                     "client-limit",
                     f"client {client!r} already has {inflight} requests "
@@ -161,13 +282,13 @@ class AdmissionController:
                     config.retry_after_s)
         if not rider and config.max_queue_depth > 0 \
                 and queue_depth >= config.max_queue_depth:
-            self.stats.rejected_queue_full += 1
+            self.stats.record_shed("queue-full")
             raise AdmissionError(
                 "queue-full",
                 f"service queue is full ({queue_depth} requests, "
                 f"limit {config.max_queue_depth})",
                 config.retry_after_s)
-        self.stats.admitted += 1
+        self.stats.record_admitted()
         if client is not None:
             self._client_inflight[client] = \
                 self._client_inflight.get(client, 0) + 1
@@ -217,13 +338,32 @@ def request_fingerprint(request: ScheduleRequest) -> str:
 
 
 @dataclass
+class RequestTiming:
+    """Per-request serving timings (returned by ``schedule_timed``).
+
+    ``queue_wait_s`` is the time the request's queue entry (or, for a
+    coalesced rider, its leader's) spent queued before a batch claimed it;
+    ``total_s`` is end-to-end from admission to response.
+    """
+
+    total_s: float = 0.0
+    queue_wait_s: float = 0.0
+    coalesced: bool = False
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"total_s": self.total_s, "queue_wait_s": self.queue_wait_s,
+                "coalesced": self.coalesced}
+
+
+@dataclass
 class _Pending:
     """One queued request plus the future its submitters await.
 
     ``best_priority`` tracks the most urgent priority any coalesced rider
     has contributed; ``claimed`` marks the entry once a batch picked it up,
     so stale duplicate queue entries (left behind by re-prioritization) are
-    skipped on pop.
+    skipped on pop.  ``enqueued_at`` / ``claimed_at`` (event-loop clock)
+    feed the queue-wait metrics and access logs.
     """
 
     key: str
@@ -231,6 +371,8 @@ class _Pending:
     future: "asyncio.Future[ScheduleResponse]" = field(repr=False, default=None)
     best_priority: int = 0
     claimed: bool = False
+    enqueued_at: float = 0.0
+    claimed_at: float = 0.0
 
 
 class SchedulingService:
@@ -249,8 +391,25 @@ class SchedulingService:
         self.session = session
         self.config = config or ServiceConfig()
         self.pool = pool
-        self.stats = ServiceStats()
-        self.admission = AdmissionController(self.config)
+        #: All service instruments live on the session's registry, so one
+        #: ``/metrics`` scrape covers session, cache, and service.  Sessions
+        #: are duck-typed here (tests stub them), so a missing registry
+        #: falls back to a private one.
+        metrics = getattr(session, "metrics", None)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.stats = ServiceStats(self.metrics)
+        self.admission = AdmissionController(self.config, self.metrics)
+        self._queue_depth_gauge = self.metrics.gauge(
+            "repro_service_queue_depth",
+            "Live requests in the service queue (stale entries excluded).")
+        self._latency_histogram = self.metrics.histogram(
+            "repro_request_latency_seconds",
+            "End-to-end latency of admitted requests by priority class.",
+            ("priority",))
+        self._phase_histogram = self.metrics.histogram(
+            "repro_request_phase_seconds",
+            "Time spent per serving phase (queue wait, batch formation, "
+            "schedule execution).", ("phase",))
         # Entries are ``(priority, arrival_seq, _Pending)``: the asyncio
         # PriorityQueue pops the smallest tuple, so priority 0 drains first
         # and the monotonically increasing arrival sequence keeps FIFO order
@@ -274,6 +433,7 @@ class SchedulingService:
             return
         self._queue = asyncio.PriorityQueue()
         self._stale_entries = 0
+        self._update_queue_gauge()
         self._running = True
         self._batcher = asyncio.get_running_loop().create_task(self._run())
 
@@ -302,6 +462,14 @@ class SchedulingService:
         service is saturated (queue depth) or the request's client is over
         its in-flight limit.
         """
+        response, _ = await self.schedule_timed(request)
+        return response
+
+    async def schedule_timed(self, request: ScheduleRequest
+                             ) -> Tuple[ScheduleResponse, RequestTiming]:
+        """Like :meth:`schedule`, additionally returning the request's
+        :class:`RequestTiming` (end-to-end latency, queue wait) — the HTTP
+        layer's access log consumes it."""
         if not self._running:
             raise RuntimeError("service is not running; call start() first")
         if request.tune:
@@ -315,15 +483,18 @@ class SchedulingService:
                 queue_depth=self._queue.qsize() - self._stale_entries,
                 rider=existing is not None)
         except AdmissionError:
-            self.stats.rejected += 1
+            self.stats.record_rejected()
             raise
-        self.stats.requests += 1
+        self.stats.record_request()
+        loop = asyncio.get_running_loop()
+        timing = RequestTiming(coalesced=existing is not None)
+        started = loop.time()
         try:
             if existing is not None:
                 # Coalesce: ride the identical in-flight request.  The
                 # response program is copied so concurrent consumers never
                 # share IR.
-                self.stats.coalesced += 1
+                self.stats.record_coalesced()
                 self.session.record_coalesced()
                 if request.priority < existing.best_priority \
                         and not existing.claimed:
@@ -337,21 +508,50 @@ class SchedulingService:
                     self._stale_entries += 1
                     await self._queue.put((request.priority,
                                            self._arrival_seq, existing))
+                    self._update_queue_gauge()
                 response = await asyncio.shield(existing.future)
-                return self._reissue(response, request)
+                self._finish_timing(timing, request, existing, started, loop)
+                return self._reissue(response, request), timing
             future: "asyncio.Future[ScheduleResponse]" = \
                 asyncio.get_running_loop().create_future()
             pending = _Pending(key, request, future,
-                               best_priority=request.priority)
+                               best_priority=request.priority,
+                               enqueued_at=started)
             self._inflight[key] = pending
             self._arrival_seq += 1
             await self._queue.put((request.priority, self._arrival_seq,
                                    pending))
-            return await asyncio.shield(future)
+            self._update_queue_gauge()
+            try:
+                response = await asyncio.shield(future)
+            finally:
+                # Failed requests are end-to-end requests too: their latency
+                # belongs in the per-priority distribution.
+                self._finish_timing(timing, request, pending, started, loop)
+            return response, timing
         finally:
             # Admitted requests hold their per-client slot until their
             # response (or failure) resolves, riders included.
             self.admission.release(request)
+
+    def _finish_timing(self, timing: RequestTiming, request: ScheduleRequest,
+                       pending: _Pending, started: float,
+                       loop: asyncio.AbstractEventLoop) -> None:
+        """Observe one admitted request's end-to-end latency under the
+        *submitter's* priority (riders keep their own class, not their
+        leader's) and fill in the timing the access log reports."""
+        timing.total_s = max(0.0, loop.time() - started)
+        if pending.claimed_at:
+            timing.queue_wait_s = max(
+                0.0, pending.claimed_at - pending.enqueued_at)
+        self._latency_histogram.labels(str(request.priority)).observe(
+            timing.total_s)
+
+    def _update_queue_gauge(self) -> None:
+        queue = self._queue
+        if queue is not None:
+            self._queue_depth_gauge.set(
+                max(0, queue.qsize() - self._stale_entries))
 
     @staticmethod
     def _reissue(response: ScheduleResponse,
@@ -383,8 +583,11 @@ class SchedulingService:
             _, _, pending = await self._queue.get()
             if pending.claimed:
                 self._stale_entries -= 1
+                self._update_queue_gauge()
                 continue
             pending.claimed = True
+            pending.claimed_at = asyncio.get_running_loop().time()
+            self._update_queue_gauge()
             return pending
 
     async def _collect_batch(self) -> List[_Pending]:
@@ -407,8 +610,13 @@ class SchedulingService:
         loop = asyncio.get_running_loop()
         while True:
             batch = await self._collect_batch()
-            self.stats.batches += 1
-            self.stats.largest_batch = max(self.stats.largest_batch, len(batch))
+            self.stats.record_batch(len(batch))
+            dispatched_at = loop.time()
+            for pending in batch:
+                self._phase_histogram.labels("queue").observe(
+                    max(0.0, pending.claimed_at - pending.enqueued_at))
+                self._phase_histogram.labels("batch").observe(
+                    max(0.0, dispatched_at - pending.claimed_at))
             requests = [pending.request for pending in batch]
             try:
                 responses = await loop.run_in_executor(
@@ -416,21 +624,23 @@ class SchedulingService:
             except Exception as error:  # noqa: BLE001 - forwarded to callers
                 # Batch-level failure (e.g. the executor itself); per-item
                 # failures are returned in-band by return_exceptions below.
-                self.stats.errors += len(batch)
+                self.stats.record_errors(len(batch))
                 for pending in batch:
                     self._inflight.pop(pending.key, None)
                     if not pending.future.done():
                         pending.future.set_exception(error)
                 continue
+            schedule_s = max(0.0, loop.time() - dispatched_at)
             for pending, response in zip(batch, responses):
                 self._inflight.pop(pending.key, None)
+                self._phase_histogram.labels("schedule").observe(schedule_s)
                 if isinstance(response, Exception):
                     # One invalid request must not fail its batchmates.
-                    self.stats.errors += 1
+                    self.stats.record_errors()
                     if not pending.future.done():
                         pending.future.set_exception(response)
                 else:
-                    self.stats.scheduled += 1
+                    self.stats.record_scheduled()
                     if not pending.future.done():
                         pending.future.set_result(response)
 
@@ -503,6 +713,17 @@ class ServiceRunner:
             raise RuntimeError("runner is not started")
         future = asyncio.run_coroutine_threadsafe(
             self.service.schedule(request), self._loop)
+        return future.result(timeout)
+
+    def schedule_timed(self, request: ScheduleRequest,
+                       timeout: Optional[float] = None
+                       ) -> Tuple[ScheduleResponse, RequestTiming]:
+        """Blocking submit returning ``(response, RequestTiming)`` — the
+        HTTP layer uses the timing for its structured access log."""
+        if self._loop is None:
+            raise RuntimeError("runner is not started")
+        future = asyncio.run_coroutine_threadsafe(
+            self.service.schedule_timed(request), self._loop)
         return future.result(timeout)
 
     def schedule_many(self, requests: List[ScheduleRequest],

@@ -42,6 +42,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 from ..api.registry import RegistryError
 from ..api.session import Session
 from ..api.types import ScheduleRequest, ScheduleResponse
+from ..observability import merge_registry_dicts
 from ..passes.registry import PipelineRegistryError
 from ..scheduler.database import DatabaseEntry, TuningDatabase
 from ..scheduler.sharding import ShardedTuningDatabase, embedding_shard
@@ -221,6 +222,15 @@ def _worker_report() -> Tuple[int, Dict[str, Any]]:
     except threading.BrokenBarrierError:
         pass
     return _WORKER_INDEX, _WORKER_SESSION.report().to_dict()
+
+
+def _worker_metrics() -> Tuple[int, Dict[str, Any]]:
+    """Barrier-synchronized metrics-registry snapshot of this worker."""
+    try:
+        _WORKER_BARRIER.wait(timeout=60)
+    except threading.BrokenBarrierError:
+        pass
+    return _WORKER_INDEX, _WORKER_SESSION.metrics.to_dict()
 
 
 # -- coordinator half --------------------------------------------------------------
@@ -569,4 +579,25 @@ class WorkerPool:
             "per_worker": {str(index): report
                            for index, report in sorted(per_worker.items())},
             "pool": self.stats.to_dict(),
+        }
+
+    def metrics(self) -> Dict[str, Any]:
+        """Scatter-gather of every worker's metrics-registry snapshot.
+
+        Returns ``{"num_workers", "registries_collected", "merged",
+        "per_worker"}``; ``merged`` sums the per-worker snapshots with
+        :func:`~repro.observability.merge_registry_dicts` (counters and
+        histogram buckets add, so the merged histogram count equals the sum
+        of per-worker counts).  Like :meth:`report`, this rendezvouses with
+        every worker process and may block while busy workers finish.
+        """
+        per_worker = {index: snapshot for index, snapshot
+                      in self._reach_all_workers(_worker_metrics).items()}
+        return {
+            "num_workers": self.num_workers,
+            "registries_collected": len(per_worker),
+            "merged": merge_registry_dicts(
+                snapshot for _, snapshot in sorted(per_worker.items())),
+            "per_worker": {str(index): snapshot
+                           for index, snapshot in sorted(per_worker.items())},
         }

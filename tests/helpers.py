@@ -1,4 +1,5 @@
-"""Shared program builders for the test suite.
+"""Shared helpers for the test suite: program builders, stdlib-only
+property-test generators, and a Prometheus text-format parser.
 
 These used to live in ``tests/conftest.py``, but test modules importing them
 via ``from conftest import ...`` collided with ``benchmarks/conftest.py``
@@ -64,6 +65,129 @@ def build_stencil(name="stencil1d"):
         with b.loop("i", 1, b.sym("N") - 1):
             b.assign(("A", "i"), b.read("B", "i"))
     return b.finish()
+
+
+# -- property-test generators (stdlib-only, Hypothesis-style) -------------------
+
+def observation_streams(seed, count=40, max_length=400):
+    """Yield ``count`` random observation streams for histogram properties.
+
+    A deterministic, stdlib-only stand-in for Hypothesis: each stream draws
+    its length, distribution shape (uniform, exponential-ish, clustered,
+    constant, negative-heavy), and scale from a seeded ``random.Random``,
+    so failures replay exactly from the seed.
+    """
+    import random
+
+    rng = random.Random(seed)
+    shapes = ("uniform", "exponential", "clustered", "constant", "negative")
+    for index in range(count):
+        length = rng.randint(1, max_length)
+        shape = shapes[index % len(shapes)]
+        scale = 10.0 ** rng.randint(-3, 3)
+        if shape == "uniform":
+            stream = [rng.uniform(0.0, scale) for _ in range(length)]
+        elif shape == "exponential":
+            stream = [rng.expovariate(1.0 / scale) for _ in range(length)]
+        elif shape == "clustered":
+            centers = [rng.uniform(0.0, scale) for _ in range(3)]
+            stream = [rng.choice(centers) + rng.uniform(-scale, scale) * 0.01
+                      for _ in range(length)]
+        elif shape == "constant":
+            value = rng.uniform(0.0, scale)
+            stream = [value] * length
+        else:  # negative-heavy: observations below every bucket bound
+            stream = [rng.uniform(-scale, scale) for _ in range(length)]
+        yield shape, stream
+
+
+def uniform_buckets(stream, buckets=16):
+    """Uniform bucket bounds covering ``stream`` (for quantile oracles).
+
+    Returns ``(bounds, width)``: the last bound sits at the stream maximum,
+    so nothing overflows into the +Inf bucket and histogram quantiles are
+    within one ``width`` of the exact sorted-sample answer.
+    """
+    low, high = min(stream), max(stream)
+    if high <= low:
+        high = low + 1.0
+    width = (high - low) / buckets
+    # The last bound is pinned to the exact maximum: accumulated rounding in
+    # ``low + width * buckets`` could land a hair below it, spilling the
+    # largest observation into the +Inf bucket.
+    bounds = tuple(low + width * (index + 1)
+                   for index in range(buckets - 1)) + (high,)
+    return bounds, width
+
+
+# -- a minimal Prometheus text-format parser (for /metrics scrape tests) --------
+
+def parse_prometheus_text(text):
+    """Parse the Prometheus text exposition format into plain dicts.
+
+    Returns ``{metric_name: {"type": str, "samples": {(sample_name,
+    ((label, value), ...)): float}}}``; sample names keep their
+    ``_bucket`` / ``_sum`` / ``_count`` suffixes and label pairs are sorted
+    tuples, so tests can assert exact series values.
+    """
+    import re
+
+    metrics = {}
+    types = {}
+    sample_re = re.compile(
+        r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(.*)\})?\s+(\S+)$")
+    label_re = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split(None, 3)
+            types[name] = kind
+            metrics.setdefault(name, {"type": kind, "samples": {}})
+            continue
+        if line.startswith("#"):
+            continue
+        match = sample_re.match(line)
+        assert match, f"unparseable sample line: {line!r}"
+        sample_name, label_body, value_text = match.groups()
+
+        def unescape(value):
+            # One regex pass: sequential str.replace would corrupt values
+            # like a literal backslash followed by 'n' ('\\' then 'n').
+            return re.sub(r"\\(.)",
+                          lambda m: {"n": "\n"}.get(m.group(1), m.group(1)),
+                          value)
+
+        labels = []
+        if label_body:
+            labels = [(name, unescape(value))
+                      for name, value in label_re.findall(label_body)]
+        base = sample_name
+        for suffix in ("_bucket", "_sum", "_count"):
+            trimmed = sample_name[:-len(suffix)] \
+                if sample_name.endswith(suffix) else None
+            if trimmed and types.get(trimmed) == "histogram":
+                base = trimmed
+                break
+        value = float("inf") if value_text == "+Inf" else float(value_text)
+        entry = metrics.setdefault(
+            base, {"type": types.get(base, "untyped"), "samples": {}})
+        entry["samples"][(sample_name, tuple(sorted(labels)))] = value
+    return metrics
+
+
+def prometheus_sample(metrics, sample_name, **labels):
+    """One sample value from :func:`parse_prometheus_text` output (the base
+    metric is derived by stripping histogram suffixes)."""
+    base = sample_name
+    for suffix in ("_bucket", "_sum", "_count"):
+        if base.endswith(suffix) and base[:-len(suffix)] in metrics:
+            base = base[:-len(suffix)]
+            break
+    key = (sample_name, tuple(sorted(
+        (name, str(value)) for name, value in labels.items())))
+    return metrics[base]["samples"][key]
 
 
 # -- shared fast-session preset ------------------------------------------------

@@ -25,6 +25,7 @@ DOCUMENTS = [
     "docs/api.md",
     "docs/pipelines.md",
     "docs/serving.md",
+    "docs/observability.md",
 ]
 
 _FENCE = re.compile(r"^```(\w*)\s*$")

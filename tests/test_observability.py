@@ -1,0 +1,559 @@
+"""Tests of the observability subsystem: the metrics registry and its
+instruments (property-based histogram invariants included), concurrency
+safety across threads and real processes, the wiring through Session /
+SchedulingService / WorkerPool, and the end-to-end ``/metrics`` scrape."""
+
+import json
+import math
+import multiprocessing
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+from helpers import (build_gemm, fast_session, observation_streams,
+                     parse_prometheus_text, prometheus_sample,
+                     uniform_buckets)
+
+from repro.api import SearchConfig, Session
+from repro.observability import (DEFAULT_LATENCY_BUCKETS, MetricsError,
+                                 MetricsRegistry, merge_registry_dicts,
+                                 render_registry_dict)
+from repro.serving import (ServiceConfig, ServingClient, ServingError,
+                           ServingServer, WorkerConfig, WorkerPool)
+
+FAST_SEARCH = SearchConfig(population_size=4, epochs=1,
+                           generations_per_epoch=1)
+
+
+# -- the instruments -----------------------------------------------------------------
+
+class TestCounter:
+    def test_counts_and_rejects_negative(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_t_total", "help")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+        with pytest.raises(MetricsError):
+            counter.inc(-1)
+
+    def test_labelled_series_are_independent(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_t_total", "", ("outcome",))
+        counter.labels("hit").inc(3)
+        counter.labels(outcome="miss").inc()
+        assert counter.labels("hit").value == 3
+        assert counter.labels("miss").value == 1
+
+    def test_label_arity_is_checked(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_t_total", "", ("a", "b"))
+        with pytest.raises(MetricsError):
+            counter.labels("only-one")
+        with pytest.raises(MetricsError):
+            counter.labels(a="x", wrong="y")
+
+
+class TestGauge:
+    def test_set_inc_dec_and_max(self):
+        gauge = MetricsRegistry().gauge("repro_depth", "")
+        gauge.set(5)
+        gauge.dec(2)
+        gauge.inc()
+        assert gauge.value == 4
+        gauge.set_max(2)
+        assert gauge.value == 4
+        gauge.set_max(9)
+        assert gauge.value == 9
+
+
+class TestRegistry:
+    def test_declaration_is_idempotent(self):
+        registry = MetricsRegistry()
+        first = registry.counter("repro_t_total", "help", ("x",))
+        second = registry.counter("repro_t_total", "help", ("x",))
+        assert first is second
+
+    def test_conflicting_redeclaration_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_t_total", "")
+        with pytest.raises(MetricsError):
+            registry.gauge("repro_t_total", "")
+        registry.histogram("repro_h", "", buckets=(1.0, 2.0))
+        with pytest.raises(MetricsError):
+            registry.histogram("repro_h", "", buckets=(1.0, 3.0))
+
+    def test_invalid_names_raise(self):
+        registry = MetricsRegistry()
+        with pytest.raises(MetricsError):
+            registry.counter("0bad", "")
+        with pytest.raises(MetricsError):
+            registry.counter("repro_ok", "", ("bad-label",))
+
+    def test_histogram_bucket_validation(self):
+        registry = MetricsRegistry()
+        with pytest.raises(MetricsError):
+            registry.histogram("repro_h1", "", buckets=())
+        with pytest.raises(MetricsError):
+            registry.histogram("repro_h2", "", buckets=(2.0, 1.0))
+        with pytest.raises(MetricsError):
+            registry.histogram("repro_h3", "", buckets=(1.0, math.inf))
+
+    def test_render_and_parse_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_a_total", "a help", ("k",)).labels("v").inc(2)
+        registry.gauge("repro_g", "g help").set(1.5)
+        histogram = registry.histogram("repro_h_seconds", "",
+                                       buckets=(0.1, 1.0))
+        histogram.observe(0.05)
+        histogram.observe(50.0)
+        parsed = parse_prometheus_text(registry.render())
+        assert prometheus_sample(parsed, "repro_a_total", k="v") == 2
+        assert prometheus_sample(parsed, "repro_g") == 1.5
+        assert prometheus_sample(parsed, "repro_h_seconds_count") == 2
+        assert prometheus_sample(parsed, "repro_h_seconds_bucket",
+                                 le="0.1") == 1
+        assert prometheus_sample(parsed, "repro_h_seconds_bucket",
+                                 le="+Inf") == 2
+        assert parsed["repro_h_seconds"]["type"] == "histogram"
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        # Includes the adversarial literal backslash-then-'n' sequence,
+        # which a wrong-order unescape would decode as a newline.
+        value = 'a"b\\c\nd\\ne'
+        registry.counter("repro_e_total", "", ("who",)).labels(value).inc()
+        parsed = parse_prometheus_text(registry.render())
+        assert prometheus_sample(parsed, "repro_e_total", who=value) == 1
+
+    def test_unlabelled_instruments_render_zero_before_first_use(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_idle_total", "")
+        parsed = parse_prometheus_text(registry.render())
+        assert prometheus_sample(parsed, "repro_idle_total") == 0
+
+
+# -- property-based histogram invariants ---------------------------------------------
+
+class TestHistogramProperties:
+    """Satellite: Hypothesis-style random-stream invariants over the
+    fixed-bucket histogram (generators in ``tests/helpers.py``)."""
+
+    def test_bucket_monotonicity_sum_count_and_quantiles(self):
+        for index, (shape, stream) in enumerate(
+                observation_streams(seed=0xC60, count=40)):
+            bounds, width = uniform_buckets(stream)
+            registry = MetricsRegistry()
+            histogram = registry.histogram("repro_p_seconds", "",
+                                           buckets=bounds)
+            for value in stream:
+                histogram.observe(value)
+
+            # Invariant 1: count and sum match the raw stream exactly.
+            assert histogram.count == len(stream), (index, shape)
+            assert histogram.sum == pytest.approx(sum(stream)), (index, shape)
+
+            # Invariant 2: rendered cumulative buckets are monotone and the
+            # +Inf bucket equals the count.
+            parsed = parse_prometheus_text(registry.render())
+            samples = parsed["repro_p_seconds"]["samples"]
+            cumulative = [
+                value for (name, labels), value in sorted(
+                    samples.items(),
+                    key=lambda item: float(dict(item[0][1]).get("le", "inf")
+                                           .replace("+Inf", "inf")))
+                if name.endswith("_bucket")]
+            assert cumulative == sorted(cumulative), (index, shape)
+            assert cumulative[-1] == len(stream), (index, shape)
+
+            # Invariant 3: quantile estimates land within one bucket width
+            # of the sorted-sample oracle (buckets cover the stream).
+            ordered = sorted(stream)
+            for q in (0.0, 0.1, 0.5, 0.9, 0.99, 1.0):
+                oracle = ordered[max(0, math.ceil(q * len(ordered)) - 1)]
+                estimate = histogram.quantile(q)
+                assert estimate != math.inf, (index, shape, q)
+                assert abs(estimate - oracle) <= width + 1e-9, \
+                    (index, shape, q, estimate, oracle)
+
+    def test_quantile_of_empty_histogram_is_nan(self):
+        histogram = MetricsRegistry().histogram("repro_p", "",
+                                                buckets=(1.0,))
+        assert math.isnan(histogram.quantile(0.5))
+        with pytest.raises(MetricsError):
+            histogram.quantile(1.5)
+
+    def test_observations_beyond_the_last_bound_overflow_to_inf(self):
+        histogram = MetricsRegistry().histogram("repro_p", "",
+                                                buckets=(1.0, 2.0))
+        histogram.observe(99.0)
+        assert histogram.count == 1
+        assert histogram.quantile(1.0) == math.inf
+
+
+# -- merging snapshots ----------------------------------------------------------------
+
+def _sample_registry(observations):
+    registry = MetricsRegistry()
+    registry.counter("repro_m_total", "", ("k",)).labels("x").inc(2)
+    registry.gauge("repro_m_depth", "").set(3)
+    histogram = registry.histogram("repro_m_seconds", "", ("p",),
+                                   buckets=(0.5, 1.5))
+    for value in observations:
+        histogram.labels("5").observe(value)
+    return registry
+
+
+class TestMerge:
+    def test_counters_gauges_and_histograms_sum(self):
+        first = _sample_registry([0.1, 1.0])
+        second = _sample_registry([2.0])
+        merged = merge_registry_dicts([first.to_dict(), second.to_dict()])
+        parsed = parse_prometheus_text(render_registry_dict(merged))
+        assert prometheus_sample(parsed, "repro_m_total", k="x") == 4
+        assert prometheus_sample(parsed, "repro_m_depth") == 6
+        assert prometheus_sample(parsed, "repro_m_seconds_count", p="5") == 3
+        assert prometheus_sample(parsed, "repro_m_seconds_bucket",
+                                 p="5", le="0.5") == 1
+        assert prometheus_sample(parsed, "repro_m_seconds_sum",
+                                 p="5") == pytest.approx(3.1)
+
+    def test_disjoint_series_union(self):
+        first = MetricsRegistry()
+        first.counter("repro_m_total", "", ("k",)).labels("a").inc()
+        second = MetricsRegistry()
+        second.counter("repro_m_total", "", ("k",)).labels("b").inc(2)
+        merged = merge_registry_dicts([first.to_dict(), second.to_dict()])
+        labels = {tuple(series["labels"]): series["value"]
+                  for series in merged["repro_m_total"]["series"]}
+        assert labels == {("a",): 1, ("b",): 2}
+
+    def test_incompatible_snapshots_raise(self):
+        first = MetricsRegistry()
+        first.counter("repro_m_total", "")
+        second = MetricsRegistry()
+        second.gauge("repro_m_total", "")
+        with pytest.raises(MetricsError):
+            merge_registry_dicts([first.to_dict(), second.to_dict()])
+
+    def test_snapshot_is_json_serializable(self):
+        registry = _sample_registry([0.2])
+        round_tripped = json.loads(json.dumps(registry.to_dict()))
+        assert merge_registry_dicts([round_tripped]) \
+            == merge_registry_dicts([registry.to_dict()])
+
+
+# -- concurrency: threads and real processes -----------------------------------------
+
+_STRESS_THREADS = 8
+_STRESS_INCREMENTS = 2000
+
+
+def _thread_stress(registry, barrier):
+    counter = registry.counter("repro_s_total", "", ("worker",))
+    histogram = registry.histogram("repro_s_seconds", "", buckets=(0.5,))
+    gauge = registry.gauge("repro_s_gauge", "")
+    barrier.wait(timeout=30)
+    for index in range(_STRESS_INCREMENTS):
+        counter.labels("shared").inc()
+        histogram.observe(index % 2)  # alternates below/above the bound
+        gauge.inc()
+
+
+def _process_stress(observations, queue):
+    """Subprocess body: observe into a fresh registry, ship the snapshot."""
+    registry = MetricsRegistry()
+    histogram = registry.histogram("repro_s_seconds", "", ("priority",),
+                                   buckets=DEFAULT_LATENCY_BUCKETS)
+    counter = registry.counter("repro_s_total", "")
+    for value in observations:
+        histogram.labels("0").observe(value)
+        counter.inc()
+    queue.put(registry.to_dict())
+
+
+class TestConcurrency:
+    def test_no_lost_increments_across_threads(self):
+        """Satellite: N threads hammering one shared registry."""
+        registry = MetricsRegistry()
+        barrier = threading.Barrier(_STRESS_THREADS)
+        with ThreadPoolExecutor(max_workers=_STRESS_THREADS) as pool:
+            futures = [pool.submit(_thread_stress, registry, barrier)
+                       for _ in range(_STRESS_THREADS)]
+            for future in futures:
+                future.result(timeout=60)
+        expected = _STRESS_THREADS * _STRESS_INCREMENTS
+        assert registry.counter("repro_s_total", "", ("worker",)) \
+            .labels("shared").value == expected
+        histogram = registry.histogram("repro_s_seconds", "", buckets=(0.5,))
+        assert histogram.count == expected
+        assert histogram.sum == expected / 2  # half the observations are 1.0
+        assert registry.gauge("repro_s_gauge", "").value == expected
+
+    def test_two_real_processes_merge_without_loss(self):
+        """Satellite: registries built in two real processes merge at the
+        coordinator with histogram count == sum of per-worker counts."""
+        context = multiprocessing.get_context("spawn")
+        queue = context.Queue()
+        streams = [[0.0001 * index for index in range(150)],
+                   [0.01 * index for index in range(75)]]
+        processes = [context.Process(target=_process_stress,
+                                     args=(stream, queue))
+                     for stream in streams]
+        for process in processes:
+            process.start()
+        snapshots = [queue.get(timeout=120) for _ in processes]
+        for process in processes:
+            process.join(timeout=120)
+            assert process.exitcode == 0
+        merged = merge_registry_dicts(snapshots)
+        parsed = parse_prometheus_text(render_registry_dict(merged))
+        total = sum(len(stream) for stream in streams)
+        assert prometheus_sample(parsed, "repro_s_seconds_count",
+                                 priority="0") == total
+        assert prometheus_sample(parsed, "repro_s_total") == total
+        expected_sum = sum(sum(stream) for stream in streams)
+        assert prometheus_sample(parsed, "repro_s_seconds_sum",
+                                 priority="0") == pytest.approx(expected_sum)
+
+
+# -- session and cache wiring ---------------------------------------------------------
+
+class TestSessionWiring:
+    def test_cache_hits_and_misses_are_counted(self):
+        session = fast_session()
+        session.schedule("gemm:a")
+        session.schedule("gemm:a")
+        metric = session.metrics.counter(
+            "repro_cache_requests_total", "", ("level", "outcome"))
+        assert metric.labels("normalization", "miss").value == 1
+        assert metric.labels("normalization", "hit").value == 1
+        assert metric.labels("schedule", "miss").value == 1
+        assert metric.labels("schedule", "hit").value == 1
+        session.close()
+
+    def test_metrics_agree_with_session_report(self):
+        session = fast_session()
+        session.schedule("gemm:a")
+        session.schedule("gemm:b")  # normalized-equivalent: schedule hit
+        report = session.report()
+        metric = session.metrics.counter(
+            "repro_cache_requests_total", "", ("level", "outcome"))
+        assert metric.labels("schedule", "hit").value \
+            == report.schedule_cache_hits
+        assert metric.labels("normalization", "miss").value \
+            == report.normalization_misses
+        calls = session.metrics.counter("repro_session_calls_total", "",
+                                        ("kind",))
+        assert calls.labels("schedule").value == report.schedule_calls
+        session.close()
+
+    def test_per_pass_wall_time_flows_from_pass_results(self):
+        session = fast_session()
+        session.schedule(build_gemm(), {"NI": 16, "NJ": 16, "NK": 16})
+        report = session.report()
+        runs = session.metrics.counter("repro_pass_runs_total", "", ("pass",))
+        wall = session.metrics.counter("repro_pass_wall_seconds_total", "",
+                                       ("pass",))
+        for name, entry in report.normalization_passes.items():
+            assert runs.labels(name).value == entry["runs"], name
+            assert wall.labels(name).value \
+                == pytest.approx(entry["wall_time_s"]), name
+        session.close()
+
+    def test_injected_cache_registry_is_adopted(self):
+        from repro.api import NormalizationCache
+
+        cache = NormalizationCache()
+        session = Session(cache=cache)
+        assert session.metrics is cache.metrics
+        session.close()
+        cache.close()
+
+
+# -- the end-to-end scrape ------------------------------------------------------------
+
+class TestMetricsOverHttp:
+    def test_scrape_reflects_cold_warm_coalesced_and_shed_traffic(self):
+        """Satellite: drive every traffic class through the server and hold
+        the ``/metrics`` scrape to the client-observed request mix."""
+        session = fast_session()
+        config = ServiceConfig(max_batch_size=1, batch_window_s=0.01,
+                               max_queue_depth=1, retry_after_s=0.05)
+        with ServingServer(session, config=config) as server:
+            client = ServingClient(server.address)
+            client.schedule("gemm:a", priority=1)          # cold
+            client.schedule("gemm:a", priority=1)          # warm (cache hit)
+            client.schedule("gemm:b", priority=3)          # warm equivalent
+
+            # A coalescing burst: identical requests submitted concurrently.
+            with ThreadPoolExecutor(max_workers=4) as pool:
+                list(pool.map(lambda _: client.schedule("atax:a", priority=2),
+                              range(4)))
+
+            # Saturate the 1-deep queue with distinct cold programs until
+            # the server sheds at least one request.
+            def flood(index):
+                try:
+                    client.schedule("gemm:a",
+                                    {"NI": 24 + index, "NJ": 24, "NK": 24},
+                                    priority=9)
+                    return 200
+                except ServingError as error:
+                    return error.status
+            with ThreadPoolExecutor(max_workers=8) as pool:
+                statuses = list(pool.map(flood, range(8)))
+            served_p9 = statuses.count(200)
+            shed = statuses.count(429)
+            assert shed >= 1 and served_p9 + shed == 8
+
+            parsed = parse_prometheus_text(client.metrics())
+            report = client.report()
+
+        # Per-priority end-to-end latency counts match what the client saw.
+        latency = "repro_request_latency_seconds_count"
+        assert prometheus_sample(parsed, latency, priority="1") == 2
+        assert prometheus_sample(parsed, latency, priority="3") == 1
+        assert prometheus_sample(parsed, latency, priority="2") == 4
+        assert prometheus_sample(parsed, latency, priority="9") == served_p9
+
+        # Admission counters match the shed 429s; the queue is drained.
+        assert prometheus_sample(parsed, "repro_admission_shed_total",
+                                 reason="queue-full") == shed
+        assert prometheus_sample(parsed, "repro_service_rejected_total") \
+            == shed
+        assert prometheus_sample(parsed, "repro_service_queue_depth") == 0
+
+        # /v1/report renders from the same registry: the two views agree.
+        assert report["service"]["requests"] == prometheus_sample(
+            parsed, "repro_service_requests_total")
+        assert report["service"]["coalesced"] == prometheus_sample(
+            parsed, "repro_service_coalesced_total")
+        assert report["admission"]["rejected_queue_full"] == shed
+
+        # Cache and pass instruments from the session appear in the scrape.
+        assert prometheus_sample(parsed, "repro_cache_requests_total",
+                                 level="schedule", outcome="hit") >= 2
+        assert prometheus_sample(parsed, "repro_pass_runs_total",
+                                 **{"pass": "stride-minimization"}) >= 1
+        session.close()
+
+    def test_report_keys_are_byte_compatible(self):
+        """Acceptance: every pre-existing /v1/report key survives with the
+        same names and integer-typed values."""
+        session = fast_session()
+        with ServingServer(session) as server:
+            client = ServingClient(server.address)
+            client.schedule("gemm:a")
+            report = client.report()
+        assert set(report["service"]) == {
+            "requests", "coalesced", "batches", "scheduled", "errors",
+            "rejected", "largest_batch"}
+        assert all(isinstance(value, int)
+                   for value in report["service"].values())
+        assert set(report["admission"]) == {
+            "admitted", "rejected_queue_full", "rejected_client_limit"}
+        assert all(isinstance(value, int)
+                   for value in report["admission"].values())
+        session.close()
+
+    def test_fresh_service_over_a_reused_session_reports_zero(self):
+        """Registry counters are cumulative (Prometheus semantics), but a
+        fresh service's /v1/report still starts at zero: the stats views
+        baseline themselves at construction."""
+        session = fast_session()
+        with ServingServer(session) as server:
+            client = ServingClient(server.address)
+            client.schedule("gemm:a")
+            assert client.report()["service"]["requests"] == 1
+        with ServingServer(session) as server:  # new server, same session
+            report = ServingClient(server.address).report()
+        assert report["service"]["requests"] == 0
+        assert report["admission"]["admitted"] == 0
+        cumulative = session.metrics.counter(
+            "repro_service_requests_total", "")
+        assert cumulative.value == 1  # the scrape view never resets
+        session.close()
+
+    def test_metrics_endpoint_can_be_disabled(self):
+        session = fast_session()
+        with ServingServer(session, expose_metrics=False) as server:
+            client = ServingClient(server.address)
+            with pytest.raises(ServingError) as caught:
+                client.metrics()
+            assert caught.value.status == 404
+        session.close()
+
+    def test_access_log_records_request_ids_and_outcomes(self, tmp_path):
+        log_path = tmp_path / "access.jsonl"
+        session = fast_session()
+        with ServingServer(session, access_log=str(log_path)) as server:
+            client = ServingClient(server.address)
+            client.schedule("gemm:a", priority=2, client="logged")
+            with pytest.raises(ServingError):
+                client.schedule("not-a-workload")
+        entries = [json.loads(line)
+                   for line in log_path.read_text().splitlines()]
+        assert len(entries) == 2
+        ok, bad = entries
+        assert ok["outcome"] == "ok" and ok["status"] == 200
+        assert ok["priority"] == 2 and ok["client"] == "logged"
+        assert ok["program"] == "gemm:a"
+        assert ok["queue_wait_s"] >= 0 and ok["duration_s"] > 0
+        assert bad["outcome"] == "invalid" and bad["status"] == 400
+        assert ok["request_id"] != bad["request_id"]
+        assert ok["request_id"].split("-")[0] \
+            == bad["request_id"].split("-")[0]
+        session.close()
+
+
+# -- the worker pool ------------------------------------------------------------------
+
+class TestPoolMetrics:
+    def test_merged_coordinator_view_is_consistent_with_workers(self, tmp_path):
+        """Acceptance: pool-backed end-to-end traffic; the merged registry
+        equals the sum of the per-worker registries."""
+        config = WorkerConfig(threads=4, search=FAST_SEARCH,
+                              cache_path=str(tmp_path / "cache.sqlite"))
+        session = fast_session()
+        with WorkerPool(2, config) as pool:
+            with ServingServer(session, pool=pool) as server:
+                client = ServingClient(server.address)
+                for name in ("gemm:a", "gemm:b", "atax:a", "mvt:a"):
+                    client.schedule(name)
+                gathered = pool.metrics()
+                scrape = client.metrics(include_workers=True)
+
+        assert gathered["num_workers"] == 2
+        assert gathered["registries_collected"] == 2
+        per_worker = list(gathered["per_worker"].values())
+        merged = gathered["merged"]
+
+        # Merged counters are exactly the per-worker sums, for every series
+        # of every counter the workers reported.
+        for name, entry in merged.items():
+            if entry["type"] != "counter":
+                continue
+            for series in entry["series"]:
+                expected = 0.0
+                for snapshot in per_worker:
+                    for candidate in snapshot.get(name, {}).get("series", []):
+                        if candidate["labels"] == series["labels"]:
+                            expected += candidate["value"]
+                assert series["value"] == pytest.approx(expected), \
+                    (name, series["labels"])
+
+        # The worker sessions did real scheduling: their merged schedule
+        # calls equal the traffic that was not coalesced away.
+        calls = {tuple(series["labels"]): series["value"]
+                 for series in merged["repro_session_calls_total"]["series"]}
+        assert calls[("schedule",)] == 4
+
+        # The ?workers=1 scrape contains the merged worker traffic on top
+        # of the coordinator's serving instruments.
+        parsed = parse_prometheus_text(scrape)
+        assert prometheus_sample(parsed, "repro_session_calls_total",
+                                 kind="schedule") >= 4
+        assert prometheus_sample(parsed, "repro_request_latency_seconds_count",
+                                 priority="5") == 4
+        session.close()
