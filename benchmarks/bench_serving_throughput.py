@@ -10,15 +10,28 @@ measure the full JSON-over-HTTP path) with the workload registry:
 * **coalesced** — bursts of identical concurrent requests that collapse
   onto single in-flight schedules.
 
+``--mix fuzz`` swaps the registry for the ``fuzz:`` namespace: a pool of
+generated programs first scheduled cold, then hammered with a heavy-tailed
+(Zipf-like) request stream where a few hot programs dominate — the cache
+behavior long-running compiler services actually see.  ``--mix mixed``
+interleaves both populations.  Results are persisted to
+``BENCH_serving.json`` (``--json`` overrides, empty disables).
+
 Run: ``PYTHONPATH=src python benchmarks/bench_serving_throughput.py``
+(set ``REPRO_BENCH_SMOKE=1`` for a seconds-long CI-sized run).
 """
 
 import argparse
+import json
+import os
+import random
 import time
 
 from repro.api import ScheduleRequest, SearchConfig, Session
 from repro.serving import ServiceConfig, ServiceRunner
 from repro.workloads.registry import benchmark_names
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
 
 
 def measure(runner, requests):
@@ -43,12 +56,37 @@ def measure_http(server, names, workers):
     return len(responses) / elapsed, cached, elapsed
 
 
+def fuzz_request_names(pool, count, size_class, rng):
+    """A heavy-tailed request stream over the fuzz pool.
+
+    Seed ``s`` is drawn with weight ``1/(s+1)`` (Zipf with exponent 1), so
+    seed 0 is requested roughly ``log(pool)`` times more often than the tail
+    — most requests hit a handful of hot programs while the tail keeps
+    producing cold misses.
+    """
+    weights = [1.0 / (rank + 1) for rank in range(pool)]
+    seeds = rng.choices(range(pool), weights=weights, k=count)
+    return [f"fuzz:{size_class}-{seed}" for seed in seeds]
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--threads", type=int, default=8,
                         help="threads the schedules are optimized for")
     parser.add_argument("--burst", type=int, default=32,
                         help="duplicate requests per coalescing burst")
+    parser.add_argument("--mix", choices=("registry", "fuzz", "mixed"),
+                        default="registry",
+                        help="request population (default: registry)")
+    parser.add_argument("--fuzz-pool", type=int, default=8 if SMOKE else 32,
+                        help="distinct fuzz programs in the pool")
+    parser.add_argument("--fuzz-requests", type=int,
+                        default=24 if SMOKE else 200,
+                        help="heavy-tail requests drawn from the pool")
+    parser.add_argument("--size-class", default="tiny" if SMOKE else "small",
+                        help="fuzz generator size class")
+    parser.add_argument("--json", default="BENCH_serving.json",
+                        help="write results here ('' disables)")
     parser.add_argument("--cache", default=None,
                         help="SQLite cache path (persistent backend)")
     parser.add_argument("--shards", type=int, default=0,
@@ -66,30 +104,61 @@ def main():
         search=SearchConfig(population_size=8, epochs=1,
                             generations_per_epoch=2))
     names = sorted(benchmark_names())
-    print(f"{len(names)} registry benchmarks: {', '.join(names)}")
+    results = {"mix": args.mix, "smoke": SMOKE, "threads": args.threads,
+               "phases": {}}
+
+    def record(phase, rate, requests, cached, elapsed):
+        print(f"{phase + ':':11s}{rate:8.1f} req/s  "
+              f"({requests} requests, {cached} cached, {elapsed:.3f}s)")
+        results["phases"][phase] = {"rate_req_s": round(rate, 1),
+                                    "requests": requests, "cached": cached,
+                                    "elapsed_s": round(elapsed, 3)}
 
     config = ServiceConfig(batch_window_s=0.005, max_batch_size=32)
     with ServiceRunner(session, config) as runner:
-        cold = [ScheduleRequest(program=f"{name}:a") for name in names]
-        rate, cached, elapsed = measure(runner, cold)
-        print(f"cold:      {rate:8.1f} req/s  "
-              f"({len(cold)} requests, {cached} cached, {elapsed:.3f}s)")
+        if args.mix in ("registry", "mixed"):
+            print(f"{len(names)} registry benchmarks: {', '.join(names)}")
+            cold = [ScheduleRequest(program=f"{name}:a") for name in names]
+            rate, cached, elapsed = measure(runner, cold)
+            record("cold", rate, len(cold), cached, elapsed)
 
-        warm = [ScheduleRequest(program=f"{name}:b") for name in names] \
-            + [ScheduleRequest(program=f"{name}:a") for name in names]
-        rate, cached, elapsed = measure(runner, warm)
-        print(f"warm:      {rate:8.1f} req/s  "
-              f"({len(warm)} requests, {cached} cached, {elapsed:.3f}s)")
+            warm = [ScheduleRequest(program=f"{name}:b") for name in names] \
+                + [ScheduleRequest(program=f"{name}:a") for name in names]
+            rate, cached, elapsed = measure(runner, warm)
+            record("warm", rate, len(warm), cached, elapsed)
 
-        burst = [ScheduleRequest(program=f"{names[0]}:a")
-                 for _ in range(args.burst)]
-        rate, cached, elapsed = measure(runner, burst)
-        print(f"coalesced: {rate:8.1f} req/s  "
-              f"({len(burst)} identical requests, {elapsed:.3f}s)")
+            burst = [ScheduleRequest(program=f"{names[0]}:a")
+                     for _ in range(args.burst)]
+            rate, cached, elapsed = measure(runner, burst)
+            record("coalesced", rate, len(burst), cached, elapsed)
+
+        if args.mix in ("fuzz", "mixed"):
+            print(f"fuzz pool: {args.fuzz_pool} {args.size_class} programs, "
+                  f"{args.fuzz_requests} heavy-tail requests")
+            pool = [f"fuzz:{args.size_class}-{seed}"
+                    for seed in range(args.fuzz_pool)]
+            cold = [ScheduleRequest(program=name) for name in pool]
+            rate, cached, elapsed = measure(runner, cold)
+            record("fuzz-cold", rate, len(cold), cached, elapsed)
+
+            tail_names = fuzz_request_names(args.fuzz_pool,
+                                            args.fuzz_requests,
+                                            args.size_class,
+                                            random.Random(0))
+            tail = [ScheduleRequest(program=name) for name in tail_names]
+            rate, cached, elapsed = measure(runner, tail)
+            record("fuzz-tail", rate, len(tail), cached, elapsed)
 
         report = session.report()
         print(f"\n{report.summary()}")
         print(f"service: {runner.stats.to_dict()}")
+        results["session"] = report.summary()
+
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(results, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
 
     if args.http:
         from repro.serving import ServingServer

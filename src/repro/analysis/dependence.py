@@ -392,23 +392,47 @@ def nest_dependences(loop: Loop) -> List[Dependence]:
 MAX_ANY_EXPANSION = 8
 
 
+def band_bounds_respect_order(band: Sequence[Loop],
+                              order: Sequence[str]) -> bool:
+    """Structural legality of a band reordering: a loop's bounds may only
+    reference iterators that remain *outside* it.  Triangular and other
+    non-rectangular domains constrain which permutations are expressible at
+    all — moving ``j`` with bound ``N - i`` above ``i`` leaves ``i`` unbound
+    in ``j``'s header regardless of dependences.
+    """
+    position = {iterator: idx for idx, iterator in enumerate(order)}
+    band_iterators = set(position)
+    for lp in band:
+        referenced = ((lp.start.free_symbols() | lp.end.free_symbols()
+                       | lp.step.free_symbols()) & band_iterators)
+        if any(position[other] >= position[lp.iterator]
+               for other in referenced):
+            return False
+    return True
+
+
 def permutation_is_legal(loop: Loop, permutation: Sequence[str]) -> bool:
     """Check whether reordering the nest's loops to ``permutation`` is legal.
 
     ``permutation`` lists the iterators of the perfectly nested band of
-    ``loop`` in their new order, outermost first.  The classical interchange
-    condition is applied: every dependence direction vector that can occur in
-    the original execution order (i.e. is lexicographically non-negative)
-    must remain lexicographically non-negative after reordering.  Unknown
-    ("*") entries are expanded into all concrete directions before the check,
-    but only vectors that are possible in the original order are considered —
-    a backward vector cannot flow from an earlier to a later instance.
+    ``loop`` in their new order, outermost first.  Two conditions are
+    enforced.  Structurally, every loop bound must keep referencing only
+    iterators outside it (:func:`band_bounds_respect_order`).  Semantically,
+    the classical interchange condition is applied: every dependence
+    direction vector that can occur in the original execution order (i.e. is
+    lexicographically non-negative) must remain lexicographically
+    non-negative after reordering.  Unknown ("*") entries are expanded into
+    all concrete directions before the check, but only vectors that are
+    possible in the original order are considered — a backward vector cannot
+    flow from an earlier to a later instance.
     """
     band = loop.perfectly_nested_band()
     original = [lp.iterator for lp in band]
     if sorted(original) != sorted(permutation):
         raise ValueError(
             f"permutation {list(permutation)} is not a reordering of {original}")
+    if not band_bounds_respect_order(band, permutation):
+        return False
 
     deps = nest_dependences(loop)
     index_of = {iterator: idx for idx, iterator in enumerate(original)}

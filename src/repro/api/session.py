@@ -173,6 +173,8 @@ class Session:
         if workload == "erosion":
             from ..workloads.cloudsc import build_erosion_kernel
             return build_erosion_kernel(), None
+        if workload == "fuzz":
+            return workload_registry.fuzz_program(suffix)
         if workload in workload_registry.benchmark_names():
             spec = workload_registry.benchmark(workload)
             program = spec.variant(suffix or variant or "a")

@@ -1,0 +1,27 @@
+"""Differential-testing subsystem: random loop nests, oracle, minimizer.
+
+The paper's central claim is that a-priori normalization is
+*semantics-preserving*; the fixed benchmark registry exercises only a
+handful of shapes.  This package generates random well-formed loop-nest
+programs (:mod:`repro.fuzz.generator`), round-trips each one through
+``normalize -> schedule -> execute`` for every registered pipeline and a
+set of schedulers, compares the results against the reference interpreter
+(:mod:`repro.fuzz.oracle`), shrinks any divergent or crashing program to a
+minimal reproducer (:mod:`repro.fuzz.minimize`), and persists seed corpora
+for replay (:mod:`repro.fuzz.corpus`).  ``python -m repro.fuzz`` is the
+command-line entry point (:mod:`repro.fuzz.cli`).
+"""
+
+from .corpus import Corpus, CorpusEntry
+from .generator import (SIZE_CLASSES, GeneratedProgram, GeneratorConfig,
+                        generate_program)
+from .minimize import MinimizationResult, minimize_program
+from .oracle import (Divergence, FailureSpec, Oracle, OracleConfig,
+                     OracleReport, ProgramVerdict)
+
+__all__ = [
+    "SIZE_CLASSES", "GeneratedProgram", "GeneratorConfig", "generate_program",
+    "Oracle", "OracleConfig", "OracleReport", "ProgramVerdict", "Divergence",
+    "FailureSpec", "minimize_program", "MinimizationResult", "Corpus",
+    "CorpusEntry",
+]

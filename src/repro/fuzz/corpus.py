@@ -1,0 +1,129 @@
+"""Persisted fuzz corpora: seeds worth keeping, in replayable JSON form.
+
+A corpus is an ordered set of :class:`CorpusEntry` records — each one a
+full serialized program (via :mod:`repro.ir.serialization`) plus its
+concrete parameter bindings and provenance (generator seed, size class,
+and, for minimized reproducers, the :class:`~repro.fuzz.oracle.FailureSpec`
+they still trigger).  Storing programs rather than bare seeds makes the
+corpus robust to generator evolution: an entry replays identically even
+after the generator's sampling decisions change.
+
+``Corpus.replay`` re-runs every entry through an oracle;
+``python -m repro.fuzz replay --corpus FILE`` is the command-line wrapper.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+from .generator import GeneratedProgram
+from .oracle import FailureSpec, Oracle, OracleReport
+
+_FORMAT_VERSION = 1
+
+
+@dataclass
+class CorpusEntry:
+    """One stored program with provenance."""
+
+    generated: GeneratedProgram
+    #: Free-form provenance, e.g. "minimized divergence" or "interesting".
+    label: str = ""
+    #: For minimized reproducers: the failure this entry still triggers.
+    spec: Optional[FailureSpec] = None
+
+    @property
+    def name(self) -> str:
+        return self.generated.name
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = self.generated.to_dict()
+        data["label"] = self.label
+        if self.spec is not None:
+            data["spec"] = self.spec.to_dict()
+        return data
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Any]) -> "CorpusEntry":
+        spec = (FailureSpec.from_dict(dict(data["spec"]))
+                if data.get("spec") else None)
+        return CorpusEntry(generated=GeneratedProgram.from_dict(dict(data)),
+                           label=str(data.get("label", "")), spec=spec)
+
+
+@dataclass
+class Corpus:
+    """An ordered, name-addressable collection of corpus entries."""
+
+    entries: List[CorpusEntry] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    def names(self) -> List[str]:
+        return [entry.name for entry in self.entries]
+
+    def get(self, name: str) -> CorpusEntry:
+        for entry in self.entries:
+            if entry.name == name:
+                return entry
+        raise KeyError(f"no corpus entry named {name!r}; "
+                       f"available: {self.names()}")
+
+    def add(self, generated: GeneratedProgram, label: str = "",
+            spec: Optional[FailureSpec] = None) -> CorpusEntry:
+        entry = CorpusEntry(generated=generated, label=label, spec=spec)
+        self.entries.append(entry)
+        return entry
+
+    # -- persistence -------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"version": _FORMAT_VERSION,
+                "entries": [entry.to_dict() for entry in self.entries]}
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Any]) -> "Corpus":
+        version = int(data.get("version", 0))
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported corpus format version {version}; "
+                             f"expected {_FORMAT_VERSION}")
+        return Corpus(entries=[CorpusEntry.from_dict(item)
+                               for item in data.get("entries", [])])
+
+    def save(self, path: str) -> None:
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    @staticmethod
+    def load(path: str) -> "Corpus":
+        with open(path, "r", encoding="utf-8") as handle:
+            return Corpus.from_dict(json.load(handle))
+
+    # -- replay ------------------------------------------------------------------
+
+    def replay(self, oracle: Optional[Oracle] = None) -> OracleReport:
+        """Re-check every entry; minimized reproducers should fail again."""
+        oracle = oracle or Oracle()
+        report = OracleReport()
+        for entry in self.entries:
+            report.verdicts.append(oracle.check(entry.generated))
+        return report
+
+    def register_workloads(self) -> List[str]:
+        """Expose every entry as a ``fuzz:`` workload; returns the names."""
+        from ..workloads.registry import register_fuzz_program
+
+        names = []
+        for entry in self.entries:
+            names.append(register_fuzz_program(entry.generated))
+        return names

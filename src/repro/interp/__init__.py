@@ -1,9 +1,11 @@
 """Reference interpreter and semantic-equivalence checking."""
 
-from .executor import (ExecutionError, Executor, allocate_storage,
+from .executor import (ExecutionError, Executor, OutOfBoundsError,
+                       UninitializedReadError, allocate_storage,
                        programs_equivalent, run_program)
 
 __all__ = [
-    "ExecutionError", "Executor", "allocate_storage", "programs_equivalent",
+    "ExecutionError", "Executor", "OutOfBoundsError",
+    "UninitializedReadError", "allocate_storage", "programs_equivalent",
     "run_program",
 ]

@@ -11,7 +11,7 @@ come from the analytical model in :mod:`repro.perf`.
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, Mapping, Optional
+from typing import Callable, Dict, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -34,21 +34,106 @@ INTRINSICS: Dict[str, Callable] = {
     "floor": math.floor,
     "ceil": math.ceil,
     "tanh": math.tanh,
+    "select": lambda cond, then, other: then if cond > 0 else other,
 }
 
 
 class ExecutionError(Exception):
-    """Raised when a program cannot be executed."""
+    """Raised when a program cannot be executed.
+
+    Execution errors carry source context — the statement that was running
+    and the loop-iterator bindings at the moment of failure — attached by
+    the executor as the error propagates out of a computation.  The fuzz
+    oracle relies on these typed errors to tell generator bugs (a program
+    that cannot even run on the reference interpreter) apart from transform
+    bugs (a pipeline or scheduler that broke a previously-running program).
+    """
+
+    def __init__(self, message: str, *,
+                 statement: Optional[str] = None,
+                 iterators: Optional[Mapping[str, int]] = None):
+        super().__init__(message)
+        self.message = message
+        self.statement = statement
+        self.iterators = dict(iterators) if iterators is not None else None
+
+    def attach(self, statement: str, iterators: Mapping[str, int]) -> None:
+        """Attach statement/loop context (first attachment wins)."""
+        if self.statement is None:
+            self.statement = statement
+        if self.iterators is None:
+            self.iterators = {name: int(value)
+                              for name, value in iterators.items()}
+
+    def __str__(self) -> str:
+        parts = [self.message]
+        if self.statement is not None:
+            parts.append(f"in statement {self.statement}")
+        if self.iterators:
+            bindings = ", ".join(f"{name}={value}"
+                                 for name, value in self.iterators.items())
+            parts.append(f"at {bindings}")
+        return " ".join(parts)
+
+
+class OutOfBoundsError(ExecutionError):
+    """An array access outside the container's allocated extent.
+
+    Replaces the raw ``IndexError`` NumPy would raise (or, worse, the silent
+    negative-index wraparound it would *not* raise): every index of every
+    access is checked against ``[0, extent)`` before touching storage.
+    """
+
+    def __init__(self, array: str, indices: Sequence[int],
+                 shape: Sequence[int], access: str = "read", **context):
+        super().__init__(
+            f"{access} of {array}[{', '.join(str(i) for i in indices)}] is out "
+            f"of bounds for shape ({', '.join(str(s) for s in shape)})",
+            **context)
+        self.array = array
+        self.indices = tuple(indices)
+        self.shape = tuple(shape)
+        self.access = access
+
+
+class UninitializedReadError(ExecutionError):
+    """A read of a transient element that was never written.
+
+    Only raised in checked mode (``check_uninitialized=True``): transient
+    containers are zero-filled scratch space, so reading one before writing
+    it is well-defined numerically but almost always a generator or
+    transform bug, and the fuzz oracle wants it surfaced as its own type.
+    """
+
+    def __init__(self, array: str, indices: Sequence[int], **context):
+        index_text = ", ".join(str(i) for i in indices)
+        super().__init__(
+            f"read of transient {array}[{index_text}] before any write",
+            **context)
+        self.array = array
+        self.indices = tuple(indices)
 
 
 class Executor:
-    """Executes a single program instance."""
+    """Executes a single program instance.
+
+    With ``check_uninitialized=True`` every transient container tracks which
+    elements have been written, and reading an unwritten element raises
+    :class:`UninitializedReadError` (default off: legitimate kernels may
+    accumulate into zero-initialized scratch).
+    """
 
     def __init__(self, program: Program, parameters: Mapping[str, int],
-                 storage: Dict[str, np.ndarray]):
+                 storage: Dict[str, np.ndarray],
+                 check_uninitialized: bool = False):
         self.program = program
         self.parameters = dict(parameters)
         self.storage = storage
+        self.check_uninitialized = check_uninitialized
+        self._written: Dict[str, set] = {}
+        if check_uninitialized:
+            self._written = {name: set() for name, arr in program.arrays.items()
+                             if arr.transient}
 
     # -- expression evaluation ---------------------------------------------------
 
@@ -85,13 +170,31 @@ class Executor:
             return INTRINSICS[expr.func](*args)
         raise ExecutionError(f"cannot evaluate expression of type {type(expr).__name__}")
 
+    def _checked_index(self, array: str, data: np.ndarray, indices,
+                       env: Dict[str, float], access: str) -> tuple:
+        index = tuple(int(self.eval_expr(i, env)) for i in indices)
+        if len(index) != data.ndim:
+            raise ExecutionError(
+                f"container {array!r} has rank {data.ndim} but is accessed "
+                f"with {len(index)} indices")
+        for position, extent in zip(index, data.shape):
+            # NumPy would wrap negative indices silently and raise a raw
+            # IndexError past the end; both become typed OutOfBoundsError.
+            if position < 0 or position >= extent:
+                raise OutOfBoundsError(array, index, data.shape, access)
+        return index
+
     def read_element(self, array: str, indices, env: Dict[str, float]) -> float:
         if array not in self.storage:
             raise ExecutionError(f"container {array!r} is not allocated")
         data = self.storage[array]
         if not indices:
+            if array in self._written and () not in self._written[array]:
+                raise UninitializedReadError(array, ())
             return float(data[()]) if data.ndim == 0 else float(data)
-        index = tuple(int(self.eval_expr(i, env)) for i in indices)
+        index = self._checked_index(array, data, indices, env, "read")
+        if array in self._written and index not in self._written[array]:
+            raise UninitializedReadError(array, index)
         return float(data[index])
 
     def write_element(self, array: str, indices, value: float,
@@ -101,9 +204,13 @@ class Executor:
         data = self.storage[array]
         if not indices:
             data[()] = value
+            if array in self._written:
+                self._written[array].add(())
             return
-        index = tuple(int(self.eval_expr(i, env)) for i in indices)
+        index = self._checked_index(array, data, indices, env, "write")
         data[index] = value
+        if array in self._written:
+            self._written[array].add(index)
 
     # -- node execution -----------------------------------------------------------
 
@@ -136,8 +243,13 @@ class Executor:
         # Loop iterators go out of scope after the loop; env is left untouched.
 
     def execute_computation(self, comp: Computation, env: Dict[str, float]) -> None:
-        value = self.eval_expr(comp.value, env)
-        self.write_element(comp.target.array, comp.target.indices, value, env)
+        try:
+            value = self.eval_expr(comp.value, env)
+            self.write_element(comp.target.array, comp.target.indices, value, env)
+        except ExecutionError as error:
+            error.attach(comp.name, {name: int(value)
+                                     for name, value in env.items()})
+            raise
 
     def execute_library_call(self, call: LibraryCall, env: Dict[str, float]) -> None:
         # When idiom detection replaced a loop nest, the original nest is kept
@@ -150,6 +262,11 @@ class Executor:
 
     def _execute_builtin_routine(self, call: LibraryCall) -> None:
         routine = call.routine
+        for name in list(call.outputs) + list(call.inputs):
+            if name not in self.storage:
+                raise ExecutionError(
+                    f"library routine {routine!r}: container {name!r} "
+                    "is not allocated")
         if routine == "gemm" and len(call.inputs) >= 2 and call.outputs:
             a = self.storage[call.inputs[0]]
             b = self.storage[call.inputs[1]]
@@ -189,10 +306,12 @@ def allocate_storage(program: Program, parameters: Mapping[str, int],
 
 def run_program(program: Program, parameters: Mapping[str, int],
                 inputs: Optional[Mapping[str, np.ndarray]] = None,
-                seed: int = 0) -> Dict[str, np.ndarray]:
+                seed: int = 0,
+                check_uninitialized: bool = False) -> Dict[str, np.ndarray]:
     """Execute a program and return its final storage."""
     storage = allocate_storage(program, parameters, inputs, seed)
-    Executor(program, parameters, storage).run()
+    Executor(program, parameters, storage,
+             check_uninitialized=check_uninitialized).run()
     return storage
 
 

@@ -552,6 +552,7 @@ DEFAULT_FUNCTIONS: Dict[str, Callable] = {
     "div": lambda a, b: a / b,
     "fmax": max,
     "fmin": min,
+    "select": lambda cond, then, other: then if cond > 0 else other,
 }
 
 

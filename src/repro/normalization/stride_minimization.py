@@ -15,7 +15,7 @@ from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..ir.arrays import Array
 from ..ir.nodes import Loop, Node, Program
-from ..analysis.dependence import permutation_is_legal
+from ..analysis.dependence import band_bounds_respect_order, permutation_is_legal
 from ..analysis.strides import nest_stride_cost
 
 if TYPE_CHECKING:  # deferred to avoid a cycle with repro.passes.library
@@ -39,16 +39,12 @@ class StrideMinimizationReport:
 
 def _band_bounds_legal(band: Sequence[Loop], order: Sequence[str]) -> bool:
     """Structural legality: a loop's bounds may only reference iterators that
-    are *outside* it after permutation (triangular domains constrain order)."""
-    position = {iterator: idx for idx, iterator in enumerate(order)}
-    band_iterators = set(position)
-    for loop in band:
-        referenced = ((loop.start.free_symbols() | loop.end.free_symbols()
-                       | loop.step.free_symbols()) & band_iterators)
-        for other in referenced:
-            if position[other] >= position[loop.iterator]:
-                return False
-    return True
+    are *outside* it after permutation (triangular domains constrain order).
+
+    Delegates to the canonical check in :mod:`repro.analysis.dependence`;
+    kept as a local name because it predates that helper.
+    """
+    return band_bounds_respect_order(band, order)
 
 
 def apply_permutation(nest: Loop, order: Sequence[str]) -> Loop:

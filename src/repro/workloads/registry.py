@@ -108,3 +108,57 @@ def benchmark(name: str) -> BenchmarkSpec:
 
 def benchmark_names() -> List[str]:
     return [spec.name for spec in _BENCHMARKS]
+
+
+# -- fuzz namespace ----------------------------------------------------------------
+#
+# Generated programs live beside the curated benchmarks under ``fuzz:`` names
+# of the form ``fuzz:<size_class>-<seed>`` (e.g. ``fuzz:small-17``).  Any such
+# name resolves lazily through the deterministic generator, so the namespace
+# is effectively infinite without storing anything; corpus entries (including
+# minimized reproducers, whose programs differ from what the generator would
+# emit today) can be pinned explicitly via :func:`register_fuzz_program`.
+
+_FUZZ_PROGRAMS: Dict[str, Tuple["Program", Dict[str, int]]] = {}
+
+
+def fuzz_key(size_class: str, seed: int) -> str:
+    return f"{size_class}-{seed}"
+
+
+def register_fuzz_program(generated) -> str:
+    """Pin a generated (or minimized) program; returns its workload name.
+
+    ``generated`` is a :class:`repro.fuzz.generator.GeneratedProgram`.
+    Explicit registration takes precedence over lazy generation for the
+    same key, so replayed corpora shadow the live generator.
+    """
+    key = fuzz_key(generated.size_class, generated.seed)
+    _FUZZ_PROGRAMS[key] = (generated.program, dict(generated.parameters))
+    return f"fuzz:{key}"
+
+
+def fuzz_names() -> List[str]:
+    """Keys of the explicitly registered fuzz programs (sans ``fuzz:``)."""
+    return sorted(_FUZZ_PROGRAMS)
+
+
+def fuzz_program(key: str) -> Tuple["Program", Dict[str, int]]:
+    """Resolve ``fuzz:<key>``; falls back to deterministic generation.
+
+    Returns a private copy of the program (callers may annotate it) plus
+    its concrete parameter bindings.
+    """
+    if key in _FUZZ_PROGRAMS:
+        program, parameters = _FUZZ_PROGRAMS[key]
+        return program.copy(), dict(parameters)
+    size_class, _, seed_text = key.rpartition("-")
+    if size_class and seed_text.isdigit():
+        from ..fuzz.generator import SIZE_CLASSES, generate_program
+
+        if size_class in SIZE_CLASSES:
+            generated = generate_program(int(seed_text), size_class)
+            return generated.program, dict(generated.parameters)
+    raise KeyError(
+        f"unknown fuzz workload {key!r}: expected a registered name "
+        f"({fuzz_names()}) or '<size_class>-<seed>'")

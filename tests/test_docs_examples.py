@@ -26,6 +26,7 @@ DOCUMENTS = [
     "docs/pipelines.md",
     "docs/serving.md",
     "docs/observability.md",
+    "docs/fuzzing.md",
 ]
 
 _FENCE = re.compile(r"^```(\w*)\s*$")

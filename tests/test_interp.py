@@ -7,6 +7,7 @@ from helpers import build_gemm, build_vector_add
 from repro.interp import (ExecutionError, allocate_storage,
                           programs_equivalent, run_program)
 from repro.ir import ProgramBuilder
+from repro.ir.symbols import Sym
 
 
 class TestExecution:
@@ -99,3 +100,93 @@ class TestStorageAndEquivalence:
         with b.loop("i", 0, "N"):
             b.assign(("z", "i"), b.read("x", "i") - b.read("y", "i"))
         assert not programs_equivalent(left, b.finish(), {"N": 8})
+
+
+class TestTypedErrors:
+    def _oob_program(self):
+        b = ProgramBuilder("oob", parameters=["N"])
+        b.add_array("x", ("N",))
+        with b.loop("i", 0, "N"):
+            b.assign(("x", "i"), b.read("x", Sym("i") + 1))
+        return b.finish()
+
+    def test_out_of_bounds_read(self):
+        from repro.interp import OutOfBoundsError
+
+        with pytest.raises(OutOfBoundsError) as excinfo:
+            run_program(self._oob_program(), {"N": 3})
+        error = excinfo.value
+        assert isinstance(error, ExecutionError)
+        assert error.array == "x"
+        assert error.access == "read"
+        assert error.indices == (3,)
+        assert error.shape == (3,)
+
+    def test_out_of_bounds_write(self):
+        from repro.interp import OutOfBoundsError
+
+        b = ProgramBuilder("oobw", parameters=["N"])
+        b.add_array("x", ("N",))
+        with b.loop("i", 0, "N"):
+            b.assign(("x", Sym("i") + 1), 1.0)
+        with pytest.raises(OutOfBoundsError) as excinfo:
+            run_program(b.finish(), {"N": 2})
+        assert excinfo.value.access == "write"
+
+    def test_negative_index_rejected(self):
+        # NumPy would silently wrap x[-1]; the interpreter must not.
+        from repro.interp import OutOfBoundsError
+
+        b = ProgramBuilder("neg", parameters=["N"])
+        b.add_array("x", ("N",))
+        with b.loop("i", 0, "N"):
+            b.assign(("x", "i"), b.read("x", Sym("i") - 1))
+        with pytest.raises(OutOfBoundsError) as excinfo:
+            run_program(b.finish(), {"N": 3})
+        assert excinfo.value.indices == (-1,)
+
+    def test_error_carries_statement_and_iterators(self):
+        with pytest.raises(ExecutionError) as excinfo:
+            run_program(self._oob_program(), {"N": 3})
+        error = excinfo.value
+        assert error.statement is not None
+        assert error.iterators == {"i": 2}
+        text = str(error)
+        assert error.statement in text and "i=2" in text
+
+    def test_uninitialized_read_detected(self):
+        from repro.interp import UninitializedReadError
+
+        b = ProgramBuilder("uninit", parameters=["N"])
+        b.add_array("x", ("N",))
+        b.add_scalar("t", transient=True)
+        with b.loop("i", 0, "N"):
+            b.assign(("x", "i"), b.read("t"))
+        with pytest.raises(UninitializedReadError) as excinfo:
+            run_program(b.finish(), {"N": 2}, check_uninitialized=True)
+        assert excinfo.value.array == "t"
+
+    def test_uninitialized_check_off_by_default(self):
+        b = ProgramBuilder("uninit_ok", parameters=["N"])
+        b.add_array("x", ("N",))
+        b.add_scalar("t", transient=True)
+        with b.loop("i", 0, "N"):
+            b.assign(("x", "i"), b.read("t"))
+        run_program(b.finish(), {"N": 2})  # transients are zero-filled
+
+    def test_write_before_read_passes_check(self):
+        b = ProgramBuilder("init_ok", parameters=["N"])
+        b.add_array("x", ("N",))
+        b.add_scalar("t", transient=True)
+        b.assign(("t",), 2.0)
+        with b.loop("i", 0, "N"):
+            b.assign(("x", "i"), b.read("t"))
+        run_program(b.finish(), {"N": 2}, check_uninitialized=True)
+
+    def test_select_intrinsic(self):
+        b = ProgramBuilder("sel", parameters=["N"])
+        b.add_array("x", ("N",))
+        with b.loop("i", 0, "N"):
+            b.assign(("x", "i"), b.call("select", "i", 1.0, -1.0))
+        result = run_program(b.finish(), {"N": 3})
+        assert list(result["x"]) == [-1.0, 1.0, 1.0]
