@@ -79,9 +79,10 @@ def drive_waves(runner, requests, waves):
     return total / elapsed, elapsed, total
 
 
-def measure_single_process(names, waves, threads, cache_path):
+def measure_single_process(names, waves, threads, cache_path, trace=True):
     session = Session(threads=threads, cache_path=cache_path,
                       search=FAST_SEARCH)
+    session.tracer.enabled = trace
     requests = warm_requests(names)
     config = ServiceConfig(batch_window_s=0.002, max_batch_size=64)
     try:
@@ -92,12 +93,13 @@ def measure_single_process(names, waves, threads, cache_path):
         session.close()
 
 
-def measure_pool(names, waves, threads, workers, cache_path):
+def measure_pool(names, waves, threads, workers, cache_path, trace=True):
     config = WorkerConfig(threads=threads, cache_path=cache_path,
                           search=FAST_SEARCH)
     requests = warm_requests(names)
     service_config = ServiceConfig(batch_window_s=0.002, max_batch_size=64)
     session = Session(threads=threads)  # coordinator bookkeeping only
+    session.tracer.enabled = trace
     try:
         with WorkerPool(workers, config) as pool:
             with ServiceRunner(session, service_config, pool=pool) as runner:
@@ -181,6 +183,10 @@ def main(argv=None):
     parser.add_argument("--benchmarks", type=int, default=0,
                         help="limit the registry benchmarks used (0: all)")
     parser.add_argument("--skip-priority", action="store_true")
+    parser.add_argument("--no-trace", dest="trace", action="store_false",
+                        default=True,
+                        help="disable request tracing for every phase and "
+                             "skip the tracing-overhead A/B measurement")
     parser.add_argument("--require-speedup", type=float, default=-1.0,
                         help="exit non-zero when the pool speedup is below "
                              "this bar (default: 2.0 when >= 4 usable "
@@ -227,16 +233,17 @@ def main(argv=None):
         "requests_per_wave": mix,
         "require_speedup": args.require_speedup,
     }
+    results["tracing_enabled"] = args.trace
     with tempfile.TemporaryDirectory() as tmp:
         single_rate, single_s, total = measure_single_process(
             names, args.waves, args.threads,
-            os.path.join(tmp, "single.sqlite"))
+            os.path.join(tmp, "single.sqlite"), trace=args.trace)
         print(f"single-process: {single_rate:8.1f} warm req/s "
               f"({total} requests, {single_s:.3f}s)")
 
         pool_rate, pool_s, total = measure_pool(
             names, args.waves, args.threads, args.workers,
-            os.path.join(tmp, "pool.sqlite"))
+            os.path.join(tmp, "pool.sqlite"), trace=args.trace)
         print(f"pool x{args.workers}:       {pool_rate:8.1f} warm req/s "
               f"({total} requests, {pool_s:.3f}s)")
         speedup = pool_rate / single_rate
@@ -250,6 +257,23 @@ def main(argv=None):
             "requests_measured": total,
             "speedup": speedup,
         })
+
+        if args.trace:
+            # Tracing-overhead A/B: the traced rate above vs the same
+            # single-process measurement with the tracer disabled.
+            untraced_rate, untraced_s, _ = measure_single_process(
+                names, args.waves, args.threads,
+                os.path.join(tmp, "untraced.sqlite"), trace=False)
+            overhead_pct = (1.0 - single_rate / untraced_rate) * 100.0
+            print(f"tracing:        {single_rate:8.1f} traced vs "
+                  f"{untraced_rate:8.1f} untraced warm req/s "
+                  f"({overhead_pct:+.1f}% overhead)")
+            results["tracing"] = {
+                "traced_req_per_s": single_rate,
+                "untraced_req_per_s": untraced_rate,
+                "untraced_elapsed_s": untraced_s,
+                "overhead_pct": overhead_pct,
+            }
 
         if not args.skip_priority:
             ranks = measure_priority(

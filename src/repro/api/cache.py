@@ -32,6 +32,7 @@ from ..ir.serialization import program_from_dict, program_to_dict
 from ..normalization.pipeline import (NormalizationOptions,
                                       NormalizationReport, normalize)
 from ..observability import MetricsRegistry
+from ..observability.tracing import span as trace_span
 from ..passes.analysis import AnalysisManager
 from ..passes.base import PassStats
 from ..scheduler.base import ScheduleResult
@@ -194,7 +195,10 @@ class NormalizationCache:
             "pipeline": pipeline.identity(),
             "parameters": fingerprint(dict(options.parameters or {})),
         })
-        entry = self.backend.get(NORMALIZED_NAMESPACE, key)
+        with trace_span("cache.lookup", level="normalization") as lookup:
+            entry = self.backend.get(NORMALIZED_NAMESPACE, key)
+            lookup.set_attribute("outcome",
+                                 "hit" if entry is not None else "miss")
         with self._lock:
             if entry is not None:
                 self._stats.normalization_hits += 1
@@ -205,8 +209,10 @@ class NormalizationCache:
             self._stats.normalization_misses += 1
         self._metric_requests.labels("normalization", "miss").inc()
 
-        normalized, report = normalize(program, options, self.analysis,
-                                       pipeline=pipeline)
+        with trace_span("normalize.pipeline",
+                        pipeline=getattr(pipeline, "name", "pipeline")):
+            normalized, report = normalize(program, options, self.analysis,
+                                           pipeline=pipeline)
         self.pass_stats.add(report.passes)
         for pass_result in report.passes:
             self._metric_pass_runs.labels(pass_result.pass_name).inc()
@@ -237,7 +243,10 @@ class NormalizationCache:
                          str(database_version)))
 
     def lookup_schedule(self, key: str) -> Optional[Tuple[ScheduleResult, float]]:
-        entry = self.backend.get(SCHEDULE_NAMESPACE, key)
+        with trace_span("cache.lookup", level="schedule") as lookup:
+            entry = self.backend.get(SCHEDULE_NAMESPACE, key)
+            lookup.set_attribute("outcome",
+                                 "hit" if entry is not None else "miss")
         with self._lock:
             if entry is None:
                 self._stats.schedule_misses += 1

@@ -36,7 +36,8 @@ import numpy as np
 from ..interp.executor import programs_equivalent, run_program
 from ..ir.nodes import Program
 from ..normalization.pipeline import NormalizationOptions
-from ..observability import MetricsRegistry
+from ..observability import MetricsRegistry, Tracer, register_process_metrics
+from ..observability.tracing import span as trace_span
 from ..passes.registry import (PipelineRegistryError, has_pipeline,
                                pipeline_names)
 from ..perf.cache import CacheHierarchy, CacheReport
@@ -78,7 +79,8 @@ class Session:
                  cache_backend: Optional[CacheBackend] = None,
                  cache_path: Optional[str] = None,
                  max_workers: Optional[int] = None,
-                 metrics: Optional[MetricsRegistry] = None):
+                 metrics: Optional[MetricsRegistry] = None,
+                 tracer: Optional[Tracer] = None):
         if scheduler not in SCHEDULERS:
             raise RegistryError(
                 f"unknown scheduler {scheduler!r}; registered: {SCHEDULERS.names()}")
@@ -127,6 +129,10 @@ class Session:
                      else NormalizationCache(metrics=metrics))
         self.cache = cache
         self.max_workers = max_workers
+        # One tracer per session/process; serving layers share it so
+        # request spans from every layer land in the same ring buffer.
+        self.tracer = tracer if tracer is not None else Tracer()
+        register_process_metrics(self.metrics)
         self._metric_calls = self.metrics.counter(
             "repro_session_calls_total",
             "Session entry-point calls by kind.", ("kind",))
@@ -295,6 +301,24 @@ class Session:
                              normalize=normalize).runtime_s
 
     def _schedule(self, request: ScheduleRequest) -> ScheduleResponse:
+        trace_context = getattr(request, "trace", None)
+        if not trace_context or not self.tracer.enabled:
+            return self._schedule_impl(request)
+        # A serving layer propagated a trace context (possibly from another
+        # process): re-activate it so pass/cache/search spans recorded below
+        # parent under the coordinator's span for this request.
+        with self.tracer.activate(trace_context):
+            with trace_span("session.schedule",
+                            scheduler=request.scheduler
+                            or self.default_scheduler) as span:
+                response = self._schedule_impl(request)
+                span.set_attributes(
+                    from_cache=response.from_cache,
+                    normalization_cache_hit=response.normalization_cache_hit)
+                response.trace_id = trace_context.get("trace_id")
+                return response
+
+    def _schedule_impl(self, request: ScheduleRequest) -> ScheduleResponse:
         program, default_parameters = self._resolve(request.program)
         parameters = (dict(request.parameters) if request.parameters is not None
                       else default_parameters)
@@ -383,7 +407,8 @@ class Session:
                 canonical_hash=content_key if normalizes else None,
                 from_cache=True, normalization_cache_hit=norm_hit)
 
-        result = instance.schedule(target, parameters)
+        with trace_span("scheduler.search", scheduler=name, threads=threads):
+            result = instance.schedule(target, parameters)
         runtime = instance.cost_model.estimate_seconds(result.program, parameters)
         self.cache.store_schedule(key, result, runtime)
         return ScheduleResponse(

@@ -57,10 +57,15 @@ class ScheduleRequest:
     pipeline: Optional[str] = None
     priority: int = DEFAULT_PRIORITY
     client: Optional[str] = None
+    #: Propagated trace context (``{"trace_id", "span_id"}``), set by a
+    #: serving layer so worker-side spans rejoin the coordinator's trace.
+    #: Like ``priority``/``client`` it never affects the scheduling outcome
+    #: and is excluded from coalescing fingerprints and cache keys.
+    trace: Optional[Dict[str, str]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         program = self.program
-        return {
+        payload = {
             "program": (program_to_dict(program) if isinstance(program, Program)
                         else program),
             "parameters": (dict(self.parameters) if self.parameters is not None
@@ -74,6 +79,9 @@ class ScheduleRequest:
             "priority": self.priority,
             "client": self.client,
         }
+        if self.trace is not None:
+            payload["trace"] = dict(self.trace)
+        return payload
 
     @staticmethod
     def from_dict(data: Mapping[str, Any]) -> "ScheduleRequest":
@@ -93,6 +101,7 @@ class ScheduleRequest:
             pipeline=data.get("pipeline"),
             priority=DEFAULT_PRIORITY if priority is None else int(priority),
             client=data.get("client"),
+            trace=dict(data["trace"]) if data.get("trace") else None,
         )
 
 
@@ -131,6 +140,9 @@ class ScheduleResponse:
     canonical_hash: Optional[str] = None
     from_cache: bool = False
     normalization_cache_hit: bool = False
+    #: Trace id of the request's span tree, when tracing was active;
+    #: cross-references the access log, latency exemplars, and /v1/traces.
+    trace_id: Optional[str] = None
 
     def summary(self) -> str:
         cached = " [cached]" if self.from_cache else ""
@@ -152,6 +164,8 @@ class ScheduleResponse:
             "from_cache": self.from_cache,
             "normalization_cache_hit": self.normalization_cache_hit,
         })
+        if self.trace_id is not None:
+            data["trace_id"] = self.trace_id
         return data
 
     @staticmethod
@@ -168,6 +182,7 @@ class ScheduleResponse:
             canonical_hash=data.get("canonical_hash"),
             from_cache=bool(data.get("from_cache", False)),
             normalization_cache_hit=bool(data.get("normalization_cache_hit", False)),
+            trace_id=data.get("trace_id"),
         )
 
 

@@ -1,4 +1,4 @@
-"""``repro.observability`` — dependency-free metrics for the serving stack.
+"""``repro.observability`` — dependency-free metrics, tracing, and alerts.
 
 One :class:`MetricsRegistry` per :class:`~repro.api.Session` collects typed
 :class:`Counter` / :class:`Gauge` / :class:`Histogram` instruments from every
@@ -7,13 +7,31 @@ time), the async scheduling service (queue depth, per-priority end-to-end
 latency, admission sheds), and the worker pool (per-worker registries
 scatter-gathered and merged with :func:`merge_registry_dicts`).  The HTTP
 layer serves it all as a Prometheus-text ``/metrics`` endpoint.
+
+On top of the aggregates, :mod:`repro.observability.tracing` records
+per-request span trees (deterministic trace ids, contextvar propagation,
+cross-process rejoin), :mod:`repro.observability.alerts` evaluates
+declarative rules — threshold, rate, and SRE-style multi-window SLO
+burn — over registry snapshots, and :mod:`repro.observability.push`
+POSTs snapshots + firing alerts to an HTTP sink for unattended nodes.
 """
 
+from .alerts import (AlertEvaluator, AlertMonitor, AlertRule, AlertState,
+                     default_alert_rules)
 from .metrics import (DEFAULT_LATENCY_BUCKETS, Counter, Gauge, Histogram,
                       MetricsError, MetricsRegistry, merge_registry_dicts,
-                      render_registry_dict)
+                      register_process_metrics, render_registry_dict)
+from .push import PushExporter
+from .tracing import (Span, TraceRecord, Tracer, chrome_trace_document,
+                      current_trace_id, span, traces_to_jsonl)
 
 __all__ = [
     "MetricsRegistry", "Counter", "Gauge", "Histogram", "MetricsError",
     "DEFAULT_LATENCY_BUCKETS", "merge_registry_dicts", "render_registry_dict",
+    "register_process_metrics",
+    "Tracer", "Span", "TraceRecord", "span", "current_trace_id",
+    "chrome_trace_document", "traces_to_jsonl",
+    "AlertRule", "AlertState", "AlertEvaluator", "AlertMonitor",
+    "default_alert_rules",
+    "PushExporter",
 ]

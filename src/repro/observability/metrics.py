@@ -233,19 +233,24 @@ class _HistogramSeries:
     form); the final slot counts overflow beyond the largest bound.
     """
 
-    __slots__ = ("_lock", "bounds", "counts", "_sum")
+    __slots__ = ("_lock", "bounds", "counts", "_sum", "exemplars")
 
     def __init__(self, lock: threading.RLock, bounds: Tuple[float, ...]):
         self._lock = lock
         self.bounds = bounds
         self.counts = [0] * (len(bounds) + 1)
         self._sum = 0.0
+        #: Last trace exemplar seen per bucket index: {index: {trace_id, value}}.
+        self.exemplars: Dict[int, Dict[str, Any]] = {}
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: Optional[str] = None) -> None:
         index = bisect_left(self.bounds, value)
         with self._lock:
             self.counts[index] += 1
             self._sum += value
+            if exemplar:
+                self.exemplars[index] = {"trace_id": exemplar,
+                                         "value": value}
 
     @property
     def count(self) -> int:
@@ -301,8 +306,8 @@ class Histogram(_Instrument):
     def _new_series(self) -> _HistogramSeries:
         return _HistogramSeries(self._lock, self.buckets)
 
-    def observe(self, value: float) -> None:
-        self._default().observe(value)
+    def observe(self, value: float, exemplar: Optional[str] = None) -> None:
+        self._default().observe(value, exemplar=exemplar)
 
     @property
     def count(self) -> int:
@@ -330,6 +335,14 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._lock = threading.RLock()
         self._metrics: Dict[str, _Instrument] = {}
+        self._snapshot_hooks: List[Any] = []
+
+    def on_snapshot(self, hook) -> None:
+        """Register a callable invoked at the start of every :meth:`to_dict`
+        (used to refresh derived gauges like process uptime).  Exceptions
+        from hooks are swallowed — a snapshot must always succeed."""
+        with self._lock:
+            self._snapshot_hooks.append(hook)
 
     # -- declaration ------------------------------------------------------------
 
@@ -392,6 +405,12 @@ class MetricsRegistry:
         """A JSON-serializable snapshot (see :func:`merge_registry_dicts`)."""
         with self._lock:
             instruments = list(self._metrics.values())
+            hooks = list(self._snapshot_hooks)
+        for hook in hooks:
+            try:
+                hook()
+            except Exception:  # noqa: BLE001 - snapshots must not fail
+                pass
         snapshot: Dict[str, Any] = {}
         for instrument in instruments:
             entry: Dict[str, Any] = {
@@ -405,11 +424,17 @@ class MetricsRegistry:
             for key, series in instrument.series_items():
                 if isinstance(series, _HistogramSeries):
                     with series._lock:
-                        entry["series"].append({
+                        sample: Dict[str, Any] = {
                             "labels": list(key),
                             "counts": list(series.counts),
                             "sum": series._sum,
-                        })
+                        }
+                        if series.exemplars:
+                            sample["exemplars"] = {
+                                str(index): dict(exemplar)
+                                for index, exemplar
+                                in series.exemplars.items()}
+                        entry["series"].append(sample)
                 else:
                     entry["series"].append({"labels": list(key),
                                             "value": series.value})
@@ -440,7 +465,12 @@ def merge_registry_dicts(snapshots: Iterable[Mapping[str, Any]]
                     "labelnames": list(entry.get("labelnames", [])),
                     "series": [dict(series, labels=list(series["labels"]),
                                     **({"counts": list(series["counts"])}
-                                       if "counts" in series else {}))
+                                       if "counts" in series else {}),
+                                    **({"exemplars": {
+                                        index: dict(exemplar)
+                                        for index, exemplar
+                                        in series["exemplars"].items()}}
+                                       if "exemplars" in series else {}))
                                for series in entry.get("series", [])],
                     **({"buckets": list(entry["buckets"])}
                        if "buckets" in entry else {}),
@@ -469,11 +499,58 @@ def merge_registry_dicts(snapshots: Iterable[Mapping[str, Any]]
                                           zip(existing["counts"],
                                               series["counts"])]
                     existing["sum"] += series["sum"]
+                    if "exemplars" in series:
+                        union = dict(existing.get("exemplars", {}))
+                        union.update({index: dict(exemplar) for index, exemplar
+                                      in series["exemplars"].items()})
+                        existing["exemplars"] = union
                 else:
                     existing["value"] += series["value"]
     for entry in merged.values():
         entry["series"].sort(key=lambda series: series["labels"])
     return merged
+
+
+def register_process_metrics(registry: MetricsRegistry) -> None:
+    """Add build/process-identity gauges to ``registry`` (idempotent).
+
+    ``repro_build_info{version,python,pid} 1`` identifies the origin node
+    of pushed/merged snapshots; ``repro_process_start_time_seconds`` and
+    ``repro_process_uptime_seconds`` (refreshed on every snapshot via an
+    :meth:`MetricsRegistry.on_snapshot` hook) date them.  Labelled by pid
+    so worker-merged snapshots keep one series per process.
+    """
+    import os
+    import sys
+    import time
+
+    if getattr(registry, "_process_metrics_pid", None) == os.getpid():
+        return
+    registry._process_metrics_pid = os.getpid()
+    try:
+        import repro
+        version = getattr(repro, "__version__", "unknown")
+    except Exception:  # noqa: BLE001 - identity must never block startup
+        version = "unknown"
+    pid = str(os.getpid())
+    python = "%d.%d.%d" % sys.version_info[:3]
+    build = registry.gauge(
+        "repro_build_info",
+        "Build/runtime identity of this process; value is always 1.",
+        labelnames=("version", "python", "pid"))
+    build.labels(version=version, python=python, pid=pid).set(1)
+    start_s = time.time()
+    started = registry.gauge(
+        "repro_process_start_time_seconds",
+        "Unix time this process registered its metrics.",
+        labelnames=("pid",))
+    started.labels(pid=pid).set(start_s)
+    uptime = registry.gauge(
+        "repro_process_uptime_seconds",
+        "Seconds since this process registered its metrics.",
+        labelnames=("pid",))
+    uptime_series = uptime.labels(pid=pid)
+    registry.on_snapshot(lambda: uptime_series.set(time.time() - start_s))
 
 
 def _render_labels(labelnames: Sequence[str], values: Sequence[str],

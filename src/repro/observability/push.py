@@ -1,0 +1,114 @@
+"""Push exporter: POST registry snapshots + alerts to an HTTP sink.
+
+Unattended nodes can't rely on being scraped; the exporter inverts the
+flow by POSTing a JSON payload (built by a caller-supplied ``payload_fn``,
+typically merged registry snapshots plus firing alerts) to a configurable
+sink URL on an interval, with bounded retry + exponential backoff per
+push.  Failures never raise out of the exporter thread — they're counted
+in ``repro_push_*`` metrics instead.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+from typing import Any, Callable, Mapping, Optional
+
+__all__ = ["PushExporter"]
+
+
+class PushExporter:
+    """Periodically POSTs ``payload_fn()`` as JSON to ``url``."""
+
+    def __init__(self, url: str,
+                 payload_fn: Callable[[], Mapping[str, Any]],
+                 interval_s: float = 30.0,
+                 timeout_s: float = 10.0,
+                 max_attempts: int = 3,
+                 backoff_s: float = 0.5,
+                 metrics=None):
+        self.url = url
+        self.payload_fn = payload_fn
+        self.interval_s = interval_s
+        self.timeout_s = timeout_s
+        self.max_attempts = max(1, max_attempts)
+        self.backoff_s = backoff_s
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._attempts = self._pushes = self._last_success = None
+        if metrics is not None:
+            self._attempts = metrics.counter(
+                "repro_push_attempts_total",
+                "Individual push POST attempts by outcome.",
+                labelnames=("outcome",))
+            self._pushes = metrics.counter(
+                "repro_push_total",
+                "Completed push cycles by outcome (after retries).",
+                labelnames=("outcome",))
+            self._last_success = metrics.gauge(
+                "repro_push_last_success_timestamp_seconds",
+                "Unix time of the last successful push.")
+
+    # -- one push cycle ---------------------------------------------------
+
+    def push_once(self) -> bool:
+        """Build the payload and POST it, retrying with backoff.
+
+        Returns True on delivery.  Never raises.
+        """
+        try:
+            body = json.dumps(self.payload_fn()).encode("utf-8")
+        except Exception:  # noqa: BLE001 - a broken payload must not kill us
+            if self._pushes is not None:
+                self._pushes.labels(outcome="payload-error").inc()
+            return False
+        delay = self.backoff_s
+        for attempt in range(1, self.max_attempts + 1):
+            if self._post(body):
+                if self._attempts is not None:
+                    self._attempts.labels(outcome="ok").inc()
+                    self._pushes.labels(outcome="ok").inc()
+                    import time
+                    self._last_success.set(time.time())
+                return True
+            if self._attempts is not None:
+                self._attempts.labels(outcome="error").inc()
+            if attempt < self.max_attempts:
+                # Stoppable backoff: a stop() interrupts the wait.
+                if self._stop.wait(delay):
+                    break
+                delay *= 2
+        if self._pushes is not None:
+            self._pushes.labels(outcome="error").inc()
+        return False
+
+    def _post(self, body: bytes) -> bool:
+        request = urllib.request.Request(
+            self.url, data=body, method="POST",
+            headers={"Content-Type": "application/json"})
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout_s) as reply:
+                return 200 <= reply.status < 300
+        except (urllib.error.URLError, OSError, ValueError):
+            return False
+
+    # -- background loop --------------------------------------------------
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-push-exporter", daemon=True)
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self.push_once()

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, Mapping, Optional, Tuple, Union
 
 from ..ir.nodes import Program
+from ..observability.tracing import span as _trace_span
 from .analysis import AnalysisManager, program_fingerprint
 
 
@@ -122,31 +123,36 @@ class Pass:
             context: Optional[PassContext] = None) -> PassResult:
         """Apply the pass and measure it; returns the :class:`PassResult`."""
         context = context or PassContext()
-        size_before = program_ir_size(program)
-        fingerprint_before = (None if self.detects_change
-                              else program_fingerprint(program))
-        started = time.perf_counter()
-        outcome = self._invoke(program, context)
-        wall_time = time.perf_counter() - started
+        with _trace_span("pass:" + self.name) as span:
+            size_before = program_ir_size(program)
+            fingerprint_before = (None if self.detects_change
+                                  else program_fingerprint(program))
+            started = time.perf_counter()
+            outcome = self._invoke(program, context)
+            wall_time = time.perf_counter() - started
 
-        changed: Optional[bool]
-        counters: Dict[str, float]
-        if isinstance(outcome, tuple):
-            changed, counters = outcome
-            counters = dict(counters or {})
-        elif isinstance(outcome, bool):
-            changed, counters = outcome, {}
-        else:
-            changed, counters = None, {}
-        if changed is None:
-            # A pass that declared detects_change but reported nothing is
-            # treated conservatively as having changed the program.
-            changed = (True if fingerprint_before is None
-                       else program_fingerprint(program) != fingerprint_before)
-        return PassResult(pass_name=self.name, changed=bool(changed),
-                          wall_time_s=wall_time, counters=counters,
-                          ir_size_before=size_before,
-                          ir_size_after=program_ir_size(program))
+            changed: Optional[bool]
+            counters: Dict[str, float]
+            if isinstance(outcome, tuple):
+                changed, counters = outcome
+                counters = dict(counters or {})
+            elif isinstance(outcome, bool):
+                changed, counters = outcome, {}
+            else:
+                changed, counters = None, {}
+            if changed is None:
+                # A pass that declared detects_change but reported nothing is
+                # treated conservatively as having changed the program.
+                changed = (True if fingerprint_before is None
+                           else program_fingerprint(program) != fingerprint_before)
+            result = PassResult(pass_name=self.name, changed=bool(changed),
+                                wall_time_s=wall_time, counters=counters,
+                                ir_size_before=size_before,
+                                ir_size_after=program_ir_size(program))
+            span.set_attributes(changed=result.changed,
+                                wall_time_s=result.wall_time_s,
+                                ir_delta=result.ir_size_after - size_before)
+            return result
 
 
 class FunctionPass(Pass):

@@ -15,8 +15,11 @@ The subsystem layers onto :mod:`repro.api` without changing it:
   endpoint plus its client, speaking the existing
   ``ScheduleRequest`` / ``ScheduleResponse`` round-trips (load shedding
   surfaces as ``429`` with a ``Retry-After`` hint), a Prometheus-text
-  ``/metrics`` scrape backed by :mod:`repro.observability`, and an optional
-  structured JSON access log (:class:`JsonAccessLog`).
+  ``/metrics`` scrape backed by :mod:`repro.observability`, end-to-end
+  request traces (``/v1/traces``, exportable via the ``trace-dump`` CLI),
+  SLO alert rules (``/alerts``), an optional push exporter for unattended
+  nodes (``--push-url``), and an optional structured JSON access log
+  (:class:`JsonAccessLog`).
 * persistence is provided by the pluggable cache backends
   (:class:`repro.api.SQLiteCacheBackend`) and the sharded tuning database
   (:class:`repro.api.ShardedTuningDatabase`); the ``python -m repro.serving``

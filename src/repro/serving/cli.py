@@ -7,8 +7,14 @@ Subcommands:
   :class:`~repro.serving.workers.WorkerPool` sharing one SQLite cache,
   ``--max-queue-depth`` / ``--max-client-inflight`` configure admission
   control (load shedding with HTTP 429), ``--metrics`` / ``--no-metrics``
-  toggle the Prometheus-text ``/metrics`` endpoint, and ``--access-log``
-  writes structured JSON access logs.
+  toggle the Prometheus-text ``/metrics`` endpoint, ``--access-log``
+  writes structured JSON access logs, ``--no-trace`` disables request
+  tracing (``/v1/traces``), and ``--push-url`` / ``--push-interval``
+  push merged metric snapshots + firing alerts to an HTTP sink for
+  unattended nodes.
+* ``trace-dump``  — fetch finished traces from a running server and emit
+  them as Chrome trace-event JSON (loadable in Perfetto /
+  ``chrome://tracing``) or as JSONL, to ``--output`` or stdout.
 * ``warm-cache`` — populate a persistent SQLite cache with the registry
   workloads so a later ``serve`` starts hot; ``--pipeline`` selects the
   registry-named normalization pipeline, ``--report-json`` dumps the
@@ -124,10 +130,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if args.access_log:
             access_log = (sys.stdout if args.access_log == "-"
                           else args.access_log)
+        if not args.trace:
+            session.tracer.enabled = False
         server = ServingServer(session, host=args.host, port=args.port,
                                config=config, pool=pool,
                                expose_metrics=args.metrics,
-                               access_log=access_log)
+                               access_log=access_log,
+                               expose_traces=args.trace,
+                               alert_interval_s=args.alert_interval,
+                               push_url=args.push_url,
+                               push_interval_s=args.push_interval)
         server.start()
         print(f"serving on {server.address} "
               f"(scheduler={args.scheduler}, threads={args.threads}, "
@@ -135,7 +147,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
               f"cache={'sqlite:' + args.cache_path if args.cache_path else 'memory'}, "
               f"database={len(session.database)} entries, "
               f"queue-depth={args.max_queue_depth}, "
-              f"metrics={'on' if args.metrics else 'off'})", flush=True)
+              f"metrics={'on' if args.metrics else 'off'}, "
+              f"tracing={'on' if args.trace else 'off'}, "
+              f"push={args.push_url or 'off'})", flush=True)
         server.serve_forever()
     finally:
         # Reached on a clean shutdown *and* on boot failures (port in use,
@@ -177,6 +191,33 @@ def _cmd_warm_cache(args: argparse.Namespace) -> int:
                       sort_keys=True)
         print(f"wrote metrics snapshot to {args.metrics_json}")
     session.close()
+    return 0
+
+
+def _cmd_trace_dump(args: argparse.Namespace) -> int:
+    from ..observability import chrome_trace_document, traces_to_jsonl
+    from .client import ServingClient, ServingError
+
+    client = ServingClient(args.url)
+    try:
+        listing = client.traces(limit=args.limit)
+        records = [client.trace(entry["trace_id"])
+                   for entry in listing.get("traces", [])]
+    except ServingError as error:
+        print(f"trace-dump: {error}", file=sys.stderr)
+        return 1
+    if args.format == "chrome":
+        text = json.dumps(chrome_trace_document(records), indent=2,
+                          sort_keys=True)
+    else:
+        text = traces_to_jsonl(records)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text if text.endswith("\n") else text + "\n")
+        print(f"wrote {len(records)} trace(s) to {args.output} "
+              f"({args.format})")
+    else:
+        print(text)
     return 0
 
 
@@ -238,6 +279,19 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--access-log", default=None, metavar="PATH",
                        help="write a JSON-lines access log of schedule "
                             "traffic to PATH ('-' for stdout)")
+    serve.add_argument("--no-trace", dest="trace", action="store_false",
+                       default=True,
+                       help="disable request tracing and the /v1/traces "
+                            "endpoints (tracing is on by default)")
+    serve.add_argument("--alert-interval", type=float, default=5.0,
+                       help="seconds between background alert-rule "
+                            "evaluations (default: 5)")
+    serve.add_argument("--push-url", default=None, metavar="URL",
+                       help="POST merged metric snapshots + firing alerts "
+                            "to this HTTP sink (off by default)")
+    serve.add_argument("--push-interval", type=float, default=30.0,
+                       help="seconds between push-exporter deliveries "
+                            "(default: 30)")
     serve.set_defaults(func=_cmd_serve)
 
     warm = commands.add_parser(
@@ -254,6 +308,23 @@ def build_parser() -> argparse.ArgumentParser:
                       help="dump the session's metrics-registry snapshot "
                            "(cache/pass instruments) to this JSON file")
     warm.set_defaults(func=_cmd_warm_cache)
+
+    dump = commands.add_parser(
+        "trace-dump", help="export finished traces from a running server")
+    dump.add_argument("--url", required=True,
+                      help="base URL of the serving endpoint "
+                           "(e.g. http://127.0.0.1:8422)")
+    dump.add_argument("--format", choices=("chrome", "jsonl"),
+                      default="chrome",
+                      help="chrome: one trace-event JSON document "
+                           "(Perfetto / chrome://tracing); jsonl: one "
+                           "trace per line (default: chrome)")
+    dump.add_argument("--limit", type=int, default=None,
+                      help="dump at most N newest traces (default: all "
+                           "buffered)")
+    dump.add_argument("--output", default=None, metavar="PATH",
+                      help="write here instead of stdout")
+    dump.set_defaults(func=_cmd_trace_dump)
 
     shard = commands.add_parser(
         "db-shard", help="shard/rebalance/inspect a tuning database")

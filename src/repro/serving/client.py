@@ -67,6 +67,20 @@ class ServingClient:
     def report(self) -> Dict[str, Any]:
         return self._checked("GET", "/v1/report")
 
+    def alerts(self) -> Dict[str, Any]:
+        """``GET /alerts``: every rule's evaluated state + firing subset."""
+        return self._checked("GET", "/alerts")
+
+    def traces(self, limit: Optional[int] = None) -> Dict[str, Any]:
+        """``GET /v1/traces``: newest-first trace summaries."""
+        path = "/v1/traces" + (f"?limit={int(limit)}" if limit is not None
+                               else "")
+        return self._checked("GET", path)
+
+    def trace(self, trace_id: str) -> Dict[str, Any]:
+        """``GET /v1/traces/<id>``: one trace's full span tree."""
+        return self._checked("GET", f"/v1/traces/{trace_id}")
+
     def metrics(self, include_workers: bool = False) -> str:
         """Scrape ``GET /metrics``: the Prometheus text exposition body.
 

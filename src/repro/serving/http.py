@@ -12,6 +12,12 @@ Routes:
   histograms, admission-shed counters, cache and pass counters); with an
   attached worker pool, ``?workers=1`` merges every worker's registry into
   the scrape (rendezvous, like the report).
+* ``GET  /v1/traces``   — newest-first summaries of the trace ring buffer
+  (``?limit=N`` caps the listing); ``GET /v1/traces/<trace_id>`` returns
+  one full span tree.  404 when tracing is disabled.
+* ``GET  /alerts``      — a fresh evaluation of every alert rule over the
+  live registry (threshold, rate, and multi-window SLO burn), with the
+  currently firing subset called out.
 * ``POST /v1/schedule`` — body: a :class:`~repro.api.ScheduleRequest` dict
   (``{"program": "gemm:b"}`` at its simplest, optionally with ``priority``
   0-9 and an opaque ``client`` identity); response: the
@@ -46,7 +52,9 @@ from urllib.parse import parse_qs, urlsplit
 from ..api.session import Session
 from ..api.types import (HIGHEST_PRIORITY, LOWEST_PRIORITY, ScheduleRequest)
 from ..ir.nodes import Program
-from ..observability import merge_registry_dicts, render_registry_dict
+from ..observability import (AlertEvaluator, AlertMonitor, PushExporter,
+                             default_alert_rules, merge_registry_dicts,
+                             render_registry_dict)
 from .service import AdmissionError, ServiceConfig, ServiceRunner
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -116,12 +124,32 @@ class ServingServer:
                  port: int = 0, config: Optional[ServiceConfig] = None,
                  pool: "Optional[WorkerPool]" = None,
                  expose_metrics: bool = True,
-                 access_log: "Union[None, str, IO[str]]" = None):
+                 access_log: "Union[None, str, IO[str]]" = None,
+                 expose_traces: bool = True,
+                 alert_rules=None,
+                 alert_interval_s: float = 5.0,
+                 push_url: Optional[str] = None,
+                 push_interval_s: float = 30.0):
         self.session = session
         self.pool = pool
         self.runner = ServiceRunner(session, config, pool=pool)
         self.metrics = session.metrics
         self.expose_metrics = expose_metrics
+        self.tracer = getattr(session, "tracer", None)
+        self.expose_traces = expose_traces and self.tracer is not None
+        if pool is not None and getattr(pool, "tracer", None) is None:
+            # Worker span fragments rejoin the coordinator session's tracer.
+            pool.tracer = self.tracer
+        self.alerts = AlertEvaluator(
+            (default_alert_rules(
+                max_queue_depth=self.runner.service.config.max_queue_depth)
+             if alert_rules is None else list(alert_rules)),
+            snapshot_fn=self.metrics.to_dict)
+        self._alert_monitor = AlertMonitor(self.alerts, alert_interval_s)
+        self.push_exporter = (
+            PushExporter(push_url, self._push_payload,
+                         interval_s=push_interval_s, metrics=self.metrics)
+            if push_url else None)
         self.access_log = (JsonAccessLog(access_log)
                            if access_log is not None else None)
         # Request ids: a per-server random prefix plus a monotonic sequence
@@ -169,6 +197,9 @@ class ServingServer:
         if self._thread is not None:
             return
         self.runner.start()
+        self._alert_monitor.start()
+        if self.push_exporter is not None:
+            self.push_exporter.start()
         self._started_at = time.monotonic()
         self._thread = threading.Thread(target=self._httpd.serve_forever,
                                         name="repro-serving-http", daemon=True)
@@ -191,6 +222,9 @@ class ServingServer:
         self._httpd.shutdown()
         self._thread.join()
         self._httpd.server_close()
+        self._alert_monitor.stop()
+        if self.push_exporter is not None:
+            self.push_exporter.stop()
         self.runner.stop()
         if self.access_log is not None:
             self.access_log.close()
@@ -216,7 +250,69 @@ class ServingServer:
             else:
                 payload["pool"] = {"num_workers": self.pool.num_workers,
                                    **self.pool.stats.to_dict()}
+        states = self.alerts.states()
+        payload["alerts"] = {
+            "firing": sorted(state.name for state in states if state.firing),
+            "rules": len(self.alerts.rules),
+        }
         return 200, payload
+
+    def handle_alerts(self) -> Tuple[int, Dict[str, Any]]:
+        """``GET /alerts``: evaluate every rule over a fresh snapshot."""
+        states = self.alerts.sample_and_evaluate()
+        return 200, {
+            "alerts": [state.to_dict() for state in states],
+            "firing": sorted(state.name for state in states if state.firing),
+            "rules": [rule.to_dict() for rule in self.alerts.rules],
+        }
+
+    def handle_traces(self, limit: Optional[int] = None
+                      ) -> Tuple[int, Dict[str, Any]]:
+        """``GET /v1/traces``: newest-first trace summaries."""
+        if not self.expose_traces:
+            return 404, {"error": "tracing is disabled"}
+        return 200, {"traces": self.tracer.traces(limit),
+                     "capacity": self.tracer.capacity,
+                     "stored": self.tracer.stored}
+
+    def handle_trace(self, trace_id: str) -> Tuple[int, Dict[str, Any]]:
+        """``GET /v1/traces/<trace_id>``: one full span tree."""
+        if not self.expose_traces:
+            return 404, {"error": "tracing is disabled"}
+        record = self.tracer.get(trace_id)
+        if record is None:
+            return 404, {"error": f"unknown trace {trace_id!r}"}
+        return 200, record.to_dict()
+
+    def _push_payload(self) -> Dict[str, Any]:
+        """One push-exporter datagram: node identity, registry snapshot
+        (best-effort pool-merged), and the currently firing alerts."""
+        import os
+        import sys
+        states = self.alerts.sample_and_evaluate()
+        snapshot = self.metrics.to_dict()
+        if self.pool is not None:
+            try:
+                gathered = self.pool.metrics()
+                snapshot = merge_registry_dicts(
+                    [snapshot] + [worker_snapshot for _, worker_snapshot
+                                  in sorted(gathered["per_worker"].items())])
+            except Exception:  # noqa: BLE001 - push what we have
+                pass
+        try:
+            import repro
+            version = getattr(repro, "__version__", "unknown")
+        except Exception:  # noqa: BLE001
+            version = "unknown"
+        return {
+            "node": {"version": version,
+                     "python": "%d.%d.%d" % sys.version_info[:3],
+                     "pid": os.getpid(),
+                     "address": self.address},
+            "ts": time.time(),
+            "metrics": snapshot,
+            "alerts": [state.to_dict() for state in states if state.firing],
+        }
 
     def render_metrics(self, include_workers: bool = False) -> str:
         """The Prometheus text scrape body of ``GET /metrics``.
@@ -250,12 +346,14 @@ class ServingServer:
                       request: Optional[ScheduleRequest], status: int,
                       outcome: str, started: float,
                       queue_wait_s: Optional[float],
-                      coalesced: Optional[bool]) -> None:
+                      coalesced: Optional[bool],
+                      trace_id: Optional[str] = None) -> None:
         if self.access_log is None:
             return
         self.access_log.write({
             "ts": round(time.time(), 6),
             "request_id": request_id,
+            "trace_id": trace_id,
             "route": "/v1/schedule",
             "program": _program_descriptor(
                 request.program if request is not None
@@ -276,6 +374,12 @@ class ServingServer:
                         ) -> "Tuple[int, Dict[str, Any] | str]":
         started = time.monotonic()
         request_id = self._next_request_id()
+        # Derived, not generated: the service derives the same id from the
+        # request id, so the access log cross-references the trace ring
+        # buffer even for requests that shed or fail before scheduling.
+        trace_id = (self.tracer.trace_id_for(request_id)
+                    if self.tracer is not None and self.tracer.enabled
+                    else None)
 
         def done(status: int, payload: "Dict[str, Any] | str", outcome: str,
                  request: Optional[ScheduleRequest] = None,
@@ -283,7 +387,8 @@ class ServingServer:
                  coalesced: Optional[bool] = None
                  ) -> "Tuple[int, Dict[str, Any] | str]":
             self._log_schedule(request_id, body, request, status, outcome,
-                               started, queue_wait_s, coalesced)
+                               started, queue_wait_s, coalesced,
+                               trace_id=trace_id)
             return status, payload
 
         try:
@@ -304,7 +409,8 @@ class ServingServer:
                                        f"({HIGHEST_PRIORITY} most urgent)"},
                         "invalid", request)
         try:
-            response, timing = self.runner.schedule_timed(request)
+            response, timing = self.runner.schedule_timed(
+                request, request_id=request_id)
         except AdmissionError as error:
             # Load shedding is not a client mistake: 429 plus a retry hint,
             # so well-behaved clients back off instead of hammering.
@@ -393,6 +499,20 @@ def _make_handler(server: ServingServer):
             elif parts.path == "/metrics":
                 include_workers = self._workers_flag(parse_qs(parts.query))
                 self._reply_text(*server.handle_metrics(include_workers))
+            elif parts.path == "/alerts":
+                self._reply(*server.handle_alerts())
+            elif parts.path == "/v1/traces":
+                query = parse_qs(parts.query)
+                raw_limit = query.get("limit", [""])[-1].strip()
+                try:
+                    limit = int(raw_limit) if raw_limit else None
+                except ValueError:
+                    self._reply(400, {"error": "limit must be an integer"})
+                    return
+                self._reply(*server.handle_traces(limit))
+            elif parts.path.startswith("/v1/traces/"):
+                trace_id = parts.path[len("/v1/traces/"):]
+                self._reply(*server.handle_trace(trace_id))
             else:
                 self._reply(404, {"error": f"unknown path {self.path!r}"})
 

@@ -32,7 +32,10 @@ HTTP endpoint, benchmarks, tests).
 from __future__ import annotations
 
 import asyncio
+import itertools
+import os
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
@@ -349,10 +352,11 @@ class RequestTiming:
     total_s: float = 0.0
     queue_wait_s: float = 0.0
     coalesced: bool = False
+    trace_id: Optional[str] = None
 
     def to_dict(self) -> Dict[str, Any]:
         return {"total_s": self.total_s, "queue_wait_s": self.queue_wait_s,
-                "coalesced": self.coalesced}
+                "coalesced": self.coalesced, "trace_id": self.trace_id}
 
 
 @dataclass
@@ -373,6 +377,10 @@ class _Pending:
     claimed: bool = False
     enqueued_at: float = 0.0
     claimed_at: float = 0.0
+    # Wall-clock twins of the loop-clock stamps above: trace spans use
+    # ``time.time()`` so coordinator and worker spans share one timeline.
+    enqueued_wall: float = 0.0
+    claimed_wall: float = 0.0
 
 
 class SchedulingService:
@@ -397,6 +405,12 @@ class SchedulingService:
         #: falls back to a private one.
         metrics = getattr(session, "metrics", None)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: The session's tracer (sessions are duck-typed in tests; a stub
+        #: without one simply serves untraced).
+        self._tracer = getattr(session, "tracer", None)
+        #: Fallback request-id source for programmatic callers that don't
+        #: pass one (the HTTP layer always does).
+        self._local_ids = itertools.count(1)
         self.stats = ServiceStats(self.metrics)
         self.admission = AdmissionController(self.config, self.metrics)
         self._queue_depth_gauge = self.metrics.gauge(
@@ -465,11 +479,14 @@ class SchedulingService:
         response, _ = await self.schedule_timed(request)
         return response
 
-    async def schedule_timed(self, request: ScheduleRequest
+    async def schedule_timed(self, request: ScheduleRequest,
+                             request_id: Optional[str] = None
                              ) -> Tuple[ScheduleResponse, RequestTiming]:
         """Like :meth:`schedule`, additionally returning the request's
         :class:`RequestTiming` (end-to-end latency, queue wait) — the HTTP
-        layer's access log consumes it."""
+        layer's access log consumes it.  ``request_id`` seeds the request's
+        deterministic trace id (so the HTTP layer, access log, and trace
+        ring buffer all agree); omitted, the service mints a local one."""
         if not self._running:
             raise RuntimeError("service is not running; call start() first")
         if request.tune:
@@ -477,62 +494,101 @@ class SchedulingService:
                              "served; tune through the session directly")
         key = request_fingerprint(request)
         existing = self._inflight.get(key)
+        tracer = self._tracer
+        root = None
+        if tracer is not None and tracer.enabled:
+            if request_id is None:
+                request_id = f"local-{os.getpid()}-{next(self._local_ids)}"
+            admit_wall = time.time()
+            program = request.program
+            root = tracer.begin(
+                "request", tracer.trace_id_for(request_id),
+                attrs={"request_id": request_id,
+                       "priority": request.priority,
+                       "program": (program.name if isinstance(program, Program)
+                                   else str(program)),
+                       **({"client": request.client}
+                          if request.client is not None else {})})
+        outcome = "error"
         try:
-            self.admission.admit(
-                request,
-                queue_depth=self._queue.qsize() - self._stale_entries,
-                rider=existing is not None)
-        except AdmissionError:
-            self.stats.record_rejected()
-            raise
-        self.stats.record_request()
-        loop = asyncio.get_running_loop()
-        timing = RequestTiming(coalesced=existing is not None)
-        started = loop.time()
-        try:
-            if existing is not None:
-                # Coalesce: ride the identical in-flight request.  The
-                # response program is copied so concurrent consumers never
-                # share IR.
-                self.stats.record_coalesced()
-                self.session.record_coalesced()
-                if request.priority < existing.best_priority \
-                        and not existing.claimed:
-                    # An urgent rider must not drain at its leader's lower
-                    # priority: re-enqueue the still-queued leader at the
-                    # better priority.  The now-stale lower-priority entry
-                    # pops later and is skipped through ``claimed``.
-                    existing.best_priority = request.priority
-                    self._arrival_seq += 1
-                    # The superseded lower-priority entry is now stale.
-                    self._stale_entries += 1
-                    await self._queue.put((request.priority,
-                                           self._arrival_seq, existing))
-                    self._update_queue_gauge()
-                response = await asyncio.shield(existing.future)
-                self._finish_timing(timing, request, existing, started, loop)
-                return self._reissue(response, request), timing
-            future: "asyncio.Future[ScheduleResponse]" = \
-                asyncio.get_running_loop().create_future()
-            pending = _Pending(key, request, future,
-                               best_priority=request.priority,
-                               enqueued_at=started)
-            self._inflight[key] = pending
-            self._arrival_seq += 1
-            await self._queue.put((request.priority, self._arrival_seq,
-                                   pending))
-            self._update_queue_gauge()
             try:
-                response = await asyncio.shield(future)
+                self.admission.admit(
+                    request,
+                    queue_depth=self._queue.qsize() - self._stale_entries,
+                    rider=existing is not None)
+            except AdmissionError:
+                self.stats.record_rejected()
+                outcome = "shed"
+                raise
+            if root is not None:
+                tracer.record(root.trace_id, root.span_id,
+                              "service.admission", admit_wall, time.time())
+                # Child spans of every downstream layer (queue, batch,
+                # session, worker) attach under this root via the request.
+                request.trace = root.context()
+            self.stats.record_request()
+            loop = asyncio.get_running_loop()
+            timing = RequestTiming(
+                coalesced=existing is not None,
+                trace_id=root.trace_id if root is not None else None)
+            started = loop.time()
+            try:
+                if existing is not None:
+                    # Coalesce: ride the identical in-flight request.  The
+                    # response program is copied so concurrent consumers never
+                    # share IR.
+                    self.stats.record_coalesced()
+                    self.session.record_coalesced()
+                    if root is not None:
+                        root.set_attribute("coalesced", True)
+                    if request.priority < existing.best_priority \
+                            and not existing.claimed:
+                        # An urgent rider must not drain at its leader's lower
+                        # priority: re-enqueue the still-queued leader at the
+                        # better priority.  The now-stale lower-priority entry
+                        # pops later and is skipped through ``claimed``.
+                        existing.best_priority = request.priority
+                        self._arrival_seq += 1
+                        # The superseded lower-priority entry is now stale.
+                        self._stale_entries += 1
+                        await self._queue.put((request.priority,
+                                               self._arrival_seq, existing))
+                        self._update_queue_gauge()
+                    response = await asyncio.shield(existing.future)
+                    self._finish_timing(timing, request, existing, started,
+                                        loop)
+                    outcome = "ok"
+                    return self._reissue(response, request), timing
+                future: "asyncio.Future[ScheduleResponse]" = \
+                    asyncio.get_running_loop().create_future()
+                pending = _Pending(key, request, future,
+                                   best_priority=request.priority,
+                                   enqueued_at=started,
+                                   enqueued_wall=time.time())
+                self._inflight[key] = pending
+                self._arrival_seq += 1
+                await self._queue.put((request.priority, self._arrival_seq,
+                                       pending))
+                self._update_queue_gauge()
+                try:
+                    response = await asyncio.shield(future)
+                finally:
+                    # Failed requests are end-to-end requests too: their
+                    # latency belongs in the per-priority distribution.
+                    self._finish_timing(timing, request, pending, started,
+                                        loop)
+                outcome = "ok"
+                return response, timing
             finally:
-                # Failed requests are end-to-end requests too: their latency
-                # belongs in the per-priority distribution.
-                self._finish_timing(timing, request, pending, started, loop)
-            return response, timing
+                # Admitted requests hold their per-client slot until their
+                # response (or failure) resolves, riders included.
+                self.admission.release(request)
         finally:
-            # Admitted requests hold their per-client slot until their
-            # response (or failure) resolves, riders included.
-            self.admission.release(request)
+            if root is not None:
+                # Finishing the parentless root finalizes the trace into
+                # the ring buffer — after worker fragments were absorbed,
+                # since futures only resolve once the batch was decoded.
+                tracer.finish(root, status=outcome)
 
     def _finish_timing(self, timing: RequestTiming, request: ScheduleRequest,
                        pending: _Pending, started: float,
@@ -544,8 +600,10 @@ class SchedulingService:
         if pending.claimed_at:
             timing.queue_wait_s = max(
                 0.0, pending.claimed_at - pending.enqueued_at)
+        # The trace id rides along as the bucket's exemplar, so a saturated
+        # latency bucket links straight to a representative slow trace.
         self._latency_histogram.labels(str(request.priority)).observe(
-            timing.total_s)
+            timing.total_s, exemplar=timing.trace_id)
 
     def _update_queue_gauge(self) -> None:
         queue = self._queue
@@ -572,7 +630,10 @@ class SchedulingService:
             input_hash=response.input_hash,
             canonical_hash=response.canonical_hash,
             from_cache=response.from_cache,
-            normalization_cache_hit=response.normalization_cache_hit)
+            normalization_cache_hit=response.normalization_cache_hit,
+            # A rider reports *its own* trace, not its leader's.
+            trace_id=((request.trace or {}).get("trace_id")
+                      or getattr(response, "trace_id", None)))
 
     # -- the batcher -------------------------------------------------------------
 
@@ -587,6 +648,7 @@ class SchedulingService:
                 continue
             pending.claimed = True
             pending.claimed_at = asyncio.get_running_loop().time()
+            pending.claimed_wall = time.time()
             self._update_queue_gauge()
             return pending
 
@@ -608,15 +670,41 @@ class SchedulingService:
 
     async def _run(self) -> None:
         loop = asyncio.get_running_loop()
+        tracer = self._tracer
         while True:
             batch = await self._collect_batch()
             self.stats.record_batch(len(batch))
             dispatched_at = loop.time()
+            dispatched_wall = time.time()
+            schedule_spans: Dict[str, Any] = {}
             for pending in batch:
                 self._phase_histogram.labels("queue").observe(
                     max(0.0, pending.claimed_at - pending.enqueued_at))
                 self._phase_histogram.labels("batch").observe(
                     max(0.0, dispatched_at - pending.claimed_at))
+                context = getattr(pending.request, "trace", None)
+                if tracer is None or not tracer.enabled or not context:
+                    continue
+                trace_id = context["trace_id"]
+                parent_id = context.get("span_id")
+                tracer.record(trace_id, parent_id, "service.queue",
+                              pending.enqueued_wall, pending.claimed_wall,
+                              {"priority": pending.best_priority})
+                tracer.record(trace_id, parent_id, "service.batch",
+                              pending.claimed_wall, dispatched_wall,
+                              {"batch_size": len(batch)})
+                # The schedule span becomes the parent of everything the
+                # executing side records (session, passes, cache, search) —
+                # including worker-process spans, which rejoin through the
+                # serialized request.trace context.
+                span = tracer.begin(
+                    "service.schedule", trace_id, parent_id=parent_id,
+                    attrs={"executor": ("pool" if self.pool is not None
+                                        else "threads"),
+                           "batch_size": len(batch)},
+                    start_s=dispatched_wall)
+                pending.request.trace = span.context()
+                schedule_spans[pending.key] = span
             requests = [pending.request for pending in batch]
             try:
                 responses = await loop.run_in_executor(
@@ -625,6 +713,8 @@ class SchedulingService:
                 # Batch-level failure (e.g. the executor itself); per-item
                 # failures are returned in-band by return_exceptions below.
                 self.stats.record_errors(len(batch))
+                for span in schedule_spans.values():
+                    tracer.finish(span, status="error")
                 for pending in batch:
                     self._inflight.pop(pending.key, None)
                     if not pending.future.done():
@@ -634,7 +724,11 @@ class SchedulingService:
             for pending, response in zip(batch, responses):
                 self._inflight.pop(pending.key, None)
                 self._phase_histogram.labels("schedule").observe(schedule_s)
-                if isinstance(response, Exception):
+                span = schedule_spans.pop(pending.key, None)
+                failed = isinstance(response, Exception)
+                if span is not None:
+                    tracer.finish(span, status="error" if failed else "ok")
+                if failed:
                     # One invalid request must not fail its batchmates.
                     self.stats.record_errors()
                     if not pending.future.done():
@@ -716,14 +810,17 @@ class ServiceRunner:
         return future.result(timeout)
 
     def schedule_timed(self, request: ScheduleRequest,
-                       timeout: Optional[float] = None
+                       timeout: Optional[float] = None,
+                       request_id: Optional[str] = None
                        ) -> Tuple[ScheduleResponse, RequestTiming]:
         """Blocking submit returning ``(response, RequestTiming)`` — the
-        HTTP layer uses the timing for its structured access log."""
+        HTTP layer uses the timing for its structured access log and passes
+        ``request_id`` so the trace id matches the log line."""
         if self._loop is None:
             raise RuntimeError("runner is not started")
         future = asyncio.run_coroutine_threadsafe(
-            self.service.schedule_timed(request), self._loop)
+            self.service.schedule_timed(request, request_id=request_id),
+            self._loop)
         return future.result(timeout)
 
     def schedule_many(self, requests: List[ScheduleRequest],

@@ -163,9 +163,17 @@ def _worker_schedule(request_dict: Dict[str, Any]) -> Dict[str, Any]:
     try:
         request = ScheduleRequest.from_dict(request_dict)
         response = _WORKER_SESSION.schedule(request)
-        return {"response_json": json.dumps(response.to_dict())}
+        payload = {"response_json": json.dumps(response.to_dict())}
     except Exception as error:  # noqa: BLE001 - marshalled to the coordinator
-        return _error_payload(error)
+        payload = _error_payload(error)
+    # Ship this worker's finished trace spans back in-band so they rejoin
+    # the coordinator's trace (the request carried the parent context).
+    trace = request_dict.get("trace")
+    if trace and _WORKER_SESSION is not None:
+        spans = _WORKER_SESSION.tracer.export_fragment(trace["trace_id"])
+        if spans:
+            payload["spans"] = spans
+    return payload
 
 
 def _worker_schedule_many(request_dicts: List[Dict[str, Any]]
@@ -366,6 +374,9 @@ class WorkerPool:
         self.num_workers = num_workers
         self.config = config or WorkerConfig()
         self.stats = PoolStats()
+        #: Coordinator-side tracer that worker span fragments rejoin; the
+        #: serving layer points this at the coordinator session's tracer.
+        self.tracer = None
         if database is None:
             self.database = ShardedTuningDatabase(num_workers)
         elif isinstance(database, ShardedTuningDatabase):
@@ -450,9 +461,13 @@ class WorkerPool:
 
     # -- scheduling --------------------------------------------------------------
 
-    @staticmethod
-    def _decode(payload: Dict[str, Any]
+    def _decode(self, payload: Dict[str, Any]
                 ) -> Union[PortableScheduleResponse, Exception]:
+        spans = payload.get("spans")
+        if spans and self.tracer is not None:
+            # Rejoin worker-side spans before the caller's future resolves,
+            # so the root span always closes over a complete trace.
+            self.tracer.absorb(spans)
         error = payload.get("error")
         if error is not None:
             portable = _PORTABLE_ERRORS.get(error["type"])

@@ -1,0 +1,582 @@
+"""Tests for end-to-end request tracing, SLO alert rules, and the push
+exporter: tracer core semantics, cross-process span propagation through a
+real 2-worker pool, the /v1/traces and /alerts endpoints, and the
+trace-dump CLI exporters."""
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, HTTPServer
+
+import pytest
+from helpers import fast_session
+
+from repro.api import ScheduleRequest, SearchConfig, Session
+from repro.observability import (AlertEvaluator, AlertRule, MetricsRegistry,
+                                 PushExporter, Tracer, chrome_trace_document,
+                                 current_trace_id, default_alert_rules,
+                                 register_process_metrics, span,
+                                 traces_to_jsonl)
+from repro.serving import (ServiceConfig, ServingClient, ServingServer,
+                           WorkerConfig, WorkerPool)
+from repro.serving.cli import main as cli_main
+
+FAST_SEARCH = SearchConfig(population_size=4, epochs=1,
+                           generations_per_epoch=1)
+
+
+# -- tracer core --------------------------------------------------------------------
+
+class TestTracerCore:
+    def test_trace_id_is_deterministic_and_stable_across_tracers(self):
+        assert Tracer.trace_id_for("req-1") == Tracer.trace_id_for("req-1")
+        assert Tracer.trace_id_for("req-1") != Tracer.trace_id_for("req-2")
+        assert len(Tracer.trace_id_for("req-1")) == 16
+
+    def test_nested_spans_form_one_tree(self):
+        tracer = Tracer()
+        with tracer.trace("request", request_id="req-1") as root:
+            assert current_trace_id() == root.trace_id
+            with span("outer", layer=1) as outer:
+                with span("inner") as inner:
+                    assert inner.parent_id == outer.span_id
+        record = tracer.get(Tracer.trace_id_for("req-1"))
+        assert record is not None
+        assert [s.name for s in record.spans] == ["request", "outer", "inner"]
+        tree = record.tree()
+        assert len(tree) == 1 and tree[0]["name"] == "request"
+        assert tree[0]["children"][0]["children"][0]["name"] == "inner"
+        assert tree[0]["children"][0]["attributes"] == {"layer": 1}
+
+    def test_span_outside_any_trace_is_a_noop(self):
+        assert current_trace_id() is None
+        with span("orphan") as scope:
+            scope.set_attribute("ignored", True)
+            assert scope.context() == {}
+
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        with tracer.trace("request", request_id="req-1"):
+            with span("child"):
+                pass
+        assert tracer.stored == 0
+        assert current_trace_id() is None
+
+    def test_exception_marks_span_and_trace_as_error(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.trace("request", request_id="req-1"):
+                with span("child"):
+                    raise RuntimeError("boom")
+        record = tracer.get(Tracer.trace_id_for("req-1"))
+        assert record.status == "error"
+        child = next(s for s in record.spans if s.name == "child")
+        assert child.status == "error"
+        assert "boom" in child.attributes["error"]
+
+    def test_ring_buffer_evicts_oldest(self):
+        tracer = Tracer(capacity=2)
+        for index in range(3):
+            with tracer.trace("request", request_id=f"req-{index}"):
+                pass
+        assert tracer.stored == 2
+        assert tracer.get(Tracer.trace_id_for("req-0")) is None
+        summaries = tracer.traces()
+        assert [s["trace_id"] for s in summaries] == [
+            Tracer.trace_id_for("req-2"), Tracer.trace_id_for("req-1")]
+        assert tracer.traces(limit=1)[0]["trace_id"] == \
+            Tracer.trace_id_for("req-2")
+
+    def test_fragment_export_rejoins_the_coordinator_trace(self):
+        """The worker/coordinator handshake, single-process edition: the
+        worker's spans never finalize locally and re-parent correctly
+        after absorb."""
+        coordinator = Tracer(process="coordinator")
+        worker = Tracer(process="worker")
+        trace_id = Tracer.trace_id_for("req-1")
+        root = coordinator.begin("request", trace_id)
+        with worker.activate({"trace_id": trace_id,
+                              "span_id": root.span_id}):
+            with span("worker-side"):
+                pass
+        assert worker.stored == 0  # no local root: nothing finalized
+        fragment = worker.export_fragment(trace_id)
+        assert len(fragment) == 1
+        assert worker.export_fragment(trace_id) == []  # drained
+        coordinator.absorb(fragment)
+        coordinator.finish(root)
+        record = coordinator.get(trace_id)
+        assert {s.name for s in record.spans} == {"request", "worker-side"}
+        shipped = next(s for s in record.spans if s.name == "worker-side")
+        assert shipped.parent_id == root.span_id
+        assert shipped.process == "worker"
+        assert record.summary()["processes"] == ["coordinator", "worker"]
+
+    def test_late_fragment_lands_in_the_finalized_trace(self):
+        coordinator = Tracer(process="coordinator")
+        worker = Tracer(process="worker")
+        trace_id = Tracer.trace_id_for("req-1")
+        root = coordinator.begin("request", trace_id)
+        worker.record(trace_id, root.span_id, "late", 0.0, 1.0)
+        coordinator.finish(root)  # finalizes before the fragment arrives
+        coordinator.absorb(worker.export_fragment(trace_id))
+        assert {s.name for s in coordinator.get(trace_id).spans} == \
+            {"request", "late"}
+
+    def test_chrome_document_and_jsonl_exporters(self):
+        tracer = Tracer(process="pid-test")
+        with tracer.trace("request", request_id="req-1"):
+            with span("child"):
+                pass
+        records = [tracer.get(Tracer.trace_id_for("req-1"))]
+        doc = chrome_trace_document(records)
+        assert doc["displayTimeUnit"] == "ms"
+        events = doc["traceEvents"]
+        metas = [e for e in events if e["ph"] == "M"]
+        slices = [e for e in events if e["ph"] == "X"]
+        assert metas[0]["args"]["name"] == "pid-test"
+        assert len(slices) == 2
+        for event in slices:
+            assert event["dur"] >= 0
+            assert event["args"]["trace_id"] == records[0].trace_id
+        # The dict form (as served by /v1/traces/<id>) renders identically.
+        assert chrome_trace_document(
+            [records[0].to_dict()])["traceEvents"] == events
+        lines = traces_to_jsonl(records).splitlines()
+        assert len(lines) == 2
+        assert {json.loads(line)["name"] for line in lines} == \
+            {"request", "child"}
+
+
+# -- alert rules over synthetic snapshot streams ------------------------------------
+
+def _latency_snapshot(good, bad):
+    """A registry-snapshot fragment: ``good`` observations under 0.1s,
+    ``bad`` ones in the overflow bucket."""
+    return {"repro_request_latency_seconds": {
+        "type": "histogram", "labelnames": [], "buckets": [0.1, 0.5],
+        "series": [{"labels": [], "counts": [good, 0, bad],
+                    "sum": 0.1 * good + 2.0 * bad}]}}
+
+
+def _counter_snapshot(name, value):
+    return {name: {"type": "counter", "labelnames": [],
+                   "series": [{"labels": [], "value": value}]}}
+
+
+BURN_RULE = AlertRule(
+    name="latency-burn", kind="slo-burn-rate",
+    metric="repro_request_latency_seconds", threshold=14.4,
+    window_s=300.0, short_window_s=60.0, objective=0.95, latency_slo_s=0.1)
+
+
+class TestAlertEvaluator:
+    def test_burn_rate_fires_on_spike_and_resolves_on_recovery(self):
+        evaluator = AlertEvaluator([BURN_RULE])
+        evaluator.ingest(_latency_snapshot(good=50, bad=0), ts=1000.0)
+        evaluator.ingest(_latency_snapshot(good=50, bad=70), ts=1030.0)
+        state, = evaluator.evaluate()
+        # Every delta request breached the SLO: burn = 1.0 / 0.05 = 20x.
+        assert state.firing
+        assert state.value == pytest.approx(20.0)
+        assert state.since_s == 1030.0
+        assert state.detail["short_burn"] == pytest.approx(20.0)
+        # Healthy traffic dilutes the windowed error fraction below 14.4x.
+        evaluator.ingest(_latency_snapshot(good=5000, bad=70), ts=1060.0)
+        state, = evaluator.evaluate()
+        assert not state.firing and state.since_s is None
+        assert state.value < 1.0
+
+    def test_one_window_alone_does_not_fire(self):
+        """Multi-window semantics: a long-window burn with a quiet short
+        window stays silent (the spike already passed)."""
+        evaluator = AlertEvaluator([BURN_RULE])
+        evaluator.ingest(_latency_snapshot(good=0, bad=100), ts=1000.0)
+        evaluator.ingest(_latency_snapshot(good=0, bad=100), ts=1250.0)
+        evaluator.ingest(_latency_snapshot(good=2000, bad=100), ts=1290.0)
+        state, = evaluator.evaluate()
+        assert state.detail["long_burn"] is not None
+        assert not state.firing
+
+    def test_no_traffic_means_no_alert(self):
+        evaluator = AlertEvaluator([BURN_RULE])
+        evaluator.ingest(_latency_snapshot(good=10, bad=0), ts=1000.0)
+        evaluator.ingest(_latency_snapshot(good=10, bad=0), ts=1060.0)
+        state, = evaluator.evaluate()
+        assert state.value is None and not state.firing
+
+    def test_rate_rule_measures_per_second_increase(self):
+        rule = AlertRule(name="shed-rate", kind="rate",
+                         metric="repro_admission_shed_total",
+                         threshold=0.5, window_s=60.0)
+        evaluator = AlertEvaluator([rule])
+        evaluator.ingest(_counter_snapshot(rule.metric, 0), ts=1000.0)
+        evaluator.ingest(_counter_snapshot(rule.metric, 12), ts=1060.0)
+        state, = evaluator.evaluate()
+        assert state.value == pytest.approx(0.2)
+        assert not state.firing
+        evaluator.ingest(_counter_snapshot(rule.metric, 100), ts=1120.0)
+        state, = evaluator.evaluate()
+        assert state.firing
+
+    def test_threshold_rule_reads_a_real_registry_snapshot(self):
+        """Shape compatibility with MetricsRegistry.to_dict, not a
+        synthetic dict."""
+        registry = MetricsRegistry()
+        depth = registry.gauge("repro_service_queue_depth", "queued work")
+        rule = default_alert_rules(max_queue_depth=100)[1]
+        assert rule.name == "queue-depth-saturation"
+        evaluator = AlertEvaluator([rule], snapshot_fn=registry.to_dict)
+        depth.set(10)
+        state, = evaluator.sample_and_evaluate(now=1000.0)
+        assert not state.firing and state.value == 10
+        depth.set(90)
+        state, = evaluator.sample_and_evaluate(now=1001.0)
+        assert state.firing and state.threshold == 80.0
+
+    def test_default_rules_cover_the_ops_story(self):
+        rules = {rule.name: rule for rule in default_alert_rules()}
+        assert set(rules) == {"admission-shed-rate", "queue-depth-saturation",
+                              "latency-slo-fast-burn",
+                              "latency-slo-slow-burn"}
+        assert rules["latency-slo-fast-burn"].threshold == 14.4
+        assert rules["latency-slo-slow-burn"].severity == "ticket"
+        # An unbounded queue has no meaningful saturation threshold.
+        unbounded = [rule.name for rule in
+                     default_alert_rules(max_queue_depth=0)]
+        assert "queue-depth-saturation" not in unbounded
+
+
+# -- push exporter ------------------------------------------------------------------
+
+class _Sink:
+    """Stdlib HTTP sink recording every POST; fails the first N of them."""
+
+    def __init__(self, fail_first=0):
+        self.bodies = []
+        sink = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_POST(self):
+                length = int(self.headers.get("Content-Length", 0))
+                raw = self.rfile.read(length)
+                status = 500 if len(sink.bodies) < fail_first else 200
+                sink.bodies.append(json.loads(raw))
+                reply = b"{}"
+                self.send_response(status)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(reply)))
+                self.end_headers()
+                self.wfile.write(reply)
+
+            def log_message(self, *args):
+                pass
+
+        self.server = HTTPServer(("127.0.0.1", 0), Handler)
+        self.url = f"http://127.0.0.1:{self.server.server_port}/push"
+        self._thread = threading.Thread(target=self.server.serve_forever,
+                                        daemon=True)
+        self._thread.start()
+
+    def close(self):
+        self.server.shutdown()
+        self.server.server_close()
+
+
+@pytest.fixture
+def metric_values():
+    registry = MetricsRegistry()
+
+    def values(name):
+        entry = registry.to_dict().get(name, {"series": []})
+        return {tuple(series["labels"]): series["value"]
+                for series in entry["series"]}
+
+    return registry, values
+
+
+class TestPushExporter:
+    def test_delivers_after_a_failed_first_attempt(self, metric_values):
+        registry, values = metric_values
+        sink = _Sink(fail_first=1)
+        try:
+            exporter = PushExporter(sink.url, lambda: {"node": "n1"},
+                                    backoff_s=0.01, metrics=registry)
+            assert exporter.push_once()
+        finally:
+            sink.close()
+        assert len(sink.bodies) == 2  # one 500, one 200
+        assert sink.bodies[-1] == {"node": "n1"}
+        assert values("repro_push_attempts_total") == {
+            ("error",): 1.0, ("ok",): 1.0}
+        assert values("repro_push_total") == {("ok",): 1.0}
+        assert values(
+            "repro_push_last_success_timestamp_seconds")[()] > 0
+
+    def test_gives_up_after_max_attempts(self, metric_values):
+        registry, values = metric_values
+        sink = _Sink(fail_first=10)
+        try:
+            exporter = PushExporter(sink.url, dict, max_attempts=2,
+                                    backoff_s=0.01, metrics=registry)
+            assert not exporter.push_once()
+        finally:
+            sink.close()
+        assert len(sink.bodies) == 2
+        assert values("repro_push_attempts_total") == {("error",): 2.0}
+        assert values("repro_push_total") == {("error",): 1.0}
+
+    def test_unreachable_sink_never_raises(self):
+        exporter = PushExporter("http://127.0.0.1:9/push", dict,
+                                max_attempts=1, backoff_s=0.0)
+        assert not exporter.push_once()
+
+    def test_broken_payload_is_counted_not_raised(self, metric_values):
+        registry, values = metric_values
+
+        def explode():
+            raise ValueError("no payload today")
+
+        exporter = PushExporter("http://127.0.0.1:9/push", explode,
+                                metrics=registry)
+        assert not exporter.push_once()
+        assert values("repro_push_total") == {("payload-error",): 1.0}
+
+    def test_background_loop_pushes_until_stopped(self):
+        sink = _Sink()
+        try:
+            exporter = PushExporter(sink.url, lambda: {"tick": True},
+                                    interval_s=0.02)
+            exporter.start()
+            deadline = time.time() + 5.0
+            while len(sink.bodies) < 2 and time.time() < deadline:
+                time.sleep(0.01)
+            exporter.stop()
+        finally:
+            sink.close()
+        assert len(sink.bodies) >= 2
+
+
+# -- session + service tracing ------------------------------------------------------
+
+class TestSessionTracing:
+    def test_traced_request_records_every_layer(self):
+        session = fast_session()
+        tracer = session.tracer
+        trace_id = tracer.trace_id_for("req-1")
+        root = tracer.begin("request", trace_id)
+        request = ScheduleRequest(program="gemm:a")
+        request.trace = root.context()
+        response = session.schedule(request)
+        tracer.finish(root)
+        assert response.trace_id == trace_id
+        record = tracer.get(trace_id)
+        names = {s.name for s in record.spans}
+        assert {"request", "session.schedule", "cache.lookup",
+                "normalize.pipeline", "scheduler.search"} <= names
+        assert any(name.startswith("pass:") for name in names)
+        # Pass spans carry the PassResult facts.
+        pass_span = next(s for s in record.spans
+                         if s.name.startswith("pass:"))
+        assert {"changed", "wall_time_s", "ir_delta"} <= \
+            set(pass_span.attributes)
+        session.close()
+
+    def test_untraced_request_has_no_trace_id(self):
+        session = fast_session()
+        response = session.schedule(ScheduleRequest(program="gemm:a"))
+        assert response.trace_id is None
+        assert "trace_id" not in response.to_dict()
+        assert session.tracer.stored == 0
+        session.close()
+
+    def test_build_info_and_uptime_gauges_are_registered(self):
+        session = fast_session()
+        snapshot = session.metrics.to_dict()
+        build = snapshot["repro_build_info"]
+        labels = dict(zip(build["labelnames"], build["series"][0]["labels"]))
+        assert set(labels) == {"version", "python", "pid"}
+        first = snapshot["repro_process_uptime_seconds"]["series"][0]["value"]
+        assert first >= 0.0
+        time.sleep(0.02)
+        again = session.metrics.to_dict()
+        assert again["repro_process_uptime_seconds"]["series"][0]["value"] \
+            > first
+        assert again["repro_process_start_time_seconds"]["series"][0]["value"] \
+            == snapshot["repro_process_start_time_seconds"]["series"][0]["value"]
+        session.close()
+
+
+@pytest.fixture
+def served(tmp_path):
+    """A traced server on an ephemeral port, with a JSON access log."""
+    session = fast_session()
+    log_path = tmp_path / "access.jsonl"
+    server = ServingServer(session, config=ServiceConfig(batch_window_s=0.02),
+                           access_log=str(log_path))
+    with server:
+        yield session, server, ServingClient(server.address), log_path
+    session.close()
+
+
+class TestHttpTracing:
+    def test_response_access_log_and_ring_buffer_share_one_trace_id(
+            self, served):
+        session, server, client, log_path = served
+        response = client.schedule("gemm:a")
+        assert response.trace_id
+        listing = client.traces()
+        assert listing["stored"] == 1
+        assert listing["traces"][0]["trace_id"] == response.trace_id
+        entry = json.loads(log_path.read_text().splitlines()[0])
+        assert entry["trace_id"] == response.trace_id
+
+    def test_full_span_tree_is_served_and_nested(self, served):
+        _, _, client, _ = served
+        response = client.schedule("gemm:a")
+        record = client.trace(response.trace_id)
+        assert record["span_count"] >= 6
+        names = {s["name"] for s in record["spans"]}
+        assert {"request", "service.admission", "service.queue",
+                "service.batch", "service.schedule", "session.schedule",
+                "scheduler.search"} <= names
+        tree = record["tree"]
+        assert len(tree) == 1 and tree[0]["name"] == "request"
+        # Queue wait is a measured sub-interval, not a placeholder.
+        queued = next(s for s in record["spans"]
+                      if s["name"] == "service.queue")
+        assert queued["duration_s"] >= 0.0
+        assert queued["attributes"]["priority"] == 5
+
+    def test_trace_listing_limit_and_unknown_id(self, served):
+        _, _, client, _ = served
+        client.schedule("gemm:a")
+        client.schedule("mvt:a")
+        assert len(client.traces(limit=1)["traces"]) == 1
+        assert client.traces()["stored"] == 2
+        status, payload = client.request("GET", "/v1/traces/no-such-trace")
+        assert status == 404 and "unknown trace" in payload["error"]
+        status, payload = client.request("GET", "/v1/traces?limit=banana")
+        assert status == 400
+
+    def test_alerts_endpoint_fires_on_a_latency_spike(self):
+        """A synthetic SLO (nothing is fast enough) must trip the
+        burn-rate rule as soon as traffic flows."""
+        session = fast_session()
+        strict = AlertRule(
+            name="strict-latency", kind="slo-burn-rate",
+            metric="repro_request_latency_seconds", threshold=2.0,
+            window_s=300.0, short_window_s=60.0, objective=0.95,
+            latency_slo_s=1e-9)
+        server = ServingServer(session,
+                               config=ServiceConfig(batch_window_s=0.02),
+                               alert_rules=[strict], alert_interval_s=60.0)
+        with server:
+            client = ServingClient(server.address)
+            baseline = client.alerts()
+            assert baseline["firing"] == []
+            client.schedule("gemm:a")
+            payload = client.alerts()
+            assert payload["firing"] == ["strict-latency"]
+            state, = payload["alerts"]
+            assert state["value"] == pytest.approx(20.0)
+            assert state["since_s"] is not None
+            report = client.report()
+            assert report["alerts"]["firing"] == ["strict-latency"]
+            assert report["alerts"]["rules"] == 1
+        session.close()
+
+    def test_disabled_tracing_404s_and_omits_trace_ids(self, tmp_path):
+        session = fast_session()
+        session.tracer.enabled = False
+        log_path = tmp_path / "access.jsonl"
+        server = ServingServer(session,
+                               config=ServiceConfig(batch_window_s=0.02),
+                               expose_traces=False,
+                               access_log=str(log_path))
+        with server:
+            client = ServingClient(server.address)
+            response = client.schedule("gemm:a")
+            assert response.trace_id is None
+            status, _ = client.request("GET", "/v1/traces")
+            assert status == 404
+        entry = json.loads(log_path.read_text().splitlines()[0])
+        assert entry["trace_id"] is None
+        session.close()
+
+    def test_trace_dump_cli_exports_chrome_and_jsonl(self, served, tmp_path,
+                                                     capsys):
+        _, server, client, _ = served
+        client.schedule("gemm:a")
+        chrome_path = tmp_path / "trace.json"
+        assert cli_main(["trace-dump", "--url", server.address,
+                         "--output", str(chrome_path)]) == 0
+        capsys.readouterr()  # drop the "wrote N trace(s)" status line
+        doc = json.loads(chrome_path.read_text())
+        slices = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(slices) >= 6
+        assert {"request", "service.schedule"} <= \
+            {e["name"] for e in slices}
+        assert cli_main(["trace-dump", "--url", server.address,
+                         "--format", "jsonl"]) == 0
+        lines = [json.loads(line) for line
+                 in capsys.readouterr().out.splitlines() if line.strip()]
+        assert len(lines) >= 6
+        assert len({line["trace_id"] for line in lines}) == 1
+
+    def test_latency_histogram_links_slow_traces_as_exemplars(self, served):
+        session, _, client, _ = served
+        response = client.schedule("gemm:a")
+        entry = session.metrics.to_dict()["repro_request_latency_seconds"]
+        exemplars = {}
+        for series in entry["series"]:
+            exemplars.update(series.get("exemplars", {}))
+        assert response.trace_id in \
+            {e["trace_id"] for e in exemplars.values()}
+        # Exemplars stay out of the Prometheus text exposition.
+        assert "exemplar" not in client.metrics()
+
+
+# -- cross-process propagation ------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def traced_pool(tmp_path_factory):
+    cache = str(tmp_path_factory.mktemp("traced-pool") / "cache.sqlite")
+    config = WorkerConfig(threads=4, cache_path=cache, search=FAST_SEARCH)
+    with WorkerPool(2, config) as pool:
+        yield pool
+
+
+class TestCrossProcessTracing:
+    def test_one_request_yields_one_trace_spanning_both_processes(
+            self, traced_pool):
+        session = Session(threads=4)
+        config = ServiceConfig(batch_window_s=0.005)
+        with ServingServer(session, config=config,
+                           pool=traced_pool) as server:
+            client = ServingClient(server.address)
+            response = client.schedule("gemm:a")
+            assert response.trace_id
+            record = client.trace(response.trace_id)
+            assert record["span_count"] >= 6
+            assert len(record["processes"]) == 2
+            spans = record["spans"]
+            by_id = {s["span_id"]: s for s in spans}
+            coordinator = by_id[next(s["span_id"] for s in spans
+                                     if s["name"] == "request")]["process"]
+            # The worker-side session span rejoined under the
+            # coordinator's executor span, across the process boundary.
+            worker_side = next(s for s in spans
+                               if s["name"] == "session.schedule")
+            assert worker_side["process"] != coordinator
+            parent = by_id[worker_side["parent_id"]]
+            assert parent["name"] == "service.schedule"
+            assert parent["process"] == coordinator
+            assert parent["attributes"]["executor"] == "pool"
+            # Worker-side pass spans travelled too.
+            assert any(s["name"].startswith("pass:") and
+                       s["process"] == worker_side["process"]
+                       for s in spans)
+            # A single tree, rooted at the coordinator's request span.
+            assert len(record["tree"]) == 1
+        session.close()
