@@ -1,0 +1,246 @@
+#!/usr/bin/env python3
+"""Warm-path fast lane: where the time goes on a repeat request.
+
+Four isolations, each a cost the warm-path PR attacks, plus the end-to-end
+number they add up to:
+
+* **hash** — ``program_content_hash`` on an already-hashed program.  IR
+  nodes memoize their canonical JSON fragments, so a repeat hash joins
+  cached strings instead of re-canonicalizing the tree;
+  ``program_content_hash_reference`` (the unmemoized implementation, kept
+  as the executable spec) shows what that saves.
+* **copy** — ``Program.snapshot()`` (the copy-on-write view the cache
+  serves) against ``Program.copy()`` (the deep defensive copy it
+  replaced).
+* **encode** — assembling a response from pre-encoded cache bytes
+  (``Session.assemble_response``: splice the request echo between stored
+  ``before``/``after`` text) against a full ``json.dumps(to_dict())``.
+* **end-to-end** — warm req/s through the async service with the response
+  fast lane on (traced / trace-sampled / untraced) and off
+  (``ServiceConfig(fast_lane=False)`` — the pre-PR serving path, measured
+  live on the same machine).
+
+``BASELINE`` embeds the same measurements taken on the pre-PR tree (same
+machine, same request mix), so the committed ``BENCH_warm_path.json``
+carries both sides of the comparison.  Acceptance: warm-hit throughput
+(traced) at least **5x** the pre-PR baseline, and a non-zero fast-lane hit
+rate (every measured request after warmup should be a fast-lane hit).
+
+Run: ``PYTHONPATH=src python benchmarks/bench_warm_path.py``
+(``--smoke`` or ``REPRO_BENCH_SMOKE=1`` for a seconds-long CI-sized run
+that reports but does not assert the 5x bar — CI runners are too noisy
+for absolute throughput bars).
+"""
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+
+from repro.api import ScheduleRequest, SearchConfig, Session
+from repro.api.hashing import (program_content_hash,
+                               program_content_hash_reference)
+from repro.observability import Tracer
+from repro.serving import ServiceConfig, ServiceRunner
+from repro.workloads.registry import benchmark_names
+
+#: Pre-PR numbers, measured on the tree this PR branched from with this
+#: file's own methodology (6 registry benchmarks x a/b variants, same
+#: service config).  Embedded so the committed artifact is self-contained.
+BASELINE = {
+    "hash_per_s": 5339.2,
+    "copy_per_s": 53246.2,
+    "encode_per_s": 4335.2,
+    "warm_req_per_s_traced": 683.6,
+    "warm_req_per_s_untraced": 794.5,
+}
+
+#: Search small enough that the cold populate phase does not dominate.
+FAST_SEARCH = SearchConfig(population_size=4, epochs=1,
+                           generations_per_epoch=1)
+
+SERVICE_CONFIG = dict(batch_window_s=0.002, max_batch_size=64)
+
+
+def bench(fn, min_time):
+    """Calls per second of ``fn``, timed over at least ``min_time``."""
+    fn()  # warm
+    n = 1
+    while True:
+        t0 = time.perf_counter()
+        for _ in range(n):
+            fn()
+        dt = time.perf_counter() - t0
+        if dt >= min_time:
+            return n / dt
+        n = max(n + 1, int(n * (min_time / max(dt, 1e-9)) * 1.2))
+
+
+def micro_costs(name, min_time):
+    """The hash / copy / encode isolations, on one registry program."""
+    out = {}
+    session = Session(threads=4, search=FAST_SEARCH)
+    try:
+        program, _ = session._resolve(f"{name}:a")
+        out["hash_per_s"] = bench(
+            lambda: program_content_hash(program), min_time)
+        out["hash_reference_per_s"] = bench(
+            lambda: program_content_hash_reference(program), min_time)
+        out["copy_per_s"] = bench(lambda: program.copy(), min_time)
+        out["snapshot_per_s"] = bench(lambda: program.snapshot(), min_time)
+
+        request = ScheduleRequest(program=f"{name}:a")
+        response = session.schedule(request)
+        out["encode_per_s"] = bench(
+            lambda: json.dumps(response.to_dict()), min_time)
+        # Populate the response cache, then time the fast-lane assembly
+        # (echo splice over stored bytes) against the full encode above.
+        session.store_response(request, session.schedule(request))
+        entry = session.probe_response(request)
+        assert entry is not None, "response cache did not populate"
+        out["fast_encode_per_s"] = bench(
+            lambda: session.assemble_response(entry, request).to_json(),
+            min_time)
+    finally:
+        session.close()
+    return out
+
+
+def measure_warm(requests, cache_path, measure_s, tracer=None,
+                 fast_lane=True):
+    """End-to-end warm req/s through the service; also returns the
+    fast-lane hit count over the measured requests."""
+    session = Session(threads=4, search=FAST_SEARCH, cache_path=cache_path,
+                      tracer=tracer)
+    config = ServiceConfig(fast_lane=fast_lane, **SERVICE_CONFIG)
+    try:
+        with ServiceRunner(session, config) as runner:
+            # Two unmeasured waves: populate the schedule cache, then let
+            # the second (fully cache-served) wave feed the response cache.
+            runner.schedule_many(list(requests))
+            runner.schedule_many(list(requests))
+            before_fast = runner.stats.fast_lane
+            total = 0
+            t0 = time.perf_counter()
+            while time.perf_counter() - t0 < measure_s:
+                total += len(runner.schedule_many(list(requests)))
+            rate = total / (time.perf_counter() - t0)
+            fast_hits = runner.stats.fast_lane - before_fast
+        return rate, total, fast_hits
+    finally:
+        session.close()
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        default=bool(os.environ.get("REPRO_BENCH_SMOKE")),
+                        help="seconds-long run: short timing windows, no "
+                             "absolute 5x assertion (hit-rate is still "
+                             "asserted)")
+    parser.add_argument("--benchmarks", type=int, default=6,
+                        help="registry benchmarks in the warm mix "
+                             "(default 6, matching the baseline run)")
+    parser.add_argument("--require-speedup", type=float, default=None,
+                        help="fail when traced warm throughput is below "
+                             "this multiple of the embedded baseline "
+                             "(default: 5.0, or 0 in smoke mode)")
+    parser.add_argument("--json", default="BENCH_warm_path.json",
+                        help="persist the measured numbers to this JSON "
+                             "file (empty string: print only)")
+    args = parser.parse_args(argv)
+    if args.require_speedup is None:
+        args.require_speedup = 0.0 if args.smoke else 5.0
+    min_time = 0.05 if args.smoke else 0.4
+    measure_s = 0.5 if args.smoke else 2.0
+
+    names = sorted(benchmark_names())[:args.benchmarks]
+    requests = [ScheduleRequest(program=f"{name}:{variant}")
+                for name in names for variant in ("a", "b")]
+    print(f"{len(names)} benchmarks x 2 variants = {len(requests)} distinct "
+          f"warm requests per wave")
+
+    results = {
+        "benchmark": "warm_path",
+        "smoke": args.smoke,
+        "benchmarks": len(names),
+        "requests_per_wave": len(requests),
+        "require_speedup": args.require_speedup,
+        "baseline": dict(BASELINE),
+    }
+
+    micro = micro_costs(names[0], min_time)
+    results.update(micro)
+    print(f"hash:        {micro['hash_per_s']:10.1f}/s memoized vs "
+          f"{micro['hash_reference_per_s']:10.1f}/s reference "
+          f"({micro['hash_per_s'] / micro['hash_reference_per_s']:.1f}x)")
+    print(f"copy:        {micro['snapshot_per_s']:10.1f}/s snapshot vs "
+          f"{micro['copy_per_s']:10.1f}/s deep copy "
+          f"({micro['snapshot_per_s'] / micro['copy_per_s']:.1f}x)")
+    print(f"encode:      {micro['fast_encode_per_s']:10.1f}/s fast lane vs "
+          f"{micro['encode_per_s']:10.1f}/s full encode "
+          f"({micro['fast_encode_per_s'] / micro['encode_per_s']:.1f}x)")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        modes = [
+            # (key, tracer factory, fast lane)
+            ("warm_req_per_s_traced", lambda: None, True),
+            ("warm_req_per_s_sampled",
+             lambda: Tracer(sample_rate=0.01), True),
+            ("warm_req_per_s_untraced",
+             lambda: Tracer(enabled=False), True),
+            ("warm_req_per_s_slow_lane", lambda: None, False),
+        ]
+        hit_rate = 0.0
+        for index, (key, make_tracer, fast_lane) in enumerate(modes):
+            rate, total, fast_hits = measure_warm(
+                requests, os.path.join(tmp, f"cache{index}.sqlite"),
+                measure_s, tracer=make_tracer(), fast_lane=fast_lane)
+            results[key] = rate
+            if key == "warm_req_per_s_traced":
+                hit_rate = fast_hits / max(1, total)
+                results["fast_lane_hits"] = fast_hits
+                results["fast_lane_requests"] = total
+                results["fast_lane_hit_rate"] = hit_rate
+            print(f"{key:26s} {rate:10.1f} req/s"
+                  + (f"  (hit rate {hit_rate:.3f})"
+                     if key == "warm_req_per_s_traced" else ""))
+
+    traced = results["warm_req_per_s_traced"]
+    untraced = results["warm_req_per_s_untraced"]
+    sampled = results["warm_req_per_s_sampled"]
+    results["tracing_overhead_pct"] = (1.0 - traced / untraced) * 100.0
+    results["sampled_overhead_pct"] = (1.0 - sampled / untraced) * 100.0
+    results["speedup_vs_baseline"] = \
+        traced / BASELINE["warm_req_per_s_traced"]
+    results["speedup_vs_slow_lane"] = \
+        traced / results["warm_req_per_s_slow_lane"]
+    print(f"tracing overhead:   {results['tracing_overhead_pct']:+.1f}% "
+          f"full, {results['sampled_overhead_pct']:+.1f}% at 1% sampling")
+    print(f"speedup: {results['speedup_vs_baseline']:.2f}x vs pre-PR "
+          f"baseline, {results['speedup_vs_slow_lane']:.2f}x vs fast lane "
+          f"off (live)")
+
+    status = 0
+    if results["fast_lane_hit_rate"] <= 0.0:
+        print("FAILED: no measured request hit the fast lane",
+              file=sys.stderr)
+        status = 1
+    if args.require_speedup and \
+            results["speedup_vs_baseline"] < args.require_speedup:
+        print(f"FAILED: speedup {results['speedup_vs_baseline']:.2f}x "
+              f"below the required {args.require_speedup:.2f}x",
+              file=sys.stderr)
+        status = 1
+    results["passed"] = status == 0
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(results, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

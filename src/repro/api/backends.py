@@ -86,14 +86,25 @@ class CacheBackend:
     def __init__(self) -> None:
         self.stats = BackendStats()
         self._codecs: Dict[str, Tuple[Encoder, Decoder]] = {}
+        self._raw_namespaces: set = set()
 
-    def bind(self, namespace: str, encode: Encoder, decode: Decoder) -> None:
+    def bind(self, namespace: str, encode: Encoder, decode: Decoder,
+             raw: bool = False) -> None:
         """Register the serialization codec of one namespace.
 
         In-memory backends may ignore the codec; persistent backends use it
-        to map values to and from JSON payloads.
+        to map values to and from JSON payloads.  With ``raw=True`` the
+        codec speaks payload *strings* directly (``encode`` returns the
+        exact text to persist, ``decode`` receives it verbatim) and
+        persistent backends skip the JSON round-trip entirely — this is how
+        the response cache stores pre-encoded bytes that are served without
+        re-parsing.
         """
         self._codecs[namespace] = (encode, decode)
+        if raw:
+            self._raw_namespaces.add(namespace)
+        else:
+            self._raw_namespaces.discard(namespace)
 
     # -- storage interface -------------------------------------------------------
 
@@ -317,7 +328,12 @@ class SQLiteCacheBackend(CacheBackend):
                 return None
             _, decode = self._codec(namespace)
             try:
-                value = decode(json.loads(row[0]))
+                # Raw namespaces persist the payload text verbatim: decoding
+                # hands the string straight to the codec, no JSON parse.
+                if namespace in self._raw_namespaces:
+                    value = decode(row[0])
+                else:
+                    value = decode(json.loads(row[0]))
             except Exception:
                 # A stale or incompatible payload (e.g. written by an older
                 # schema of the entry types) must not poison the cache.  The
@@ -339,7 +355,10 @@ class SQLiteCacheBackend(CacheBackend):
 
     def put(self, namespace: str, key: str, value: Any) -> None:
         encode, _ = self._codec(namespace)
-        payload = json.dumps(encode(value), sort_keys=True)
+        if namespace in self._raw_namespaces:
+            payload = encode(value)
+        else:
+            payload = json.dumps(encode(value), sort_keys=True)
 
         victims: "list[str]" = []
 

@@ -13,12 +13,17 @@ The cache has two levels, both keyed by content hashes
   form, scheduling the B variant of a benchmark after the A variant (or GEMM
   in a second loop order) is served from the cache without re-running the
   scheduler at all.
+* **response level** — ``request fingerprint -> pre-encoded response bytes``
+  (:class:`ResponseEntry`).  The serving fast lane stores the final JSON a
+  response encodes to, split around the per-request echo, and serves repeat
+  requests without touching the session, the IR, or a JSON parser.
 
 Storage is delegated to a pluggable :class:`~repro.api.backends.CacheBackend`
 (:class:`~repro.api.backends.MemoryCacheBackend` by default; the SQLite
-backend persists both levels across restarts).  Entries are bounded by an
-LRU policy; cached programs are copied on every hit so callers can freely
-mutate what they get back.
+backend persists all levels across restarts).  Entries are bounded by an
+LRU policy; cached programs are handed out as copy-on-write snapshots —
+frozen loop trees shared structurally between the cache and every hit, with
+receivers taking a private ``copy()`` only when they actually rewrite.
 """
 
 from __future__ import annotations
@@ -43,16 +48,20 @@ from .hashing import fingerprint, program_content_hash
 NORMALIZED_NAMESPACE = "normalized"
 #: Backend namespace of the schedule level.
 SCHEDULE_NAMESPACE = "schedules"
+#: Backend namespace of the response level (pre-encoded response bytes).
+RESPONSE_NAMESPACE = "responses"
 
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters of the two cache levels."""
+    """Hit/miss counters of the cache levels."""
 
     normalization_hits: int = 0
     normalization_misses: int = 0
     schedule_hits: int = 0
     schedule_misses: int = 0
+    response_hits: int = 0
+    response_misses: int = 0
     evictions: int = 0
 
     @property
@@ -63,12 +72,18 @@ class CacheStats:
     def schedule_requests(self) -> int:
         return self.schedule_hits + self.schedule_misses
 
+    @property
+    def response_requests(self) -> int:
+        return self.response_hits + self.response_misses
+
     def to_dict(self) -> Dict[str, int]:
         return {
             "normalization_hits": self.normalization_hits,
             "normalization_misses": self.normalization_misses,
             "schedule_hits": self.schedule_hits,
             "schedule_misses": self.schedule_misses,
+            "response_hits": self.response_hits,
+            "response_misses": self.response_misses,
             "evictions": self.evictions,
         }
 
@@ -77,8 +92,8 @@ class CacheStats:
 class NormalizedEntry:
     """One cached normalization outcome.
 
-    ``program`` is a private copy owned by the cache; :meth:`take` hands out
-    fresh copies.
+    ``program`` is owned by the cache; :meth:`take` hands out copy-on-write
+    snapshots whose (frozen) loop tree is shared with the cached entry.
     """
 
     program: Program
@@ -88,7 +103,7 @@ class NormalizedEntry:
     hit: bool = False
 
     def take(self) -> "NormalizedEntry":
-        return NormalizedEntry(self.program.copy(), self.report,
+        return NormalizedEntry(self.program.snapshot(), self.report,
                                self.input_hash, self.canonical_hash, self.hit)
 
 
@@ -118,7 +133,7 @@ class ScheduleEntry:
     runtime_s: float
 
     def take(self) -> Tuple[ScheduleResult, float]:
-        return self.result.copy(), self.runtime_s
+        return self.result.share(), self.runtime_s
 
 
 def _encode_schedule(entry: ScheduleEntry) -> Dict[str, Any]:
@@ -128,6 +143,34 @@ def _encode_schedule(entry: ScheduleEntry) -> Dict[str, Any]:
 def _decode_schedule(payload: Dict[str, Any]) -> ScheduleEntry:
     return ScheduleEntry(result=ScheduleResult.from_dict(payload["result"]),
                          runtime_s=float(payload["runtime_s"]))
+
+
+@dataclass
+class ResponseEntry:
+    """One cached fully-encoded schedule response (the serving fast lane).
+
+    ``before``/``after`` are the JSON text of the response up to and from
+    the per-request echo: ``before + json.dumps(request.to_dict()) + after``
+    reproduces ``json.dumps(response.to_dict())`` byte for byte (minus the
+    trace id, which the server splices per request).  Splitting around the
+    echo lets one entry serve every request that coalesces onto the same
+    fingerprint, whatever its priority, client, label, or trace context.
+    """
+
+    before: str
+    after: str
+
+
+def _encode_response(entry: ResponseEntry) -> str:
+    # Raw codec: the persisted payload IS this text.  A newline can never
+    # occur inside compact JSON (strings escape it as \n), so it is a safe
+    # separator.
+    return entry.before + "\n" + entry.after
+
+
+def _decode_response(payload: str) -> ResponseEntry:
+    before, _, after = payload.partition("\n")
+    return ResponseEntry(before, after)
 
 
 class NormalizationCache:
@@ -143,6 +186,8 @@ class NormalizationCache:
         self.backend.bind(NORMALIZED_NAMESPACE,
                           _encode_normalized, _decode_normalized)
         self.backend.bind(SCHEDULE_NAMESPACE, _encode_schedule, _decode_schedule)
+        self.backend.bind(RESPONSE_NAMESPACE, _encode_response,
+                          _decode_response, raw=True)
         self._stats = CacheStats()
         self._lock = threading.RLock()
         #: Long-lived memo of per-nest analyses, shared by every pipeline
@@ -261,6 +306,28 @@ class NormalizationCache:
                        runtime_s: float) -> None:
         entry = ScheduleEntry(result.copy(), runtime_s)
         self.backend.put(SCHEDULE_NAMESPACE, key, entry)
+
+    # -- response level ------------------------------------------------------------
+
+    def lookup_response(self, key: str) -> Optional[ResponseEntry]:
+        """Fetch the pre-encoded response bytes of one request fingerprint.
+
+        Entries are immutable text, so hits are served without copying,
+        decoding, or touching the IR — this is the serving fast lane.
+        """
+        entry = self.backend.get(RESPONSE_NAMESPACE, key)
+        with self._lock:
+            if entry is None:
+                self._stats.response_misses += 1
+                outcome = "miss"
+            else:
+                self._stats.response_hits += 1
+                outcome = "hit"
+        self._metric_requests.labels("response", outcome).inc()
+        return entry
+
+    def store_response(self, key: str, entry: ResponseEntry) -> None:
+        self.backend.put(RESPONSE_NAMESPACE, key, entry)
 
     # -- maintenance -----------------------------------------------------------------
 

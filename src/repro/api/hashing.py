@@ -22,10 +22,14 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import fields, is_dataclass
-from typing import Any, Dict, Mapping, Optional
+from typing import TYPE_CHECKING, Any, Dict, Mapping, Optional
 
+from ..ir.canonical import canonical_program_json
 from ..ir.nodes import Program
 from ..ir.serialization import program_to_dict
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .types import ScheduleRequest
 
 
 def canonical_program_dict(program: Program) -> Dict[str, Any]:
@@ -71,9 +75,67 @@ def fingerprint(value: Any) -> str:
 
 
 def program_content_hash(program: Program, extra: Optional[Any] = None) -> str:
-    """SHA-256 content hash of a program (plus optional extra key material)."""
+    """SHA-256 content hash of a program (plus optional extra key material).
+
+    Hashes the exact bytes :func:`program_content_hash_reference` hashes, but
+    assembles them from the IR's memoized canonical fragments
+    (:mod:`repro.ir.canonical`) instead of re-walking the tree, so repeat
+    hashes of a warm program cost only the program-level join.
+    """
+    body = canonical_program_json(program)
+    if extra is None:
+        text = '{"program": %s}' % body
+    else:
+        # "extra" sorts before "program"; both dumps use sort_keys so the
+        # payload is byte-identical to the reference json.dumps of the dict.
+        text = '{"extra": %s, "program": %s}' % (
+            json.dumps(_stable_value(extra), sort_keys=True), body)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def program_content_hash_reference(program: Program,
+                                   extra: Optional[Any] = None) -> str:
+    """Reference implementation of :func:`program_content_hash`.
+
+    Re-serializes the whole program per call (``program_to_dict`` +
+    ``json.dumps``).  Kept as the executable specification the memoized fast
+    path is fuzz-tested against (``tests/test_hash_consing.py``).
+    """
     payload = {"program": canonical_program_dict(program)}
     if extra is not None:
         payload["extra"] = _stable_value(extra)
     text = json.dumps(payload, sort_keys=True)
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def request_fingerprint(request: "ScheduleRequest") -> str:
+    """Content hash identifying requests that must produce identical responses.
+
+    Programs given as IR hash by structure (name-insensitive), so two
+    clients submitting the same kernel coalesce even if they named it
+    differently; registry names and source text hash as written.  The label
+    is excluded: it only affects tuning provenance, and tune requests are
+    rejected by the service anyway.
+
+    Shared by the serving tier (request coalescing) and the session-level
+    response cache (the fast lane), which must agree on what "the same
+    request" means.
+    """
+    program = request.program
+    if isinstance(program, Program):
+        program_key = program_content_hash(program)
+    else:
+        program_key = str(program)
+    return fingerprint({
+        "program": program_key,
+        # None (use registry defaults) and {} (schedule with no bindings)
+        # resolve differently and must not coalesce onto one another.
+        "parameters": (dict(request.parameters)
+                       if request.parameters is not None else None),
+        "scheduler": request.scheduler,
+        "threads": request.threads,
+        "normalize": request.normalize,
+        # Different normalization pipelines produce different schedules;
+        # they must never ride one another's in-flight request.
+        "pipeline": request.pipeline,
+    })

@@ -27,6 +27,7 @@ cache file.
 
 from __future__ import annotations
 
+import json
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
@@ -50,12 +51,13 @@ from ..scheduler.evolutionary import SearchConfig
 from ..scheduler.tiramisu import MctsConfig
 from ..workloads import registry as workload_registry
 from .backends import CacheBackend, SQLiteCacheBackend
-from .cache import NormalizationCache
-from .hashing import program_content_hash
+from .cache import NormalizationCache, ResponseEntry
+from .hashing import fingerprint, program_content_hash, request_fingerprint
 from .registry import (FRONTENDS, SCHEDULERS, RegistryError, create_scheduler,
                        scheduler_normalizes, scheduler_tunes)
-from .types import (ExecuteResponse, NormalizeResponse, ProgramLike,
-                    ScheduleRequest, ScheduleResponse, SessionReport)
+from .types import (EncodedScheduleResponse, ExecuteResponse,
+                    NormalizeResponse, ProgramLike, ScheduleRequest,
+                    ScheduleResponse, SessionReport)
 
 #: Items accepted by :meth:`Session.schedule_batch`.
 BatchItem = Union[ScheduleRequest, ProgramLike,
@@ -141,6 +143,11 @@ class Session:
         self._executor: Optional[ThreadPoolExecutor] = None
         self._schedulers: Dict[Tuple[str, int], Scheduler] = {}
         self._cost_models: Dict[int, CostModel] = {}
+        # Frozen masters of named-workload resolutions; _resolve() hands out
+        # copy-on-write snapshots instead of rebuilding the IR per request.
+        self._resolved: Dict[str, Tuple[Program, Optional[Dict[str, int]]]] = {}
+        # Session half of the response-cache key (request-independent).
+        self._response_salt: Optional[str] = None
         self._schedule_calls = 0
         self._tune_calls = 0
         self._batch_calls = 0
@@ -172,19 +179,39 @@ class Session:
                             "expected Program, workload name, or source text")
 
         text = source.strip()
+        # Named workloads resolve deterministically (registry builders and
+        # pinned fuzz programs are pure), so the session keeps one frozen
+        # master per name and serves copy-on-write snapshots — repeat
+        # requests skip the IR rebuild entirely.
+        cache_key = f"{text}|{variant or ''}"
+        with self._lock:
+            cached = self._resolved.get(cache_key)
+        if cached is not None:
+            master, parameters = cached
+            return master.snapshot(), (dict(parameters)
+                                       if parameters is not None else None)
+
         workload, _, suffix = text.partition(":")
+        resolved: Optional[Tuple[Program, Optional[Dict[str, int]]]] = None
         if workload == "cloudsc":
             from ..workloads.cloudsc import build_cloudsc_model
-            return build_cloudsc_model(), None
-        if workload == "erosion":
+            resolved = build_cloudsc_model(), None
+        elif workload == "erosion":
             from ..workloads.cloudsc import build_erosion_kernel
-            return build_erosion_kernel(), None
-        if workload == "fuzz":
-            return workload_registry.fuzz_program(suffix)
-        if workload in workload_registry.benchmark_names():
+            resolved = build_erosion_kernel(), None
+        elif workload == "fuzz":
+            resolved = workload_registry.fuzz_program(suffix)
+        elif workload in workload_registry.benchmark_names():
             spec = workload_registry.benchmark(workload)
             program = spec.variant(suffix or variant or "a")
-            return program, dict(spec.sizes(self.size))
+            resolved = program, dict(spec.sizes(self.size))
+        if resolved is not None:
+            master, parameters = resolved
+            master.freeze()
+            with self._lock:
+                self._resolved[cache_key] = (master, parameters)
+            return master.snapshot(), (dict(parameters)
+                                       if parameters is not None else None)
 
         if frontend is None and ("\n" in source or "{" in source or "=" in source):
             frontend = "clike"
@@ -418,6 +445,135 @@ class Session:
             canonical_hash=content_key if normalizes else None,
             normalization_cache_hit=norm_hit)
 
+    # -- response fast lane -------------------------------------------------------------
+
+    def _response_salt_value(self) -> str:
+        # Request fingerprints exclude session defaults, but sessions with
+        # different configurations may share one persistent cache file; the
+        # salt keys entries by everything the session itself contributes to
+        # a response (built once — all components are construction-time).
+        salt = self._response_salt
+        if salt is None:
+            salt = fingerprint({
+                "scheduler": self.default_scheduler,
+                "threads": self.threads,
+                "size": self.size,
+                "normalization": self.normalization,
+            })
+            self._response_salt = salt
+        return salt
+
+    def _response_key(self, request: ScheduleRequest) -> Optional[str]:
+        """Response-cache key of ``request``, or ``None`` when the request
+        can never be served from it (tune requests mutate the database)."""
+        if request.tune:
+            return None
+        # The live database version invalidates fast-lane entries the moment
+        # tuning grows the database, exactly like the schedule-level key.
+        instance = self.scheduler(request.scheduler or self.default_scheduler,
+                                  request.threads)
+        database = getattr(instance, "database", None)
+        if database is not None:
+            version = getattr(database, "version", None)
+            if version is None:
+                version = len(database)
+        else:
+            version = None
+        return "|".join((request_fingerprint(request),
+                         self._response_salt_value(), str(version)))
+
+    def probe_response(self, request: ScheduleRequest
+                       ) -> Optional[ResponseEntry]:
+        """Probe the response-level cache for ``request`` (no assembly).
+
+        A serving layer splits probe from :meth:`assemble_response` so it
+        can attach its trace context to the request between the two; plain
+        callers use :meth:`lookup_response`.  Returns ``None`` on a miss.
+        """
+        try:
+            key = self._response_key(request)
+        except (RegistryError, TypeError, ValueError):
+            return None  # the slow path will produce the real error
+        if key is None:
+            return None
+        return self.cache.lookup_response(key)
+
+    def assemble_response(self, entry: ResponseEntry,
+                          request: ScheduleRequest) -> EncodedScheduleResponse:
+        """Final response bytes for a :meth:`probe_response` hit.
+
+        Only the per-request echo (and the trace id, when the request
+        carries a trace context) is encoded fresh; everything else is the
+        entry's pre-encoded text.
+        """
+        text = entry.before + json.dumps(request.to_dict()) + entry.after
+        trace_id = (request.trace or {}).get("trace_id")
+        if trace_id is not None:
+            text = text[:-1] + ', "trace_id": ' + json.dumps(trace_id) + "}"
+        self._metric_calls.labels("fast_lane").inc()
+        return EncodedScheduleResponse(text)
+
+    def lookup_response(self, request: ScheduleRequest
+                        ) -> Optional[EncodedScheduleResponse]:
+        """Serve ``request`` from the response-level cache, if possible.
+
+        A hit returns the final response JSON assembled from pre-encoded
+        bytes — no session scheduling, no IR, no JSON parse.  Returns
+        ``None`` on a miss.
+        """
+        entry = self.probe_response(request)
+        if entry is None:
+            return None
+        return self.assemble_response(entry, request)
+
+    def store_response(self, request: ScheduleRequest, response: Any) -> None:
+        """Store ``response``'s encoded bytes for the fast lane.
+
+        Only fully cache-served responses are stored (``from_cache`` and
+        ``normalization_cache_hit`` both set): those are exactly the
+        responses a repeat of ``request`` through the slow path would
+        reproduce byte for byte, so the fast lane can never serve bytes the
+        session itself would not.
+        """
+        data = response.to_dict()
+        if not (data.get("from_cache") and data.get("normalization_cache_hit")):
+            return
+        try:
+            key = self._response_key(request)
+        except (RegistryError, TypeError, ValueError):
+            return
+        if key is None:
+            return
+        data = dict(data)
+        data.pop("trace_id", None)
+        keys = list(data)
+        split = keys.index("request")
+        head = json.dumps({name: data[name] for name in keys[:split]})
+        tail = json.dumps({name: data[name] for name in keys[split + 1:]})
+        # before + json.dumps(request.to_dict()) + after reproduces
+        # json.dumps(data) byte for byte, with the echo spliced per request.
+        before = head[:-1] + ', "request": '
+        after = ", " + tail[1:]
+        self.cache.store_response(key, ResponseEntry(before, after))
+
+    def schedule_encoded(self, request: Union[ScheduleRequest, ProgramLike]
+                         ) -> Union[ScheduleResponse, EncodedScheduleResponse]:
+        """Schedule through the response fast lane.
+
+        Repeat requests whose response is fully cache-served come back as
+        an :class:`EncodedScheduleResponse` (pre-encoded bytes); everything
+        else takes the normal :meth:`schedule` path, feeding the fast lane
+        for the next repeat.
+        """
+        if not isinstance(request, ScheduleRequest):
+            request = ScheduleRequest(program=request)
+        encoded = self.lookup_response(request)
+        if encoded is not None:
+            return encoded
+        response = self.schedule(request)
+        self.store_response(request, response)
+        return response
+
     # -- batching ---------------------------------------------------------------------
 
     def schedule_batch(self, items: Sequence[BatchItem],
@@ -582,6 +738,8 @@ class Session:
                 cache_writes=backend.stats.writes,
                 cache_busy_retries=backend.stats.busy_retries,
                 coalesced_requests=self._coalesced_requests,
+                response_cache_hits=stats.response_hits,
+                response_cache_misses=stats.response_misses,
                 database_shards=list(shard_sizes()) if callable(shard_sizes) else [],
                 normalization_passes=self.cache.pass_stats.to_dict(),
                 analysis_hits=analysis.hits,

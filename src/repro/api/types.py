@@ -8,6 +8,7 @@ persisted, shipped to workers, and replayed).
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field, fields
 from typing import Any, Dict, List, Mapping, Optional, Union
 
@@ -186,6 +187,49 @@ class ScheduleResponse:
         )
 
 
+class EncodedScheduleResponse:
+    """A :class:`ScheduleResponse` carried as its JSON text.
+
+    The serving fast lane (and the worker-pool coordinator) mostly shuttle
+    response bytes onward — the HTTP layer replies with exactly these bytes
+    — so parsing JSON or decoding the IR program in between would be pure
+    overhead on the warm path.  This wrapper keeps the pre-encoded JSON
+    verbatim (:meth:`to_json`), parses it only when :meth:`to_dict` is
+    called, and defers the full :meth:`ScheduleResponse.from_dict` until a
+    response *field* is actually accessed.
+    """
+
+    __slots__ = ("_json", "_payload", "_decoded")
+
+    def __init__(self, payload_json: str):
+        self._json = payload_json
+        self._payload: Optional[Dict[str, Any]] = None
+        self._decoded: Optional[ScheduleResponse] = None
+
+    def to_json(self) -> str:
+        """The response as JSON text, exactly as it was encoded."""
+        return self._json
+
+    def to_dict(self) -> Dict[str, Any]:
+        if self._payload is None:
+            self._payload = json.loads(self._json)
+        return self._payload
+
+    def _materialize(self) -> ScheduleResponse:
+        if self._decoded is None:
+            self._decoded = ScheduleResponse.from_dict(self.to_dict())
+        return self._decoded
+
+    def __getattr__(self, name: str) -> Any:
+        # Only reached for names not in __slots__, i.e. ScheduleResponse
+        # fields (request, program, result, runtime_s, from_cache, ...).
+        return getattr(self._materialize(), name)
+
+    def __repr__(self) -> str:
+        decoded = "decoded" if self._decoded is not None else "deferred"
+        return f"{type(self).__name__}({decoded})"
+
+
 @dataclass
 class ExecuteResponse:
     """Outcome of interpreting a program on concrete inputs."""
@@ -237,6 +281,10 @@ class SessionReport:
     cache_writes: int = 0
     cache_busy_retries: int = 0
     coalesced_requests: int = 0
+    #: Response-level (fast-lane) cache traffic: hits were served as
+    #: pre-encoded bytes without touching the session or the IR.
+    response_cache_hits: int = 0
+    response_cache_misses: int = 0
     database_shards: List[int] = field(default_factory=list)
     normalization_passes: Dict[str, Dict[str, float]] = field(default_factory=dict)
     analysis_hits: int = 0
@@ -261,6 +309,8 @@ class SessionReport:
             "cache_writes": self.cache_writes,
             "cache_busy_retries": self.cache_busy_retries,
             "coalesced_requests": self.coalesced_requests,
+            "response_cache_hits": self.response_cache_hits,
+            "response_cache_misses": self.response_cache_misses,
             "database_shards": list(self.database_shards),
             "normalization_passes": {name: dict(entry) for name, entry
                                      in self.normalization_passes.items()},

@@ -30,6 +30,115 @@ def _next_id() -> int:
     return next(_node_counter)
 
 
+class FrozenNodeError(TypeError):
+    """Raised when a frozen (cache-shared) IR node is mutated.
+
+    Frozen subtrees are shared between program views (see
+    :meth:`Program.snapshot`); mutate a private :meth:`Node.copy` /
+    :meth:`Program.copy` instead.
+    """
+
+
+def _invalidate(node) -> None:
+    """Clear memoized canonical fragments along the parent chain.
+
+    Invariant: a node's ``_frag`` is only ever set after the fragments of
+    its whole subtree were set (fragments are built bottom-up), and every
+    mutation clears the chain up to the root.  A node with no memo
+    therefore has no ancestor with one, so the walk can stop early —
+    invalidation is O(1) amortized, not O(depth).
+    """
+    while node is not None:
+        try:
+            object.__delattr__(node, "_frag")
+        except AttributeError:
+            return
+        node = getattr(node, "_parent", None)
+
+
+def _adopt(owner, child) -> None:
+    # Frozen nodes are structurally shared between views and never mutate,
+    # so they neither need nor can have a single parent pointer.
+    if isinstance(child, Node) and not getattr(child, "_frozen", False):
+        object.__setattr__(child, "_parent", owner)
+
+
+class _Body(list):
+    """A loop body that keeps memoized fragments honest.
+
+    Every mutation — item/slice assignment, append/extend/insert, removal,
+    reordering — re-parents the inserted children and clears the owning
+    loop's memoized canonical fragment along with its ancestors'.  These
+    list operations are exactly the mutation seams the builder and the
+    transformation passes use, so fragment invalidation rides on them
+    instead of requiring ad-hoc notifications.
+    """
+
+    __slots__ = ("_owner",)
+
+    def __init__(self, owner, items=()):
+        super().__init__(items)
+        self._owner = owner
+        for child in self:
+            _adopt(owner, child)
+
+    def _mutated(self, new_children=()) -> None:
+        owner = self._owner
+        if getattr(owner, "_frozen", False):
+            raise FrozenNodeError(
+                f"cannot mutate the body of frozen node {owner!r}")
+        for child in new_children:
+            _adopt(owner, child)
+        _invalidate(owner)
+
+    def __setitem__(self, index, value):
+        self._mutated(value if isinstance(index, slice) else (value,))
+        super().__setitem__(index, value)
+
+    def __delitem__(self, index):
+        self._mutated()
+        super().__delitem__(index)
+
+    def __iadd__(self, items):
+        items = list(items)
+        self._mutated(items)
+        super().extend(items)
+        return self
+
+    def append(self, item):
+        self._mutated((item,))
+        super().append(item)
+
+    def extend(self, items):
+        items = list(items)
+        self._mutated(items)
+        super().extend(items)
+
+    def insert(self, index, item):
+        self._mutated((item,))
+        super().insert(index, item)
+
+    def pop(self, index=-1):
+        self._mutated()
+        return super().pop(index)
+
+    def remove(self, item):
+        self._mutated()
+        super().remove(item)
+
+    def clear(self):
+        self._mutated()
+        super().clear()
+
+    def sort(self, **kwargs):
+        self._mutated()
+        super().sort(**kwargs)
+
+    def reverse(self):
+        self._mutated()
+        super().reverse()
+
+
 @dataclass(frozen=True)
 class ArrayAccess:
     """A single array access: container name plus symbolic index expressions."""
@@ -68,9 +177,49 @@ def access(array: str, *indices: ExprLike) -> ArrayAccess:
 
 
 class Node:
-    """Base class of loop-tree nodes."""
+    """Base class of loop-tree nodes.
 
-    __slots__ = ("node_id",)
+    Nodes memoize their canonical JSON fragment (``repro.ir.canonical``)
+    and keep it honest through two seams: attribute assignment
+    (``__setattr__``) and body-list mutation (:class:`_Body`).  A node can
+    also be :meth:`frozen <freeze>`, after which mutation raises
+    :class:`FrozenNodeError` and the node may be structurally shared
+    between program views; :meth:`copy` always returns unfrozen nodes.
+    """
+
+    __slots__ = ("node_id", "_frag", "_parent", "_frozen")
+
+    def __setattr__(self, name, value):
+        if name[0] == "_":
+            # Internal bookkeeping (memo, parent pointer, frozen flag):
+            # always allowed, never invalidates.
+            object.__setattr__(self, name, value)
+            return
+        if getattr(self, "_frozen", False):
+            raise FrozenNodeError(f"cannot mutate frozen node {self!r}")
+        if name == "body":
+            value = _Body(self, value)
+        _invalidate(self)
+        object.__setattr__(self, name, value)
+
+    def freeze(self) -> "Node":
+        """Freeze this subtree: further mutation raises, so its memoized
+        fragments are trusted forever and the nodes can be shared."""
+        # A frozen node's subtree is entirely frozen (freezing is the only
+        # way to set the flag and it walks the whole subtree), so repeat
+        # freezes — every snapshot of a cached program — are O(1).
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            if getattr(node, "_frozen", False):
+                continue
+            object.__setattr__(node, "_frozen", True)
+            stack.extend(getattr(node, "body", ()))
+        return self
+
+    @property
+    def frozen(self) -> bool:
+        return getattr(self, "_frozen", False)
 
     def copy(self) -> "Node":
         raise NotImplementedError
@@ -381,6 +530,30 @@ class Program:
                         [node.copy() for node in self.body],
                         list(self.parameters))
         return clone
+
+    def freeze(self) -> "Program":
+        """Freeze every body node (see :meth:`Node.freeze`); program-level
+        containers (name, arrays, parameters) stay mutable."""
+        for node in self.body:
+            node.freeze()
+        return self
+
+    def snapshot(self) -> "Program":
+        """A cheap copy-on-write view of this program.
+
+        Body nodes are frozen and *shared* (mutating them raises
+        :class:`FrozenNodeError`); the view's own name, body list, array
+        dict, and parameter list are fresh, so callers may rename the
+        view, splice its body, or add containers without affecting other
+        views.  Use :meth:`copy` to materialize a fully mutable tree.
+        """
+        self.freeze()
+        view = Program.__new__(Program)
+        view.name = self.name
+        view.arrays = dict(self.arrays)
+        view.body = list(self.body)
+        view.parameters = list(self.parameters)
+        return view
 
     def used_parameters(self) -> frozenset:
         """Symbols referenced by the program that are not loop iterators."""

@@ -47,7 +47,16 @@ def expr_to_dict(expr: Expr) -> Dict[str, Any]:
 
 
 def expr_from_dict(data: Dict[str, Any]) -> Expr:
-    """Inverse of :func:`expr_to_dict`."""
+    """Inverse of :func:`expr_to_dict`.
+
+    Decoded expressions are hash-consed (:func:`repro.ir.canonical.intern_expr`),
+    so identical sub-trees across cache entries share one interned instance.
+    """
+    from .canonical import intern_expr
+    return intern_expr(_expr_from_dict(data))
+
+
+def _expr_from_dict(data: Dict[str, Any]) -> Expr:
     kind = data["kind"]
     if kind == "const":
         return Const(data["value"])

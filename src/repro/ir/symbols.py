@@ -15,6 +15,12 @@ The expression language is intentionally small:
 
 Every expression is immutable and hashable, which lets analyses memoize on
 expressions and use them as dictionary keys.
+
+Immutability is also what makes expressions cheap to re-hash: every
+expression memoizes its structural hash (and, via ``repro.ir.canonical``,
+its canonical JSON fragment) the first time it is computed, and ``Sym`` /
+small ``Const`` leaves are interned so the most common sub-expressions
+compare by identity.
 """
 
 from __future__ import annotations
@@ -33,16 +39,19 @@ def _as_expr(value: ExprLike) -> "Expr":
     if isinstance(value, bool):
         raise TypeError("booleans are not valid symbolic values")
     if isinstance(value, (int, float)):
-        return Const(value)
+        return const(value)
     if isinstance(value, str):
-        return Sym(value)
+        return sym(value)
     raise TypeError(f"cannot convert {value!r} to a symbolic expression")
 
 
 class Expr:
     """Base class of all symbolic expressions."""
 
-    __slots__ = ("_hash",)
+    # ``_hash`` memoizes the structural hash; ``_frag`` memoizes the
+    # canonical JSON fragment (written by ``repro.ir.canonical``).  Both are
+    # safe to cache forever because expressions are immutable.
+    __slots__ = ("_hash", "_frag")
 
     # -- construction helpers -------------------------------------------------
 
@@ -130,13 +139,26 @@ class Expr:
         raise NotImplementedError
 
     def __eq__(self, other: object) -> bool:
-        return isinstance(other, Expr) and self._key() == other._key()
+        if self is other:
+            return True
+        if not isinstance(other, Expr):
+            return False
+        # Memoized hashes give an O(1) negative answer on most mismatches;
+        # only equal hashes fall through to the structural comparison.
+        if hash(self) != hash(other):
+            return False
+        return self._key() == other._key()
 
     def __ne__(self, other: object) -> bool:
         return not self.__eq__(other)
 
     def __hash__(self) -> int:
-        return hash(self._key())
+        try:
+            return self._hash
+        except AttributeError:
+            value = hash(self._key())
+            self._hash = value
+            return value
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}({self})"
@@ -638,15 +660,43 @@ def _affine_decompose(expr: Expr) -> Tuple[Dict[str, Number], Number]:
 
 # -- convenience constructors --------------------------------------------------
 
+#: Interned leaves.  Loop iterators, size parameters, and small constants
+#: recur constantly across programs, so every coercion returns the one
+#: canonical instance: equality is an identity hit and the memoized
+#: hash/fragment is computed once per distinct leaf, not once per use.
+#: The tables are bounded; once full, new leaves are simply not interned.
+_SYM_INTERN: Dict[str, Sym] = {}
+_CONST_INTERN: Dict[Number, Const] = {}
+_INTERN_LIMIT = 4096
+
 
 def sym(name: str) -> Sym:
-    """Create a symbol."""
-    return Sym(name)
+    """Create a symbol (interned: repeated names share one instance)."""
+    try:
+        return _SYM_INTERN[name]
+    except KeyError:
+        value = Sym(name)
+        if isinstance(name, str) and len(_SYM_INTERN) < _INTERN_LIMIT:
+            _SYM_INTERN[name] = value
+        return value
+    except TypeError:  # unhashable name: let the constructor reject it
+        return Sym(name)
 
 
 def const(value: Number) -> Const:
-    """Create a constant."""
-    return Const(value)
+    """Create a constant (interned: repeated values share one instance)."""
+    if value is True or value is False:
+        return Const(value)  # bools alias 1/0 as dict keys; do not intern
+    try:
+        return _CONST_INTERN[value]
+    except KeyError:
+        expr = Const(value)
+        if len(_CONST_INTERN) < _INTERN_LIMIT:
+            # Key by the *coerced* value so const(2.0) and const(2) agree.
+            _CONST_INTERN[expr.value] = expr
+        return expr
+    except TypeError:
+        return Const(value)
 
 
 def read(array: str, *indices: ExprLike) -> Read:

@@ -206,13 +206,20 @@ class Tracer:
     """
 
     def __init__(self, capacity: int = 256, process: Optional[str] = None,
-                 enabled: bool = True, max_open: int = 1024):
+                 enabled: bool = True, max_open: int = 1024,
+                 sample_rate: float = 1.0):
         if capacity < 1:
             raise ValueError("tracer capacity must be >= 1")
         self.capacity = capacity
         self.enabled = enabled
         self.process = process if process is not None else f"pid-{os.getpid()}"
         self.max_open = max_open
+        #: Fraction of *fast-path* requests whose trace root is recorded
+        #: (``1.0`` records every request, the default; full slow-path
+        #: traces ignore this).  Sampling is deterministic per trace id, so
+        #: every layer of a stack makes the same decision for one request.
+        self.sample_rate = sample_rate
+        self._tick = 0
         self._lock = threading.RLock()
         self._open: "OrderedDict[str, List[Span]]" = OrderedDict()
         self._seq: Dict[str, int] = {}
@@ -224,6 +231,42 @@ class Tracer:
     def trace_id_for(request_id: str) -> str:
         """Deterministic trace id for a request id (stable across layers)."""
         return _hash_id(f"trace:{request_id}")
+
+    def sampled(self, trace_id: str) -> bool:
+        """Whether a fast-path request with ``trace_id`` records its trace.
+
+        Deterministic in the trace id (no RNG, no shared state), so
+        coordinator and workers agree without coordination.  With the
+        default ``sample_rate`` of 1.0 every request is recorded.
+        """
+        if not self.enabled:
+            return False
+        rate = self.sample_rate
+        if rate >= 1.0:
+            return True
+        if rate <= 0.0:
+            return False
+        return int(trace_id[:8] or "0", 16) % 10000 < rate * 10000
+
+    def tick(self) -> bool:
+        """Like :meth:`sampled`, for call sites that have no trace id yet.
+
+        A stride sampler: one call in every ``round(1 / sample_rate)``
+        returns True.  The fast lane asks *before* minting a request id or
+        hashing a trace id, so a sampled-out request pays one counter
+        increment — nothing else.  Unlocked: the service calls this from
+        its single event-loop thread, and a rare lost increment under
+        concurrent use only nudges the effective rate.
+        """
+        if not self.enabled:
+            return False
+        rate = self.sample_rate
+        if rate >= 1.0:
+            return True
+        if rate <= 0.0:
+            return False
+        self._tick = (self._tick + 1) % max(1, round(1.0 / rate))
+        return self._tick == 0
 
     def _next_span_id(self, trace_id: str, parent_id: Optional[str],
                       name: str) -> str:

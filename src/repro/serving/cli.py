@@ -16,7 +16,9 @@ Subcommands:
   them as Chrome trace-event JSON (loadable in Perfetto /
   ``chrome://tracing``) or as JSONL, to ``--output`` or stdout.
 * ``warm-cache`` — populate a persistent SQLite cache with the registry
-  workloads so a later ``serve`` starts hot; ``--pipeline`` selects the
+  workloads so a later ``serve`` starts hot — including the response-level
+  fast lane, so warmed requests are answered zero-parse straight from the
+  cache bytes; ``--pipeline`` selects the
   registry-named normalization pipeline, ``--report-json`` dumps the
   session report (with per-pass timings), and ``--metrics-json`` dumps the
   metrics-registry snapshot for CI artifacts.
@@ -171,10 +173,20 @@ def _cmd_warm_cache(args: argparse.Namespace) -> int:
             requests.append(ScheduleRequest(program=f"{name}:{variant}"))
     responses = session.schedule_batch(requests)
     hits = sum(1 for response in responses if response.from_cache)
+    # Second pass feeds the response-level fast lane: each repeat is now
+    # fully cache-served, so ``schedule_encoded`` stores its final encoded
+    # bytes — a later ``serve`` run on this cache file answers these
+    # requests zero-parse, straight from SQLite to the socket.
+    warmed_fast = 0
+    for request in requests:
+        session.schedule_encoded(request)
+        if session.probe_response(request) is not None:
+            warmed_fast += 1
     report = session.report()
     print(f"warmed {len(responses)} schedules ({hits} already cached) "
           f"into {args.cache_path} "
-          f"(pipeline={args.pipeline or 'a-priori'})")
+          f"(pipeline={args.pipeline or 'a-priori'}, "
+          f"fast lane ready for {warmed_fast} requests)")
     print(report.summary())
     print("per-pass timings:")
     print(_format_pass_timings(report))

@@ -28,7 +28,8 @@ Routes:
 
 Schedule traffic can additionally be written to a **structured access log**
 (:class:`JsonAccessLog`): one JSON object per request with a request id,
-priority, client identity, queue wait, total duration, and outcome.
+priority, client identity, queue wait, total duration, outcome, and whether
+the response-cache fast lane served it.
 
 The handler threads of :class:`ThreadingHTTPServer` block on the
 :class:`~repro.serving.service.ServiceRunner`, whose event loop performs the
@@ -347,7 +348,8 @@ class ServingServer:
                       outcome: str, started: float,
                       queue_wait_s: Optional[float],
                       coalesced: Optional[bool],
-                      trace_id: Optional[str] = None) -> None:
+                      trace_id: Optional[str] = None,
+                      fast_lane: Optional[bool] = None) -> None:
         if self.access_log is None:
             return
         self.access_log.write({
@@ -368,6 +370,7 @@ class ServingServer:
                              if queue_wait_s is not None else None),
             "duration_s": round(time.monotonic() - started, 6),
             "coalesced": coalesced,
+            "fast_lane": fast_lane,
         })
 
     def handle_schedule(self, body: Dict[str, Any]
@@ -384,11 +387,12 @@ class ServingServer:
         def done(status: int, payload: "Dict[str, Any] | str", outcome: str,
                  request: Optional[ScheduleRequest] = None,
                  queue_wait_s: Optional[float] = None,
-                 coalesced: Optional[bool] = None
+                 coalesced: Optional[bool] = None,
+                 fast_lane: Optional[bool] = None
                  ) -> "Tuple[int, Dict[str, Any] | str]":
             self._log_schedule(request_id, body, request, status, outcome,
                                started, queue_wait_s, coalesced,
-                               trace_id=trace_id)
+                               trace_id=trace_id, fast_lane=fast_lane)
             return status, payload
 
         try:
@@ -430,14 +434,15 @@ class ServingServer:
         except Exception as error:  # noqa: BLE001 - surfaced as HTTP 500
             return done(500, {"error": f"{type(error).__name__}: {error}"},
                         "error", request)
-        # Pool responses arrive as pre-encoded JSON text (the worker process
-        # serialized them); reply with those bytes verbatim instead of
-        # re-encoding on the handler thread.
+        # Pool and fast-lane responses arrive as pre-encoded JSON text (the
+        # worker process or the response cache serialized them); reply with
+        # those bytes verbatim instead of re-encoding on the handler thread.
         encode = getattr(response, "to_json", None)
         payload = encode() if encode is not None else response.to_dict()
         return done(200, payload, "ok", request,
                     queue_wait_s=timing.queue_wait_s,
-                    coalesced=timing.coalesced)
+                    coalesced=timing.coalesced,
+                    fast_lane=timing.fast_lane)
 
 
 def _make_handler(server: ServingServer):

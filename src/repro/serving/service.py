@@ -17,6 +17,14 @@ request processor:
   :meth:`repro.api.Session.schedule_batch` in a worker thread — or scatters
   them over a :class:`~repro.serving.workers.WorkerPool` when one is
   attached — so one cache and one tuning database serve the whole batch.
+* **response fast lane** — before a request is admitted or queued, the
+  service probes the session's response-level cache
+  (:meth:`repro.api.Session.probe_response`); a hit returns the final,
+  pre-encoded response bytes straight to the caller — no queue, no batch,
+  no IR, no JSON parse — with a single sampled root span instead of the
+  slow path's full span tree.  Entries are written back after each batch
+  from responses whose normalization and schedule both came from cache, so
+  the fast lane is bit-identical to what the slow path would have served.
 * **coalescing** — identical in-flight requests (same program content hash,
   parameters, scheduler, threads, normalize flag) share one future: burst
   duplicates cost a single scheduler invocation, counted on
@@ -39,7 +47,7 @@ import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
-from ..api.hashing import fingerprint, program_content_hash
+from ..api.hashing import request_fingerprint
 from ..api.session import Session
 from ..api.types import ScheduleRequest, ScheduleResponse
 from ..ir.nodes import Program
@@ -69,6 +77,11 @@ class ServiceConfig:
     max_client_inflight: int = 0
     #: Retry hint attached to admission rejections (HTTP ``Retry-After``).
     retry_after_s: float = 0.05
+    #: Serve repeat requests from the session's response-level cache,
+    #: bypassing queueing and batching entirely (the warm-path fast lane).
+    #: Responses are bit-identical to the slow path's, so this is safe to
+    #: leave on; disable to force every request through the full pipeline.
+    fast_lane: bool = True
 
 
 class ServiceStats:
@@ -97,6 +110,9 @@ class ServiceStats:
         self._scheduled = metrics.counter(
             "repro_service_scheduled_total",
             "Requests resolved with a schedule response.")
+        self._fast_lane = metrics.counter(
+            "repro_service_fast_lane_total",
+            "Requests served from the response-level cache fast lane.")
         self._errors = metrics.counter(
             "repro_service_errors_total",
             "Requests resolved with an exception.")
@@ -111,6 +127,7 @@ class ServiceStats:
             "coalesced": self._coalesced.value,
             "batches": self._batches.value,
             "scheduled": self._scheduled.value,
+            "fast_lane": self._fast_lane.value,
             "errors": self._errors.value,
             "rejected": self._rejected.value,
         }
@@ -129,6 +146,9 @@ class ServiceStats:
 
     def record_scheduled(self) -> None:
         self._scheduled.inc()
+
+    def record_fast_lane(self) -> None:
+        self._fast_lane.inc()
 
     def record_errors(self, count: int = 1) -> None:
         self._errors.inc(count)
@@ -155,6 +175,10 @@ class ServiceStats:
         return int(self._scheduled.value - self._base["scheduled"])
 
     @property
+    def fast_lane(self) -> int:
+        return int(self._fast_lane.value - self._base["fast_lane"])
+
+    @property
     def errors(self) -> int:
         return int(self._errors.value - self._base["errors"])
 
@@ -172,6 +196,7 @@ class ServiceStats:
             "coalesced": self.coalesced,
             "batches": self.batches,
             "scheduled": self.scheduled,
+            "fast_lane": self.fast_lane,
             "errors": self.errors,
             "rejected": self.rejected,
             "largest_batch": self.largest_batch,
@@ -311,33 +336,6 @@ class AdmissionController:
         return self._client_inflight.get(client, 0)
 
 
-def request_fingerprint(request: ScheduleRequest) -> str:
-    """Content hash identifying requests that must produce identical responses.
-
-    Programs given as IR hash by structure (name-insensitive), so two
-    clients submitting the same kernel coalesce even if they named it
-    differently; registry names and source text hash as written.  The label
-    is excluded: it only affects tuning provenance, and tune requests are
-    rejected by the service anyway.
-    """
-    program = request.program
-    if isinstance(program, Program):
-        program_key = program_content_hash(program)
-    else:
-        program_key = str(program)
-    return fingerprint({
-        "program": program_key,
-        # None (use registry defaults) and {} (schedule with no bindings)
-        # resolve differently and must not coalesce onto one another.
-        "parameters": (dict(request.parameters)
-                       if request.parameters is not None else None),
-        "scheduler": request.scheduler,
-        "threads": request.threads,
-        "normalize": request.normalize,
-        # Different normalization pipelines produce different schedules;
-        # they must never ride one another's in-flight request.
-        "pipeline": request.pipeline,
-    })
 
 
 @dataclass
@@ -352,11 +350,13 @@ class RequestTiming:
     total_s: float = 0.0
     queue_wait_s: float = 0.0
     coalesced: bool = False
+    fast_lane: bool = False
     trace_id: Optional[str] = None
 
     def to_dict(self) -> Dict[str, Any]:
         return {"total_s": self.total_s, "queue_wait_s": self.queue_wait_s,
-                "coalesced": self.coalesced, "trace_id": self.trace_id}
+                "coalesced": self.coalesced, "fast_lane": self.fast_lane,
+                "trace_id": self.trace_id}
 
 
 @dataclass
@@ -494,6 +494,14 @@ class SchedulingService:
                              "served; tune through the session directly")
         key = request_fingerprint(request)
         existing = self._inflight.get(key)
+        if self.config.fast_lane and existing is None:
+            # Probing before admission keeps hits immune to queue
+            # saturation (they add no queued work) and keeps the miss cost
+            # to one cache get; in-flight duplicates skip the probe and
+            # coalesce as before.
+            served = self._serve_fast_lane(request, request_id)
+            if served is not None:
+                return served
         tracer = self._tracer
         root = None
         if tracer is not None and tracer.enabled:
@@ -589,6 +597,62 @@ class SchedulingService:
                 # the ring buffer — after worker fragments were absorbed,
                 # since futures only resolve once the batch was decoded.
                 tracer.finish(root, status=outcome)
+
+    def _serve_fast_lane(self, request: ScheduleRequest,
+                         request_id: Optional[str]
+                         ) -> Optional[Tuple[ScheduleResponse, RequestTiming]]:
+        """Serve ``request`` from the response-level cache, if possible.
+
+        A hit bypasses admission, queueing, and batching: the session's
+        pre-encoded response bytes go straight back to the caller with only
+        the per-request echo re-encoded, under a single (sampled) root span
+        instead of the slow path's full span tree.  Returns ``None`` on a
+        miss — or when the session is a duck-typed stub without a response
+        cache — and the caller falls through to the full pipeline.
+        """
+        probe = getattr(self.session, "probe_response", None)
+        if probe is None:
+            return None
+        started = time.perf_counter()
+        entry = probe(request)
+        if entry is None:
+            return None
+        tracer = self._tracer
+        root = None
+        trace_id = None
+        if tracer is not None and tracer.tick():
+            # Only a sampled request mints ids and a root span; with
+            # ``sample_rate`` below 1.0 the tick above is all a sampled-out
+            # fast-lane request pays for tracing.
+            if request_id is None:
+                request_id = f"local-{os.getpid()}-{next(self._local_ids)}"
+            trace_id = tracer.trace_id_for(request_id)
+            program = request.program
+            root = tracer.begin(
+                "request", trace_id,
+                attrs={"request_id": request_id,
+                       "priority": request.priority,
+                       "program": (program.name
+                                   if isinstance(program, Program)
+                                   else str(program)),
+                       "fast_lane": True,
+                       **({"client": request.client}
+                          if request.client is not None else {})})
+            # Assembled before the echo is encoded, so the response
+            # carries this trace id like a slow-path response would.
+            request.trace = root.context()
+        response = self.session.assemble_response(entry, request)
+        self.stats.record_request()
+        self.stats.record_fast_lane()
+        self.stats.record_scheduled()
+        timing = RequestTiming(
+            total_s=max(0.0, time.perf_counter() - started),
+            fast_lane=True, trace_id=trace_id)
+        self._latency_histogram.labels(str(request.priority)).observe(
+            timing.total_s, exemplar=trace_id)
+        if root is not None:
+            tracer.finish(root, status="ok")
+        return response, timing
 
     def _finish_timing(self, timing: RequestTiming, request: ScheduleRequest,
                        pending: _Pending, started: float,
@@ -741,10 +805,23 @@ class SchedulingService:
     def _schedule_batch(self, requests: List[ScheduleRequest]
                         ) -> List[ScheduleResponse]:
         if self.pool is not None:
-            return self.pool.schedule_batch(requests)
-        return self.session.schedule_batch(
-            requests, max_workers=self.config.max_workers,
-            return_exceptions=True)
+            responses = self.pool.schedule_batch(requests)
+        else:
+            responses = self.session.schedule_batch(
+                requests, max_workers=self.config.max_workers,
+                return_exceptions=True)
+        if self.config.fast_lane:
+            # Feed the fast lane: responses whose normalization and
+            # schedule both came from cache are deterministic repeats, so
+            # their encoded bytes are stored for zero-parse serving (the
+            # store itself checks the flags).  Runs on the executor thread,
+            # off the event loop.
+            store = getattr(self.session, "store_response", None)
+            if store is not None:
+                for request, response in zip(requests, responses):
+                    if not isinstance(response, Exception):
+                        store(request, response)
+        return responses
 
 
 class ServiceRunner:

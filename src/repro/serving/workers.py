@@ -41,7 +41,8 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..api.registry import RegistryError
 from ..api.session import Session
-from ..api.types import ScheduleRequest, ScheduleResponse
+from ..api.types import (EncodedScheduleResponse, ScheduleRequest,
+                         ScheduleResponse)
 from ..observability import merge_registry_dicts
 from ..passes.registry import PipelineRegistryError
 from ..scheduler.database import DatabaseEntry, TuningDatabase
@@ -244,47 +245,17 @@ def _worker_metrics() -> Tuple[int, Dict[str, Any]]:
 # -- coordinator half --------------------------------------------------------------
 
 
-class PortableScheduleResponse:
-    """A :class:`~repro.api.ScheduleResponse` carried as its JSON text.
+class PortableScheduleResponse(EncodedScheduleResponse):
+    """A worker's :class:`~repro.api.ScheduleResponse` carried as its JSON
+    text (see :class:`~repro.api.types.EncodedScheduleResponse`).
 
     The coordinator mostly shuttles worker responses onward — the HTTP
     layer replies with exactly these bytes — so parsing JSON or decoding
     the IR program on the coordinator would be pure overhead on the serving
-    hot path.  This wrapper keeps the worker's pre-encoded JSON verbatim
-    (:meth:`to_json`), parses it only when :meth:`to_dict` is called, and
-    defers the full :meth:`ScheduleResponse.from_dict` until a response
-    field is actually accessed.
+    hot path.
     """
 
-    __slots__ = ("_json", "_payload", "_decoded")
-
-    def __init__(self, payload_json: str):
-        self._json = payload_json
-        self._payload: Optional[Dict[str, Any]] = None
-        self._decoded: Optional[ScheduleResponse] = None
-
-    def to_json(self) -> str:
-        """The response as JSON text, exactly as the worker encoded it."""
-        return self._json
-
-    def to_dict(self) -> Dict[str, Any]:
-        if self._payload is None:
-            self._payload = json.loads(self._json)
-        return self._payload
-
-    def _materialize(self) -> ScheduleResponse:
-        if self._decoded is None:
-            self._decoded = ScheduleResponse.from_dict(self.to_dict())
-        return self._decoded
-
-    def __getattr__(self, name: str) -> Any:
-        # Only reached for names not in __slots__, i.e. ScheduleResponse
-        # fields (request, program, result, runtime_s, from_cache, ...).
-        return getattr(self._materialize(), name)
-
-    def __repr__(self) -> str:
-        decoded = "decoded" if self._decoded is not None else "deferred"
-        return f"PortableScheduleResponse({decoded})"
+    __slots__ = ()
 
 #: Report fields merged by union instead of summation.
 _UNION_FIELDS = {"schedulers"}

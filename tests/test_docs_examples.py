@@ -27,6 +27,7 @@ DOCUMENTS = [
     "docs/serving.md",
     "docs/observability.md",
     "docs/fuzzing.md",
+    "docs/performance.md",
 ]
 
 _FENCE = re.compile(r"^```(\w*)\s*$")

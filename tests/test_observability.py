@@ -447,8 +447,8 @@ class TestMetricsOverHttp:
             client.schedule("gemm:a")
             report = client.report()
         assert set(report["service"]) == {
-            "requests", "coalesced", "batches", "scheduled", "errors",
-            "rejected", "largest_batch"}
+            "requests", "coalesced", "batches", "scheduled", "fast_lane",
+            "errors", "rejected", "largest_batch"}
         assert all(isinstance(value, int)
                    for value in report["service"].values())
         assert set(report["admission"]) == {
@@ -557,3 +557,86 @@ class TestPoolMetrics:
         assert prometheus_sample(parsed, "repro_request_latency_seconds_count",
                                  priority="5") == 4
         session.close()
+
+
+# -- the response fast lane -----------------------------------------------------------
+
+class TestFastLaneObservability:
+    def test_fast_lane_and_full_path_views_agree(self, tmp_path):
+        """Acceptance: /metrics, /v1/report, and the access log report the
+        same fast-lane vs full-Session hit counts for the same traffic."""
+        log_path = tmp_path / "access.jsonl"
+        session = fast_session()
+        with ServingServer(session, access_log=str(log_path)) as server:
+            client = ServingClient(server.address)
+            # 1st: cold schedule.  2nd: fully cache-served through the
+            # session (stores the encoded response).  3rd and 4th: served
+            # by the zero-parse fast lane.
+            for _ in range(4):
+                client.schedule("gemm:a")
+            parsed = parse_prometheus_text(client.metrics())
+            report = client.report()
+            traces = client.traces()["traces"]
+        entries = [json.loads(line)
+                   for line in log_path.read_text().splitlines()]
+        session.close()
+
+        logged_fast = [entry for entry in entries if entry["fast_lane"]]
+        logged_slow = [entry for entry in entries if not entry["fast_lane"]]
+        assert len(entries) == 4
+        assert len(logged_fast) == 2 and len(logged_slow) == 2
+
+        # The service view and the scrape agree with the access log.
+        assert report["service"]["fast_lane"] == 2
+        assert report["service"]["requests"] == 4
+        assert report["service"]["scheduled"] == 4
+        assert prometheus_sample(parsed, "repro_service_fast_lane_total") == 2
+        assert prometheus_sample(parsed, "repro_service_requests_total") == 4
+
+        # The session's response-cache counters tell the same story: two
+        # probes missed (cold + first warm repeat), two hit.
+        assert report["response_cache_hits"] == 2
+        assert report["response_cache_misses"] == 2
+        assert prometheus_sample(parsed, "repro_cache_requests_total",
+                                 level="response", outcome="hit") == 2
+        assert prometheus_sample(parsed, "repro_cache_requests_total",
+                                 level="response", outcome="miss") == 2
+
+        # Every admitted request (fast lane included) is in the latency
+        # distribution, and every fast-lane request has a trace in the ring
+        # buffer — a single root span, against the slow path's full tree.
+        assert prometheus_sample(parsed, "repro_request_latency_seconds_count",
+                                 priority="5") == 4
+        by_id = {record["trace_id"]: record for record in traces}
+        for entry in logged_fast:
+            record = by_id[entry["trace_id"]]
+            assert record["span_count"] == 1
+            assert record["attributes"]["fast_lane"] is True
+        for entry in logged_slow:
+            assert by_id[entry["trace_id"]]["span_count"] > 1
+
+    def test_fast_lane_bytes_equal_slow_path_bytes(self):
+        """The fast lane serves byte-identical JSON to the slow path (the
+        tracer is disabled so responses carry no per-request trace ids)."""
+        import urllib.request
+
+        from repro.observability import Tracer
+
+        session = fast_session(tracer=Tracer(enabled=False))
+        with ServingServer(session) as server:
+            body = json.dumps({"program": "gemm:a"}).encode("utf-8")
+
+            def post():
+                request = urllib.request.Request(
+                    server.address + "/v1/schedule", data=body,
+                    headers={"Content-Type": "application/json"})
+                with urllib.request.urlopen(request) as response:
+                    return response.read()
+
+            post()                      # cold
+            slow_bytes = post()         # fully cache-served, stores
+            fast_bytes = post()         # fast lane
+            report = ServingClient(server.address).report()
+        session.close()
+        assert report["service"]["fast_lane"] == 1
+        assert fast_bytes == slow_bytes
