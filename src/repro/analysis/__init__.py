@@ -6,6 +6,8 @@
 * :mod:`repro.analysis.parallelism` — DOALL and reduction-loop detection.
 * :mod:`repro.analysis.strides` — the ``stride(loop)`` normalization criterion.
 * :mod:`repro.analysis.reuse` — static reuse-distance and working-set estimates.
+* :mod:`repro.analysis.flops` — flop counting and invariance facts for the
+  expression-rewrite passes.
 """
 
 from .affine import (AffineAccess, AffineIndex, access_is_contiguous,
@@ -14,6 +16,8 @@ from .affine import (AffineAccess, AffineIndex, access_is_contiguous,
 from .dataflow import (DataflowEdge, build_dataflow_graph, has_cycle,
                        node_reads_writes, producer_consumer_pairs,
                        program_dataflow, topological_order)
+from .flops import (computation_flops, expr_flops, expr_reads, program_flops,
+                    written_arrays)
 from .dependence import (ANY, EQ, GT, LT, Dependence, body_dependence_pairs,
                          dependences_between, legal_permutations,
                          loop_carried_dependences, nest_dependences,
@@ -37,6 +41,8 @@ __all__ = [
     "ParallelismInfo", "analyze_loop_parallelism", "is_fully_parallel_band",
     "outermost_parallel_loop", "parallel_loops",
     "ReuseEstimate", "estimate_reuse", "program_working_set_bytes",
+    "computation_flops", "expr_flops", "expr_reads", "program_flops",
+    "written_arrays",
     "StrideReport", "access_stride", "nest_stride_cost", "nest_stride_report",
     "out_of_order_count", "program_stride_cost",
 ]

@@ -28,7 +28,8 @@ from ..observability import (Counter, Gauge, Histogram, MetricsRegistry,
                              merge_registry_dicts, render_registry_dict)
 from ..passes import (AnalysisManager, FixedPoint, Pass, PassContext,
                       PassResult, PassStats, Pipeline, PipelineResult,
-                      get_pipeline, pipeline_names, register_pipeline)
+                      get_pipeline, pipeline_bit_exact, pipeline_names,
+                      register_pipeline)
 from ..perf.machine import DEFAULT_MACHINE, CacheLevel, MachineModel
 from ..perf.model import CostModel
 from ..scheduler.base import NestScheduleInfo, ScheduleResult, Scheduler
@@ -41,7 +42,7 @@ from ..transforms.fusion import (fuse_adjacent_loops, fuse_chains_in_body,
 from ..workloads.cloudsc import (WEAK_SCALING_POINTS, CloudscConfiguration,
                                  build_cloudsc_model, build_erosion_kernel)
 from ..workloads.registry import (BenchmarkSpec, all_benchmarks, benchmark,
-                                  benchmark_names)
+                                  benchmark_names, polybench_benchmarks)
 from .backends import (BackendStats, CacheBackend, MemoryCacheBackend,
                        SQLiteCacheBackend)
 from .cache import CacheStats, NormalizationCache
@@ -77,6 +78,7 @@ __all__ = [
     "Pass", "PassContext", "PassResult", "PassStats", "Pipeline",
     "PipelineResult", "FixedPoint", "AnalysisManager",
     "register_pipeline", "get_pipeline", "pipeline_names",
+    "pipeline_bit_exact",
     # scheduler interface types
     "Scheduler", "ScheduleResult", "NestScheduleInfo", "TuningDatabase",
     "ShardedTuningDatabase", "embedding_shard",
@@ -85,6 +87,7 @@ __all__ = [
     "normalize_program", "programs_equivalent", "run_program",
     # workloads
     "BenchmarkSpec", "all_benchmarks", "benchmark", "benchmark_names",
+    "polybench_benchmarks",
     "CloudscConfiguration", "build_cloudsc_model", "build_erosion_kernel",
     "WEAK_SCALING_POINTS",
     # loop-level building blocks (CLOUDSC pipeline)

@@ -50,8 +50,11 @@ def _add_oracle_arguments(parser: argparse.ArgumentParser) -> None:
                         help="schedulers to test (default: "
                              f"{','.join(DEFAULT_SCHEDULERS)})")
     parser.add_argument("--tolerance", type=float, default=0.0,
-                        help="0 compares bit-exactly (default); >0 uses "
-                             "np.allclose with this rtol/atol")
+                        help="0 compares bit-exactly except for pipelines "
+                             "registered bit_exact=False, which use the "
+                             "oracle's rewrite tolerance (default); >0 "
+                             "forces np.allclose with this rtol/atol "
+                             "for every pipeline")
     parser.add_argument("--threads", type=int, default=4,
                         help="machine-model thread count (default: 4)")
     parser.add_argument("--exec-seed", type=int, default=0,

@@ -4,8 +4,9 @@ One abstraction covers every program rewrite in the repo: a-priori
 normalization stages, scheduling transformations, and recipe application all
 run as :class:`Pass` objects composed into :class:`Pipeline` objects, with
 per-pass wall time, change counters, and IR-size deltas collected on every
-run.  Named pipelines (``"a-priori"`` and its ablations) live in a process-
-wide registry, and an :class:`AnalysisManager` memoizes per-nest analyses so
+run.  Named pipelines (``"a-priori"`` and its ablations, the expression-
+rewrite family of :mod:`repro.passes.rewrite`) live in a process-wide
+registry, and an :class:`AnalysisManager` memoizes per-nest analyses so
 repeated normalization of equivalent nests gets measurably faster.
 """
 
@@ -15,11 +16,15 @@ from .base import (FunctionPass, Pass, PassContext, PassResult, PassStats,
 from .pipeline import (DEFAULT_MAX_ITERATIONS, FixedPoint, Pipeline,
                        PipelineResult)
 from .registry import (PipelineRegistryError, get_pipeline, has_pipeline,
-                       pipeline_names, register_pipeline, unregister_pipeline)
+                       pipeline_bit_exact, pipeline_names, register_pipeline,
+                       unregister_pipeline)
 from .library import (CanonicalizeIteratorsPass, FissionSweepPass,
                       LoopNormalFormPass, NAMED_PIPELINE_FLAGS,
                       ScalarExpansionPass, StrideMinimizationPass,
                       ValidatePass, build_normalization_pipeline)
+from .rewrite import (CommonSubexpressionEliminationPass,
+                      ConstantPreEvaluationPass, ExpansionPass,
+                      FactorizationPass, LoopInvariantCodeMotionPass)
 
 __all__ = [
     # protocol + instrumentation
@@ -29,11 +34,14 @@ __all__ = [
     "Pipeline", "PipelineResult", "FixedPoint", "DEFAULT_MAX_ITERATIONS",
     # registry
     "register_pipeline", "get_pipeline", "has_pipeline", "pipeline_names",
-    "unregister_pipeline", "PipelineRegistryError",
+    "pipeline_bit_exact", "unregister_pipeline", "PipelineRegistryError",
     # memoized analyses
     "AnalysisManager", "node_fingerprint", "program_fingerprint",
     # shipped passes / builders
     "LoopNormalFormPass", "ScalarExpansionPass", "FissionSweepPass",
     "StrideMinimizationPass", "CanonicalizeIteratorsPass", "ValidatePass",
     "build_normalization_pipeline", "NAMED_PIPELINE_FLAGS",
+    # expression-rewrite family
+    "ConstantPreEvaluationPass", "FactorizationPass", "ExpansionPass",
+    "LoopInvariantCodeMotionPass", "CommonSubexpressionEliminationPass",
 ]

@@ -180,12 +180,16 @@ class PassStats:
 
     One accumulator typically lives on the normalization cache and collects
     the results of every pipeline run, powering the per-pass counters on
-    ``Session.report()`` and the serving ``/v1/report`` endpoint.
+    ``Session.report()`` and the serving ``/v1/report`` endpoint.  Besides
+    the built-in run/time/size statistics, each pass's named counters
+    (``hoisted``, ``cse_hits``, ``flops_saved``, ...) are summed under a
+    nested ``"counters"`` mapping, so rewrite-pass work is visible
+    end-to-end in the reports.
     """
 
     def __init__(self) -> None:
         self._lock = threading.RLock()
-        self._stats: Dict[str, Dict[str, float]] = {}
+        self._stats: Dict[str, Dict[str, Any]] = {}
 
     def add(self, results: Iterable[PassResult]) -> None:
         with self._lock:
@@ -197,10 +201,20 @@ class PassStats:
                 entry["changed"] += 1 if result.changed else 0
                 entry["wall_time_s"] += result.wall_time_s
                 entry["ir_size_delta"] += result.ir_size_delta
+                if result.counters:
+                    counters = entry.setdefault("counters", {})
+                    for name, amount in result.counters.items():
+                        counters[name] = counters.get(name, 0) + amount
 
-    def to_dict(self) -> Dict[str, Dict[str, float]]:
+    def to_dict(self) -> Dict[str, Dict[str, Any]]:
         with self._lock:
-            return {name: dict(entry) for name, entry in self._stats.items()}
+            out: Dict[str, Dict[str, Any]] = {}
+            for name, entry in self._stats.items():
+                copied = dict(entry)
+                if "counters" in copied:
+                    copied["counters"] = dict(copied["counters"])
+                out[name] = copied
+            return out
 
     def __len__(self) -> int:
         with self._lock:

@@ -286,7 +286,14 @@ def merge_worker_reports(reports: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
                 for name, entry in value.items():
                     bucket = target.setdefault(name, {})
                     for stat, amount in entry.items():
-                        bucket[stat] = bucket.get(stat, 0) + amount
+                        if isinstance(amount, dict):
+                            # Nested pass counters (hoisted, cse_hits,
+                            # flops_saved, ...) sum key-wise.
+                            nested = bucket.setdefault(stat, {})
+                            for counter, delta in amount.items():
+                                nested[counter] = nested.get(counter, 0) + delta
+                        else:
+                            bucket[stat] = bucket.get(stat, 0) + amount
             elif isinstance(value, (int, float)) and not isinstance(value, bool):
                 merged[key] = merged.get(key, 0) + value
             else:

@@ -1,14 +1,25 @@
-"""Workloads: PolyBench A/B/NPBench variants and the CLOUDSC proxy."""
+"""Workloads: PolyBench A/B/NPBench variants, FEM-assembly kernels, and the
+CLOUDSC proxy."""
 
 from .cloudsc import (DEFAULT_CONFIGURATION, WEAK_SCALING_POINTS,
                       CloudscConfiguration, build_cloudsc_model,
                       build_erosion_kernel)
-from .registry import BenchmarkSpec, all_benchmarks, benchmark, benchmark_names
+from .fem import (build_fem_mass_a, build_fem_mass_b, build_fem_mass_npbench,
+                  build_fem_rhs_a, build_fem_rhs_b, build_fem_rhs_npbench,
+                  build_fem_stiffness_a, build_fem_stiffness_b,
+                  build_fem_stiffness_npbench)
+from .registry import (BenchmarkSpec, all_benchmarks, benchmark,
+                       benchmark_names, polybench_benchmarks)
 from .sizes import POLYBENCH_SIZES, SIZE_CLASSES, benchmark_sizes
 
 __all__ = [
     "DEFAULT_CONFIGURATION", "WEAK_SCALING_POINTS", "CloudscConfiguration",
     "build_cloudsc_model", "build_erosion_kernel",
+    "build_fem_mass_a", "build_fem_mass_b", "build_fem_mass_npbench",
+    "build_fem_stiffness_a", "build_fem_stiffness_b",
+    "build_fem_stiffness_npbench",
+    "build_fem_rhs_a", "build_fem_rhs_b", "build_fem_rhs_npbench",
     "BenchmarkSpec", "all_benchmarks", "benchmark", "benchmark_names",
+    "polybench_benchmarks",
     "POLYBENCH_SIZES", "SIZE_CLASSES", "benchmark_sizes",
 ]

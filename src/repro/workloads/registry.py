@@ -2,7 +2,10 @@
 
 Maps each of the 15 PolyBench benchmarks selected by the paper to its A, B,
 and NPBench-style variant builders plus its size presets, and provides the
-single entry point the experiments iterate over.
+single entry point the experiments iterate over.  The FEM-assembly kernels
+of :mod:`repro.workloads.fem` register here too under the ``"fem"``
+category; the paper-figure experiments restrict themselves to the PolyBench
+subset via :func:`polybench_benchmarks`.
 """
 
 from __future__ import annotations
@@ -12,6 +15,10 @@ from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 from ..ir.nodes import Program  # noqa: F401  (re-exported for typing convenience)
 from . import sizes as size_presets
+from .fem import (build_fem_mass_a, build_fem_mass_b, build_fem_mass_npbench,
+                  build_fem_rhs_a, build_fem_rhs_b, build_fem_rhs_npbench,
+                  build_fem_stiffness_a, build_fem_stiffness_b,
+                  build_fem_stiffness_npbench)
 from .polybench import (build_2mm_a, build_2mm_b, build_2mm_npbench, build_3mm_a,
                build_3mm_b, build_3mm_npbench, build_atax_a, build_atax_b,
                build_atax_npbench, build_bicg_a, build_bicg_b,
@@ -90,14 +97,26 @@ _BENCHMARKS: List[BenchmarkSpec] = [
                   build_jacobi2d_npbench, outputs=("A",), scalars={}),
     BenchmarkSpec("heat-3d", "stencil", build_heat3d_a, build_heat3d_b,
                   build_heat3d_npbench, outputs=("A",), scalars={}),
+    BenchmarkSpec("fem-mass", "fem", build_fem_mass_a, build_fem_mass_b,
+                  build_fem_mass_npbench, outputs=("Ae",), scalars={}),
+    BenchmarkSpec("fem-stiffness", "fem", build_fem_stiffness_a,
+                  build_fem_stiffness_b, build_fem_stiffness_npbench,
+                  outputs=("Ke",), scalars={"kappa": 0.9}),
+    BenchmarkSpec("fem-rhs", "fem", build_fem_rhs_a, build_fem_rhs_b,
+                  build_fem_rhs_npbench, outputs=("be",), scalars={}),
 ]
 
 _BY_NAME: Dict[str, BenchmarkSpec] = {spec.name: spec for spec in _BENCHMARKS}
 
 
 def all_benchmarks() -> List[BenchmarkSpec]:
-    """The 15 parallelizable PolyBench benchmarks selected by the paper."""
+    """Every registered benchmark: PolyBench plus the FEM-assembly kernels."""
     return list(_BENCHMARKS)
+
+
+def polybench_benchmarks() -> List[BenchmarkSpec]:
+    """The 15 parallelizable PolyBench benchmarks selected by the paper."""
+    return [spec for spec in _BENCHMARKS if spec.category != "fem"]
 
 
 def benchmark(name: str) -> BenchmarkSpec:

@@ -87,6 +87,22 @@ POLYBENCH_SIZES: Dict[str, Dict[str, Dict[str, int]]] = {
         "small": {"TSTEPS": 20, "N": 40},
         "large": {"TSTEPS": 500, "N": 120},
     },
+    # FEM-assembly kernels (repro.workloads.fem): elements x basis x quadrature.
+    "fem-mass": {
+        "mini": {"NE": 6, "NB": 4, "NQ": 4},
+        "small": {"NE": 64, "NB": 6, "NQ": 9},
+        "large": {"NE": 4096, "NB": 10, "NQ": 16},
+    },
+    "fem-stiffness": {
+        "mini": {"NE": 6, "NB": 4, "NQ": 4},
+        "small": {"NE": 64, "NB": 6, "NQ": 9},
+        "large": {"NE": 4096, "NB": 10, "NQ": 16},
+    },
+    "fem-rhs": {
+        "mini": {"NE": 6, "NB": 4, "NQ": 4},
+        "small": {"NE": 64, "NB": 6, "NQ": 9},
+        "large": {"NE": 4096, "NB": 10, "NQ": 16},
+    },
 }
 
 SIZE_CLASSES = ("mini", "small", "large")

@@ -7,12 +7,14 @@ import pytest
 from repro.interp import run_program
 from repro.normalization import normalize
 from repro.workloads import (all_benchmarks, benchmark, benchmark_names,
-                             benchmark_sizes)
+                             benchmark_sizes, polybench_benchmarks)
 
-EXPECTED_BENCHMARKS = {
+EXPECTED_POLYBENCH = {
     "gemm", "2mm", "3mm", "syrk", "syr2k", "atax", "bicg", "mvt", "gemver",
     "gesummv", "correlation", "covariance", "fdtd-2d", "jacobi-2d", "heat-3d",
 }
+EXPECTED_FEM = {"fem-mass", "fem-stiffness", "fem-rhs"}
+EXPECTED_BENCHMARKS = EXPECTED_POLYBENCH | EXPECTED_FEM
 
 
 def _inputs_for(spec, program, params, seed=7):
@@ -33,9 +35,18 @@ def _inputs_for(spec, program, params, seed=7):
 
 
 class TestRegistry:
-    def test_fifteen_benchmarks_registered(self):
+    def test_benchmarks_registered(self):
         assert set(benchmark_names()) == EXPECTED_BENCHMARKS
-        assert len(all_benchmarks()) == 15
+        assert len(all_benchmarks()) == 18
+
+    def test_polybench_subset_stays_at_fifteen(self):
+        specs = polybench_benchmarks()
+        assert {spec.name for spec in specs} == EXPECTED_POLYBENCH
+        assert len(specs) == 15
+
+    def test_fem_benchmarks_use_fem_category(self):
+        for name in sorted(EXPECTED_FEM):
+            assert benchmark(name).category == "fem"
 
     def test_unknown_benchmark_raises(self):
         with pytest.raises(KeyError):
