@@ -1,0 +1,297 @@
+#!/usr/bin/env python3
+"""Queue-policy comparison on a starvation-prone heavy-tail request mix.
+
+Drives the async scheduling service once per registered policy with the
+same open-loop workload: a backlog of priority-9 bulk requests queued up
+front, then a sustained stream whose priorities are Zipf-distributed
+(weight ``1/(p+1)^2`` — urgent classes dominate) arriving faster than the
+service drains.  The service executor is a synthetic session with a fixed
+per-request cost, so the measured per-class latencies reflect the queue
+discipline alone, not scheduler noise.
+
+The question each policy answers differently is what happens to the rare
+low classes while the urgent stream saturates the queue:
+
+* ``strict-priority`` parks them until the stream ends (worst-class p99
+  ~= the whole run: starvation, by design),
+* ``weighted-fair`` and ``aging`` bound the worst-class p99 well below
+  the run length (the starvation-proof disciplines),
+* ``edf`` follows the deadlines the mix assigns (tight for urgent
+  classes), which again sacrifices the most patient class.
+
+A second section demonstrates the online feedback loop on a real session:
+a transferred recipe is predicted-best for a GEMM nest, its executed
+schedule measures far worse than predicted, and after
+``record_measurement`` the database ranks a rival entry first —
+predicted-best and measured-best disagree, and the query now follows the
+measurement.
+
+Results are persisted to ``BENCH_policies.json`` (``--json`` overrides,
+empty disables).  ``--assert-fair`` exits non-zero if a starvation-proof
+policy starved its worst class (the CI guard).
+
+Run: ``PYTHONPATH=src python benchmarks/bench_queue_policies.py``
+(``--smoke`` or ``REPRO_BENCH_SMOKE=1`` for a seconds-long CI-sized run).
+"""
+
+import argparse
+import asyncio
+import json
+import math
+import os
+import random
+import sys
+import time
+import types
+from collections import defaultdict
+
+from repro.api import ScheduleRequest, SearchConfig, Session
+from repro.observability import MetricsRegistry
+from repro.scheduler.database import TuningDatabase, apply_feedback_record
+from repro.scheduler.embedding import PerformanceEmbedding
+from repro.serving import SchedulingService, ServiceConfig, policy_names
+from repro.transforms.recipe import Recipe
+
+#: Worst-class p99 at or beyond this fraction of the run length counts as
+#: starvation: the class effectively waited for the whole experiment.
+STARVATION_FRACTION = 0.8
+
+
+def _stub_response(request):
+    result = types.SimpleNamespace(
+        program=types.SimpleNamespace(name=str(request.program)))
+    result.copy = lambda: result
+    return types.SimpleNamespace(
+        result=result, scheduler="synthetic", program=result.program,
+        runtime_s=0.0, normalized=False, input_hash=None,
+        canonical_hash=None, from_cache=False,
+        normalization_cache_hit=False)
+
+
+class SyntheticSession:
+    """Session stand-in with a deterministic per-request cost.
+
+    Scheduling a registry benchmark takes whatever the search takes; here
+    every request costs exactly ``service_time_s``, so per-class latency
+    differences between two runs are the queue discipline's doing.
+    """
+
+    def __init__(self, service_time_s):
+        self.service_time_s = service_time_s
+        self.metrics = MetricsRegistry()
+
+    def schedule_batch(self, requests, max_workers=None,
+                       return_exceptions=False):
+        responses = []
+        for request in requests:
+            time.sleep(self.service_time_s)
+            responses.append(_stub_response(request))
+        return responses
+
+    def record_coalesced(self, count=1):
+        pass
+
+
+def build_mix(stream_count, bulk_count, service_time_s, rng):
+    """The starvation-prone mix: a bulk backlog plus a Zipf-heavy stream.
+
+    Stream priorities are drawn with weight ``1/(p+1)^2``: class 0 carries
+    most of the traffic, class 9 is rare.  Every request gets a
+    priority-proportional deadline (tight for urgent classes) so ``edf``
+    has something to order by; the other policies ignore it.
+    """
+    deadline_unit = 30.0 * service_time_s
+    bulk = [ScheduleRequest(program=f"bulk-{index}", priority=9,
+                            deadline_s=10 * deadline_unit)
+            for index in range(bulk_count)]
+    weights = [1.0 / (priority + 1) ** 2 for priority in range(10)]
+    priorities = rng.choices(range(10), weights=weights, k=stream_count)
+    stream = [ScheduleRequest(program=f"stream-{index}", priority=priority,
+                              deadline_s=(priority + 1) * deadline_unit)
+              for index, priority in enumerate(priorities)]
+    return bulk, stream
+
+
+async def drive(policy, bulk, stream, service_time_s, arrival_s):
+    """One open-loop run: queue the backlog, then stream arrivals faster
+    than service; returns per-class latencies and the makespan."""
+    session = SyntheticSession(service_time_s)
+    config = ServiceConfig(max_batch_size=1, batch_window_s=0.0,
+                           fast_lane=False, policy=policy,
+                           aging_interval_s=2.0 * service_time_s)
+    service = SchedulingService(session, config)
+    await service.start()
+    loop = asyncio.get_running_loop()
+    latencies = defaultdict(list)
+
+    async def submit(request):
+        _, timing = await service.schedule_timed(request)
+        latencies[request.priority].append(timing.total_s)
+
+    try:
+        started = loop.time()
+        tasks = [asyncio.ensure_future(submit(request)) for request in bulk]
+        await asyncio.sleep(0)  # the backlog is queued before the stream
+        for request in stream:
+            tasks.append(asyncio.ensure_future(submit(request)))
+            await asyncio.sleep(arrival_s)
+        await asyncio.gather(*tasks)
+        makespan = loop.time() - started
+    finally:
+        await service.stop()
+    return latencies, makespan
+
+
+def percentile(samples, q):
+    ordered = sorted(samples)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[rank - 1]
+
+
+def summarize(latencies, makespan):
+    classes = {}
+    worst_p99 = 0.0
+    for priority in sorted(latencies):
+        samples = latencies[priority]
+        p99 = percentile(samples, 0.99)
+        worst_p99 = max(worst_p99, p99)
+        classes[str(priority)] = {
+            "count": len(samples),
+            "p50_s": round(percentile(samples, 0.5), 4),
+            "p99_s": round(p99, 4),
+            "max_s": round(max(samples), 4),
+        }
+    return {
+        "classes": classes,
+        "worst_class_p99_s": round(worst_p99, 4),
+        "makespan_s": round(makespan, 4),
+        "starved": worst_p99 >= STARVATION_FRACTION * makespan,
+    }
+
+
+def feedback_flip_demo():
+    """Predicted-best vs measured-best on a real GEMM schedule.
+
+    The session schedules GEMM and reports the executed recipe as having
+    measured 100x worse than its prediction; a database holding that recipe
+    (the transferred, predicted-best entry) and a farther rival must flip
+    its ranking once the measurement is applied.
+    """
+    session = Session(threads=4,
+                      search=SearchConfig(population_size=4, epochs=1,
+                                          generations_per_epoch=1))
+    try:
+        response = session.schedule("gemm:a")
+        records = [record for record
+                   in session.measurement_feedback(
+                       response, float(response.runtime_s) * 100.0)
+                   if record.get("embedding")]
+    finally:
+        session.close()
+    record = records[0]
+    base = list(record["embedding"])
+    rival_vector = list(base)
+    rival_vector[0] += 1.5  # farther from the probe than the transfer
+    probe = PerformanceEmbedding("probe",
+                                 tuple(value + (0.5 if index == 0 else 0.0)
+                                       for index, value in enumerate(base)))
+    database = TuningDatabase()
+    transferred = database.add(
+        PerformanceEmbedding("transferred", tuple(base)),
+        Recipe.from_dict(record["recipe"]), runtime=float(response.runtime_s))
+    database.add(PerformanceEmbedding("rival", tuple(rival_vector)),
+                 Recipe(name="rival"), runtime=float(response.runtime_s))
+    predicted_best = database.best_match(probe).label
+    outcome = apply_feedback_record(dict(record), database)
+    measured_best = database.best_match(probe).label
+    return {
+        "predicted_best": predicted_best,
+        "measured_best": measured_best,
+        "flipped": predicted_best != measured_best,
+        "outcome": outcome,
+        "bias": round(transferred.bias(), 4),
+        "program_runtime_s": float(response.runtime_s),
+    }
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="seconds-long CI-sized run")
+    parser.add_argument("--requests", type=int, default=None,
+                        help="stream length (default 400, smoke 60)")
+    parser.add_argument("--bulk", type=int, default=None,
+                        help="priority-9 backlog queued before the stream "
+                             "(default: stream length / 40)")
+    parser.add_argument("--service-time", type=float, default=None,
+                        help="synthetic per-request cost in seconds "
+                             "(default 0.005, smoke 0.003)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="mix generator seed")
+    parser.add_argument("--json", default="BENCH_policies.json",
+                        help="write results here ('' disables)")
+    parser.add_argument("--assert-fair", action="store_true",
+                        help="exit 1 if weighted-fair or aging starved")
+    args = parser.parse_args()
+    smoke = args.smoke or bool(os.environ.get("REPRO_BENCH_SMOKE"))
+    stream_count = args.requests or (60 if smoke else 400)
+    service_time = args.service_time or (0.003 if smoke else 0.005)
+    arrival_s = service_time / 2.0  # open loop: arrivals outpace service
+    # The backlog scales with the stream: class 9 holds ~1/15 of the
+    # weighted-fair share, so a backlog deeper than its share of the run
+    # would finish late under *any* work-conserving fair discipline.
+    bulk_count = (args.bulk if args.bulk is not None
+                  else max(2, stream_count // 40))
+
+    bulk, stream = build_mix(stream_count, bulk_count, service_time,
+                             random.Random(args.seed))
+    results = {
+        "smoke": smoke,
+        "requests": stream_count,
+        "bulk": bulk_count,
+        "service_time_s": service_time,
+        "arrival_interval_s": arrival_s,
+        "starvation_fraction": STARVATION_FRACTION,
+        "policies": {},
+    }
+    print(f"{stream_count} stream requests + {bulk_count} bulk backlog, "
+          f"service {service_time * 1000:.1f}ms, "
+          f"arrival every {arrival_s * 1000:.1f}ms")
+    for policy in policy_names():
+        latencies, makespan = asyncio.run(
+            drive(policy, bulk, stream, service_time, arrival_s))
+        summary = summarize(latencies, makespan)
+        results["policies"][policy] = summary
+        print(f"{policy + ':':17s} worst-class p99 "
+              f"{summary['worst_class_p99_s'] * 1000:8.1f}ms of "
+              f"{summary['makespan_s'] * 1000:8.1f}ms makespan"
+              f"{'  ** starved **' if summary['starved'] else ''}")
+
+    demo = feedback_flip_demo()
+    results["feedback_demo"] = demo
+    print(f"feedback demo: predicted-best {demo['predicted_best']!r} -> "
+          f"measured-best {demo['measured_best']!r} "
+          f"(bias {demo['bias']}, {'flipped' if demo['flipped'] else 'held'})")
+
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(results, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+
+    if args.assert_fair:
+        starved = [policy for policy in ("weighted-fair", "aging")
+                   if results["policies"][policy]["starved"]]
+        if starved:
+            print(f"FAIL: starvation-proof policies starved: {starved}")
+            return 1
+        if not demo["flipped"]:
+            print("FAIL: feedback demo did not flip the ranking")
+            return 1
+        print("OK: weighted-fair and aging bound the worst-class p99; "
+              "feedback flipped the ranking")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

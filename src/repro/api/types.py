@@ -58,6 +58,13 @@ class ScheduleRequest:
     pipeline: Optional[str] = None
     priority: int = DEFAULT_PRIORITY
     client: Optional[str] = None
+    #: Relative deadline in seconds from submission, consumed by the
+    #: serving layer's ``edf`` queue policy (earliest deadline drains
+    #: first; ``None`` sorts after every deadlined request, a value <= 0 is
+    #: already-late and sorts most urgent).  Like ``priority``/``client``
+    #: it never affects the scheduling outcome and is excluded from
+    #: coalescing fingerprints and cache keys.
+    deadline_s: Optional[float] = None
     #: Propagated trace context (``{"trace_id", "span_id"}``), set by a
     #: serving layer so worker-side spans rejoin the coordinator's trace.
     #: Like ``priority``/``client`` it never affects the scheduling outcome
@@ -80,6 +87,10 @@ class ScheduleRequest:
             "priority": self.priority,
             "client": self.client,
         }
+        # Only emitted when set, keeping deadline-free payloads (and any
+        # digests derived from them) byte-identical to earlier versions.
+        if self.deadline_s is not None:
+            payload["deadline_s"] = self.deadline_s
         if self.trace is not None:
             payload["trace"] = dict(self.trace)
         return payload
@@ -102,6 +113,8 @@ class ScheduleRequest:
             pipeline=data.get("pipeline"),
             priority=DEFAULT_PRIORITY if priority is None else int(priority),
             client=data.get("client"),
+            deadline_s=(float(data["deadline_s"])
+                        if data.get("deadline_s") is not None else None),
             trace=dict(data["trace"]) if data.get("trace") else None,
         )
 
@@ -289,6 +302,12 @@ class SessionReport:
     normalization_passes: Dict[str, Dict[str, float]] = field(default_factory=dict)
     analysis_hits: int = 0
     analysis_misses: int = 0
+    #: Online feedback: executed-schedule timings folded back into the
+    #: tuning database (``applied`` updated an existing entry, ``added``
+    #: created a measurement-born one, ``skipped`` found no nest to credit).
+    feedback_applied: int = 0
+    feedback_added: int = 0
+    feedback_skipped: int = 0
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -316,6 +335,9 @@ class SessionReport:
                                      in self.normalization_passes.items()},
             "analysis_hits": self.analysis_hits,
             "analysis_misses": self.analysis_misses,
+            "feedback_applied": self.feedback_applied,
+            "feedback_added": self.feedback_added,
+            "feedback_skipped": self.feedback_skipped,
         }
 
     @staticmethod

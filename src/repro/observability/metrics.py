@@ -265,13 +265,27 @@ class _HistogramSeries:
     def quantile(self, q: float) -> float:
         """Estimated q-quantile: the upper bound of the bucket holding the
         rank-``ceil(q*count)`` observation — within one bucket width of the
-        exact sorted-sample answer whenever the buckets cover the data."""
+        exact sorted-sample answer whenever the buckets cover the data.
+
+        Boundary contract: an empty histogram returns ``nan``; ``q=0.0``
+        returns the lowest bucket edge; ``q=1.0`` returns the finite upper
+        edge of the highest nonempty bucket, clamping overflow beyond the
+        last bound to the highest finite edge — so the extremes are always
+        defined, finite values rather than whatever the bucket walk happens
+        to produce (``q=1.0`` on a distribution with overflow used to come
+        back ``inf``, which no dashboard can plot)."""
         if not 0.0 <= q <= 1.0:
             raise MetricsError(f"quantile must be in [0, 1], got {q}")
         with self._lock:
             total = sum(self.counts)
             if total == 0:
                 return math.nan
+            if q == 0.0:
+                return self.bounds[0]
+            if q == 1.0:
+                for index in range(len(self.counts) - 1, -1, -1):
+                    if self.counts[index]:
+                        return self.bounds[min(index, len(self.bounds) - 1)]
             rank = max(1, math.ceil(q * total))
             seen = 0
             for index, count in enumerate(self.counts):

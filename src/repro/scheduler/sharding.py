@@ -27,7 +27,8 @@ import threading
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..transforms.recipe import Recipe
-from .database import DatabaseEntry, TuningDatabase
+from .database import (DatabaseEntry, TuningDatabase, measured_entry,
+                       recipe_identity)
 from .embedding import PerformanceEmbedding
 
 DEFAULT_NUM_SHARDS = 4
@@ -82,24 +83,67 @@ class ShardedTuningDatabase:
 
     def query(self, embedding: PerformanceEmbedding,
               k: int = 1) -> List[Tuple[float, DatabaseEntry]]:
-        """Scatter the query to every shard, gather, and merge by distance."""
-        gathered: List[Tuple[float, DatabaseEntry]] = []
+        """Scatter the query to every shard, gather, and merge by score
+        (feedback-re-ranked distance, matching :meth:`TuningDatabase.query`)."""
+        gathered: List[Tuple[float, float, DatabaseEntry]] = []
         for index in range(self.num_shards):
             with self._locks[index]:
-                gathered.extend(self._shards[index].query(embedding, k))
-        gathered.sort(key=lambda pair: pair[0])
-        return gathered[:k]
+                gathered.extend(self._shards[index].scored_query(embedding, k))
+        gathered.sort(key=lambda triple: triple[0])
+        return [(distance, entry) for _, distance, entry in gathered[:k]]
 
     def best_match(self, embedding: PerformanceEmbedding,
                    max_distance: Optional[float] = None
                    ) -> Optional[DatabaseEntry]:
-        results = self.query(embedding, k=1)
-        if not results:
-            return None
-        distance, entry = results[0]
-        if max_distance is not None and distance > max_distance:
-            return None
-        return entry
+        best = None
+        for index in range(self.num_shards):
+            with self._locks[index]:
+                candidate = self._shards[index].best_scored(embedding,
+                                                            max_distance)
+            if candidate is not None and (
+                    best is None or candidate[:2] < best[:2]):
+                best = candidate
+        return best[2] if best is not None else None
+
+    def record_measurement(self, embedding: PerformanceEmbedding,
+                           recipe: Recipe, measured_runtime: float,
+                           add_missing: bool = True,
+                           prediction_scale: Optional[float] = None
+                           ) -> Tuple[Optional[DatabaseEntry], bool]:
+        """Online feedback across shards (see
+        :meth:`TuningDatabase.record_measurement`).
+
+        The target entry may live in any shard — entries shard by their own
+        embedding, feedback arrives with the embedding of the nest it was
+        measured on — so the recipe match scans every shard; a
+        measurement-born entry routes to the shard the feedback embedding
+        hashes to, like any other insert.
+        """
+        vector = tuple(float(x) for x in
+                       getattr(embedding, "vector", embedding))
+        key = recipe_identity(recipe)
+        best = None  # (distance, shard_index, entry)
+        for index in range(self.num_shards):
+            with self._locks[index]:
+                found = self._shards[index].find_measurement_target(vector,
+                                                                    key)
+            if found is not None and (best is None or found[0] < best[0]):
+                best = (found[0], index, found[1])
+        if best is not None:
+            _, index, entry = best
+            value = float(measured_runtime)
+            if prediction_scale is not None and entry.runtime:
+                # Same projection as the unsharded path: the program-level
+                # measured/predicted ratio on the entry's own scale.
+                value = entry.runtime * float(prediction_scale)
+            with self._locks[index]:
+                return (self._shards[index].apply_measurement(
+                    entry, value), False)
+        if not add_missing:
+            return None, False
+        entry = measured_entry(vector, getattr(embedding, "label", ""),
+                               recipe, measured_runtime)
+        return self.add_entry(entry), True
 
     # -- shard introspection ---------------------------------------------------------
 
@@ -210,7 +254,9 @@ class ShardedTuningDatabase:
             embedding TEXT NOT NULL,
             recipe TEXT NOT NULL,
             label TEXT NOT NULL,
-            runtime REAL
+            runtime REAL,
+            measured_runtime REAL,
+            measurements INTEGER NOT NULL DEFAULT 0
         )
     """
     _META_SCHEMA = """
@@ -220,11 +266,24 @@ class ShardedTuningDatabase:
         )
     """
 
+    @staticmethod
+    def _ensure_feedback_columns(conn: sqlite3.Connection) -> None:
+        """Upgrade a pre-feedback ``entries`` table in place (additive)."""
+        columns = {row[1] for row in
+                   conn.execute("PRAGMA table_info(entries)")}
+        if "measured_runtime" not in columns:
+            conn.execute(
+                "ALTER TABLE entries ADD COLUMN measured_runtime REAL")
+        if "measurements" not in columns:
+            conn.execute("ALTER TABLE entries ADD COLUMN measurements "
+                         "INTEGER NOT NULL DEFAULT 0")
+
     def save_sqlite(self, path: str) -> None:
         conn = sqlite3.connect(path)
         try:
             conn.execute(self._SCHEMA)
             conn.execute(self._META_SCHEMA)
+            self._ensure_feedback_columns(conn)
             conn.execute("DELETE FROM entries")
             conn.execute(
                 "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)",
@@ -235,11 +294,14 @@ class ShardedTuningDatabase:
                              json.dumps(list(entry.embedding)),
                              json.dumps(entry.recipe.to_dict()),
                              entry.label,
-                             entry.runtime)
+                             entry.runtime,
+                             entry.measured_runtime,
+                             entry.measurements)
                             for entry in shard.entries]
                 conn.executemany(
-                    "INSERT INTO entries (shard, embedding, recipe, label, runtime) "
-                    "VALUES (?, ?, ?, ?, ?)", rows)
+                    "INSERT INTO entries (shard, embedding, recipe, label, "
+                    "runtime, measured_runtime, measurements) "
+                    "VALUES (?, ?, ?, ?, ?, ?, ?)", rows)
             conn.commit()
         finally:
             conn.close()
@@ -251,9 +313,16 @@ class ShardedTuningDatabase:
         (default: the count the file was saved with)."""
         conn = sqlite3.connect(path)
         try:
-            rows = conn.execute(
-                "SELECT shard, embedding, recipe, label, runtime "
-                "FROM entries ORDER BY id").fetchall()
+            try:
+                rows = conn.execute(
+                    "SELECT shard, embedding, recipe, label, runtime, "
+                    "measured_runtime, measurements "
+                    "FROM entries ORDER BY id").fetchall()
+            except sqlite3.OperationalError:
+                # A pre-feedback file: no feedback columns to read.
+                rows = [row + (None, 0) for row in conn.execute(
+                    "SELECT shard, embedding, recipe, label, runtime "
+                    "FROM entries ORDER BY id").fetchall()]
             meta = conn.execute(
                 "SELECT value FROM meta WHERE key = 'num_shards'").fetchone()
         finally:
@@ -265,12 +334,16 @@ class ShardedTuningDatabase:
         # (like the JSON path); a different count rehashes every entry.
         preserve_layout = target_shards == saved_shards
         database = ShardedTuningDatabase(target_shards)
-        for shard, embedding, recipe, label, runtime in rows:
+        for (shard, embedding, recipe, label, runtime,
+             measured_runtime, measurements) in rows:
             entry = DatabaseEntry(
                 embedding=tuple(float(x) for x in json.loads(embedding)),
                 recipe=Recipe.from_dict(json.loads(recipe)),
                 label=label,
-                runtime=float(runtime) if runtime is not None else None)
+                runtime=float(runtime) if runtime is not None else None,
+                measured_runtime=(float(measured_runtime)
+                                  if measured_runtime is not None else None),
+                measurements=int(measurements or 0))
             if preserve_layout:
                 database._shards[shard].add_entry(entry)
             else:

@@ -2,11 +2,15 @@
 
 The subsystem layers onto :mod:`repro.api` without changing it:
 
-* :class:`SchedulingService` / :class:`ServiceRunner` — asyncio priority
-  queue (``ScheduleRequest.priority``, 0 most urgent), admission control
-  (:class:`AdmissionController` sheds load with a typed
-  :class:`AdmissionError`), micro-batching over ``Session.schedule_batch``,
-  and coalescing of identical in-flight requests by content hash.
+* :class:`SchedulingService` / :class:`ServiceRunner` — asyncio request
+  queue ordered by a pluggable :class:`QueuePolicy` (``strict-priority``
+  by default — ``ScheduleRequest.priority``, 0 most urgent — plus
+  ``weighted-fair``, ``edf``, and ``aging``; register more with
+  :func:`register_policy`), admission control (:class:`AdmissionController`
+  sheds load with a typed :class:`AdmissionError`), micro-batching over
+  ``Session.schedule_batch``, coalescing of identical in-flight requests
+  by content hash, and an optional :class:`AdaptiveBatcher` closing the
+  loop from live latency histograms onto the batching/admission knobs.
 * :class:`WorkerPool` / :class:`WorkerConfig` — a multi-process worker pool
   where every worker holds its own Session over one shared SQLite cache
   file and one tuning-database shard; the service scatters its
@@ -28,6 +32,8 @@ The subsystem layers onto :mod:`repro.api` without changing it:
 
 from .client import ServingClient, ServingError
 from .http import JsonAccessLog, ServingServer
+from .policy import (AdaptiveBatcher, PolicyError, QueuePolicy, create_policy,
+                     policy_names, register_policy)
 from .service import (AdmissionController, AdmissionError, AdmissionStats,
                       RequestTiming, SchedulingService, ServiceConfig,
                       ServiceRunner, ServiceStats, request_fingerprint)
@@ -38,6 +44,8 @@ __all__ = [
     "SchedulingService", "ServiceConfig", "ServiceRunner", "ServiceStats",
     "AdmissionController", "AdmissionError", "AdmissionStats",
     "RequestTiming", "request_fingerprint",
+    "QueuePolicy", "PolicyError", "register_policy", "policy_names",
+    "create_policy", "AdaptiveBatcher",
     "WorkerPool", "WorkerConfig", "WorkerError", "PoolStats",
     "merge_worker_reports",
     "ServingServer", "ServingClient", "ServingError", "JsonAccessLog",

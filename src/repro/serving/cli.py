@@ -6,7 +6,10 @@ Subcommands:
   ``--workers N`` serves through a multi-process
   :class:`~repro.serving.workers.WorkerPool` sharing one SQLite cache,
   ``--max-queue-depth`` / ``--max-client-inflight`` configure admission
-  control (load shedding with HTTP 429), ``--metrics`` / ``--no-metrics``
+  control (load shedding with HTTP 429), ``--policy`` selects the
+  queue-scheduling policy (strict-priority / weighted-fair / edf / aging),
+  ``--adaptive`` / ``--latency-slo`` close the loop from live latency onto
+  the batching and admission knobs, ``--metrics`` / ``--no-metrics``
   toggle the Prometheus-text ``/metrics`` endpoint, ``--access-log``
   writes structured JSON access logs, ``--no-trace`` disables request
   tracing (``/v1/traces``), and ``--push-url`` / ``--push-interval``
@@ -40,6 +43,7 @@ from ..scheduler.database import TuningDatabase
 from ..scheduler.sharding import (DEFAULT_NUM_SHARDS, ShardedTuningDatabase)
 from ..workloads.registry import benchmark_names
 from .http import ServingServer
+from .policy import policy_names
 from .service import ServiceConfig
 from .workers import WorkerConfig, WorkerPool
 
@@ -110,7 +114,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     config = ServiceConfig(max_batch_size=args.max_batch,
                            batch_window_s=args.batch_window,
                            max_queue_depth=args.max_queue_depth,
-                           max_client_inflight=args.max_client_inflight)
+                           max_client_inflight=args.max_client_inflight,
+                           policy=args.policy,
+                           aging_interval_s=args.aging_interval,
+                           adaptive=args.adaptive,
+                           latency_slo_s=args.latency_slo)
     pool = None
     session = None
     try:
@@ -145,6 +153,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         server.start()
         print(f"serving on {server.address} "
               f"(scheduler={args.scheduler}, threads={args.threads}, "
+              f"policy={args.policy}"
+              f"{', adaptive' if args.adaptive else ''}, "
               f"workers={args.workers or 'in-process'}, "
               f"cache={'sqlite:' + args.cache_path if args.cache_path else 'memory'}, "
               f"database={len(session.database)} entries, "
@@ -280,6 +290,20 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-queue-depth", type=int, default=256,
                        help="shed load (HTTP 429) beyond this many queued "
                             "requests (0: unbounded)")
+    serve.add_argument("--policy", default="strict-priority",
+                       choices=policy_names(),
+                       help="queue-scheduling policy "
+                            "(default: strict-priority)")
+    serve.add_argument("--aging-interval", type=float, default=0.5,
+                       help="aging policy: seconds of queue wait worth one "
+                            "priority class of boost (default: 0.5)")
+    serve.add_argument("--adaptive", action="store_true", default=False,
+                       help="tune batch window/size and admission depth "
+                            "from live latency against --latency-slo")
+    serve.add_argument("--latency-slo", type=float, default=0.25,
+                       help="target p95 end-to-end latency in seconds "
+                            "(adaptive batching and alert rules; "
+                            "default: 0.25)")
     serve.add_argument("--max-client-inflight", type=int, default=0,
                        help="per-client in-flight request limit "
                             "(0: unlimited)")

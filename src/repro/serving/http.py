@@ -43,6 +43,7 @@ import asyncio
 import concurrent.futures
 import itertools
 import json
+import math
 import threading
 import time
 import uuid
@@ -141,11 +142,14 @@ class ServingServer:
         if pool is not None and getattr(pool, "tracer", None) is None:
             # Worker span fragments rejoin the coordinator session's tracer.
             pool.tracer = self.tracer
+        service_config = self.runner.service.config
         self.alerts = AlertEvaluator(
             (default_alert_rules(
-                max_queue_depth=self.runner.service.config.max_queue_depth)
+                max_queue_depth=service_config.max_queue_depth,
+                latency_slo_s=service_config.latency_slo_s)
              if alert_rules is None else list(alert_rules)),
-            snapshot_fn=self.metrics.to_dict)
+            snapshot_fn=self.metrics.to_dict,
+            metrics=self.metrics)
         self._alert_monitor = AlertMonitor(self.alerts, alert_interval_s)
         self.push_exporter = (
             PushExporter(push_url, self._push_payload,
@@ -241,6 +245,7 @@ class ServingServer:
                       ) -> Tuple[int, Dict[str, Any]]:
         payload = self.session.report().to_dict()
         payload["service"] = self.runner.stats.to_dict()
+        payload["service"]["policy"] = self.runner.service.config.policy
         payload["admission"] = self.runner.service.admission.stats.to_dict()
         if self.pool is not None:
             if include_workers:
@@ -412,6 +417,15 @@ class ServingServer:
                                        f"{LOWEST_PRIORITY}] "
                                        f"({HIGHEST_PRIORITY} most urgent)"},
                         "invalid", request)
+        if request.deadline_s is not None and not (
+                isinstance(request.deadline_s, (int, float))
+                and not isinstance(request.deadline_s, bool)
+                and math.isfinite(request.deadline_s)):
+            # A deadline may already be in the past (edf serves it most
+            # urgently), but it must at least be a finite number.
+            return done(400, {"error": "deadline_s must be a finite number "
+                                       "of seconds"},
+                        "invalid", request)
         try:
             response, timing = self.runner.schedule_timed(
                 request, request_id=request_id)
@@ -467,10 +481,12 @@ def _make_handler(server: ServingServer):
             self.send_header("Content-Length", str(len(body)))
             if status == 429 and isinstance(payload, dict) \
                     and "retry_after_s" in payload:
-                # Retry-After takes whole seconds; round sub-second hints up
-                # so "0" never tells clients to hammer immediately.
-                self.send_header("Retry-After",
-                                 str(max(1, round(payload["retry_after_s"]))))
+                # Retry-After takes whole seconds; math.ceil (not round(),
+                # whose banker's rounding maps 2.5 to 2) so hints always
+                # round up and "0" never tells clients to hammer immediately.
+                self.send_header(
+                    "Retry-After",
+                    str(max(1, math.ceil(payload["retry_after_s"]))))
             if close:
                 # The request body was not consumed: keeping the connection
                 # alive would desync HTTP/1.1 (unread bytes parse as the

@@ -3,10 +3,16 @@
 :class:`SchedulingService` turns a :class:`~repro.api.Session` into an async
 request processor:
 
-* **priority queue** — ``schedule()`` coroutines enqueue their request and
-  await a future; a single batcher task drains the queue strictly in
-  :attr:`~repro.api.ScheduleRequest.priority` order (0 most urgent, FIFO
-  within one priority), so urgent requests overtake queued bulk traffic.
+* **policy-ordered queue** — ``schedule()`` coroutines enqueue their request
+  and await a future; a single batcher task drains the queue in the order of
+  the configured :class:`~repro.serving.policy.QueuePolicy`
+  (:attr:`ServiceConfig.policy`).  The default, ``strict-priority``, drains
+  strictly by :attr:`~repro.api.ScheduleRequest.priority` (0 most urgent,
+  FIFO within one priority) so urgent requests overtake queued bulk traffic;
+  ``weighted-fair``, ``edf``, and ``aging`` trade that for starvation-freedom
+  or deadline awareness.  Every ordering decision is counted on
+  ``repro_queue_policy_decisions_total{policy,class}`` and per-policy latency
+  lands in ``repro_policy_request_latency_seconds{policy,class}``.
 * **admission control** — an :class:`AdmissionController` sheds load before
   it queues: a bounded queue depth and optional per-client in-flight limits
   reject excess requests with a typed :class:`AdmissionError` (the HTTP
@@ -52,6 +58,7 @@ from ..api.session import Session
 from ..api.types import ScheduleRequest, ScheduleResponse
 from ..ir.nodes import Program
 from ..observability import MetricsRegistry
+from .policy import AdaptiveBatcher, create_policy
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (workers use api)
     from .workers import WorkerPool
@@ -82,6 +89,23 @@ class ServiceConfig:
     #: Responses are bit-identical to the slow path's, so this is safe to
     #: leave on; disable to force every request through the full pipeline.
     fast_lane: bool = True
+    #: Queue-scheduling policy (a name registered with
+    #: :func:`~repro.serving.policy.register_policy`): ``strict-priority``
+    #: (the historic default), ``weighted-fair``, ``edf``, or ``aging``.
+    policy: str = "strict-priority"
+    #: ``weighted-fair`` per-class weight overrides (priority class ->
+    #: positive weight; None keeps the default ``10 - priority``).
+    policy_weights: Optional[Dict[int, float]] = None
+    #: ``aging``: seconds of queue wait worth one priority class of boost.
+    aging_interval_s: float = 0.5
+    #: Close the loop from live latency onto batching/admission knobs
+    #: (see :class:`~repro.serving.policy.AdaptiveBatcher`).
+    adaptive: bool = False
+    #: Target end-to-end latency SLO (adaptive batching compares its p95
+    #: against this; the default alert rules burn against it too).
+    latency_slo_s: float = 0.25
+    #: Seconds between adaptive-batcher adaptation steps.
+    adaptive_interval_s: float = 0.5
 
 
 class ServiceStats:
@@ -363,8 +387,9 @@ class RequestTiming:
 class _Pending:
     """One queued request plus the future its submitters await.
 
-    ``best_priority`` tracks the most urgent priority any coalesced rider
-    has contributed; ``claimed`` marks the entry once a batch picked it up,
+    ``best_key`` is the best (smallest) policy sort key any coalesced rider
+    has contributed — ``best_priority`` keeps the human-readable twin for
+    traces — and ``claimed`` marks the entry once a batch picked it up,
     so stale duplicate queue entries (left behind by re-prioritization) are
     skipped on pop.  ``enqueued_at`` / ``claimed_at`` (event-loop clock)
     feed the queue-wait metrics and access logs.
@@ -374,6 +399,7 @@ class _Pending:
     request: ScheduleRequest
     future: "asyncio.Future[ScheduleResponse]" = field(repr=False, default=None)
     best_priority: int = 0
+    best_key: Tuple[float, ...] = (0.0,)
     claimed: bool = False
     enqueued_at: float = 0.0
     claimed_at: float = 0.0
@@ -424,14 +450,30 @@ class SchedulingService:
             "repro_request_phase_seconds",
             "Time spent per serving phase (queue wait, batch formation, "
             "schedule execution).", ("phase",))
-        # Entries are ``(priority, arrival_seq, _Pending)``: the asyncio
-        # PriorityQueue pops the smallest tuple, so priority 0 drains first
-        # and the monotonically increasing arrival sequence keeps FIFO order
-        # within one priority (and keeps _Pending out of comparisons).  A
-        # pending may appear more than once (an urgent rider re-enqueues its
-        # queued leader at the better priority); ``_Pending.claimed`` makes
-        # the stale duplicates no-ops on pop.
-        self._queue: "Optional[asyncio.PriorityQueue[Tuple[int, int, _Pending]]]" = None
+        #: The queue-ordering policy.  Raises PolicyError for unknown names
+        #: at construction, not at first request.
+        self.policy = create_policy(self.config.policy, self.config)
+        self._policy_decisions = self.metrics.counter(
+            "repro_queue_policy_decisions_total",
+            "Queue-ordering decisions, by policy and priority class.",
+            ("policy", "class"))
+        self._policy_latency = self.metrics.histogram(
+            "repro_policy_request_latency_seconds",
+            "End-to-end latency of queued (non-fast-lane) requests, by "
+            "policy and priority class.", ("policy", "class"))
+        #: The measurement->batching feedback loop, when enabled; ticks on
+        #: the batcher task between batches.
+        self.adaptive = (AdaptiveBatcher(self.config, self.metrics)
+                         if self.config.adaptive else None)
+        # Entries are ``(sort_key, arrival_seq, _Pending)``: the asyncio
+        # PriorityQueue pops the smallest tuple, so the policy's key order
+        # decides who drains first (strict-priority keys are ``(priority,)``
+        # — the historic order) and the monotonically increasing arrival
+        # sequence keeps FIFO order within one key (and keeps _Pending out
+        # of comparisons).  A pending may appear more than once (an urgent
+        # rider re-enqueues its queued leader at the better key);
+        # ``_Pending.claimed`` makes the stale duplicates no-ops on pop.
+        self._queue: "Optional[asyncio.PriorityQueue[Tuple[Tuple[float, ...], int, _Pending]]]" = None
         self._arrival_seq = 0
         # Stale duplicates currently in the queue; subtracted from qsize()
         # so admission control sees real pending work, not bookkeeping.
@@ -549,17 +591,22 @@ class SchedulingService:
                     self.session.record_coalesced()
                     if root is not None:
                         root.set_attribute("coalesced", True)
-                    if request.priority < existing.best_priority \
+                    rider_key = self.policy.rider_key(request, started)
+                    self._policy_decisions.labels(
+                        self.config.policy, str(request.priority)).inc()
+                    if rider_key < existing.best_key \
                             and not existing.claimed:
-                        # An urgent rider must not drain at its leader's lower
-                        # priority: re-enqueue the still-queued leader at the
-                        # better priority.  The now-stale lower-priority entry
-                        # pops later and is skipped through ``claimed``.
-                        existing.best_priority = request.priority
+                        # An urgent rider must not drain at its leader's
+                        # worse key: re-enqueue the still-queued leader at
+                        # the better one.  The now-stale worse entry pops
+                        # later and is skipped through ``claimed``.
+                        existing.best_key = rider_key
+                        existing.best_priority = min(existing.best_priority,
+                                                     request.priority)
                         self._arrival_seq += 1
-                        # The superseded lower-priority entry is now stale.
+                        # The superseded worse-key entry is now stale.
                         self._stale_entries += 1
-                        await self._queue.put((request.priority,
+                        await self._queue.put((rider_key,
                                                self._arrival_seq, existing))
                         self._update_queue_gauge()
                     response = await asyncio.shield(existing.future)
@@ -569,13 +616,17 @@ class SchedulingService:
                     return self._reissue(response, request), timing
                 future: "asyncio.Future[ScheduleResponse]" = \
                     asyncio.get_running_loop().create_future()
+                sort_key = self.policy.sort_key(request, started)
+                self._policy_decisions.labels(
+                    self.config.policy, str(request.priority)).inc()
                 pending = _Pending(key, request, future,
                                    best_priority=request.priority,
+                                   best_key=sort_key,
                                    enqueued_at=started,
                                    enqueued_wall=time.time())
                 self._inflight[key] = pending
                 self._arrival_seq += 1
-                await self._queue.put((request.priority, self._arrival_seq,
+                await self._queue.put((sort_key, self._arrival_seq,
                                        pending))
                 self._update_queue_gauge()
                 try:
@@ -668,6 +719,12 @@ class SchedulingService:
         # latency bucket links straight to a representative slow trace.
         self._latency_histogram.labels(str(request.priority)).observe(
             timing.total_s, exemplar=timing.trace_id)
+        # Per-policy latency (queued traffic only — the fast lane bypasses
+        # the queue, so no policy shaped it): the basis for comparing how
+        # each policy bounds per-class tails under the same load.
+        self._policy_latency.labels(
+            self.config.policy, str(request.priority)).observe(
+            timing.total_s, exemplar=timing.trace_id)
 
     def _update_queue_gauge(self) -> None:
         queue = self._queue
@@ -705,11 +762,16 @@ class SchedulingService:
         """Pop the most urgent unclaimed request (skipping stale duplicate
         entries left behind by rider re-prioritization)."""
         while True:
-            _, _, pending = await self._queue.get()
+            sort_key, _, pending = await self._queue.get()
             if pending.claimed:
                 self._stale_entries -= 1
                 self._update_queue_gauge()
                 continue
+            # Stateful policies advance on entry into service (weighted-fair
+            # moves its global virtual clock to the served key, which floors
+            # idle classes' next keys).  Stale pops are skipped above — the
+            # live duplicate's better key already was or will be served.
+            self.policy.on_dequeue(sort_key)
             pending.claimed = True
             pending.claimed_at = asyncio.get_running_loop().time()
             pending.claimed_wall = time.time()
@@ -801,6 +863,19 @@ class SchedulingService:
                     self.stats.record_scheduled()
                     if not pending.future.done():
                         pending.future.set_result(response)
+            if self.adaptive is not None:
+                decision = self.adaptive.maybe_tick(loop.time())
+                if decision is not None and decision["action"] != "hold" \
+                        and tracer is not None and tracer.enabled:
+                    # A parentless span per adjustment: the trace ring
+                    # buffer shows when and why the knobs moved.
+                    adjusted = time.time()
+                    span = tracer.begin(
+                        "service.adaptive",
+                        tracer.trace_id_for(
+                            f"adaptive-{os.getpid()}-{self._arrival_seq}"),
+                        attrs=decision, start_s=adjusted)
+                    tracer.finish(span, status="ok", end_s=adjusted)
 
     def _schedule_batch(self, requests: List[ScheduleRequest]
                         ) -> List[ScheduleResponse]:

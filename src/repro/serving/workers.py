@@ -45,7 +45,8 @@ from ..api.types import (EncodedScheduleResponse, ScheduleRequest,
                          ScheduleResponse)
 from ..observability import merge_registry_dicts
 from ..passes.registry import PipelineRegistryError
-from ..scheduler.database import DatabaseEntry, TuningDatabase
+from ..scheduler.database import (DatabaseEntry, TuningDatabase,
+                                  apply_feedback_record)
 from ..scheduler.sharding import ShardedTuningDatabase, embedding_shard
 from ..scheduler.evolutionary import SearchConfig
 from ..scheduler.tiramisu import MctsConfig
@@ -117,8 +118,16 @@ _WORKER_SEEN: set = set()
 
 
 def _entry_key(entry_dict: Dict[str, Any]) -> str:
-    """Stable identity of one database entry (dedupe for redistribution)."""
-    return json.dumps(entry_dict, sort_keys=True)
+    """Stable identity of one database entry (dedupe for redistribution).
+
+    Feedback fields are stripped first: online measurements mutate an
+    entry's ``measured_runtime``/``measurements`` in place, and an entry
+    must stay *one* entry across redistribution rounds no matter how many
+    timings it absorbed in between (mirrors ``DatabaseEntry.identity``).
+    """
+    stripped = {key: value for key, value in entry_dict.items()
+                if key not in ("measured_runtime", "measurements")}
+    return json.dumps(stripped, sort_keys=True)
 
 
 def _init_worker(config: WorkerConfig,
@@ -224,6 +233,44 @@ def _worker_absorb_entries(entry_dicts: List[Dict[str, Any]]
     return _WORKER_INDEX, added
 
 
+def _worker_apply_feedback(records: List[Dict[str, Any]]
+                           ) -> Tuple[int, Dict[str, int]]:
+    """Barrier-synchronized online-feedback round (one task per worker).
+
+    The coordinator already applied every record to its own sharded
+    database and marked which ones created a measurement-born entry
+    (``record["added"]``); each worker mirrors that decision on its shard:
+    existing-entry updates apply wherever the matching entry lives
+    (``add_missing=False`` everywhere else is a silent no-op), new entries
+    are created only by the worker owning the embedding's shard — the same
+    routing redistribution uses.
+    """
+    try:
+        _WORKER_BARRIER.wait(timeout=60)
+    except threading.BrokenBarrierError:
+        pass
+    session = _WORKER_SESSION
+    counts = {"applied": 0, "added": 0, "skipped": 0}
+    for record in records:
+        vector = record.get("embedding")
+        if vector is None:
+            continue  # the coordinator counted the skip once, pool-wide
+        if record.get("added"):
+            if embedding_shard(vector, _WORKER_COUNT) != _WORKER_INDEX:
+                continue
+            counts[apply_feedback_record(record, session.database,
+                                         add_missing=True)] += 1
+        else:
+            outcome = apply_feedback_record(record, session.database,
+                                            add_missing=False)
+            if outcome != "skipped":
+                # Exactly one worker holds the matching entry; the "not my
+                # shard" no-ops of the others are routing, not skips.
+                counts[outcome] += 1
+    session.note_feedback(counts)
+    return _WORKER_INDEX, counts
+
+
 def _worker_report() -> Tuple[int, Dict[str, Any]]:
     """Barrier-synchronized session report of this worker."""
     try:
@@ -311,6 +358,9 @@ class PoolStats:
     errors: int = 0
     gathered_entries: int = 0
     redistributed_entries: int = 0
+    feedback_applied: int = 0
+    feedback_added: int = 0
+    feedback_skipped: int = 0
 
     def to_dict(self) -> Dict[str, int]:
         return {
@@ -319,6 +369,9 @@ class PoolStats:
             "errors": self.errors,
             "gathered_entries": self.gathered_entries,
             "redistributed_entries": self.redistributed_entries,
+            "feedback_applied": self.feedback_applied,
+            "feedback_added": self.feedback_added,
+            "feedback_skipped": self.feedback_skipped,
         }
 
 
@@ -552,6 +605,42 @@ class WorkerPool:
                     value for value in absorbed.values()
                     if isinstance(value, int))
         return results
+
+    # -- online feedback ---------------------------------------------------------
+
+    def record_measurement(self, records: Sequence[Dict[str, Any]]
+                           ) -> Dict[str, int]:
+        """Apply executed-schedule feedback records pool-wide.
+
+        ``records`` come from :meth:`repro.api.Session.measurement_feedback`
+        (plain JSON values, so they cross the process boundary unchanged).
+        The coordinator's sharded database absorbs them first — deciding,
+        under its shard locks, which records update an existing entry and
+        which create a measurement-born one — then a barrier round pushes
+        the records (decisions attached) to every worker so each mirrors
+        the effect on its own shard.  Future batches, on any worker, then
+        schedule against the re-ranked database.  Returns the
+        coordinator-side outcome counts ``{"applied", "added", "skipped"}``.
+
+        Safe to call concurrently with :meth:`tune`: rendezvous rounds are
+        serialized by the coordinator lock, and the coordinator database's
+        per-shard locks order the merge against feedback application.
+        """
+        prepared: List[Dict[str, Any]] = []
+        counts = {"applied": 0, "added": 0, "skipped": 0}
+        for record in records:
+            record = dict(record)
+            outcome = apply_feedback_record(record, self.database,
+                                            add_missing=True)
+            counts[outcome] += 1
+            record["added"] = outcome == "added"
+            prepared.append(record)
+        self.stats.feedback_applied += counts["applied"]
+        self.stats.feedback_added += counts["added"]
+        self.stats.feedback_skipped += counts["skipped"]
+        if prepared:
+            self._reach_all_workers(_worker_apply_feedback, prepared)
+        return counts
 
     # -- introspection -----------------------------------------------------------
 

@@ -188,7 +188,42 @@ class TestHistogramProperties:
                                                 buckets=(1.0, 2.0))
         histogram.observe(99.0)
         assert histogram.count == 1
-        assert histogram.quantile(1.0) == math.inf
+        # Mid-range quantiles land in the +Inf overflow bucket...
+        assert histogram.quantile(0.5) == math.inf
+        # ...but q=1.0 clamps to the highest finite edge (a plottable,
+        # defined value) instead of leaking inf.
+        assert histogram.quantile(1.0) == 2.0
+
+    def test_quantile_boundary_contract(self):
+        """Satellite: q=0.0 / q=1.0 / empty return defined values — checked
+        property-style over random streams, not just one example."""
+        for index, (shape, stream) in enumerate(
+                observation_streams(seed=0xB0DA, count=40)):
+            bounds, _ = uniform_buckets(stream)
+            histogram = MetricsRegistry().histogram("repro_b_seconds", "",
+                                                    buckets=bounds)
+            assert math.isnan(histogram.quantile(0.0)), (index, shape)
+            assert math.isnan(histogram.quantile(1.0)), (index, shape)
+            for value in stream:
+                histogram.observe(value)
+            # q=0.0 is the lowest bucket edge, q=1.0 the finite upper edge
+            # of the highest nonempty bucket; both finite, properly ordered,
+            # and bracketing every mid quantile.
+            low, high = histogram.quantile(0.0), histogram.quantile(1.0)
+            assert low == bounds[0], (index, shape)
+            assert math.isfinite(high), (index, shape)
+            assert low <= high <= bounds[-1], (index, shape)
+            for q in (0.25, 0.5, 0.75):
+                estimate = histogram.quantile(q)
+                assert low <= estimate <= high, (index, shape, q)
+
+    def test_quantile_one_clamps_overflow_to_highest_finite_edge(self):
+        histogram = MetricsRegistry().histogram("repro_b", "",
+                                                buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 99.0, 123.0):
+            histogram.observe(value)
+        assert histogram.quantile(1.0) == 4.0
+        assert histogram.quantile(0.0) == 1.0
 
 
 # -- merging snapshots ----------------------------------------------------------------
@@ -448,9 +483,11 @@ class TestMetricsOverHttp:
             report = client.report()
         assert set(report["service"]) == {
             "requests", "coalesced", "batches", "scheduled", "fast_lane",
-            "errors", "rejected", "largest_batch"}
+            "errors", "rejected", "largest_batch", "policy"}
+        assert report["service"]["policy"] == "strict-priority"
         assert all(isinstance(value, int)
-                   for value in report["service"].values())
+                   for key, value in report["service"].items()
+                   if key != "policy")
         assert set(report["admission"]) == {
             "admitted", "rejected_queue_full", "rejected_client_limit"}
         assert all(isinstance(value, int)

@@ -1,0 +1,633 @@
+"""Tests for queue-scheduling policies, the adaptive batcher, and the
+online measurement-feedback loop (session-, database-, and pool-level)."""
+
+import asyncio
+import json
+import math
+import threading
+import types
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+from helpers import fast_session
+
+from repro.api import ScheduleRequest, SearchConfig
+from repro.scheduler.database import (DatabaseEntry, TuningDatabase,
+                                      apply_feedback_record, recipe_base_name,
+                                      recipe_identity)
+from repro.scheduler.embedding import EMBEDDING_SIZE, PerformanceEmbedding
+from repro.observability import MetricsRegistry
+from repro.serving import (PolicyError, SchedulingService, ServiceConfig,
+                           ServingClient, ServingServer, WorkerConfig,
+                           WorkerPool, create_policy, policy_names,
+                           register_policy, request_fingerprint)
+from repro.serving.policy import (POLICIES, AdaptiveBatcher, AgingPolicy,
+                                  EarliestDeadlinePolicy, QueuePolicy,
+                                  StrictPriorityPolicy, WeightedFairPolicy,
+                                  quantile_from_counts)
+from repro.transforms.recipe import Recipe
+
+FAST_SEARCH = SearchConfig(population_size=4, epochs=1,
+                           generations_per_epoch=1)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def _request(priority=0, deadline_s=None, program="p"):
+    return ScheduleRequest(program=program, priority=priority,
+                           deadline_s=deadline_s)
+
+
+# -- the registry -------------------------------------------------------------------
+
+class TestPolicyRegistry:
+    def test_shipped_policies_are_registered(self):
+        assert policy_names() == ["aging", "edf", "strict-priority",
+                                  "weighted-fair"]
+
+    def test_create_policy_returns_named_instances(self):
+        for name, cls in (("strict-priority", StrictPriorityPolicy),
+                          ("weighted-fair", WeightedFairPolicy),
+                          ("edf", EarliestDeadlinePolicy),
+                          ("aging", AgingPolicy)):
+            policy = create_policy(name)
+            assert isinstance(policy, cls)
+            assert policy.name == name
+
+    def test_unknown_policy_raises_with_the_known_names(self):
+        with pytest.raises(PolicyError) as caught:
+            create_policy("shortest-job-first")
+        message = str(caught.value)
+        assert "shortest-job-first" in message
+        assert "strict-priority" in message
+
+    def test_duplicate_registration_raises(self):
+        with pytest.raises(PolicyError):
+            register_policy("strict-priority")(StrictPriorityPolicy)
+
+    def test_custom_policy_registers_and_serves(self):
+        try:
+            @register_policy("test-lifo")
+            class LifoPolicy(QueuePolicy):
+                def sort_key(self, request, now):
+                    return (-now,)
+
+            policy = create_policy("test-lifo")
+            assert isinstance(policy, LifoPolicy)
+            assert policy.sort_key(_request(), 3.0) == (-3.0,)
+            assert "test-lifo" in policy_names()
+        finally:
+            POLICIES.pop("test-lifo", None)
+        assert "test-lifo" not in policy_names()
+
+    def test_unknown_policy_fails_at_service_construction(self):
+        with pytest.raises(PolicyError):
+            SchedulingService(_StubSession(),
+                              ServiceConfig(policy="not-a-policy"))
+
+
+# -- per-policy key semantics -------------------------------------------------------
+
+class TestStrictPriorityKeys:
+    def test_key_is_the_priority(self):
+        policy = create_policy("strict-priority")
+        assert policy.sort_key(_request(priority=7), 123.0) == (7.0,)
+        assert policy.rider_key(_request(priority=2), 9.0) \
+            < policy.sort_key(_request(priority=3), 0.0)
+
+
+class TestWeightedFairKeys:
+    def test_class_clocks_advance_inversely_to_weight(self):
+        policy = WeightedFairPolicy(None)
+        # Priority 0 weighs 10 (finish += 0.1); priority 9 weighs 1.
+        assert policy.sort_key(_request(priority=0), 0.0) == (0.1,)
+        assert policy.sort_key(_request(priority=0), 0.0) == (0.2,)
+        assert policy.sort_key(_request(priority=9), 0.0) == (1.0,)
+        assert policy.sort_key(_request(priority=9), 0.0) == (2.0,)
+
+    def test_rider_key_peeks_without_advancing_the_clock(self):
+        policy = WeightedFairPolicy(None)
+        peeked = policy.rider_key(_request(priority=0), 0.0)
+        assert peeked == (0.1,)
+        # The peek committed nothing: the real enqueue gets the same key.
+        assert policy.sort_key(_request(priority=0), 0.0) == peeked
+
+    def test_dequeue_floors_idle_classes_at_the_virtual_time(self):
+        policy = WeightedFairPolicy(None)
+        for _ in range(5):
+            key = policy.sort_key(_request(priority=9), 0.0)
+        policy.on_dequeue(key)  # virtual time jumps to 5.0
+        # A class that was idle all along starts at the floor, not at zero:
+        # it earned no credit while absent.
+        (finish,) = policy.sort_key(_request(priority=0), 0.0)
+        assert finish == pytest.approx(5.1)
+
+    def test_weight_overrides_apply_and_must_be_positive(self):
+        config = types.SimpleNamespace(policy_weights={9: 5.0})
+        policy = WeightedFairPolicy(config)
+        assert policy.sort_key(_request(priority=9), 0.0) == (0.2,)
+        for bad in (0.0, -1.0):
+            with pytest.raises(PolicyError):
+                WeightedFairPolicy(
+                    types.SimpleNamespace(policy_weights={0: bad}))
+
+
+class TestEarliestDeadlineKeys:
+    def test_no_deadline_sorts_last(self):
+        policy = create_policy("edf")
+        assert policy.sort_key(_request(deadline_s=None), 10.0)[0] == math.inf
+        assert policy.sort_key(_request(deadline_s=100.0), 10.0) \
+            < policy.sort_key(_request(deadline_s=None), 10.0)
+
+    def test_past_deadline_sorts_most_urgent(self):
+        policy = create_policy("edf")
+        late = policy.sort_key(_request(deadline_s=-1.0), 50.0)
+        soon = policy.sort_key(_request(deadline_s=0.5), 50.0)
+        assert late < soon
+        assert late[0] == 49.0
+
+    def test_priority_breaks_deadline_ties(self):
+        policy = create_policy("edf")
+        urgent = policy.sort_key(_request(priority=0, deadline_s=1.0), 5.0)
+        bulk = policy.sort_key(_request(priority=9, deadline_s=1.0), 5.0)
+        assert urgent < bulk
+
+
+class TestAgingKeys:
+    def test_interval_comes_from_the_config_and_must_be_positive(self):
+        policy = AgingPolicy(types.SimpleNamespace(aging_interval_s=2.0))
+        assert policy.age_interval_s == 2.0
+        assert AgingPolicy(None).age_interval_s == 0.5
+        with pytest.raises(PolicyError):
+            AgingPolicy(types.SimpleNamespace(aging_interval_s=-1.0))
+
+    def test_old_bulk_overtakes_fresh_urgent_after_nine_intervals(self):
+        policy = AgingPolicy(types.SimpleNamespace(aging_interval_s=0.5))
+        old_bulk = policy.sort_key(_request(priority=9), 0.0)   # key 4.5
+        # A fresh priority-0 request still beats it before 9 intervals...
+        assert policy.sort_key(_request(priority=0), 4.4) < old_bulk
+        # ...and loses to it after.
+        assert old_bulk < policy.sort_key(_request(priority=0), 4.6)
+
+
+# -- drain order through the service ------------------------------------------------
+
+def _stub_response(program):
+    result = types.SimpleNamespace(
+        program=types.SimpleNamespace(name=str(program)))
+    result.copy = lambda: result
+    return types.SimpleNamespace(
+        result=result, scheduler="stub", program=result.program,
+        runtime_s=0.0, normalized=False, input_hash=None,
+        canonical_hash=None, from_cache=False,
+        normalization_cache_hit=False)
+
+
+class _StubSession:
+    """Session stand-in recording the order requests reach the executor.
+
+    The "gate" request blocks until released, pinning the batcher while a
+    test stacks the queue; everything behind the gate then drains in the
+    configured policy's order.
+    """
+
+    def __init__(self):
+        self.order = []
+        self.gate = threading.Event()
+
+    def schedule_batch(self, requests, max_workers=None,
+                       return_exceptions=False):
+        responses = []
+        for request in requests:
+            if request.program == "gate":
+                self.gate.wait(timeout=30)
+            self.order.append(request.program)
+            responses.append(_stub_response(request.program))
+        return responses
+
+    def record_coalesced(self, count=1):
+        pass
+
+
+async def _drain(service, submissions, stall_s=0.0):
+    """Stack ``submissions`` behind a gate request and release the batcher.
+
+    ``submissions`` are ``(request, stalled)`` pairs; after enqueueing the
+    stalled prefix the driver sleeps ``stall_s`` so age-sensitive policies
+    see real queue time before the rest arrives.
+    """
+    session = service.session
+    await service.start()
+    try:
+        gate = asyncio.ensure_future(
+            service.schedule(ScheduleRequest(program="gate")))
+        await asyncio.sleep(0.05)  # the batcher is now blocked on the gate
+        tasks, queued = [], 0
+        stalled = True
+        for request, early in submissions:
+            if stalled and not early and stall_s:
+                while service._queue.qsize() < queued:
+                    await asyncio.sleep(0.005)
+                await asyncio.sleep(stall_s)
+                stalled = False
+            tasks.append(asyncio.ensure_future(service.schedule(request)))
+            queued += 1
+        while service._queue.qsize() < queued:
+            await asyncio.sleep(0.005)
+        session.gate.set()
+        await asyncio.gather(gate, *tasks)
+    finally:
+        await service.stop()
+
+
+def _drive(config, submissions, stall_s=0.0):
+    session = _StubSession()
+    service = SchedulingService(session, config)
+    run(_drain(service, submissions, stall_s=stall_s))
+    assert session.order[0] == "gate"
+    return session.order[1:], service
+
+
+class TestEdfDrainOrder:
+    def test_past_deadline_drains_first_and_deadline_free_last(self):
+        order, _ = _drive(
+            ServiceConfig(max_batch_size=1, batch_window_s=0.0,
+                          policy="edf"),
+            [(ScheduleRequest(program="never"), True),
+             (ScheduleRequest(program="later", deadline_s=5.0), True),
+             (ScheduleRequest(program="soon", deadline_s=0.5), True),
+             (ScheduleRequest(program="late", deadline_s=-1.0), True)])
+        assert order == ["late", "soon", "later", "never"]
+
+
+class TestAgingDrainOrder:
+    def test_starved_bulk_overtakes_a_fresh_urgent_burst(self):
+        """A priority-9 request that waited longer than nine aging
+        intervals must drain before priority-0 requests that just arrived —
+        the exact starvation case strict-priority never resolves."""
+        order, _ = _drive(
+            ServiceConfig(max_batch_size=1, batch_window_s=0.0,
+                          policy="aging", aging_interval_s=0.01),
+            [(ScheduleRequest(program="old-bulk", priority=9), True),
+             (ScheduleRequest(program="fresh-urgent", priority=0), False),
+             (ScheduleRequest(program="fresh-bulk", priority=9), False)],
+            stall_s=0.25)
+        assert order == ["old-bulk", "fresh-urgent", "fresh-bulk"]
+
+    def test_without_the_wait_strict_order_is_kept(self):
+        order, _ = _drive(
+            ServiceConfig(max_batch_size=1, batch_window_s=0.0,
+                          policy="aging", aging_interval_s=10.0),
+            [(ScheduleRequest(program="bulk", priority=9), True),
+             (ScheduleRequest(program="urgent", priority=0), True)])
+        assert order == ["urgent", "bulk"]
+
+
+class TestWeightedFairDrainOrder:
+    MIX = ([(ScheduleRequest(program=f"starved-{i}", priority=9), True)
+            for i in range(1, 3)]
+           + [(ScheduleRequest(program=f"bulk-{i}", priority=0), True)
+              for i in range(1, 13)])
+
+    def test_urgent_burst_does_not_starve_the_low_class(self):
+        order, service = _drive(
+            ServiceConfig(max_batch_size=1, batch_window_s=0.0,
+                          policy="weighted-fair"), self.MIX)
+        # The burst mostly goes first (it holds 10x the weight), but the
+        # starved class is interleaved, not parked behind the whole burst.
+        assert order.index("starved-1") < order.index("bulk-12")
+        decisions = service.metrics.get("repro_queue_policy_decisions_total")
+        assert decisions.labels("weighted-fair", "0").value == 12
+        assert decisions.labels("weighted-fair", "9").value == 2
+        latency = service.metrics.get("repro_policy_request_latency_seconds")
+        assert latency is not None and latency.series_items()
+
+    def test_strict_priority_parks_the_low_class_behind_the_burst(self):
+        order, _ = _drive(
+            ServiceConfig(max_batch_size=1, batch_window_s=0.0,
+                          policy="strict-priority"), self.MIX)
+        assert order[-2:] == ["starved-1", "starved-2"]
+
+
+# -- the adaptive batcher -----------------------------------------------------------
+
+class TestQuantileFromCounts:
+    def test_empty_counts_are_nan(self):
+        assert math.isnan(quantile_from_counts((0.1, 1.0), [0.0, 0.0, 0.0],
+                                               0.95))
+
+    def test_rank_walk_matches_the_bucket_bound(self):
+        bounds = (0.1, 1.0)
+        assert quantile_from_counts(bounds, [9.0, 1.0, 0.0], 0.5) == 0.1
+        assert quantile_from_counts(bounds, [9.0, 1.0, 0.0], 0.95) == 1.0
+
+    def test_overflow_bucket_is_infinite(self):
+        assert quantile_from_counts((0.1,), [0.0, 5.0], 0.95) == math.inf
+
+
+def _batcher(**overrides):
+    settings = dict(max_batch_size=8, batch_window_s=0.01,
+                    max_queue_depth=64, latency_slo_s=0.1,
+                    adaptive_interval_s=0.0)
+    settings.update(overrides)
+    config = ServiceConfig(**settings)
+    metrics = MetricsRegistry()
+    histogram = metrics.histogram(
+        "repro_request_latency_seconds", "test", ("priority",))
+    return AdaptiveBatcher(config, metrics), config, metrics, histogram
+
+
+class TestAdaptiveBatcher:
+    def test_slo_misses_tighten_and_recovery_relaxes(self):
+        batcher, config, metrics, histogram = _batcher()
+        assert batcher.tick()["action"] == "hold"  # first tick: baseline
+        for _ in range(20):
+            histogram.labels("0").observe(0.2)  # p95 = 0.25 > slo 0.1
+        decision = batcher.tick()
+        assert decision["action"] == "tighten"
+        assert config.batch_window_s == pytest.approx(0.005)
+        assert config.max_batch_size == 16
+        assert config.max_queue_depth == 48
+        for _ in range(40):
+            histogram.labels("0").observe(0.0004)  # p95 well under slo/2
+        decision = batcher.tick()
+        assert decision["action"] == "relax"
+        assert config.batch_window_s == pytest.approx(0.01)
+        assert config.max_batch_size == 8
+        assert config.max_queue_depth == 64
+        # A quiet interval holds (no traffic to adapt on).
+        assert batcher.tick()["action"] == "hold"
+        adjustments = metrics.get("repro_adaptive_adjustments_total")
+        assert adjustments.labels("tighten").value == 1
+        assert adjustments.labels("relax").value == 1
+
+    def test_fast_traffic_without_prior_tightening_holds(self):
+        batcher, config, _, histogram = _batcher()
+        batcher.tick()
+        for _ in range(10):
+            histogram.labels("0").observe(0.0004)
+        assert batcher.tick()["action"] == "hold"
+        assert config.max_batch_size == 8
+
+    def test_tightening_bottoms_out_at_the_floors(self):
+        batcher, config, _, _ = _batcher()
+        for _ in range(10):
+            batcher._decide("tighten", 1.0)
+        assert config.batch_window_s == pytest.approx(0.01 / 8.0)
+        assert config.max_batch_size == 32          # 4x the configured 8
+        assert config.max_queue_depth == 16         # 1/4 of the configured 64
+
+    def test_unbounded_queue_depth_stays_unbounded(self):
+        batcher, config, _, _ = _batcher(max_queue_depth=0)
+        batcher._decide("tighten", 1.0)
+        assert config.max_queue_depth == 0
+        batcher._decide("relax", 0.0)
+        assert config.max_queue_depth == 0
+
+    def test_gauges_mirror_the_live_knobs(self):
+        batcher, config, metrics, _ = _batcher()
+        batcher._decide("tighten", 1.0)
+        assert metrics.get("repro_adaptive_batch_window_seconds").value \
+            == config.batch_window_s
+        assert metrics.get("repro_adaptive_batch_size").value \
+            == config.max_batch_size
+        assert metrics.get("repro_adaptive_queue_depth").value \
+            == config.max_queue_depth
+
+    def test_maybe_tick_rate_limits(self):
+        batcher, _, _, _ = _batcher(adaptive_interval_s=10.0)
+        assert batcher.maybe_tick(0.0) is not None
+        assert batcher.maybe_tick(5.0) is None
+        assert batcher.maybe_tick(11.0) is not None
+
+
+# -- the deadline field -------------------------------------------------------------
+
+class TestDeadlineField:
+    def test_round_trips_through_the_wire_format(self):
+        request = ScheduleRequest(program="gemm:a", deadline_s=1.5)
+        data = request.to_dict()
+        assert data["deadline_s"] == 1.5
+        assert ScheduleRequest.from_dict(data).deadline_s == 1.5
+
+    def test_absent_when_unset(self):
+        # Byte-compatibility: deadline-free requests serialize exactly as
+        # they did before the field existed.
+        assert "deadline_s" not in ScheduleRequest(program="gemm:a").to_dict()
+        assert ScheduleRequest.from_dict({"program": "gemm:a"}).deadline_s \
+            is None
+
+    def test_fingerprint_ignores_the_deadline(self):
+        # Deadlines shape queue order, not the scheduling outcome: they
+        # must not split coalescing or cache keys.
+        assert request_fingerprint(ScheduleRequest(program="gemm:a")) \
+            == request_fingerprint(
+                ScheduleRequest(program="gemm:a", deadline_s=0.5))
+
+
+# -- Retry-After rounding (regression) ----------------------------------------------
+
+class TestRetryAfterRounding:
+    @pytest.mark.parametrize("hint,header", [(2.5, "3"), (0.05, "1")])
+    def test_half_second_hints_round_up_not_to_even(self, hint, header):
+        """round() uses banker's rounding (2.5 -> 2, 0.5 -> 0); the header
+        must ceil so the hint never undercuts the configured backoff and
+        never tells clients to retry immediately."""
+        session = fast_session()
+        config = ServiceConfig(max_batch_size=1, batch_window_s=0.01,
+                               max_client_inflight=1, retry_after_s=hint)
+        with ServingServer(session, config=config) as server:
+            statuses = []
+
+            def submit(size):
+                body = json.dumps({"program": "correlation:a",
+                                   "client": "alice",
+                                   "parameters": {"M": size, "N": size}})
+                request = urllib.request.Request(
+                    server.address + "/v1/schedule", data=body.encode(),
+                    method="POST",
+                    headers={"Content-Type": "application/json"})
+                try:
+                    with urllib.request.urlopen(request, timeout=60) as reply:
+                        statuses.append((reply.status, dict(reply.headers)))
+                except urllib.error.HTTPError as error:
+                    statuses.append((error.code, dict(error.headers)))
+
+            with ThreadPoolExecutor(max_workers=6) as pool:
+                list(pool.map(submit, [32 + index for index in range(6)]))
+            rejected = [headers for status, headers in statuses
+                        if status == 429]
+            assert rejected
+            assert rejected[0].get("Retry-After") == header
+        session.close()
+
+
+# -- the feedback loop: database level ----------------------------------------------
+
+def _vector(*head):
+    return tuple(list(head) + [0.0] * (EMBEDDING_SIZE - len(head)))
+
+
+def _embedding(label, *head):
+    return PerformanceEmbedding(label=label, vector=_vector(*head))
+
+
+class TestDatabaseFeedback:
+    def test_disappointing_measurement_flips_the_ranking(self):
+        """The tentpole acceptance at database scale: the predicted-best
+        entry stops winning once its executed schedule measures 100x worse
+        than predicted."""
+        database = TuningDatabase()
+        near = database.add(_embedding("near", 1.0),
+                            Recipe(name="near-recipe"), runtime=1.0)
+        far = database.add(_embedding("far", 2.0),
+                           Recipe(name="far-recipe"), runtime=1.0)
+        probe = _embedding("probe")
+        assert database.best_match(probe) is near
+        before = database.version
+        entry, created = database.record_measurement(
+            _embedding("run", 1.0), Recipe(name="near-recipe"), 100.0)
+        assert entry is near and not created
+        # Bias saturates at 4x: score(near) = 1.0 * 4.0 > score(far) = 2.0.
+        assert database.best_match(probe) is far
+        assert database.version != before  # caches must revalidate
+
+    def test_prediction_scale_projects_onto_the_entry_prediction(self):
+        database = TuningDatabase()
+        entry = database.add(_embedding("e", 1.0), Recipe(name="r"),
+                             runtime=0.25)
+        # A whole-program measurement at 2x its prediction credits the
+        # entry at 2x the *entry's* prediction, not the raw wall time.
+        database.record_measurement(_embedding("run", 1.0), Recipe(name="r"),
+                                    10.0, prediction_scale=2.0)
+        assert entry.measured_runtime == pytest.approx(0.5)
+        assert entry.measurements == 1
+
+    def test_unseen_recipe_becomes_a_measurement_born_entry(self):
+        database = TuningDatabase()
+        recipe = Recipe(name="searched@2")
+        entry, created = database.record_measurement(
+            _embedding("run", 3.0), recipe, 0.125)
+        assert created
+        assert len(database) == 1
+        # Stored canonically: base name, retargeted to nest 0.
+        assert entry.recipe.name == recipe_base_name(recipe.name) == "searched"
+        assert recipe_identity(entry.recipe) == recipe_identity(recipe)
+        assert entry.runtime is None and entry.bias() == 1.0
+
+    def test_apply_feedback_record_outcomes(self):
+        database = TuningDatabase()
+        database.add(_embedding("seeded", 1.0), Recipe(name="seeded"),
+                     runtime=1.0)
+        applied = {"embedding": list(_vector(1.0)), "label": "run",
+                   "recipe": Recipe(name="seeded").to_dict(),
+                   "measured": 2.0, "scale": 2.0, "nest_index": 0}
+        assert apply_feedback_record(applied, database) == "applied"
+        assert apply_feedback_record(
+            {"embedding": None, "nest_index": 1,
+             "recipe": Recipe(name="gone").to_dict()}, database) == "skipped"
+        novel = {"embedding": list(_vector(2.0)), "label": "run",
+                 "recipe": Recipe(name="novel").to_dict(),
+                 "measured": 0.5, "scale": None, "nest_index": 0}
+        # A shard that does not own the entry must not create it...
+        assert apply_feedback_record(novel, database,
+                                     add_missing=False) == "skipped"
+        assert len(database) == 1
+        # ...the owner does.
+        assert apply_feedback_record(novel, database) == "added"
+        assert len(database) == 2
+
+
+# -- the feedback loop: session level -----------------------------------------------
+
+class TestSessionFeedback:
+    def test_record_measurement_feeds_the_database_and_the_report(self):
+        session = fast_session()
+        try:
+            response = session.schedule("gemm:a")
+            records = session.measurement_feedback(response, 0.5)
+            assert records and any(record.get("embedding")
+                                   for record in records)
+            before = session.database.version
+            counts = session.record_measurement(response, 0.5)
+            assert sum(counts.values()) == len(records)
+            assert counts["applied"] + counts["added"] >= 1
+            assert session.database.version != before
+            report = session.report()
+            assert report.feedback_applied == counts["applied"]
+            assert report.feedback_added == counts["added"]
+            assert report.feedback_skipped == counts["skipped"]
+            assert report.to_dict()["feedback_applied"] == counts["applied"]
+            counter = session.metrics.get(
+                "repro_feedback_measurements_total")
+            assert counter is not None
+            assert counter.labels("applied").value == counts["applied"]
+        finally:
+            session.close()
+
+    def test_measured_objects_with_a_median_are_accepted(self):
+        session = fast_session()
+        try:
+            response = session.schedule("gemm:a")
+            records = session.measurement_feedback(
+                response, types.SimpleNamespace(median=0.25))
+            assert all(record["measured"] == 0.25 for record in records
+                       if record.get("embedding") is not None)
+        finally:
+            session.close()
+
+    def test_non_positive_or_non_finite_measurements_are_rejected(self):
+        session = fast_session()
+        try:
+            response = session.schedule("gemm:a")
+            for bad in (0.0, -1.0, math.nan, math.inf):
+                with pytest.raises(ValueError):
+                    session.measurement_feedback(response, bad)
+        finally:
+            session.close()
+
+
+# -- the feedback loop: pool level --------------------------------------------------
+
+class TestPoolFeedback:
+    def test_record_measurement_races_tune_redistribution(self, tmp_path):
+        """Feedback application concurrent with a tune() redistribution
+        round on a 2-worker pool: both must complete, and the feedback
+        must land in the pool stats and the merged worker reports."""
+        session = fast_session()
+        try:
+            response = session.schedule("gemm:a")
+            records = session.measurement_feedback(response, 0.5)
+        finally:
+            session.close()
+        assert records and any(record.get("embedding")
+                               for record in records)
+        embeddable = sum(1 for record in records
+                         if record.get("embedding") is not None)
+        config = WorkerConfig(threads=2,
+                              cache_path=str(tmp_path / "cache.sqlite"),
+                              search=FAST_SEARCH)
+        with WorkerPool(2, config) as pool:
+            with ThreadPoolExecutor(max_workers=2) as executor:
+                tuned = executor.submit(
+                    pool.tune, [ScheduleRequest(program="gemm:a", tune=True,
+                                                label="gemm")])
+                feedback = executor.submit(pool.record_measurement, records)
+                tune_results = tuned.result(timeout=300)
+                counts = feedback.result(timeout=300)
+            assert not isinstance(tune_results[0], Exception)
+            assert sum(counts.values()) == len(records)
+            assert counts["applied"] + counts["added"] == embeddable
+            stats = pool.stats.to_dict()
+            assert stats["feedback_applied"] == counts["applied"]
+            assert stats["feedback_added"] == counts["added"]
+            assert stats["feedback_skipped"] == counts["skipped"]
+            merged = pool.report()["merged"]
+            # Every embeddable record was absorbed by exactly the worker
+            # owning its shard (or applied on workers holding a match).
+            assert merged.get("feedback_applied", 0) \
+                + merged.get("feedback_added", 0) >= 1
